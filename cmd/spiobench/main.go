@@ -1,0 +1,157 @@
+// Command spiobench regenerates the data behind every evaluation figure
+// of the paper (see DESIGN.md §4 for the experiment index):
+//
+//	spiobench fig5     weak-scaling write throughput (Mira & Theta, 32K & 64K ppc)
+//	spiobench fig6     aggregation vs file-I/O time profile at 32K ranks
+//	spiobench fig7     visualization read strong scaling (Theta & workstation)
+//	spiobench fig8     level-of-detail read times (Theta & workstation)
+//	spiobench fig9     progressive LOD quality, run on the local engine
+//	spiobench fig11    adaptive vs non-adaptive aggregation writes
+//	spiobench reorder  Section 3.4 LOD reorder timing
+//	spiobench crosscheck  analytic model vs discrete-event simulation
+//	spiobench all      everything above
+//
+// Figures 5–8 and 11 are priced on calibrated machine models (the
+// evaluation ran on up to 262,144 cores of Mira/Theta, which no single
+// machine reproduces natively); Fig. 9 and the reorder timing execute
+// the real pipeline locally.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"spio/internal/bench"
+	"spio/internal/machine"
+)
+
+func main() {
+	ranks := flag.Int("ranks", 8, "local-engine rank count for fig9")
+	perRank := flag.Int("particles", 65536, "local-engine particles per full patch for fig9")
+	dir := flag.String("dir", "", "dataset directory for fig9 (default: a temp dir)")
+	asCSV := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	machineFile := flag.String("machine-file", "", "price fig5/fig6 on a custom JSON machine profile instead of Mira+Theta")
+	dumpProfile := flag.String("dump-profile", "", "write a built-in profile (Mira|Theta|Workstation) as JSON to this path and exit")
+	flag.Usage = usage
+	flag.Parse()
+	if flag.NArg() != 1 {
+		usage()
+		os.Exit(2)
+	}
+
+	cmd := flag.Arg(0)
+	if *dumpProfile != "" {
+		p, err := machine.ByName(cmd)
+		if err == nil {
+			err = machine.SaveProfile(*dumpProfile, p)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "spiobench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s profile to %s (edit and pass back with -machine-file)\n", cmd, *dumpProfile)
+		return
+	}
+	if err := run(cmd, *ranks, *perRank, *dir, *asCSV, *machineFile); err != nil {
+		fmt.Fprintf(os.Stderr, "spiobench: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: spiobench [flags] fig5|fig6|fig7|fig8|fig9|fig11|reorder|crosscheck|all")
+	fmt.Fprintln(os.Stderr, "       spiobench -dump-profile out.json Mira   # export a profile for editing")
+	flag.PrintDefaults()
+}
+
+func run(cmd string, ranks, perRank int, dir string, asCSV bool, machineFile string) error {
+	w := os.Stdout
+	emit := func(t *bench.Table, err error) error {
+		if err != nil {
+			return err
+		}
+		if asCSV {
+			return t.WriteCSV(w)
+		}
+		return t.Fprint(w)
+	}
+	fig9 := func() error {
+		d := dir
+		if d == "" {
+			tmp, err := os.MkdirTemp("", "spio-fig9-*")
+			if err != nil {
+				return err
+			}
+			defer os.RemoveAll(tmp)
+			d = tmp
+		}
+		t, err := bench.Fig9(d, ranks, perRank)
+		return emit(t, err)
+	}
+
+	writeMachines := []machine.Profile{machine.Mira(), machine.Theta()}
+	if machineFile != "" {
+		custom, err := machine.LoadProfile(machineFile)
+		if err != nil {
+			return err
+		}
+		writeMachines = []machine.Profile{custom}
+	}
+
+	switch cmd {
+	case "fig5":
+		for _, m := range writeMachines {
+			for _, ppc := range []int64{32768, 65536} {
+				if err := emit(bench.Fig5(m, ppc)); err != nil {
+					return err
+				}
+			}
+		}
+	case "fig6":
+		for _, m := range writeMachines {
+			for _, ppc := range []int64{32768, 65536} {
+				if err := emit(bench.Fig6(m, ppc)); err != nil {
+					return err
+				}
+			}
+		}
+	case "fig7":
+		for _, m := range []machine.Profile{machine.Theta(), machine.Workstation()} {
+			if err := emit(bench.Fig7(m), nil); err != nil {
+				return err
+			}
+		}
+	case "fig8":
+		for _, m := range []machine.Profile{machine.Theta(), machine.Workstation()} {
+			if err := emit(bench.Fig8(m), nil); err != nil {
+				return err
+			}
+		}
+	case "fig9":
+		return fig9()
+	case "fig11":
+		for _, m := range []machine.Profile{machine.Mira(), machine.Theta()} {
+			if err := emit(bench.Fig11(m, 32768)); err != nil {
+				return err
+			}
+		}
+	case "reorder":
+		return emit(bench.Reorder(), nil)
+	case "crosscheck":
+		for _, m := range []machine.Profile{machine.Mira(), machine.Theta()} {
+			if err := emit(bench.CrossCheck(m, 32768, 32768)); err != nil {
+				return err
+			}
+		}
+	case "all":
+		for _, sub := range []string{"fig5", "fig6", "fig7", "fig8", "fig9", "fig11", "reorder", "crosscheck"} {
+			if err := run(sub, ranks, perRank, dir, asCSV, machineFile); err != nil {
+				return err
+			}
+		}
+	default:
+		return fmt.Errorf("unknown experiment %q", cmd)
+	}
+	return nil
+}

@@ -1,0 +1,101 @@
+package spio_test
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"spio"
+)
+
+// Example demonstrates the full round trip: a 4-rank collective write
+// through the spatially-aware pipeline, followed by a metadata-driven
+// box query.
+func Example() {
+	dir, err := os.MkdirTemp("", "spio-example-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	simDims := spio.I3(2, 2, 1)
+	domain := spio.UnitBox()
+	grid := spio.NewGrid(domain, simDims)
+	cfg := spio.WriteConfig{
+		Agg: spio.AggConfig{Domain: domain, SimDims: simDims, Factor: spio.I3(2, 1, 1)},
+	}
+	err = spio.Run(4, func(c *spio.Comm) error {
+		patch := grid.CellBox(spio.Unlinear(c.Rank(), simDims))
+		local := spio.Uniform(spio.UintahSchema(), patch, 1000, 7, c.Rank())
+		_, werr := spio.Write(c, dir, cfg, local)
+		return werr
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ds, err := spio.Open(dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%d particles in %d files\n", ds.Meta().Total, len(ds.Meta().Files))
+
+	// The lower-left quadrant lives in exactly one file.
+	q := spio.NewBox(spio.V3(0.05, 0.05, 0.05), spio.V3(0.45, 0.45, 0.95))
+	_, st, err := ds.QueryBox(q, spio.QueryOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("box query opened %d of %d files\n", st.FilesOpened, len(ds.Meta().Files))
+	// Output:
+	// 4000 particles in 2 files
+	// box query opened 1 of 2 files
+}
+
+// ExampleLevelSizes reproduces the paper's Section 3.4 worked example:
+// 100 particles read by one process with P=32, S=2.
+func ExampleLevelSizes() {
+	fmt.Println(spio.LevelSizes(100, 32, 2))
+	// Output: [32 64 4]
+}
+
+// ExampleDataset_ReadAll shows progressive level-of-detail reads: each
+// additional level roughly doubles the particles delivered.
+func ExampleDataset_ReadAll() {
+	dir, err := os.MkdirTemp("", "spio-example-lod-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	simDims := spio.I3(2, 1, 1)
+	grid := spio.NewGrid(spio.UnitBox(), simDims)
+	cfg := spio.WriteConfig{
+		Agg: spio.AggConfig{Domain: spio.UnitBox(), SimDims: simDims, Factor: spio.I3(2, 1, 1)},
+	}
+	err = spio.Run(2, func(c *spio.Comm) error {
+		patch := grid.CellBox(spio.Unlinear(c.Rank(), simDims))
+		local := spio.Uniform(spio.UintahSchema(), patch, 128, 7, c.Rank())
+		_, werr := spio.Write(c, dir, cfg, local)
+		return werr
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ds, err := spio.Open(dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for levels := 1; levels <= 4; levels++ {
+		buf, _, err := ds.ReadAll(spio.QueryOptions{Levels: levels})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("levels 1..%d: %d particles\n", levels, buf.Len())
+	}
+	// Output:
+	// levels 1..1: 32 particles
+	// levels 1..2: 96 particles
+	// levels 1..3: 224 particles
+	// levels 1..4: 256 particles
+}

@@ -1,0 +1,3 @@
+module spio
+
+go 1.22

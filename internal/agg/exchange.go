@@ -1,0 +1,200 @@
+package agg
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+
+	"spio/internal/geom"
+	"spio/internal/mpi"
+	"spio/internal/particle"
+)
+
+// Message tags for the two exchange phases (Section 3.3).
+const (
+	tagMetaCount = 1 // metadata exchange: particle counts
+	tagData      = 2 // particle exchange: encoded records
+)
+
+// Timing records how long each write phase took on this rank; the
+// aggregation-vs-file-I/O breakdown is what Fig. 6 reports.
+type Timing struct {
+	MetadataExchange time.Duration
+	ParticleExchange time.Duration
+	Reorder          time.Duration
+	FileIO           time.Duration
+	MetaIO           time.Duration
+}
+
+// Aggregation returns the total time spent moving data over the network
+// (the "Data aggregation" bar of Fig. 6).
+func (t Timing) Aggregation() time.Duration {
+	return t.MetadataExchange + t.ParticleExchange
+}
+
+// Total returns the end-to-end write time on this rank.
+func (t Timing) Total() time.Duration {
+	return t.Aggregation() + t.Reorder + t.FileIO + t.MetaIO
+}
+
+// send is one outgoing bundle: a buffer destined for one aggregator.
+type send struct {
+	to  int
+	buf *particle.Buffer
+}
+
+// exchange runs the paper's two-phase protocol from one rank's
+// perspective:
+//
+//  1. Metadata exchange — each sender tells each of its aggregators how
+//     many particles to expect (the aggregators "do not know a-priori
+//     how many data packets to expect, nor how big a buffer to
+//     allocate").
+//  2. Buffer allocation sized from the received counts.
+//  3. Particle exchange — non-blocking point-to-point sends of the
+//     encoded records, received in deterministic rank order.
+//
+// sends lists this rank's outgoing bundles (self-sends are delivered
+// in-memory). expectFrom lists, for an aggregator rank, the ranks it must
+// hear a count from; nil for non-aggregators. Returns the aggregated
+// buffer (nil for non-aggregators) and the phase timings.
+func exchange(c *mpi.Comm, schema *particle.Schema, sends []send, expectFrom []int) (*particle.Buffer, Timing, error) {
+	var tm Timing
+
+	// Phase 1: metadata exchange.
+	start := time.Now()
+	var selfBuf *particle.Buffer
+	for _, s := range sends {
+		if s.to == c.Rank() {
+			selfBuf = s.buf
+			continue
+		}
+		var cnt [8]byte
+		binary.LittleEndian.PutUint64(cnt[:], uint64(s.buf.Len()))
+		c.Isend(s.to, tagMetaCount, cnt[:])
+	}
+	counts := make(map[int]int64, len(expectFrom))
+	total := int64(0)
+	for _, src := range expectFrom {
+		if src == c.Rank() {
+			if selfBuf != nil {
+				counts[src] = int64(selfBuf.Len())
+				total += int64(selfBuf.Len())
+			}
+			continue
+		}
+		data, _ := c.Recv(src, tagMetaCount)
+		if len(data) != 8 {
+			return nil, tm, fmt.Errorf("agg: malformed count message from rank %d (%d bytes)", src, len(data))
+		}
+		n := int64(binary.LittleEndian.Uint64(data))
+		counts[src] = n
+		total += n
+	}
+	tm.MetadataExchange = time.Since(start)
+
+	// Phase 2+3: allocate once, then the particle exchange.
+	start = time.Now()
+	var agg *particle.Buffer
+	if expectFrom != nil {
+		agg = particle.NewBuffer(schema, int(total))
+	}
+	var scratch []byte
+	for _, s := range sends {
+		if s.to == c.Rank() || s.buf.Len() == 0 {
+			continue
+		}
+		scratch = s.buf.EncodeRecords(scratch[:0], 0, s.buf.Len())
+		c.Isend(s.to, tagData, scratch)
+	}
+	for _, src := range expectFrom {
+		if src == c.Rank() {
+			if selfBuf != nil {
+				agg.AppendBuffer(selfBuf)
+			}
+			continue
+		}
+		if counts[src] == 0 {
+			continue
+		}
+		data, _ := c.Recv(src, tagData)
+		want := counts[src] * int64(schema.Stride())
+		if int64(len(data)) != want {
+			return nil, tm, fmt.Errorf("agg: rank %d announced %d particles but sent %d bytes (want %d)",
+				src, counts[src], len(data), want)
+		}
+		if err := agg.DecodeRecords(data); err != nil {
+			return nil, tm, fmt.Errorf("agg: decoding records from rank %d: %w", src, err)
+		}
+	}
+	tm.ParticleExchange = time.Since(start)
+	return agg, tm, nil
+}
+
+// ExchangeAligned runs the two-phase exchange for an aligned
+// aggregation-grid: every rank's patch lies in exactly one partition, so
+// each rank sends its whole buffer to one aggregator with no per-particle
+// scan (Section 3.3, "each process can simply send all of its particles
+// to the process which owns the partition").
+//
+// Aggregator ranks return their partition's aggregated buffer; other
+// ranks return nil.
+func ExchangeAligned(c *mpi.Comm, l *Layout, local *particle.Buffer) (*particle.Buffer, Timing, error) {
+	if l.NumRanks != c.Size() {
+		return nil, Timing{}, fmt.Errorf("agg: layout built for %d ranks, world has %d", l.NumRanks, c.Size())
+	}
+	sends := []send{{to: l.AggregatorOfRank(c.Rank()), buf: local}}
+	var expectFrom []int
+	if part, ok := l.IsAggregator(c.Rank()); ok {
+		expectFrom = l.RanksInPartition(part)
+	}
+	return exchange(c, local.Schema(), sends, expectFrom)
+}
+
+// ExchangeScan runs the two-phase exchange for a non-aligned grid: each
+// rank scans its particles to bin them by aggregation partition and may
+// send to several aggregators. senderSets[p] must list the ranks that
+// will send a count to partition p's aggregator; every rank must compute
+// identical senderSets (they are derived from globally known geometry).
+func ExchangeScan(c *mpi.Comm, grid geom.Grid, aggregators []int, senderSets [][]int, local *particle.Buffer) (*particle.Buffer, Timing, error) {
+	split := SplitByPartition(local, grid)
+
+	// Which partitions am I on record as sending to?
+	mine := make(map[int]bool)
+	for p, senders := range senderSets {
+		for _, r := range senders {
+			if r == c.Rank() {
+				mine[p] = true
+			}
+		}
+	}
+	// Sanity: every non-empty bin must be covered by a sender-set entry,
+	// otherwise the aggregator would never post a receive for us.
+	var sends []send
+	for p, buf := range split {
+		if buf != nil && buf.Len() > 0 && !mine[p] {
+			return nil, Timing{}, fmt.Errorf("agg: rank %d holds %d particles for partition %d but is not in its sender set",
+				c.Rank(), buf.Len(), p)
+		}
+	}
+	schema := local.Schema()
+	for p := range senderSets {
+		if !mine[p] {
+			continue
+		}
+		buf := split[p]
+		if buf == nil {
+			buf = particle.NewBuffer(schema, 0)
+		}
+		sends = append(sends, send{to: aggregators[p], buf: buf})
+	}
+
+	var expectFrom []int
+	for p, aggRank := range aggregators {
+		if aggRank == c.Rank() {
+			expectFrom = senderSets[p]
+			break
+		}
+	}
+	return exchange(c, schema, sends, expectFrom)
+}

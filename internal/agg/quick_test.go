@@ -1,0 +1,116 @@
+package agg
+
+import (
+	"math/rand"
+	"testing"
+
+	"spio/internal/geom"
+)
+
+// Randomized layout invariants over many (dims, factor) combinations.
+
+func TestQuickLayoutInvariants(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	dimChoices := []int{1, 2, 3, 4, 6, 8}
+	for trial := 0; trial < 60; trial++ {
+		dims := geom.I3(
+			dimChoices[r.Intn(len(dimChoices))],
+			dimChoices[r.Intn(len(dimChoices))],
+			dimChoices[r.Intn(len(dimChoices))],
+		)
+		factor := geom.I3(divisorOf(r, dims.X), divisorOf(r, dims.Y), divisorOf(r, dims.Z))
+		nRanks := dims.Volume()
+		l, err := NewLayout(unitCfg(dims, factor), nRanks)
+		if err != nil {
+			t.Fatalf("trial %d (%v/%v): %v", trial, dims, factor, err)
+		}
+
+		// Invariant 1: partitions × group size = ranks.
+		if l.NumPartitions()*l.GroupSize() != nRanks {
+			t.Fatalf("trial %d: %d parts × %d group != %d ranks", trial, l.NumPartitions(), l.GroupSize(), nRanks)
+		}
+		// Invariant 2: every rank belongs to exactly one partition and
+		// its patch is inside that partition's box.
+		seen := make(map[int]int)
+		for rank := 0; rank < nRanks; rank++ {
+			p := l.PartitionOfRank(rank)
+			seen[p]++
+			if !l.PartitionBox(p).ContainsBox(l.PatchOf(rank)) {
+				t.Fatalf("trial %d: rank %d patch escapes its partition", trial, rank)
+			}
+		}
+		for p, count := range seen {
+			if count != l.GroupSize() {
+				t.Fatalf("trial %d: partition %d has %d members, want %d", trial, p, count, l.GroupSize())
+			}
+		}
+		// Invariant 3: aggregators are distinct, in range, and every
+		// partition's sender set inverts PartitionOfRank.
+		aggs := make(map[int]bool)
+		for p := 0; p < l.NumPartitions(); p++ {
+			a := l.Aggregator(p)
+			if a < 0 || a >= nRanks || aggs[a] {
+				t.Fatalf("trial %d: bad aggregator %d for partition %d", trial, a, p)
+			}
+			aggs[a] = true
+			for _, rank := range l.RanksInPartition(p) {
+				if l.PartitionOfRank(rank) != p {
+					t.Fatalf("trial %d: sender set inconsistent", trial)
+				}
+			}
+		}
+		// Invariant 4: partition boxes tile the domain.
+		var vol float64
+		for p := 0; p < l.NumPartitions(); p++ {
+			vol += l.PartitionBox(p).Volume()
+		}
+		if d := vol - 1.0; d > 1e-9 || d < -1e-9 {
+			t.Fatalf("trial %d: partitions cover volume %v", trial, vol)
+		}
+	}
+}
+
+func divisorOf(r *rand.Rand, n int) int {
+	var divs []int
+	for d := 1; d <= n; d++ {
+		if n%d == 0 {
+			divs = append(divs, d)
+		}
+	}
+	return divs[r.Intn(len(divs))]
+}
+
+func TestQuickScanLayoutSenderSetsCoverPatches(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 40; trial++ {
+		simDims := geom.I3(1+r.Intn(5), 1+r.Intn(4), 1+r.Intn(3))
+		n := simDims.Volume()
+		parts := geom.I3(1+r.Intn(3), 1+r.Intn(3), 1)
+		if parts.Volume() > n {
+			continue
+		}
+		simGrid := geom.NewGrid(geom.UnitBox(), simDims)
+		patches := make([]geom.Box, n)
+		for i := range patches {
+			patches[i] = simGrid.CellBoxLinear(i)
+		}
+		l, err := NewScanLayout(geom.UnitBox(), parts, patches)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		// Every patch must be registered with every partition it
+		// overlaps — otherwise the exchange would reject its particles.
+		for p := 0; p < l.NumPartitions(); p++ {
+			pb := l.PartitionBox(p)
+			inSet := make(map[int]bool)
+			for _, rank := range l.SenderSet(p) {
+				inSet[rank] = true
+			}
+			for rank, patch := range patches {
+				if patch.Intersects(pb) && !inSet[rank] {
+					t.Fatalf("trial %d: rank %d overlaps partition %d but is not a sender", trial, rank, p)
+				}
+			}
+		}
+	}
+}

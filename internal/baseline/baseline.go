@@ -1,0 +1,256 @@
+// Package baseline implements the comparison I/O strategies of the
+// paper's evaluation, with the behaviours (and limitations) that the
+// paper contrasts against:
+//
+//   - File-per-process (IOR FPP): every rank writes its own file; no
+//     aggregation, no spatial organization, no metadata, no LOD. Fast at
+//     moderate scale, floods the file system with files at large scale.
+//   - Single shared file (IOR collective): ranks write disjoint extents
+//     of one file at offsets established by a collective count exchange.
+//     Spatial order on disk is rank order, not space.
+//   - PHDF5-like sub-filing: groups of ranks share a subfile, grouped by
+//     rank (not by space — the spatial-blindness of Fig. 1's middle
+//     panel). Reads require the reader count to match the subfile count,
+//     reproducing the restriction reported by Byna et al. (Section 2.1).
+//
+// The on-disk baseline format is a minimal header plus raw particle
+// records, deliberately devoid of spatial metadata: readers must open
+// everything and cherry-pick, which is exactly the cost the paper's
+// format eliminates.
+package baseline
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"spio/internal/mpi"
+	"spio/internal/particle"
+)
+
+const (
+	rawMagic   = "SPIORAW1"
+	headerSize = 8 + 8 + 8 // magic + count + stride
+)
+
+// writeRaw writes a baseline file: magic, count, stride, records.
+func writeRaw(path string, buf *particle.Buffer) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}()
+	bw := bufio.NewWriterSize(f, 1<<20)
+	var hdr [headerSize]byte
+	copy(hdr[:8], rawMagic)
+	binary.LittleEndian.PutUint64(hdr[8:], uint64(buf.Len()))
+	binary.LittleEndian.PutUint64(hdr[16:], uint64(buf.Schema().Stride()))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	const chunk = 8192
+	var scratch []byte
+	for lo := 0; lo < buf.Len(); lo += chunk {
+		hi := lo + chunk
+		if hi > buf.Len() {
+			hi = buf.Len()
+		}
+		scratch = buf.EncodeRecords(scratch[:0], lo, hi)
+		if _, err := bw.Write(scratch); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// readRaw reads a baseline file written by writeRaw.
+func readRaw(path string, schema *particle.Schema) (*particle.Buffer, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(data) < headerSize || string(data[:8]) != rawMagic {
+		return nil, fmt.Errorf("baseline: %s is not a baseline raw file", path)
+	}
+	count := int64(binary.LittleEndian.Uint64(data[8:]))
+	stride := int64(binary.LittleEndian.Uint64(data[16:]))
+	if stride != int64(schema.Stride()) {
+		return nil, fmt.Errorf("baseline: %s has stride %d, schema wants %d", path, stride, schema.Stride())
+	}
+	payload := data[headerSize:]
+	if int64(len(payload)) != count*stride {
+		return nil, fmt.Errorf("baseline: %s has %d payload bytes, want %d", path, len(payload), count*stride)
+	}
+	return particle.Decode(schema, payload)
+}
+
+// FPPFileName names rank r's file-per-process output.
+func FPPFileName(rank int) string { return fmt.Sprintf("rank_%d.raw", rank) }
+
+// WriteFPP performs file-per-process I/O: every rank independently dumps
+// its particles, in simulation order, to its own file.
+func WriteFPP(c *mpi.Comm, dir string, local *particle.Buffer) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	return writeRaw(filepath.Join(dir, FPPFileName(c.Rank())), local)
+}
+
+// ReadFPPAll reads every rank file of an FPP dataset written by nRanks
+// writers. There is no metadata: the reader must know nRanks and open
+// every file regardless of what it is looking for.
+func ReadFPPAll(dir string, schema *particle.Schema, nRanks int) (*particle.Buffer, int, error) {
+	out := particle.NewBuffer(schema, 0)
+	opened := 0
+	for r := 0; r < nRanks; r++ {
+		buf, err := readRaw(filepath.Join(dir, FPPFileName(r)), schema)
+		if err != nil {
+			return nil, opened, err
+		}
+		opened++
+		out.AppendBuffer(buf)
+	}
+	return out, opened, nil
+}
+
+// SharedFileName is the single shared file's name.
+const SharedFileName = "shared.raw"
+
+// WriteShared performs collective single-shared-file I/O: ranks
+// establish disjoint extents with an Allgather of counts, rank 0 writes
+// the header, and every rank writes its records at its offset. Data is
+// laid out in rank order — no spatial correspondence.
+func WriteShared(c *mpi.Comm, dir string, local *particle.Buffer) error {
+	var cnt [8]byte
+	binary.LittleEndian.PutUint64(cnt[:], uint64(local.Len()))
+	parts := c.Allgather(cnt[:])
+	var offset, total int64
+	for r, p := range parts {
+		n := int64(binary.LittleEndian.Uint64(p))
+		if r < c.Rank() {
+			offset += n
+		}
+		total += n
+	}
+	stride := int64(local.Schema().Stride())
+	path := filepath.Join(dir, SharedFileName)
+
+	if c.Rank() == 0 {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		var hdr [headerSize]byte
+		copy(hdr[:8], rawMagic)
+		binary.LittleEndian.PutUint64(hdr[8:], uint64(total))
+		binary.LittleEndian.PutUint64(hdr[16:], uint64(stride))
+		if _, err := f.Write(hdr[:]); err != nil {
+			f.Close()
+			return err
+		}
+		// Pre-size so concurrent WriteAt calls land in allocated space.
+		if err := f.Truncate(headerSize + total*stride); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	c.Barrier() // file exists and is sized before anyone writes
+
+	if local.Len() > 0 {
+		f, err := os.OpenFile(path, os.O_WRONLY, 0)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if _, err := f.WriteAt(local.Encode(), headerSize+offset*stride); err != nil {
+			return err
+		}
+	}
+	c.Barrier() // write completes collectively
+	return nil
+}
+
+// ReadShared reads the whole shared file.
+func ReadShared(dir string, schema *particle.Schema) (*particle.Buffer, error) {
+	return readRaw(filepath.Join(dir, SharedFileName), schema)
+}
+
+// SubfileName names subfile s of a PHDF5-like sub-filing dataset.
+func SubfileName(s int) string { return fmt.Sprintf("subfile_%d.raw", s) }
+
+// WriteSubfiled performs rank-grouped sub-filing: ranks are divided into
+// nSubfiles contiguous rank groups (spatially blind — ranks that are
+// neighbours in rank space need not be neighbours in the domain); the
+// first rank of each group aggregates the group's buffers over P2P and
+// writes one subfile. nSubfiles must divide the world size.
+func WriteSubfiled(c *mpi.Comm, dir string, nSubfiles int, local *particle.Buffer) error {
+	n := c.Size()
+	if nSubfiles <= 0 || n%nSubfiles != 0 {
+		return fmt.Errorf("baseline: %d subfiles do not divide %d ranks", nSubfiles, n)
+	}
+	group := n / nSubfiles
+	sub := c.Rank() / group
+	leader := sub * group
+
+	const tagCount, tagData = 11, 12
+	if c.Rank() != leader {
+		var cnt [8]byte
+		binary.LittleEndian.PutUint64(cnt[:], uint64(local.Len()))
+		c.Isend(leader, tagCount, cnt[:])
+		if local.Len() > 0 {
+			c.Isend(leader, tagData, local.Encode())
+		}
+		c.Barrier()
+		return nil
+	}
+
+	aggregated := particle.NewBuffer(local.Schema(), local.Len()*group)
+	aggregated.AppendBuffer(local)
+	for r := leader + 1; r < leader+group; r++ {
+		data, _ := c.Recv(r, tagCount)
+		cnt := int64(binary.LittleEndian.Uint64(data))
+		if cnt == 0 {
+			continue
+		}
+		payload, _ := c.Recv(r, tagData)
+		if err := aggregated.DecodeRecords(payload); err != nil {
+			return fmt.Errorf("baseline: subfile leader %d: %w", leader, err)
+		}
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	if err := writeRaw(filepath.Join(dir, SubfileName(sub)), aggregated); err != nil {
+		return err
+	}
+	c.Barrier()
+	return nil
+}
+
+// ReadSubfiled reads subfile `reader` of a dataset written with
+// nSubfiles subfiles by a reader job of nReaders processes. Mirroring
+// the HDF5 sub-filing restriction the paper cites ("the number of reader
+// processes and sub-filing factor must match the write configuration"),
+// nReaders must equal nSubfiles.
+func ReadSubfiled(dir string, schema *particle.Schema, nSubfiles, nReaders, reader int) (*particle.Buffer, error) {
+	if nReaders != nSubfiles {
+		return nil, fmt.Errorf("baseline: sub-filed dataset with %d subfiles requires exactly %d readers, got %d",
+			nSubfiles, nSubfiles, nReaders)
+	}
+	if reader < 0 || reader >= nReaders {
+		return nil, fmt.Errorf("baseline: reader %d out of range", reader)
+	}
+	return readRaw(filepath.Join(dir, SubfileName(reader)), schema)
+}

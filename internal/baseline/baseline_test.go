@@ -1,0 +1,232 @@
+package baseline
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"spio/internal/geom"
+	"spio/internal/mpi"
+	"spio/internal/particle"
+)
+
+func rankPatch(nRanks, rank int) geom.Box {
+	g := geom.NewGrid(geom.UnitBox(), geom.I3(nRanks, 1, 1))
+	return g.CellBoxLinear(rank)
+}
+
+func TestFPPRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	const n = 8
+	err := mpi.Run(n, func(c *mpi.Comm) error {
+		local := particle.Uniform(particle.Uintah(), rankPatch(n, c.Rank()), 30, 3, c.Rank())
+		return WriteFPP(c, dir, local)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One file per rank.
+	entries, _ := os.ReadDir(dir)
+	if len(entries) != n {
+		t.Fatalf("%d files, want %d", len(entries), n)
+	}
+	all, opened, err := ReadFPPAll(dir, particle.Uintah(), n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opened != n {
+		t.Errorf("FPP read opened %d files — must open all %d (no metadata)", opened, n)
+	}
+	if all.Len() != n*30 {
+		t.Errorf("read %d particles, want %d", all.Len(), n*30)
+	}
+}
+
+func TestFPPFilesPreserveRankOrderNotSpace(t *testing.T) {
+	// Baseline property: each FPP file holds its rank's particles in
+	// simulation order — no reordering, no LOD.
+	dir := t.TempDir()
+	const n = 4
+	err := mpi.Run(n, func(c *mpi.Comm) error {
+		return WriteFPP(c, dir, particle.Uniform(particle.Uintah(), rankPatch(n, c.Rank()), 20, 5, c.Rank()))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < n; r++ {
+		got, err := readRaw(filepath.Join(dir, FPPFileName(r)), particle.Uintah())
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := particle.Uniform(particle.Uintah(), rankPatch(n, r), 20, 5, r)
+		if !got.Equal(want) {
+			t.Errorf("rank %d file differs from its input", r)
+		}
+	}
+}
+
+func TestSharedFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	const n = 8
+	err := mpi.Run(n, func(c *mpi.Comm) error {
+		local := particle.Uniform(particle.Uintah(), rankPatch(n, c.Rank()), 25, 7, c.Rank())
+		return WriteShared(c, dir, local)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, _ := os.ReadDir(dir)
+	if len(entries) != 1 {
+		t.Fatalf("%d files, want 1", len(entries))
+	}
+	all, err := ReadShared(dir, particle.Uintah())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if all.Len() != n*25 {
+		t.Fatalf("read %d, want %d", all.Len(), n*25)
+	}
+	// Rank-order layout: records [r*25, (r+1)*25) are rank r's, verbatim.
+	for r := 0; r < n; r++ {
+		want := particle.Uniform(particle.Uintah(), rankPatch(n, r), 25, 7, r)
+		if !all.Slice(r*25, (r+1)*25).Equal(want) {
+			t.Errorf("shared-file extent of rank %d corrupted", r)
+		}
+	}
+}
+
+func TestSharedFileUnevenCounts(t *testing.T) {
+	dir := t.TempDir()
+	const n = 5
+	err := mpi.Run(n, func(c *mpi.Comm) error {
+		count := c.Rank() * 10 // rank 0 writes nothing
+		local := particle.Uniform(particle.Uintah(), rankPatch(n, c.Rank()), count, 9, c.Rank())
+		return WriteShared(c, dir, local)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	all, err := ReadShared(dir, particle.Uintah())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if all.Len() != 0+10+20+30+40 {
+		t.Errorf("read %d, want 100", all.Len())
+	}
+}
+
+func TestSubfiledRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	const n, subfiles = 8, 2
+	err := mpi.Run(n, func(c *mpi.Comm) error {
+		local := particle.Uniform(particle.Uintah(), rankPatch(n, c.Rank()), 15, 11, c.Rank())
+		return WriteSubfiled(c, dir, subfiles, local)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, _ := os.ReadDir(dir)
+	if len(entries) != subfiles {
+		t.Fatalf("%d files, want %d", len(entries), subfiles)
+	}
+	total := 0
+	for s := 0; s < subfiles; s++ {
+		buf, err := ReadSubfiled(dir, particle.Uintah(), subfiles, subfiles, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += buf.Len()
+	}
+	if total != n*15 {
+		t.Errorf("read %d, want %d", total, n*15)
+	}
+}
+
+func TestSubfiledReaderCountRestriction(t *testing.T) {
+	// The HDF5 sub-filing restriction the paper contrasts against:
+	// reading with a different process count than the subfile count
+	// fails.
+	dir := t.TempDir()
+	const n, subfiles = 4, 2
+	err := mpi.Run(n, func(c *mpi.Comm) error {
+		return WriteSubfiled(c, dir, subfiles, particle.Uniform(particle.Uintah(), rankPatch(n, c.Rank()), 5, 2, c.Rank()))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadSubfiled(dir, particle.Uintah(), subfiles, 4, 0); err == nil {
+		t.Error("mismatched reader count accepted — should reproduce the PHDF5 restriction")
+	}
+	if _, err := ReadSubfiled(dir, particle.Uintah(), subfiles, subfiles, 0); err != nil {
+		t.Errorf("matched reader count failed: %v", err)
+	}
+	if _, err := ReadSubfiled(dir, particle.Uintah(), subfiles, subfiles, 9); err == nil {
+		t.Error("out-of-range reader accepted")
+	}
+}
+
+func TestSubfiledInvalidConfig(t *testing.T) {
+	err := mpi.Run(4, func(c *mpi.Comm) error {
+		err := WriteSubfiled(c, t.TempDir(), 3, particle.NewBuffer(particle.Uintah(), 0))
+		if err == nil {
+			return fmt.Errorf("non-dividing subfile count accepted")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSubfiledGroupsAreRankContiguousNotSpatial(t *testing.T) {
+	// With a 4x1x1 domain and 2 subfiles, ranks {0,1} and {2,3} group
+	// together. Subfile 0 must span exactly x in [0, 0.5): rank-grouping
+	// happens to be spatial here. Use a 2x2 domain instead, where rank
+	// order (row-major: x fastest) groups {(0,0),(1,0)} = bottom row —
+	// i.e. a half-domain slab, while spio's 2x2x1 partition would make
+	// quadrant files. The baseline simply follows rank order; verify the
+	// file contents match the rank groups exactly.
+	dir := t.TempDir()
+	g := geom.NewGrid(geom.UnitBox(), geom.I3(2, 2, 1))
+	err := mpi.Run(4, func(c *mpi.Comm) error {
+		patch := g.CellBox(geom.Unlinear(c.Rank(), geom.I3(2, 2, 1)))
+		return WriteSubfiled(c, dir, 2, particle.Uniform(particle.Uintah(), patch, 10, 3, c.Rank()))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub0, err := ReadSubfiled(dir, particle.Uintah(), 2, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := particle.NewBuffer(particle.Uintah(), 20)
+	for r := 0; r < 2; r++ {
+		patch := g.CellBox(geom.Unlinear(r, geom.I3(2, 2, 1)))
+		want.AppendBuffer(particle.Uniform(particle.Uintah(), patch, 10, 3, r))
+	}
+	if !sub0.Equal(want) {
+		t.Error("subfile 0 should hold ranks 0 and 1 verbatim, in rank order")
+	}
+}
+
+func TestReadRawRejectsCorruption(t *testing.T) {
+	dir := t.TempDir()
+	buf := particle.Uniform(particle.Uintah(), geom.UnitBox(), 5, 1, 0)
+	path := filepath.Join(dir, "x.raw")
+	if err := writeRaw(path, buf); err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := os.ReadFile(path)
+	os.WriteFile(path, raw[:len(raw)-3], 0o644)
+	if _, err := readRaw(path, particle.Uintah()); err == nil {
+		t.Error("truncated raw file accepted")
+	}
+	os.WriteFile(path, []byte("short"), 0o644)
+	if _, err := readRaw(path, particle.Uintah()); err == nil {
+		t.Error("garbage raw file accepted")
+	}
+	if _, err := readRaw(path, particle.PositionOnly()); err == nil {
+		t.Error("schema mismatch accepted")
+	}
+}

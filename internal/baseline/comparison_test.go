@@ -1,0 +1,143 @@
+package baseline
+
+import (
+	"testing"
+
+	"spio/internal/agg"
+	"spio/internal/core"
+	"spio/internal/geom"
+	"spio/internal/mpi"
+	"spio/internal/particle"
+	"spio/internal/reader"
+)
+
+// TestSpioBeatsBaselinesOnRegionReads is the paper's thesis as a test:
+// for the same workload written four ways — spio, file-per-process,
+// single shared file, and rank-grouped sub-filing — a spatial region
+// query on the spio dataset touches a fraction of the bytes and files
+// every baseline must touch, and returns the identical particle set.
+func TestSpioBeatsBaselinesOnRegionReads(t *testing.T) {
+	const (
+		nRanks  = 16
+		perRank = 400
+	)
+	simDims := geom.I3(4, 4, 1)
+	domain := geom.UnitBox()
+	grid := geom.NewGrid(domain, simDims)
+	gen := func(rank int) *particle.Buffer {
+		return particle.Uniform(particle.Uintah(), grid.CellBox(geom.Unlinear(rank, simDims)), perRank, 3, rank)
+	}
+
+	spioDir, fppDir, sharedDir, subDir := t.TempDir(), t.TempDir(), t.TempDir(), t.TempDir()
+	cfg := core.WriteConfig{
+		Agg: agg.Config{Domain: domain, SimDims: simDims, Factor: geom.I3(2, 2, 1)},
+	}
+	err := mpi.Run(nRanks, func(c *mpi.Comm) error {
+		local := gen(c.Rank())
+		if _, err := core.Write(c, spioDir, cfg, local); err != nil {
+			return err
+		}
+		if err := WriteFPP(c, fppDir, local); err != nil {
+			return err
+		}
+		if err := WriteShared(c, sharedDir, local); err != nil {
+			return err
+		}
+		return WriteSubfiled(c, subDir, 4, local)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The render-tile query: one quadrant of the domain.
+	q := geom.NewBox(geom.V3(0, 0, 0), geom.V3(0.5, 0.5, 1))
+	wantIDs := make(map[float64]bool)
+	for rank := 0; rank < nRanks; rank++ {
+		b := gen(rank)
+		ids := b.Float64Field(b.Schema().FieldIndex("id"))
+		for i := 0; i < b.Len(); i++ {
+			if q.Contains(b.Position(i)) {
+				wantIDs[ids[i]] = true
+			}
+		}
+	}
+	checkIDs := func(name string, got *particle.Buffer) {
+		t.Helper()
+		ids := got.Float64Field(got.Schema().FieldIndex("id"))
+		if len(ids) != len(wantIDs) {
+			t.Fatalf("%s: %d particles, want %d", name, len(ids), len(wantIDs))
+		}
+		for _, id := range ids {
+			if !wantIDs[id] {
+				t.Fatalf("%s: unexpected particle %v", name, id)
+			}
+		}
+	}
+
+	// spio: metadata-guided query.
+	ds, err := reader.Open(spioDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spioBuf, spioStats, err := ds.QueryBox(q, reader.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkIDs("spio", spioBuf)
+
+	// FPP: no metadata — every file, every byte, then filter.
+	fppAll, fppOpened, err := ReadFPPAll(fppDir, particle.Uintah(), nRanks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fpp := filterBox(fppAll, q)
+	checkIDs("fpp", fpp)
+	// Shared file: one open but the whole dataset's bytes.
+	sharedAll, err := ReadShared(sharedDir, particle.Uintah())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkIDs("shared", filterBox(sharedAll, q))
+	// Sub-filed: must read with exactly 4 readers, each a whole subfile.
+	subTotal := particle.NewBuffer(particle.Uintah(), 0)
+	for r := 0; r < 4; r++ {
+		buf, err := ReadSubfiled(subDir, particle.Uintah(), 4, 4, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		subTotal.AppendBuffer(buf)
+	}
+	checkIDs("subfiled", filterBox(subTotal, q))
+
+	// The quantitative claims: spio opened ~quarter of the files and
+	// moved ~quarter of the bytes; every baseline moved everything.
+	totalBytes := int64(nRanks*perRank) * int64(particle.Uintah().Stride())
+	if spioStats.FilesOpened != 1 {
+		t.Errorf("spio opened %d files, want 1 (the quadrant's)", spioStats.FilesOpened)
+	}
+	if spioStats.BytesRead*3 > totalBytes {
+		t.Errorf("spio read %d of %d bytes — should be about a quarter", spioStats.BytesRead, totalBytes)
+	}
+	if fppOpened != nRanks {
+		t.Errorf("fpp opened %d files, must open all %d", fppOpened, nRanks)
+	}
+	if int64(fppAll.Len())*int64(particle.Uintah().Stride()) != totalBytes {
+		t.Error("fpp must read every byte")
+	}
+	if int64(sharedAll.Len())*int64(particle.Uintah().Stride()) != totalBytes {
+		t.Error("shared file must read every byte")
+	}
+	if int64(subTotal.Len())*int64(particle.Uintah().Stride()) != totalBytes {
+		t.Error("sub-filed read must read every byte")
+	}
+}
+
+func filterBox(b *particle.Buffer, q geom.Box) *particle.Buffer {
+	out := particle.NewBuffer(b.Schema(), 0)
+	for i := 0; i < b.Len(); i++ {
+		if q.Contains(b.Position(i)) {
+			out.AppendFrom(b, i)
+		}
+	}
+	return out
+}

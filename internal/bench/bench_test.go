@@ -1,0 +1,182 @@
+package bench
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+
+	"spio/internal/machine"
+)
+
+func renderTable(t *testing.T, tab *Table) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := tab.Fprint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+func TestFig5Tables(t *testing.T) {
+	for _, m := range []machine.Profile{machine.Mira(), machine.Theta()} {
+		for _, ppc := range []int64{32768, 65536} {
+			tab, err := Fig5(m, ppc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(tab.Rows) != 10 { // 512..262144
+				t.Errorf("%s: %d scale rows, want 10", m.Name, len(tab.Rows))
+			}
+			out := renderTable(t, tab)
+			for _, want := range []string{"IOR FPP", "IOR collective", "Parallel HDF5", "1x1x1", "262144"} {
+				if !strings.Contains(out, want) {
+					t.Errorf("%s table missing %q", m.Name, want)
+				}
+			}
+		}
+	}
+}
+
+func TestFig6Tables(t *testing.T) {
+	tab, err := Fig6(machine.Theta(), 32768)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 7 {
+		t.Errorf("Theta Fig6 rows = %d, want 7 configs", len(tab.Rows))
+	}
+	// Percentages parse and sum to ~100.
+	for _, row := range tab.Rows {
+		a, err1 := strconv.ParseFloat(row[1], 64)
+		b, err2 := strconv.ParseFloat(row[2], 64)
+		if err1 != nil || err2 != nil || a+b < 99.5 || a+b > 100.5 {
+			t.Errorf("row %v: bad percentages", row)
+		}
+	}
+}
+
+func TestFig7And8Tables(t *testing.T) {
+	for _, m := range []machine.Profile{machine.Theta(), machine.Workstation()} {
+		t7 := Fig7(m)
+		if len(t7.Rows) == 0 {
+			t.Errorf("%s Fig7 empty", m.Name)
+		}
+		t8 := Fig8(m)
+		if len(t8.Rows) != 21 {
+			t.Errorf("%s Fig8 rows = %d, want 21 levels", m.Name, len(t8.Rows))
+		}
+	}
+}
+
+func TestFig9LocalRun(t *testing.T) {
+	tab, err := Fig9(t.TempDir(), 8, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 4 {
+		t.Fatalf("Fig9 rows = %d", len(tab.Rows))
+	}
+	// The 100% row must have coverage 100 and RMSE 0.
+	last := tab.Rows[3]
+	if last[2] != "100.0" || last[3] != "0.0000" {
+		t.Errorf("100%% row = %v", last)
+	}
+	// The 25% row should already cover most of the occupied space.
+	cov, err := strconv.ParseFloat(tab.Rows[0][2], 64)
+	if err != nil || cov < 75 {
+		t.Errorf("25%% coverage = %v", tab.Rows[0])
+	}
+}
+
+func TestFig11Tables(t *testing.T) {
+	for _, m := range []machine.Profile{machine.Mira(), machine.Theta()} {
+		tab, err := Fig11(m, 32768)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(tab.Rows) != 4 {
+			t.Fatalf("%s Fig11 rows = %d", m.Name, len(tab.Rows))
+		}
+		for _, row := range tab.Rows {
+			non, _ := strconv.ParseFloat(row[1], 64)
+			ad, _ := strconv.ParseFloat(row[2], 64)
+			if ad > non*1.02 {
+				t.Errorf("%s q=%s: adaptive %v > non-adaptive %v", m.Name, row[0], ad, non)
+			}
+		}
+	}
+}
+
+func TestCrossCheckAgreement(t *testing.T) {
+	for _, m := range []machine.Profile{machine.Mira(), machine.Theta()} {
+		tab, err := CrossCheck(m, 32768, 32768)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(tab.Rows) < 4 {
+			t.Fatalf("%s: %d rows", m.Name, len(tab.Rows))
+		}
+		for _, row := range tab.Rows {
+			ratio, err := strconv.ParseFloat(row[3], 64)
+			if err != nil || ratio < 0.5 || ratio > 1.2 {
+				t.Errorf("%s %s: engines disagree (ratio %s)", m.Name, row[0], row[3])
+			}
+		}
+	}
+}
+
+func TestReorderTable(t *testing.T) {
+	tab := Reorder()
+	out := renderTable(t, tab)
+	if !strings.Contains(out, "Mira (model)") || !strings.Contains(out, "33ms") {
+		t.Errorf("reorder table:\n%s", out)
+	}
+}
+
+func TestCubeDims(t *testing.T) {
+	for _, n := range []int{4, 8, 16, 32, 64, 128} {
+		d, err := cubeDims(n)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if d.Volume() != n {
+			t.Errorf("n=%d: dims %v", n, d)
+		}
+		if d.X%2 != 0 || d.Y%2 != 0 {
+			t.Errorf("n=%d: dims %v not even in x/y", n, d)
+		}
+	}
+	if _, err := cubeDims(7); err == nil {
+		t.Error("odd prime rank count should fail")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := &Table{Title: "T", Note: "n", Header: []string{"a", "long-header"}}
+	tab.AddRow("xxxxxxx", "1")
+	out := renderTable(t, tab)
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, note, header, rule, row
+		t.Fatalf("rendered %d lines:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "## T") {
+		t.Errorf("title line %q", lines[0])
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	tab := &Table{Title: "T", Header: []string{"a", "b"}}
+	tab.AddRow("1", "x,y") // embedded comma must be quoted
+	var buf bytes.Buffer
+	if err := tab.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "# T\n") {
+		t.Errorf("missing title comment: %q", out)
+	}
+	if !strings.Contains(out, "\"x,y\"") {
+		t.Errorf("comma not quoted: %q", out)
+	}
+}

@@ -1,0 +1,51 @@
+package bench
+
+import (
+	"fmt"
+
+	"spio/internal/agg"
+	"spio/internal/desim"
+	"spio/internal/machine"
+	"spio/internal/perfmodel"
+)
+
+// CrossCheck compares the analytic model against the discrete-event
+// simulation for every configuration at one scale — the evidence that
+// the regenerated figures are not artifacts of either engine's
+// idealization (DESIGN.md §6).
+func CrossCheck(m machine.Profile, nRanks int, ppc int64) (*Table, error) {
+	factors := perfmodel.MiraFactors()
+	if m.Name == "Theta" {
+		factors = perfmodel.ThetaFactors()
+	}
+	t := &Table{
+		Title: fmt.Sprintf("Model cross-check — analytic vs discrete-event, %s, %d ranks, %dK ppc",
+			m.Name, nRanks, ppc/1024),
+		Note:   "Write time per engine (seconds, excluding the metadata write); ratio near 1 means the engines agree.",
+		Header: []string{"config", "analytic (s)", "DES (s)", "ratio"},
+	}
+	for _, f := range factors {
+		if nRanks%f.Group() != 0 {
+			continue
+		}
+		plan, err := agg.UniformPlan(nRanks, f.Group(), ppc, perfmodel.UintahBytesPerParticle)
+		if err != nil {
+			return nil, err
+		}
+		analytic, err := perfmodel.PriceWrite(m, plan, f.String())
+		if err != nil {
+			return nil, err
+		}
+		sim, err := desim.SimulateWrite(m, plan)
+		if err != nil {
+			return nil, err
+		}
+		a := (analytic.Total() - analytic.Meta).Seconds()
+		d := sim.Time.Seconds()
+		t.AddRow(f.String(),
+			fmt.Sprintf("%.3f", a),
+			fmt.Sprintf("%.3f", d),
+			fmt.Sprintf("%.2f", d/a))
+	}
+	return t, nil
+}

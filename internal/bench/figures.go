@@ -1,0 +1,329 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"spio/internal/agg"
+	"spio/internal/core"
+	"spio/internal/format"
+	"spio/internal/geom"
+	"spio/internal/lod"
+	"spio/internal/machine"
+	"spio/internal/mpi"
+	"spio/internal/particle"
+	"spio/internal/perfmodel"
+	"spio/internal/render"
+	"spio/internal/stats"
+)
+
+// Fig5 builds the weak-scaling write-throughput table for one machine
+// and particles-per-core workload (paper Fig. 5 has four panels:
+// {Mira, Theta} × {32K, 64K}).
+func Fig5(m machine.Profile, ppc int64) (*Table, error) {
+	factors := perfmodel.MiraFactors()
+	if m.Name == "Theta" {
+		factors = perfmodel.ThetaFactors()
+	}
+	rows, err := perfmodel.Fig5(m, ppc, factors, perfmodel.Fig5Scales())
+	if err != nil {
+		return nil, err
+	}
+	// Pivot: one row per rank count, one column per strategy.
+	strategies := []string{}
+	seen := map[string]bool{}
+	byKey := map[int]map[string]float64{}
+	for _, r := range rows {
+		if !seen[r.Strategy] {
+			seen[r.Strategy] = true
+			strategies = append(strategies, r.Strategy)
+		}
+		if byKey[r.Ranks] == nil {
+			byKey[r.Ranks] = map[string]float64{}
+		}
+		byKey[r.Ranks][r.Strategy] = r.Result.ThroughputGBs()
+	}
+	t := &Table{
+		Title: fmt.Sprintf("Fig. 5 — parallel write weak scaling, %s, %dK particles/core (GB/s)", m.Name, ppc/1024),
+		Note:  "Modeled throughput; columns are aggregation configs plus baselines.",
+	}
+	t.Header = append([]string{"procs"}, strategies...)
+	ranks := make([]int, 0, len(byKey))
+	for n := range byKey {
+		ranks = append(ranks, n)
+	}
+	sort.Ints(ranks)
+	for _, n := range ranks {
+		row := []string{fmt.Sprintf("%d", n)}
+		for _, s := range strategies {
+			if v, ok := byKey[n][s]; ok {
+				row = append(row, fmt.Sprintf("%.2f", v))
+			} else {
+				row = append(row, "-")
+			}
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}
+
+// Fig6 builds the aggregation-vs-I/O time profile table (paper Fig. 6)
+// at 32,768 ranks.
+func Fig6(m machine.Profile, ppc int64) (*Table, error) {
+	factors := perfmodel.MiraFactors()
+	if m.Name == "Theta" {
+		factors = perfmodel.ThetaFactors()
+	}
+	rows, err := perfmodel.Fig6(m, ppc, factors)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title:  fmt.Sprintf("Fig. 6 — time profile at 32768 ranks, %s, %dK particles/core", m.Name, ppc/1024),
+		Note:   "Share of (aggregation + file I/O) time per phase, as in the paper's stacked bars.",
+		Header: []string{"config", "aggregation %", "file I/O %", "agg (s)", "file I/O (s)"},
+	}
+	for _, r := range rows {
+		t.AddRow(r.Strategy,
+			fmt.Sprintf("%.1f", r.AggPct),
+			fmt.Sprintf("%.1f", r.IOPct),
+			fmt.Sprintf("%.3f", r.Result.Aggregation.Seconds()),
+			fmt.Sprintf("%.3f", r.Result.IO.Seconds()))
+	}
+	return t, nil
+}
+
+// Fig7 builds the visualization-read strong-scaling table (paper
+// Fig. 7) for Theta or the SSD workstation.
+func Fig7(m machine.Profile) *Table {
+	readers := []int{64, 128, 256, 512, 1024, 2048}
+	if m.Name != "Theta" {
+		readers = []int{1, 2, 4, 8, 16, 32, 64}
+	}
+	rows := perfmodel.Fig7(m, perfmodel.DefaultFig7Dataset(), readers)
+	t := &Table{
+		Title: fmt.Sprintf("Fig. 7 — visualization read strong scaling, %s (seconds)", m.Name),
+		Note:  "2-billion-particle dataset written at 64K ranks; three read strategies.",
+		Header: []string{"readers",
+			string(perfmodel.Case222WithMeta),
+			string(perfmodel.Case222NoMeta),
+			string(perfmodel.Case111WithMeta)},
+	}
+	byReaders := map[int]map[perfmodel.Fig7Case]time.Duration{}
+	for _, r := range rows {
+		if byReaders[r.Readers] == nil {
+			byReaders[r.Readers] = map[perfmodel.Fig7Case]time.Duration{}
+		}
+		byReaders[r.Readers][r.Case] = r.Time
+	}
+	for _, n := range readers {
+		t.AddRow(fmt.Sprintf("%d", n),
+			fmt.Sprintf("%.2f", byReaders[n][perfmodel.Case222WithMeta].Seconds()),
+			fmt.Sprintf("%.2f", byReaders[n][perfmodel.Case222NoMeta].Seconds()),
+			fmt.Sprintf("%.2f", byReaders[n][perfmodel.Case111WithMeta].Seconds()))
+	}
+	return t
+}
+
+// Fig8 builds the LOD read-time table (paper Fig. 8) for one machine.
+func Fig8(m machine.Profile) *Table {
+	rows := perfmodel.Fig8(m, perfmodel.DefaultFig7Dataset())
+	t := &Table{
+		Title:  fmt.Sprintf("Fig. 8 — level of detail reads, %s, 64 readers (seconds)", m.Name),
+		Note:   "Time to read levels 0..L of the 2-billion-particle dataset (P=32, S=2).",
+		Header: []string{"levels", "particles", "time (s)"},
+	}
+	for _, r := range rows {
+		t.AddRow(fmt.Sprintf("%d", r.Levels),
+			fmt.Sprintf("%d", r.Particles),
+			fmt.Sprintf("%.3f", r.Time.Seconds()))
+	}
+	return t
+}
+
+// Fig9 runs the progressive-visualization study on the local engine: an
+// injection-style dataset (the coal-injection scenario of Fig. 9,
+// scaled to this machine) is written through the full pipeline, then
+// prefixes of 25/50/75/100% are read back and scored for spatial
+// coverage and density error — the quantitative stand-in for the
+// paper's rendered images.
+func Fig9(dir string, nRanks, perRank int) (*Table, error) {
+	simDims, err := cubeDims(nRanks)
+	if err != nil {
+		return nil, err
+	}
+	domain := geom.UnitBox()
+	grid := geom.NewGrid(domain, simDims)
+	cfg := core.WriteConfig{
+		Agg:  agg.Config{Domain: domain, SimDims: simDims, Factor: geom.I3(2, 2, 1)},
+		Seed: 42,
+	}
+	err = mpi.Run(nRanks, func(c *mpi.Comm) error {
+		patch := grid.CellBox(geom.Unlinear(c.Rank(), simDims))
+		local := particle.Injection(particle.Uintah(), domain, patch, perRank, 0.6, 9, c.Rank())
+		_, werr := core.Write(c, dir, cfg, local)
+		return werr
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	meta, err := format.ReadMeta(dir)
+	if err != nil {
+		return nil, err
+	}
+	// Read the full LOD-ordered content of every file, concatenated.
+	full := particle.NewBuffer(meta.Schema, int(meta.Total))
+	var files []*format.DataFile
+	for _, fe := range meta.Files {
+		df, err := format.OpenDataFile(filepath.Join(dir, fe.Name))
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, df)
+		buf, err := df.ReadAll()
+		if err != nil {
+			return nil, err
+		}
+		full.AppendBuffer(buf)
+	}
+	defer func() {
+		for _, df := range files {
+			df.Close()
+		}
+	}()
+
+	t := &Table{
+		Title:  "Fig. 9 — progressive LOD quality (injection dataset, local engine)",
+		Note:   "Per-file LOD prefixes vs the full data: spatial coverage, density RMSE, and rendered-image PSNR (the paper shows the renderings; PGMs land next to the dataset).",
+		Header: []string{"fraction", "particles", "coverage %", "density RMSE", "image PSNR (dB)", "read time"},
+	}
+	renderOpts := render.Options{Width: 256, Height: 256}
+	ref := render.Render(full, meta.Domain, renderOpts)
+	if err := ref.WritePGM(filepath.Join(dir, "render_100.pgm")); err != nil {
+		return nil, err
+	}
+	for _, frac := range []float64{0.25, 0.5, 0.75, 1.0} {
+		start := time.Now()
+		subset := particle.NewBuffer(meta.Schema, int(frac*float64(meta.Total)))
+		for _, df := range files {
+			n := int64(frac * float64(df.Header.Count))
+			buf, err := df.ReadPrefix(n)
+			if err != nil {
+				return nil, err
+			}
+			subset.AppendBuffer(buf)
+		}
+		elapsed := time.Since(start)
+		rep, err := stats.Compare(subset, full, histDims(int(meta.Total)))
+		if err != nil {
+			return nil, err
+		}
+		opts := renderOpts
+		opts.SampleFraction = frac
+		img := render.Render(subset, meta.Domain, opts)
+		psnr, err := render.PSNR(ref, img)
+		if err != nil {
+			return nil, err
+		}
+		if err := img.WritePGM(filepath.Join(dir, fmt.Sprintf("render_%03.0f.pgm", frac*100))); err != nil {
+			return nil, err
+		}
+		psnrStr := "inf"
+		if !math.IsInf(psnr, 1) {
+			psnrStr = fmt.Sprintf("%.1f", psnr)
+		}
+		t.AddRow(fmt.Sprintf("%.0f%%", frac*100),
+			fmt.Sprintf("%d", subset.Len()),
+			fmt.Sprintf("%.1f", rep.Coverage*100),
+			fmt.Sprintf("%.4f", rep.DensityRMSE),
+			psnrStr,
+			elapsed.Round(time.Microsecond).String())
+	}
+	return t, nil
+}
+
+// Fig11 builds the adaptive-aggregation write-time table (paper
+// Fig. 11) for one machine.
+func Fig11(m machine.Profile, ppc int64) (*Table, error) {
+	rows, err := perfmodel.Fig11(m, ppc)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title:  fmt.Sprintf("Fig. 11 — adaptive vs non-adaptive aggregation, %s, 4096 ranks (seconds)", m.Name),
+		Note:   "Aggregation + file I/O time as particles concentrate into a shrinking fraction of the domain.",
+		Header: []string{"occupied %", "non-adaptive (s)", "adaptive (s)"},
+	}
+	nonAdaptive := map[float64]float64{}
+	adaptive := map[float64]float64{}
+	var order []float64
+	for _, r := range rows {
+		if r.Adaptive {
+			adaptive[r.OccupancyPct] = r.Result.AggPlusIO().Seconds()
+		} else {
+			if nonAdaptive[r.OccupancyPct] == 0 {
+				order = append(order, r.OccupancyPct)
+			}
+			nonAdaptive[r.OccupancyPct] = r.Result.AggPlusIO().Seconds()
+		}
+	}
+	for _, q := range order {
+		t.AddRow(fmt.Sprintf("%.1f", q),
+			fmt.Sprintf("%.3f", nonAdaptive[q]),
+			fmt.Sprintf("%.3f", adaptive[q]))
+	}
+	return t, nil
+}
+
+// Reorder measures the Section 3.4 LOD reorder cost on this machine and
+// reports the modeled Mira/Theta estimates next to it.
+func Reorder() *Table {
+	const n = 32768
+	buf := particle.Uniform(particle.Uintah(), geom.UnitBox(), n, 7, 0)
+	// Warm up once, then time the shuffle.
+	lod.Shuffle(buf, 1)
+	start := time.Now()
+	lod.Shuffle(buf, 2)
+	local := time.Since(start)
+
+	t := &Table{
+		Title:  "Section 3.4 — LOD reorder time for 32K particles",
+		Note:   "Paper: 33 ms on a Mira core, 80 ms on a Theta core.",
+		Header: []string{"platform", "time"},
+	}
+	t.AddRow("this machine (measured)", local.Round(time.Microsecond).String())
+	t.AddRow("Mira (model)", perfmodel.ReorderEstimate(machine.Mira(), n).Round(time.Millisecond).String())
+	t.AddRow("Theta (model)", perfmodel.ReorderEstimate(machine.Theta(), n).Round(time.Millisecond).String())
+	return t
+}
+
+// histDims sizes the Fig. 9 quality histogram so occupied cells hold
+// enough particles for the coverage metric to be meaningful (~100 per
+// cell on average for the full data).
+func histDims(total int) geom.Idx3 {
+	side := 2
+	for side < 16 && (side+1)*(side+1)*(side+1)*100 <= total {
+		side++
+	}
+	return geom.I3(side, side, side)
+}
+
+// cubeDims factors nRanks into a near-square 3D grid with X and Y even
+// (so the 2x2x1 partition factor divides it).
+func cubeDims(nRanks int) (geom.Idx3, error) {
+	for x := 2; x <= nRanks; x += 2 {
+		for y := 2; x*y <= nRanks; y += 2 {
+			if nRanks%(x*y) == 0 {
+				z := nRanks / (x * y)
+				if x >= y && y >= z {
+					return geom.I3(x, y, z), nil
+				}
+			}
+		}
+	}
+	return geom.Idx3{}, fmt.Errorf("bench: cannot factor %d ranks into an even grid", nRanks)
+}

@@ -1,0 +1,55 @@
+package core
+
+import (
+	"spio/internal/mpi"
+	"spio/internal/particle"
+)
+
+// Asynchronous checkpointing: the paper benchmarks without fsync "with
+// the consideration that a simulation would not wait ... before
+// continuing on to the next timestep" (Section 5.1). WriteAsync takes
+// that idea to its conclusion — the whole checkpoint (aggregation, LOD
+// reorder, file writes, metadata) runs on a duplicated communicator in
+// the background while the simulation continues computing and
+// communicating on the original one.
+
+// PendingWrite is a handle to an in-flight asynchronous write.
+type PendingWrite struct {
+	done chan struct{}
+	res  WriteResult
+	err  error
+}
+
+// Wait blocks until the write finishes and returns its result.
+func (p *PendingWrite) Wait() (WriteResult, error) {
+	<-p.done
+	return p.res, p.err
+}
+
+// Done reports whether the write has finished, without blocking.
+func (p *PendingWrite) Done() bool {
+	select {
+	case <-p.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// WriteAsync starts Write in the background on a duplicate of c, so the
+// caller can overlap simulation work — including its own communication
+// on c — with the checkpoint. Collective: every rank must call
+// WriteAsync in the same order relative to its other operations on c.
+//
+// Ownership of local transfers to the write until Wait returns: the
+// caller must not modify the buffer in between (a simulation
+// double-buffers or snapshots instead).
+func WriteAsync(c *mpi.Comm, dir string, cfg WriteConfig, local *particle.Buffer) *PendingWrite {
+	dup := c.Dup()
+	p := &PendingWrite{done: make(chan struct{})}
+	go func() {
+		defer close(p.done)
+		p.res, p.err = Write(dup, dir, cfg, local)
+	}()
+	return p
+}

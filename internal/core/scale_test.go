@@ -1,0 +1,93 @@
+package core
+
+import (
+	"testing"
+
+	"spio/internal/agg"
+	"spio/internal/format"
+	"spio/internal/geom"
+	"spio/internal/mpi"
+	"spio/internal/particle"
+)
+
+// TestWrite512Ranks smoke-tests the local engine at the paper's smallest
+// evaluation scale: 512 goroutine ranks writing through a (2,2,2)
+// aggregation-grid. It keeps per-rank loads small so the test stays
+// fast, but every protocol step runs at full width.
+func TestWrite512Ranks(t *testing.T) {
+	if testing.Short() {
+		t.Skip("512-rank smoke test skipped in -short mode")
+	}
+	dir := t.TempDir()
+	simDims := geom.I3(8, 8, 8)
+	const nRanks = 512
+	const perRank = 64
+	grid := geom.NewGrid(geom.UnitBox(), simDims)
+	cfg := WriteConfig{
+		Agg: agg.Config{Domain: geom.UnitBox(), SimDims: simDims, Factor: geom.I3(2, 2, 2)},
+	}
+	err := mpi.Run(nRanks, func(c *mpi.Comm) error {
+		local := particle.Uniform(particle.Uintah(), grid.CellBox(geom.Unlinear(c.Rank(), simDims)), perRank, 3, c.Rank())
+		_, err := Write(c, dir, cfg, local)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	meta, err := format.ReadMeta(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(meta.Files) != 64 {
+		t.Errorf("files = %d, want 64", len(meta.Files))
+	}
+	if meta.Total != nRanks*perRank {
+		t.Errorf("total = %d, want %d", meta.Total, nRanks*perRank)
+	}
+	for _, fe := range meta.Files {
+		if fe.Count != 8*perRank {
+			t.Errorf("file %s holds %d, want %d", fe.Name, fe.Count, 8*perRank)
+		}
+	}
+}
+
+// TestWrite512RanksAdaptive runs the adaptive path at the same width
+// with a half-occupied domain.
+func TestWrite512RanksAdaptive(t *testing.T) {
+	if testing.Short() {
+		t.Skip("512-rank smoke test skipped in -short mode")
+	}
+	dir := t.TempDir()
+	simDims := geom.I3(8, 8, 8)
+	const nRanks = 512
+	grid := geom.NewGrid(geom.UnitBox(), simDims)
+	cfg := WriteConfig{
+		Agg:      agg.Config{Domain: geom.UnitBox(), SimDims: simDims, Factor: geom.I3(2, 2, 2)},
+		Adaptive: true,
+	}
+	err := mpi.Run(nRanks, func(c *mpi.Comm) error {
+		patch := grid.CellBox(geom.Unlinear(c.Rank(), simDims))
+		local := particle.Occupancy(particle.Uintah(), geom.UnitBox(), patch, 64, 0.5, 7, c.Rank())
+		_, err := Write(c, dir, cfg, local)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	meta, err := format.ReadMeta(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.Total != 512*64 {
+		t.Errorf("total = %d", meta.Total)
+	}
+	empty := 0
+	for _, fe := range meta.Files {
+		if fe.Count == 0 {
+			empty++
+		}
+	}
+	if empty != 0 {
+		t.Errorf("%d of %d adaptive files empty", empty, len(meta.Files))
+	}
+}

@@ -1,0 +1,102 @@
+package core
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+
+	"spio/internal/agg"
+	"spio/internal/format"
+	"spio/internal/geom"
+	"spio/internal/mpi"
+	"spio/internal/particle"
+)
+
+func TestWriteScanNonAligned(t *testing.T) {
+	// A 3x1x1 aggregation-grid over a 4x2x1 simulation: patches straddle
+	// partitions, forcing the per-particle scan path of Section 3.
+	dir := t.TempDir()
+	simDims := geom.I3(4, 2, 1)
+	cfg := WriteConfig{
+		Agg:     agg.Config{Domain: geom.UnitBox(), SimDims: simDims, Factor: geom.I3(1, 1, 1)},
+		AggDims: geom.I3(3, 1, 1),
+		Seed:    5,
+	}
+	grid := geom.NewGrid(geom.UnitBox(), simDims)
+	err := mpi.Run(8, func(c *mpi.Comm) error {
+		local := particle.Uniform(particle.Uintah(), grid.CellBox(geom.Unlinear(c.Rank(), simDims)), 100, 3, c.Rank())
+		_, err := Write(c, dir, cfg, local)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	meta, err := format.ReadMeta(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(meta.Files) != 3 {
+		t.Fatalf("%d files, want 3", len(meta.Files))
+	}
+	if meta.Total != 800 {
+		t.Errorf("total = %d", meta.Total)
+	}
+	// Non-aligned writes record a zero partition factor as the marker.
+	if meta.PartitionFactor != (geom.Idx3{}) {
+		t.Errorf("partition factor = %v, want zero marker", meta.PartitionFactor)
+	}
+	if meta.AggDims != geom.I3(3, 1, 1) {
+		t.Errorf("agg dims = %v", meta.AggDims)
+	}
+	// Spatial locality still holds: each file's particles sit inside its
+	// partition.
+	for _, fe := range meta.Files {
+		df, err := format.OpenDataFile(filepath.Join(dir, fe.Name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf, _ := df.ReadAll()
+		df.Close()
+		for i := 0; i < buf.Len(); i++ {
+			p := buf.Position(i)
+			if !fe.Partition.Contains(p) && !fe.Partition.ContainsClosed(p) {
+				t.Fatalf("file %s holds out-of-partition particle", fe.Name)
+			}
+		}
+	}
+}
+
+func TestWriteScanAndAdaptiveExclusive(t *testing.T) {
+	err := mpi.Run(2, func(c *mpi.Comm) error {
+		cfg := WriteConfig{
+			Agg:      agg.Config{Domain: geom.UnitBox(), SimDims: geom.I3(2, 1, 1), Factor: geom.I3(1, 1, 1)},
+			AggDims:  geom.I3(2, 1, 1),
+			Adaptive: true,
+		}
+		_, err := Write(c, t.TempDir(), cfg, particle.NewBuffer(particle.Uintah(), 0))
+		if err == nil {
+			return fmt.Errorf("exclusive options accepted")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteScanRejectsTooManyPartitions(t *testing.T) {
+	err := mpi.Run(2, func(c *mpi.Comm) error {
+		cfg := WriteConfig{
+			Agg:     agg.Config{Domain: geom.UnitBox(), SimDims: geom.I3(2, 1, 1), Factor: geom.I3(1, 1, 1)},
+			AggDims: geom.I3(4, 1, 1),
+		}
+		_, err := Write(c, t.TempDir(), cfg, particle.NewBuffer(particle.Uintah(), 0))
+		if err == nil {
+			return fmt.Errorf("4 partitions on 2 ranks accepted")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,67 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"spio/internal/agg"
+	"spio/internal/geom"
+	"spio/internal/mpi"
+	"spio/internal/particle"
+)
+
+func TestValidateInputRejectsNaN(t *testing.T) {
+	cfg := WriteConfig{
+		Agg:           agg.Config{Domain: geom.UnitBox(), SimDims: geom.I3(2, 1, 1), Factor: geom.I3(1, 1, 1)},
+		ValidateInput: true,
+	}
+	err := mpi.Run(2, func(c *mpi.Comm) error {
+		local := particle.Uniform(particle.Uintah(), geom.UnitBox(), 10, 1, c.Rank())
+		if c.Rank() == 1 {
+			local.SetPosition(3, geom.V3(math.NaN(), 0.5, 0.5))
+		}
+		_, werr := Write(c, t.TempDir(), cfg, local)
+		if werr == nil {
+			t.Errorf("rank %d: NaN position accepted", c.Rank())
+			return nil
+		}
+		if c.Rank() == 1 && !strings.Contains(werr.Error(), "non-finite") {
+			t.Errorf("unexpected error %v", werr)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateInputRejectsOutOfDomain(t *testing.T) {
+	cfg := WriteConfig{
+		Agg:           agg.Config{Domain: geom.UnitBox(), SimDims: geom.I3(2, 1, 1), Factor: geom.I3(1, 1, 1)},
+		ValidateInput: true,
+	}
+	err := mpi.Run(2, func(c *mpi.Comm) error {
+		local := particle.Uniform(particle.Uintah(), geom.UnitBox(), 5, 1, c.Rank())
+		if c.Rank() == 0 {
+			local.SetPosition(0, geom.V3(1.5, 0.5, 0.5))
+		}
+		_, werr := Write(c, t.TempDir(), cfg, local)
+		if werr == nil {
+			t.Errorf("rank %d: out-of-domain particle accepted", c.Rank())
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateInputPassesCleanData(t *testing.T) {
+	dir := writeUniform(t, geom.I3(2, 2, 1), geom.I3(2, 1, 1), 20, func(cfg *WriteConfig) {
+		cfg.ValidateInput = true
+	})
+	if dir == "" {
+		t.Fatal("no dataset")
+	}
+}

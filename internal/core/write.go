@@ -1,0 +1,431 @@
+// Package core wires the substrates into the paper's end-to-end I/O
+// pipeline. The write side is the eight-step scheme of Section 3:
+//
+//	(1) set up the aggregation-grid        (agg.NewLayout / BuildAdaptive)
+//	(2) select aggregators                 (agg, uniform over rank space)
+//	(3) exchange metadata                  (counts, non-blocking P2P)
+//	(4) allocate aggregation buffers       (sized from the counts)
+//	(5) exchange particles                 (non-blocking P2P)
+//	(6) shuffle particles into LOD order   (lod.Reorder, in place)
+//	(7) write each aggregator's data file  (format.WriteDataFile)
+//	(8) gather + write spatial metadata    (Allgather to rank 0, format.WriteMeta)
+//
+// Each rank reports per-phase timings; the aggregation-vs-file-I/O split
+// is the quantity Fig. 6 reports.
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"time"
+
+	"spio/internal/agg"
+	"spio/internal/format"
+	"spio/internal/geom"
+	"spio/internal/lod"
+	"spio/internal/mpi"
+	"spio/internal/particle"
+)
+
+// WriteConfig configures one dataset write.
+type WriteConfig struct {
+	// Agg is the aggregation setup: domain, per-rank patch decomposition
+	// and partition factor.
+	Agg agg.Config
+	// LOD configures the level-of-detail layout; zero value means
+	// lod.DefaultParams().
+	LOD lod.Params
+	// Heuristic selects the reorder strategy (paper default: Random).
+	Heuristic lod.Heuristic
+	// Seed makes the LOD reorder deterministic; each aggregator derives
+	// its own stream from (Seed, partition).
+	Seed int64
+	// Adaptive enables the Section 6 adaptive aggregation-grid. The
+	// partition-grid shape is SimDims/Factor, re-fitted to the occupied
+	// subdomain.
+	Adaptive bool
+	// AggDims, when non-zero, imposes an arbitrary (generally
+	// non-aligned) aggregation-grid of this shape over the domain
+	// instead of the Factor-derived aligned grid; ranks then scan their
+	// particles into partitions (the general case of Section 3). Its
+	// volume must not exceed the world size. Mutually exclusive with
+	// Adaptive. Particles must lie within their rank's patch.
+	AggDims geom.Idx3
+	// FieldRanges additionally stores per-file min/max summaries of every
+	// field in the metadata (the Section 3.5 range-query extension).
+	FieldRanges bool
+	// Checksum additionally stores a CRC32 of each data file's payload,
+	// verifiable with spioinspect -verify or DataFile.VerifyPayload.
+	Checksum bool
+	// ValidateInput rejects the write up front if any local particle has
+	// a non-finite position or lies outside the domain (which would
+	// silently land in the wrong file under the aligned exchange).
+	ValidateInput bool
+}
+
+func (cfg *WriteConfig) withDefaults() WriteConfig {
+	out := *cfg
+	if out.LOD == (lod.Params{}) {
+		out.LOD = lod.DefaultParams()
+	}
+	return out
+}
+
+// WriteResult reports one rank's view of a completed write.
+type WriteResult struct {
+	// Timing holds this rank's per-phase durations.
+	Timing agg.Timing
+	// Partition is the aggregation partition this rank wrote, or -1 if
+	// the rank was not an aggregator.
+	Partition int
+	// FileParticles is the particle count of the written file (0 if not
+	// an aggregator).
+	FileParticles int64
+}
+
+// Write runs the full pipeline on the calling rank. Every rank of the
+// world must call it collectively with the same dir and cfg. dir must
+// exist. local holds the rank's particles.
+func Write(c *mpi.Comm, dir string, cfg WriteConfig, local *particle.Buffer) (WriteResult, error) {
+	cfg = cfg.withDefaults()
+	res := WriteResult{Partition: -1}
+	if err := cfg.LOD.Validate(); err != nil {
+		return res, err
+	}
+	if cfg.Adaptive && cfg.AggDims != (geom.Idx3{}) {
+		return res, fmt.Errorf("core: Adaptive and AggDims are mutually exclusive")
+	}
+	if cfg.ValidateInput {
+		// Collective validation: every rank learns whether any rank's
+		// input is bad, so a failure aborts the write everywhere instead
+		// of deadlocking the healthy ranks in the exchange.
+		verr := local.CheckFinite()
+		if verr == nil {
+			verr = local.CheckInside(cfg.Agg.Domain)
+		}
+		flag := int64(0)
+		if verr != nil {
+			flag = 1
+		}
+		if c.Allreduce(flag, mpi.OpSum) > 0 {
+			if verr != nil {
+				return res, fmt.Errorf("core: rank %d: %w", c.Rank(), verr)
+			}
+			return res, fmt.Errorf("core: input validation failed on another rank")
+		}
+	}
+	if cfg.Adaptive {
+		return writeAdaptive(c, dir, cfg, local)
+	}
+	if cfg.AggDims != (geom.Idx3{}) {
+		return writeScan(c, dir, cfg, local)
+	}
+	layout, err := agg.NewLayout(cfg.Agg, c.Size())
+	if err != nil {
+		return res, err
+	}
+
+	// Steps 1–5.
+	aggBuf, tm, err := agg.ExchangeAligned(c, layout, local)
+	if err != nil {
+		return res, err
+	}
+	res.Timing = tm
+
+	part, isAgg := layout.IsAggregator(c.Rank())
+	var entry fileEntryMsg
+	if isAgg {
+		res.Partition = part
+		res.FileParticles = int64(aggBuf.Len())
+		entry, err = reorderAndWrite(dir, cfg, c.Rank(), part, layout.PartitionBox(part), aggBuf, &res.Timing)
+		if err != nil {
+			return res, err
+		}
+	}
+
+	// Step 8: gather every aggregator's entry on rank 0 and write the
+	// metadata file.
+	start := time.Now()
+	err = writeMetaCollective(c, dir, cfg, layout.SimDims, cfg.Agg.Factor, layout.AggGrid.Dims,
+		local.Schema(), isAgg, entry)
+	res.Timing.MetaIO = time.Since(start)
+	return res, err
+}
+
+// writeScan runs the pipeline over an imposed non-aligned
+// aggregation-grid (WriteConfig.AggDims).
+func writeScan(c *mpi.Comm, dir string, cfg WriteConfig, local *particle.Buffer) (WriteResult, error) {
+	res := WriteResult{Partition: -1}
+	if v := cfg.Agg.SimDims.Volume(); v != c.Size() {
+		return res, fmt.Errorf("core: sim dims %v cover %d patches, world has %d ranks", cfg.Agg.SimDims, v, c.Size())
+	}
+	simGrid := geom.NewGrid(cfg.Agg.Domain, cfg.Agg.SimDims)
+	patches := make([]geom.Box, c.Size())
+	for r := range patches {
+		patches[r] = simGrid.CellBox(geom.Unlinear(r, cfg.Agg.SimDims))
+	}
+	layout, err := agg.NewScanLayout(cfg.Agg.Domain, cfg.AggDims, patches)
+	if err != nil {
+		return res, err
+	}
+	aggBuf, tm, err := layout.Exchange(c, local)
+	if err != nil {
+		return res, err
+	}
+	res.Timing = tm
+
+	part, isAgg := layout.IsAggregator(c.Rank())
+	var entry fileEntryMsg
+	if isAgg {
+		res.Partition = part
+		res.FileParticles = int64(aggBuf.Len())
+		entry, err = reorderAndWrite(dir, cfg, c.Rank(), part, layout.PartitionBox(part), aggBuf, &res.Timing)
+		if err != nil {
+			return res, err
+		}
+	}
+
+	start := time.Now()
+	// A non-aligned grid has no meaningful partition factor; record
+	// zeros so readers can tell the difference.
+	err = writeMetaCollective(c, dir, cfg, cfg.Agg.SimDims, geom.Idx3{}, cfg.AggDims,
+		local.Schema(), isAgg, entry)
+	res.Timing.MetaIO = time.Since(start)
+	return res, err
+}
+
+func writeAdaptive(c *mpi.Comm, dir string, cfg WriteConfig, local *particle.Buffer) (WriteResult, error) {
+	res := WriteResult{Partition: -1}
+	parts := geom.Idx3{
+		X: cfg.Agg.SimDims.X / cfg.Agg.Factor.X,
+		Y: cfg.Agg.SimDims.Y / cfg.Agg.Factor.Y,
+		Z: cfg.Agg.SimDims.Z / cfg.Agg.Factor.Z,
+	}
+	if err := cfg.Agg.Validate(c.Size()); err != nil {
+		return res, err
+	}
+	layout, err := agg.BuildAdaptive(c, cfg.Agg.Domain, parts, local)
+	if err != nil {
+		return res, err
+	}
+	aggBuf, tm, err := layout.Exchange(c, local)
+	if err != nil {
+		return res, err
+	}
+	res.Timing = tm
+
+	part, isAgg := layout.IsAggregator(c.Rank())
+	var entry fileEntryMsg
+	if isAgg {
+		res.Partition = part
+		res.FileParticles = int64(aggBuf.Len())
+		entry, err = reorderAndWrite(dir, cfg, c.Rank(), part, layout.PartitionBox(part), aggBuf, &res.Timing)
+		if err != nil {
+			return res, err
+		}
+	}
+
+	start := time.Now()
+	err = writeMetaCollective(c, dir, cfg, cfg.Agg.SimDims, cfg.Agg.Factor, parts,
+		local.Schema(), isAgg, entry)
+	res.Timing.MetaIO = time.Since(start)
+	return res, err
+}
+
+// reorderAndWrite performs steps 6–7 on an aggregator.
+func reorderAndWrite(dir string, cfg WriteConfig, aggRank, part int, partBox geom.Box, aggBuf *particle.Buffer, tm *agg.Timing) (fileEntryMsg, error) {
+	start := time.Now()
+	lod.Reorder(aggBuf, cfg.Heuristic, reorderSeed(cfg.Seed, part))
+	tm.Reorder = time.Since(start)
+
+	start = time.Now()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fileEntryMsg{}, err
+	}
+	name := format.DataFileName(aggRank)
+	hdr := format.DataHeader{
+		LOD:        cfg.LOD,
+		Heuristic:  cfg.Heuristic,
+		Seed:       reorderSeed(cfg.Seed, part),
+		PayloadCRC: cfg.Checksum,
+	}
+	if err := format.WriteDataFile(filepath.Join(dir, name), hdr, aggBuf); err != nil {
+		return fileEntryMsg{}, err
+	}
+	tm.FileIO = time.Since(start)
+
+	entry := fileEntryMsg{
+		boxIndex:  part,
+		count:     int64(aggBuf.Len()),
+		partition: partBox,
+		bounds:    aggBuf.Bounds(),
+	}
+	if cfg.FieldRanges {
+		entry.fieldMin, entry.fieldMax = fieldRanges(aggBuf)
+	}
+	return entry, nil
+}
+
+// reorderSeed derives the per-partition shuffle seed.
+func reorderSeed(seed int64, part int) int64 {
+	z := uint64(seed) ^ (0x9e3779b97f4a7c15 * uint64(part+1))
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	return int64(z ^ (z >> 27))
+}
+
+// fieldRanges computes per-component minima and maxima across all
+// particles, flattened in schema order.
+func fieldRanges(b *particle.Buffer) (mins, maxs []float64) {
+	s := b.Schema()
+	for fi := 0; fi < s.NumFields(); fi++ {
+		f := s.Field(fi)
+		for k := 0; k < f.Components; k++ {
+			mn, mx := math.Inf(1), math.Inf(-1)
+			switch f.Kind {
+			case particle.Float64:
+				vals := b.Float64Field(fi)
+				for i := 0; i < b.Len(); i++ {
+					v := vals[i*f.Components+k]
+					mn = math.Min(mn, v)
+					mx = math.Max(mx, v)
+				}
+			case particle.Float32:
+				vals := b.Float32Field(fi)
+				for i := 0; i < b.Len(); i++ {
+					v := float64(vals[i*f.Components+k])
+					mn = math.Min(mn, v)
+					mx = math.Max(mx, v)
+				}
+			}
+			mins = append(mins, mn)
+			maxs = append(maxs, mx)
+		}
+	}
+	return mins, maxs
+}
+
+// fileEntryMsg is the Allgather payload each aggregator contributes for
+// the metadata file (Section 3.5): its partition id, count, boxes, and
+// optional field ranges. Non-aggregators contribute an empty payload.
+type fileEntryMsg struct {
+	boxIndex  int
+	count     int64
+	partition geom.Box
+	bounds    geom.Box
+	fieldMin  []float64
+	fieldMax  []float64
+}
+
+func (m *fileEntryMsg) encode() []byte {
+	out := make([]byte, 0, 16+12*8+len(m.fieldMin)*16)
+	var tmp [8]byte
+	putU64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(tmp[:], v)
+		out = append(out, tmp[:]...)
+	}
+	putF64 := func(v float64) { putU64(math.Float64bits(v)) }
+	putBox := func(b geom.Box) {
+		putF64(b.Lo.X)
+		putF64(b.Lo.Y)
+		putF64(b.Lo.Z)
+		putF64(b.Hi.X)
+		putF64(b.Hi.Y)
+		putF64(b.Hi.Z)
+	}
+	putU64(uint64(m.boxIndex))
+	putU64(uint64(m.count))
+	putBox(m.partition)
+	putBox(m.bounds)
+	putU64(uint64(len(m.fieldMin)))
+	for i := range m.fieldMin {
+		putF64(m.fieldMin[i])
+		putF64(m.fieldMax[i])
+	}
+	return out
+}
+
+func decodeFileEntryMsg(data []byte) (fileEntryMsg, error) {
+	var m fileEntryMsg
+	off := 0
+	getU64 := func() uint64 {
+		v := binary.LittleEndian.Uint64(data[off:])
+		off += 8
+		return v
+	}
+	getF64 := func() float64 { return math.Float64frombits(getU64()) }
+	getBox := func() geom.Box {
+		return geom.Box{
+			Lo: geom.Vec3{X: getF64(), Y: getF64(), Z: getF64()},
+			Hi: geom.Vec3{X: getF64(), Y: getF64(), Z: getF64()},
+		}
+	}
+	if len(data) < 16+12*8+8 {
+		return m, fmt.Errorf("core: file entry message too short (%d bytes)", len(data))
+	}
+	m.boxIndex = int(getU64())
+	m.count = int64(getU64())
+	m.partition = getBox()
+	m.bounds = getBox()
+	nRanges := int(getU64())
+	if len(data) != off+nRanges*16 {
+		return m, fmt.Errorf("core: file entry message has %d bytes, want %d", len(data), off+nRanges*16)
+	}
+	for i := 0; i < nRanges; i++ {
+		m.fieldMin = append(m.fieldMin, getF64())
+		m.fieldMax = append(m.fieldMax, getF64())
+	}
+	return m, nil
+}
+
+// writeMetaCollective gathers all aggregators' file entries and writes
+// the metadata file on rank 0.
+func writeMetaCollective(c *mpi.Comm, dir string, cfg WriteConfig,
+	simDims, factor, aggDims geom.Idx3, schema *particle.Schema,
+	isAgg bool, entry fileEntryMsg) error {
+
+	var payload []byte
+	if isAgg {
+		payload = entry.encode()
+	}
+	gathered := c.Allgather(payload)
+	if c.Rank() != 0 {
+		return nil
+	}
+
+	meta := &format.Meta{
+		Domain:          cfg.Agg.Domain,
+		SimDims:         simDims,
+		PartitionFactor: factor,
+		AggDims:         aggDims,
+		Schema:          schema,
+		LOD:             cfg.LOD,
+		Heuristic:       cfg.Heuristic,
+	}
+	for rank, msg := range gathered {
+		if len(msg) == 0 {
+			continue
+		}
+		m, err := decodeFileEntryMsg(msg)
+		if err != nil {
+			return fmt.Errorf("core: rank %d metadata entry: %w", rank, err)
+		}
+		meta.Total += m.count
+		meta.Files = append(meta.Files, format.FileEntry{
+			BoxIndex:  m.boxIndex,
+			AggRank:   rank,
+			Name:      format.DataFileName(rank),
+			Partition: m.partition,
+			Bounds:    m.bounds,
+			Count:     m.count,
+			FieldMin:  m.fieldMin,
+			FieldMax:  m.fieldMax,
+		})
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	return format.WriteMeta(dir, meta)
+}

@@ -1,0 +1,24 @@
+package desim
+
+import (
+	"testing"
+
+	"spio/internal/agg"
+	"spio/internal/machine"
+)
+
+func BenchmarkSimulateWrite256KFlows(b *testing.B) {
+	// The worst case: file-per-process at the paper's largest scale —
+	// 262,144 independent flows through the processor-sharing engine.
+	plan, err := agg.UniformPlan(262144, 1, 32768, 124)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := machine.Theta()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SimulateWrite(m, plan); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

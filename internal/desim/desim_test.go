@@ -1,0 +1,152 @@
+package desim
+
+import (
+	"testing"
+
+	"spio/internal/agg"
+	"spio/internal/machine"
+	"spio/internal/perfmodel"
+)
+
+func simVsModel(t *testing.T, m machine.Profile, group int, nRanks int, ppc int64) (simS, modelS float64) {
+	t.Helper()
+	plan, err := agg.UniformPlan(nRanks, group, ppc, 124)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := SimulateWrite(m, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := perfmodel.PriceWrite(m, plan, "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compare like with like: the DES covers gather+reorder+create+
+	// transfer; the analytic total additionally includes the (tiny)
+	// metadata write.
+	return sim.Time.Seconds(), (res.Total() - res.Meta).Seconds()
+}
+
+func TestSimulationAgreesWithAnalyticModel(t *testing.T) {
+	// The two engines idealize differently (pipelined vs bulk-
+	// synchronous), so demand agreement within 2x, with DES never slower
+	// than ~1.2x the analytic bound.
+	for _, m := range []machine.Profile{machine.Mira(), machine.Theta()} {
+		for _, group := range []int{1, 8, 64} {
+			for _, n := range []int{4096, 32768} {
+				sim, model := simVsModel(t, m, group, n, 32768)
+				if ratio := sim / model; ratio < 0.4 || ratio > 1.2 {
+					t.Errorf("%s group=%d n=%d: DES %.3fs vs analytic %.3fs (ratio %.2f)",
+						m.Name, group, n, sim, model, ratio)
+				}
+			}
+		}
+	}
+}
+
+func TestSimulationPreservesStrategyOrdering(t *testing.T) {
+	// The headline result must survive the change of engine: at 256K
+	// ranks, large factors beat FPP on Mira and small factors beat
+	// large ones on Theta.
+	miraFPP, _ := simVsModel(t, machine.Mira(), 1, 262144, 32768)
+	mira244, _ := simVsModel(t, machine.Mira(), 32, 262144, 32768)
+	if mira244 >= miraFPP {
+		t.Errorf("DES: Mira (2,4,4) %.1fs should beat FPP %.1fs at 256K", mira244, miraFPP)
+	}
+	theta122, _ := simVsModel(t, machine.Theta(), 4, 262144, 32768)
+	theta444, _ := simVsModel(t, machine.Theta(), 64, 262144, 32768)
+	if theta122 >= theta444 {
+		t.Errorf("DES: Theta (1,2,2) %.1fs should beat (4,4,4) %.1fs", theta122, theta444)
+	}
+	thetaFPP, _ := simVsModel(t, machine.Theta(), 1, 262144, 32768)
+	if theta122 >= thetaFPP {
+		t.Errorf("DES: Theta (1,2,2) %.1fs should beat FPP %.1fs at 256K", theta122, thetaFPP)
+	}
+}
+
+func TestSimulateWriteComponents(t *testing.T) {
+	plan, _ := agg.UniformPlan(512, 8, 32768, 124)
+	res, err := SimulateWrite(machine.Mira(), plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Partitions != 64 {
+		t.Errorf("partitions = %d", res.Partitions)
+	}
+	if res.AggDone <= 0 || res.Time <= res.AggDone {
+		t.Errorf("timeline inconsistent: agg %v, total %v", res.AggDone, res.Time)
+	}
+}
+
+func TestSimulateWriteSkewedPlan(t *testing.T) {
+	// A skewed occupancy plan: the straggler partition dominates.
+	skewed, err := agg.OccupancyPlan(4096, 32, 32768, 124, 0.25, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	balanced, err := agg.OccupancyPlan(4096, 32, 32768, 124, 0.25, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := machine.Theta()
+	s1, err := SimulateWrite(m, skewed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := SimulateWrite(m, balanced)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Time >= s1.Time {
+		t.Errorf("DES: adaptive plan %v should beat non-adaptive %v (Fig. 11)", s2.Time, s1.Time)
+	}
+}
+
+func TestSimulateWriteErrors(t *testing.T) {
+	if _, err := SimulateWrite(machine.Mira(), &agg.Plan{}); err == nil {
+		t.Error("invalid plan accepted")
+	}
+	empty := &agg.Plan{NumRanks: 4, BytesPerParticle: 124, Parts: []agg.PartPlan{{Senders: 1, Particles: 0}}}
+	if _, err := SimulateWrite(machine.Mira(), empty); err == nil {
+		t.Error("particle-free plan accepted")
+	}
+}
+
+func TestProcessorSharingBasics(t *testing.T) {
+	s := machine.Storage{PeakBW: 100, WriterBW: 100, BurstHalf: 0}
+	// One flow of 100 bytes at 100 B/s: 1 second.
+	got := simulateProcessorSharing(s, []flow{{arrive: 0, remaining: 100, total: 100}})
+	if got < 0.99 || got > 1.01 {
+		t.Errorf("single flow time = %v, want 1.0", got)
+	}
+	// Two concurrent flows of 100 bytes share 100 B/s: both finish at 2s.
+	got = simulateProcessorSharing(s, []flow{
+		{arrive: 0, remaining: 100, total: 100},
+		{arrive: 0, remaining: 100, total: 100},
+	})
+	if got < 1.99 || got > 2.01 {
+		t.Errorf("two shared flows time = %v, want 2.0", got)
+	}
+	// A late arrival: flow A runs alone for 0.5s (50 B done), then
+	// shares. A has 50 left at 50 B/s -> done at 1.5s; B has 100 at
+	// 50 B/s until A leaves, then full rate: 50 done by 1.5, remaining
+	// 50 at 100 B/s -> 2.0s.
+	got = simulateProcessorSharing(s, []flow{
+		{arrive: 0, remaining: 100, total: 100},
+		{arrive: 0.5, remaining: 100, total: 100},
+	})
+	if got < 1.99 || got > 2.01 {
+		t.Errorf("staggered flows time = %v, want 2.0", got)
+	}
+	// Per-writer cap binds when few writers: 2 writers, peak 100 but
+	// writerBW 30 -> each runs at 30.
+	s2 := machine.Storage{PeakBW: 100, WriterBW: 30, BurstHalf: 0}
+	got = simulateProcessorSharing(s2, []flow{
+		{arrive: 0, remaining: 90, total: 90},
+		{arrive: 0, remaining: 90, total: 90},
+	})
+	if got < 2.99 || got > 3.01 {
+		t.Errorf("writer-capped time = %v, want 3.0", got)
+	}
+}

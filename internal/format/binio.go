@@ -1,0 +1,177 @@
+// Package format defines spio's on-disk layout: per-aggregator data files
+// holding LOD-ordered particle records, and the spatial metadata file of
+// paper Section 3.5 / Fig. 4 mapping each data file to the bounding box
+// of the particles it holds. Both are little-endian binary with explicit
+// magic, version and checksum, so readers can validate files from any
+// writer configuration.
+package format
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+
+	"spio/internal/geom"
+)
+
+// writer is a sticky-error little-endian encoder that maintains a CRC of
+// everything written.
+type writer struct {
+	w   io.Writer
+	crc uint32
+	n   int64
+	err error
+}
+
+func newWriter(w io.Writer) *writer { return &writer{w: w} }
+
+func (e *writer) bytes(p []byte) {
+	if e.err != nil {
+		return
+	}
+	_, e.err = e.w.Write(p)
+	e.crc = crc32.Update(e.crc, crc32.IEEETable, p)
+	e.n += int64(len(p))
+}
+
+func (e *writer) u8(v uint8) { e.bytes([]byte{v}) }
+
+func (e *writer) u32(v uint32) {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	e.bytes(b[:])
+}
+
+func (e *writer) u64(v uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	e.bytes(b[:])
+}
+
+func (e *writer) i64(v int64) { e.u64(uint64(v)) }
+
+func (e *writer) uvarint(v uint64) {
+	var b [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(b[:], v)
+	e.bytes(b[:n])
+}
+
+func (e *writer) f64(v float64) { e.u64(math.Float64bits(v)) }
+
+func (e *writer) str(s string) {
+	e.uvarint(uint64(len(s)))
+	e.bytes([]byte(s))
+}
+
+func (e *writer) vec3(v geom.Vec3) {
+	e.f64(v.X)
+	e.f64(v.Y)
+	e.f64(v.Z)
+}
+
+func (e *writer) box(b geom.Box) {
+	e.vec3(b.Lo)
+	e.vec3(b.Hi)
+}
+
+func (e *writer) idx3(i geom.Idx3) {
+	e.uvarint(uint64(i.X))
+	e.uvarint(uint64(i.Y))
+	e.uvarint(uint64(i.Z))
+}
+
+// reader is the sticky-error decoding counterpart of writer.
+type reader struct {
+	r   io.Reader
+	crc uint32
+	n   int64
+	err error
+}
+
+func newReader(r io.Reader) *reader { return &reader{r: r} }
+
+func (d *reader) fail(err error) {
+	if d.err == nil {
+		d.err = err
+	}
+}
+
+func (d *reader) bytes(p []byte) {
+	if d.err != nil {
+		return
+	}
+	if _, err := io.ReadFull(d.r, p); err != nil {
+		d.err = fmt.Errorf("format: short read at offset %d: %w", d.n, err)
+		return
+	}
+	d.crc = crc32.Update(d.crc, crc32.IEEETable, p)
+	d.n += int64(len(p))
+}
+
+func (d *reader) u8() uint8 {
+	var b [1]byte
+	d.bytes(b[:])
+	return b[0]
+}
+
+func (d *reader) u32() uint32 {
+	var b [4]byte
+	d.bytes(b[:])
+	return binary.LittleEndian.Uint32(b[:])
+}
+
+func (d *reader) u64() uint64 {
+	var b [8]byte
+	d.bytes(b[:])
+	return binary.LittleEndian.Uint64(b[:])
+}
+
+func (d *reader) i64() int64 { return int64(d.u64()) }
+
+func (d *reader) uvarint() uint64 {
+	v, err := binary.ReadUvarint(byteReader{d})
+	if err != nil && d.err == nil {
+		d.err = fmt.Errorf("format: bad varint at offset %d: %w", d.n, err)
+	}
+	return v
+}
+
+func (d *reader) f64() float64 { return math.Float64frombits(d.u64()) }
+
+func (d *reader) str(maxLen uint64) string {
+	n := d.uvarint()
+	if n > maxLen {
+		d.fail(fmt.Errorf("format: string length %d exceeds limit %d", n, maxLen))
+		return ""
+	}
+	b := make([]byte, n)
+	d.bytes(b)
+	return string(b)
+}
+
+func (d *reader) vec3() geom.Vec3 {
+	return geom.Vec3{X: d.f64(), Y: d.f64(), Z: d.f64()}
+}
+
+func (d *reader) boxv() geom.Box {
+	return geom.Box{Lo: d.vec3(), Hi: d.vec3()}
+}
+
+func (d *reader) idx3() geom.Idx3 {
+	return geom.Idx3{X: int(d.uvarint()), Y: int(d.uvarint()), Z: int(d.uvarint())}
+}
+
+// byteReader adapts reader for binary.ReadUvarint while keeping the CRC
+// and byte count up to date.
+type byteReader struct{ d *reader }
+
+func (b byteReader) ReadByte() (byte, error) {
+	var buf [1]byte
+	b.d.bytes(buf[:])
+	if b.d.err != nil {
+		return 0, b.d.err
+	}
+	return buf[0], nil
+}

@@ -1,0 +1,337 @@
+package format
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+
+	"spio/internal/geom"
+	"spio/internal/lod"
+	"spio/internal/particle"
+)
+
+// Data file layout (little-endian):
+//
+//	magic "SPIODATA" | version u32 | header CRC32 of the fields below
+//	schema | count u64 | bounds box | lod params | heuristic u8 | seed i64 | flags u8
+//	particle records (count × schema.Stride() bytes)
+//	[payload CRC32 when flags&flagPayloadCRC]
+//
+// The particles are stored in LOD order: any prefix is a valid
+// lower-resolution subset (Section 3.4). The header is always
+// checksummed (header corruption misroutes readers); the payload
+// checksum is optional so huge checkpoint writes can stay single-pass,
+// and is verified only on demand (VerifyPayload).
+
+const (
+	dataMagic   = "SPIODATA"
+	dataVersion = 2 // v2 added the flags byte + optional payload CRC
+)
+
+// DataHeader is the decoded header of a data file.
+type DataHeader struct {
+	Schema    *particle.Schema
+	Count     int64
+	Bounds    geom.Box // closed bounding box of the contained particles
+	LOD       lod.Params
+	Heuristic lod.Heuristic
+	Seed      int64
+	// PayloadCRC, when true, means a CRC32 of the particle records is
+	// stored after the payload; VerifyPayload checks it.
+	PayloadCRC bool
+}
+
+// header flag bits.
+const flagPayloadCRC = 1
+
+// DataFileName derives a data file's name from its aggregator rank, the
+// paper's Fig. 4 convention ("Agg rank is used to derive the name of the
+// data file").
+func DataFileName(aggRank int) string { return fmt.Sprintf("file_%d.spd", aggRank) }
+
+// encodeDataHeader writes everything after the magic+version+crc prefix.
+func encodeDataHeader(e *writer, h *DataHeader) {
+	encodeSchema(e, h.Schema)
+	e.u64(uint64(h.Count))
+	e.box(h.Bounds)
+	e.uvarint(uint64(h.LOD.BasePerReader))
+	e.uvarint(uint64(h.LOD.Scale))
+	e.u8(uint8(h.Heuristic))
+	e.i64(h.Seed)
+	var flags uint8
+	if h.PayloadCRC {
+		flags |= flagPayloadCRC
+	}
+	e.u8(flags)
+}
+
+// WriteDataFile writes a complete data file at path. buf must already be
+// in LOD order; hdr.Count and hdr.Bounds are filled from buf.
+func WriteDataFile(path string, hdr DataHeader, buf *particle.Buffer) (err error) {
+	if hdr.Schema == nil {
+		hdr.Schema = buf.Schema()
+	}
+	if !hdr.Schema.Equal(buf.Schema()) {
+		return fmt.Errorf("format: header schema %v != buffer schema %v", hdr.Schema, buf.Schema())
+	}
+	if err := hdr.LOD.Validate(); err != nil {
+		return err
+	}
+	hdr.Count = int64(buf.Len())
+	hdr.Bounds = buf.Bounds()
+
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}()
+
+	bw := bufio.NewWriterSize(f, 1<<20)
+	// Encode the header body once to learn its CRC.
+	var body headerBuf
+	e := newWriter(&body)
+	encodeDataHeader(e, &hdr)
+	if e.err != nil {
+		return e.err
+	}
+
+	pre := newWriter(bw)
+	pre.bytes([]byte(dataMagic))
+	pre.u32(dataVersion)
+	pre.u32(crc32.ChecksumIEEE(body.b))
+	pre.bytes(body.b)
+	if pre.err != nil {
+		return pre.err
+	}
+
+	// Stream the payload in chunks to bound memory, checksumming along
+	// the way if requested.
+	const chunk = 8192
+	var scratch []byte
+	var payloadCRC uint32
+	for lo := 0; lo < buf.Len(); lo += chunk {
+		hi := lo + chunk
+		if hi > buf.Len() {
+			hi = buf.Len()
+		}
+		scratch = buf.EncodeRecords(scratch[:0], lo, hi)
+		if hdr.PayloadCRC {
+			payloadCRC = crc32.Update(payloadCRC, crc32.IEEETable, scratch)
+		}
+		if _, err := bw.Write(scratch); err != nil {
+			return err
+		}
+	}
+	if hdr.PayloadCRC {
+		var tail [4]byte
+		binary.LittleEndian.PutUint32(tail[:], payloadCRC)
+		if _, err := bw.Write(tail[:]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// headerBuf is a minimal growing byte sink for header pre-encoding.
+type headerBuf struct{ b []byte }
+
+func (h *headerBuf) Write(p []byte) (int, error) {
+	h.b = append(h.b, p...)
+	return len(p), nil
+}
+
+// DataFile is an open handle to a data file supporting random-access
+// record-range reads (the primitive behind LOD prefix reads).
+type DataFile struct {
+	f          *os.File
+	Header     DataHeader
+	payloadOff int64
+	path       string
+}
+
+// OpenDataFile opens and validates a data file.
+func OpenDataFile(path string) (*DataFile, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	df, err := readDataFileHeader(f, path)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return df, nil
+}
+
+func readDataFileHeader(f *os.File, path string) (*DataFile, error) {
+	br := bufio.NewReaderSize(f, 64<<10)
+	d := newReader(br)
+	magic := make([]byte, len(dataMagic))
+	d.bytes(magic)
+	if d.err == nil && string(magic) != dataMagic {
+		return nil, fmt.Errorf("format: %s: not a spio data file (magic %q)", path, magic)
+	}
+	version := d.u32()
+	if d.err == nil && version != dataVersion {
+		return nil, fmt.Errorf("format: %s: unsupported data version %d", path, version)
+	}
+	wantCRC := d.u32()
+	if d.err != nil {
+		return nil, d.err
+	}
+
+	d.crc = 0 // CRC covers only the header body
+	var h DataHeader
+	schema, err := decodeSchema(d)
+	if err != nil {
+		return nil, fmt.Errorf("format: %s: %w", path, err)
+	}
+	h.Schema = schema
+	h.Count = int64(d.u64())
+	h.Bounds = d.boxv()
+	h.LOD.BasePerReader = int(d.uvarint())
+	h.LOD.Scale = int(d.uvarint())
+	h.Heuristic = lod.Heuristic(d.u8())
+	h.Seed = d.i64()
+	flags := d.u8()
+	h.PayloadCRC = flags&flagPayloadCRC != 0
+	if d.err == nil && flags&^uint8(flagPayloadCRC) != 0 {
+		return nil, fmt.Errorf("format: %s: unknown header flags %#x", path, flags)
+	}
+	if d.err != nil {
+		return nil, fmt.Errorf("format: %s: %w", path, d.err)
+	}
+	if d.crc != wantCRC {
+		return nil, fmt.Errorf("format: %s: header checksum mismatch", path)
+	}
+	if h.Count < 0 {
+		return nil, fmt.Errorf("format: %s: negative count", path)
+	}
+	if err := h.LOD.Validate(); err != nil {
+		return nil, fmt.Errorf("format: %s: %w", path, err)
+	}
+	// d.n counts every byte consumed so far (magic, version, crc, header
+	// body), which is exactly where the payload starts.
+	payloadOff := d.n
+
+	// Verify payload size against the file size.
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	want := payloadOff + h.Count*int64(h.Schema.Stride())
+	if h.PayloadCRC {
+		want += 4
+	}
+	if st.Size() != want {
+		return nil, fmt.Errorf("format: %s: size %d, want %d (%d records)", path, st.Size(), want, h.Count)
+	}
+	return &DataFile{f: f, Header: h, payloadOff: payloadOff, path: path}, nil
+}
+
+// Path returns the file's path.
+func (df *DataFile) Path() string { return df.path }
+
+// Close releases the file handle.
+func (df *DataFile) Close() error { return df.f.Close() }
+
+// ReadRange reads records [lo, hi) into a new buffer.
+func (df *DataFile) ReadRange(lo, hi int64) (*particle.Buffer, error) {
+	if lo < 0 || hi > df.Header.Count || lo > hi {
+		return nil, fmt.Errorf("format: %s: range [%d,%d) out of [0,%d)", df.path, lo, hi, df.Header.Count)
+	}
+	stride := int64(df.Header.Schema.Stride())
+	data := make([]byte, (hi-lo)*stride)
+	if _, err := df.f.ReadAt(data, df.payloadOff+lo*stride); err != nil {
+		return nil, fmt.Errorf("format: %s: %w", df.path, err)
+	}
+	return particle.Decode(df.Header.Schema, data)
+}
+
+// ReadPrefix reads the first n records — a level-of-detail read. n is
+// clamped to the record count.
+func (df *DataFile) ReadPrefix(n int64) (*particle.Buffer, error) {
+	if n > df.Header.Count {
+		n = df.Header.Count
+	}
+	if n < 0 {
+		n = 0
+	}
+	return df.ReadRange(0, n)
+}
+
+// ReadAll reads every record.
+func (df *DataFile) ReadAll() (*particle.Buffer, error) {
+	return df.ReadRange(0, df.Header.Count)
+}
+
+// ReadLevels reads levels [0, levels) of the file's LOD hierarchy. The
+// caller supplies the per-file level-0 budget perFileBase (spio
+// distributes the dataset-wide budget n·P of Section 3.4 uniformly over
+// data files, so perFileBase = n·P / numFiles, at least 1); the prefix
+// length is PrefixCount(count, perFileBase, S, levels).
+func (df *DataFile) ReadLevels(perFileBase int64, levels int) (*particle.Buffer, error) {
+	n := lod.PrefixCount(df.Header.Count, perFileBase, df.Header.LOD.Scale, levels)
+	return df.ReadPrefix(n)
+}
+
+// ReadRangeProjected reads records [lo, hi) keeping only the fields of
+// the projection (which must have been built from this file's schema).
+func (df *DataFile) ReadRangeProjected(lo, hi int64, p *particle.Projection) (*particle.Buffer, error) {
+	if !p.Source().Equal(df.Header.Schema) {
+		return nil, fmt.Errorf("format: %s: projection source schema mismatch", df.path)
+	}
+	if lo < 0 || hi > df.Header.Count || lo > hi {
+		return nil, fmt.Errorf("format: %s: range [%d,%d) out of [0,%d)", df.path, lo, hi, df.Header.Count)
+	}
+	stride := int64(df.Header.Schema.Stride())
+	data := make([]byte, (hi-lo)*stride)
+	if _, err := df.f.ReadAt(data, df.payloadOff+lo*stride); err != nil {
+		return nil, fmt.Errorf("format: %s: %w", df.path, err)
+	}
+	out := particle.NewBuffer(p.Schema(), int(hi-lo))
+	if err := p.DecodeRecords(out, data); err != nil {
+		return nil, fmt.Errorf("format: %s: %w", df.path, err)
+	}
+	return out, nil
+}
+
+// VerifyPayload re-reads the whole payload and checks it against the
+// stored CRC32. It fails if the file was written without PayloadCRC.
+func (df *DataFile) VerifyPayload() error {
+	if !df.Header.PayloadCRC {
+		return fmt.Errorf("format: %s: no payload checksum stored", df.path)
+	}
+	stride := int64(df.Header.Schema.Stride())
+	payloadLen := df.Header.Count * stride
+	var crc uint32
+	buf := make([]byte, 1<<20)
+	for off := int64(0); off < payloadLen; {
+		n := int64(len(buf))
+		if off+n > payloadLen {
+			n = payloadLen - off
+		}
+		if _, err := df.f.ReadAt(buf[:n], df.payloadOff+off); err != nil {
+			return fmt.Errorf("format: %s: %w", df.path, err)
+		}
+		crc = crc32.Update(crc, crc32.IEEETable, buf[:n])
+		off += n
+	}
+	var tail [4]byte
+	if _, err := df.f.ReadAt(tail[:], df.payloadOff+payloadLen); err != nil {
+		return fmt.Errorf("format: %s: %w", df.path, err)
+	}
+	if want := binary.LittleEndian.Uint32(tail[:]); crc != want {
+		return fmt.Errorf("format: %s: payload checksum mismatch (%#x != %#x)", df.path, crc, want)
+	}
+	return nil
+}
+
+var _ io.Closer = (*DataFile)(nil)

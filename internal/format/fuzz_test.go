@@ -1,0 +1,111 @@
+package format
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"spio/internal/geom"
+	"spio/internal/lod"
+	"spio/internal/particle"
+)
+
+// Fuzz targets: the decoders must never panic or hang on arbitrary
+// bytes — they either parse a valid file or return an error. Run with
+// `go test -fuzz=FuzzOpenDataFile ./internal/format` to explore; plain
+// `go test` exercises the seed corpus.
+
+func validDataFileBytes(tb testing.TB) []byte {
+	tb.Helper()
+	dir := tb.TempDir()
+	buf := particle.Uniform(particle.Uintah(), geom.UnitBox(), 20, 1, 0)
+	path := filepath.Join(dir, "seed.spd")
+	if err := WriteDataFile(path, DataHeader{LOD: lod.DefaultParams(), PayloadCRC: true}, buf); err != nil {
+		tb.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return raw
+}
+
+func FuzzOpenDataFile(f *testing.F) {
+	raw := validDataFileBytes(f)
+	f.Add(raw)
+	f.Add(raw[:len(raw)/2])
+	f.Add([]byte(dataMagic))
+	f.Add([]byte{})
+	mut := append([]byte(nil), raw...)
+	mut[9] ^= 0xff
+	f.Add(mut)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		path := filepath.Join(t.TempDir(), "fuzz.spd")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Skip()
+		}
+		df, err := OpenDataFile(path)
+		if err != nil {
+			return // rejected: fine
+		}
+		defer df.Close()
+		// Anything that opens must be internally consistent enough to
+		// read fully without panicking.
+		if _, err := df.ReadAll(); err != nil {
+			return
+		}
+		if df.Header.PayloadCRC {
+			_ = df.VerifyPayload()
+		}
+	})
+}
+
+func validMetaBytes(tb testing.TB) []byte {
+	tb.Helper()
+	dir := tb.TempDir()
+	domain := geom.UnitBox()
+	g := geom.NewGrid(domain, geom.I3(2, 1, 1))
+	m := &Meta{
+		Domain:          domain,
+		SimDims:         geom.I3(2, 1, 1),
+		PartitionFactor: geom.I3(1, 1, 1),
+		AggDims:         geom.I3(2, 1, 1),
+		Schema:          particle.Uintah(),
+		LOD:             lod.DefaultParams(),
+		Total:           10,
+		Files: []FileEntry{
+			{BoxIndex: 0, AggRank: 0, Name: DataFileName(0), Partition: g.CellBoxLinear(0), Bounds: g.CellBoxLinear(0), Count: 4},
+			{BoxIndex: 1, AggRank: 1, Name: DataFileName(1), Partition: g.CellBoxLinear(1), Bounds: g.CellBoxLinear(1), Count: 6},
+		},
+	}
+	if err := WriteMeta(dir, m); err != nil {
+		tb.Fatal(err)
+	}
+	raw, err := os.ReadFile(filepath.Join(dir, MetaFileName))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return raw
+}
+
+func FuzzReadMeta(f *testing.F) {
+	raw := validMetaBytes(f)
+	f.Add(raw)
+	f.Add(raw[:20])
+	f.Add([]byte(metaMagic))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, MetaFileName), data, 0o644); err != nil {
+			t.Skip()
+		}
+		m, err := ReadMeta(dir)
+		if err != nil {
+			return
+		}
+		// A successfully parsed meta must satisfy its own invariants.
+		if err := m.Validate(); err != nil {
+			t.Fatalf("ReadMeta returned invalid metadata: %v", err)
+		}
+	})
+}

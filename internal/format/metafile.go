@@ -1,0 +1,293 @@
+package format
+
+import (
+	"bufio"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+
+	"spio/internal/geom"
+	"spio/internal/lod"
+	"spio/internal/particle"
+)
+
+// Spatial metadata file (paper Section 3.5, Fig. 4). One per dataset,
+// written by rank 0 after an Allgather of aggregator bounding boxes. It
+// maps every data file to the disjoint spatial partition whose particles
+// it holds, letting readers open exactly the files intersecting a box
+// query.
+//
+// Layout (little-endian):
+//
+//	magic "SPIOMETA" | version u32 | body CRC32
+//	domain box | sim dims idx3 | partition factor idx3 | agg dims idx3
+//	schema | lod params | heuristic u8 | total count u64
+//	file count uvarint | entries...
+//
+// Each entry is: box index uvarint | agg rank uvarint | name string |
+// partition box | tight bounds box | count u64 | range-summary flag u8
+// [+ per-component min/max f64 pairs]. The per-component min/max is the
+// range-query extension the paper plans in Section 3.5 ("storing, e.g.,
+// the minimum and maximum values of scalar fields"); spio implements it
+// behind a flag so paper-faithful files can omit it.
+
+const (
+	metaMagic   = "SPIOMETA"
+	metaVersion = 1
+	// MetaFileName is the canonical name of the metadata file inside a
+	// dataset directory.
+	MetaFileName = "meta.spmd"
+)
+
+// FileEntry is one row of the metadata table: one data file written by
+// one aggregator.
+type FileEntry struct {
+	// BoxIndex is the row-major linear index of the aggregation
+	// partition in the aggregation-grid (the "Box #" column of Fig. 4).
+	BoxIndex int
+	// AggRank is the writer rank (the "Agg rank" column); the file name
+	// is derived from it.
+	AggRank int
+	// Name is the data file's name relative to the dataset directory.
+	Name string
+	// Partition is the aggregation partition box ("Low"/"High" columns):
+	// disjoint from every other entry's, and covering the domain.
+	Partition geom.Box
+	// Bounds is the tight closed bounding box of the particles actually
+	// present in the file (⊆ Partition up to boundary closure).
+	Bounds geom.Box
+	// Count is the number of particles in the file.
+	Count int64
+	// FieldMin/FieldMax, when present, hold per-component minima and
+	// maxima of every schema field, flattened in schema order. Length is
+	// either 0 or the schema's total component count.
+	FieldMin, FieldMax []float64
+}
+
+// Meta is the decoded metadata file.
+type Meta struct {
+	// Domain is the full simulation domain.
+	Domain geom.Box
+	// SimDims is the simulation's patch decomposition (one patch per
+	// writer rank).
+	SimDims geom.Idx3
+	// PartitionFactor is (Px, Py, Pz) of Section 3.1.
+	PartitionFactor geom.Idx3
+	// AggDims = SimDims / PartitionFactor is the aggregation-grid shape;
+	// its volume is the file count for uniform datasets.
+	AggDims geom.Idx3
+	// Schema describes the particle records in every data file.
+	Schema *particle.Schema
+	// LOD and Heuristic describe the within-file ordering.
+	LOD       lod.Params
+	Heuristic lod.Heuristic
+	// Total is the dataset-wide particle count.
+	Total int64
+	// Files lists every data file. For adaptive datasets entries may
+	// cover only the occupied subdomain.
+	Files []FileEntry
+}
+
+// Validate checks structural invariants: positive dims, every entry's
+// partition inside the domain, disjoint partitions, counts summing to
+// Total.
+func (m *Meta) Validate() error {
+	if m.Schema == nil {
+		return fmt.Errorf("format: meta has no schema")
+	}
+	if err := m.LOD.Validate(); err != nil {
+		return err
+	}
+	if m.Domain.IsEmpty() {
+		return fmt.Errorf("format: meta domain %v is empty", m.Domain)
+	}
+	var sum int64
+	comps := totalComponents(m.Schema)
+	for i, f := range m.Files {
+		if f.Count < 0 {
+			return fmt.Errorf("format: file %d has negative count", i)
+		}
+		if !f.Partition.IsValid() || f.Partition.IsEmpty() {
+			return fmt.Errorf("format: file %d partition %v invalid", i, f.Partition)
+		}
+		if !m.Domain.ContainsBox(f.Partition) {
+			return fmt.Errorf("format: file %d partition %v escapes domain %v", i, f.Partition, m.Domain)
+		}
+		if len(f.FieldMin) != 0 && len(f.FieldMin) != comps {
+			return fmt.Errorf("format: file %d has %d field minima, want 0 or %d", i, len(f.FieldMin), comps)
+		}
+		if len(f.FieldMin) != len(f.FieldMax) {
+			return fmt.Errorf("format: file %d min/max length mismatch", i)
+		}
+		for j := 0; j < i; j++ {
+			if m.Files[j].Partition.Intersects(f.Partition) {
+				return fmt.Errorf("format: files %d and %d have overlapping partitions", j, i)
+			}
+		}
+		sum += f.Count
+	}
+	if sum != m.Total {
+		return fmt.Errorf("format: file counts sum to %d, meta total is %d", sum, m.Total)
+	}
+	return nil
+}
+
+func totalComponents(s *particle.Schema) int {
+	n := 0
+	for i := 0; i < s.NumFields(); i++ {
+		n += s.Field(i).Components
+	}
+	return n
+}
+
+// FilesIntersecting returns the entries whose partition intersects q, in
+// file order — the metadata-driven file selection of Section 4.
+func (m *Meta) FilesIntersecting(q geom.Box) []*FileEntry {
+	var out []*FileEntry
+	for i := range m.Files {
+		if m.Files[i].Partition.Intersects(q) {
+			out = append(out, &m.Files[i])
+		}
+	}
+	return out
+}
+
+// WriteMeta writes the metadata file into dir.
+func WriteMeta(dir string, m *Meta) (err error) {
+	if err := m.Validate(); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, MetaFileName))
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}()
+
+	var body headerBuf
+	e := newWriter(&body)
+	e.box(m.Domain)
+	e.idx3(m.SimDims)
+	e.idx3(m.PartitionFactor)
+	e.idx3(m.AggDims)
+	encodeSchema(e, m.Schema)
+	e.uvarint(uint64(m.LOD.BasePerReader))
+	e.uvarint(uint64(m.LOD.Scale))
+	e.u8(uint8(m.Heuristic))
+	e.u64(uint64(m.Total))
+	e.uvarint(uint64(len(m.Files)))
+	for _, fe := range m.Files {
+		e.uvarint(uint64(fe.BoxIndex))
+		e.uvarint(uint64(fe.AggRank))
+		e.str(fe.Name)
+		e.box(fe.Partition)
+		e.box(fe.Bounds)
+		e.u64(uint64(fe.Count))
+		if len(fe.FieldMin) > 0 {
+			e.u8(1)
+			for i := range fe.FieldMin {
+				e.f64(fe.FieldMin[i])
+				e.f64(fe.FieldMax[i])
+			}
+		} else {
+			e.u8(0)
+		}
+	}
+	if e.err != nil {
+		return e.err
+	}
+
+	bw := bufio.NewWriter(f)
+	out := newWriter(bw)
+	out.bytes([]byte(metaMagic))
+	out.u32(metaVersion)
+	out.u32(crc32.ChecksumIEEE(body.b))
+	out.bytes(body.b)
+	if out.err != nil {
+		return out.err
+	}
+	return bw.Flush()
+}
+
+// ReadMeta reads and validates the metadata file in dir.
+func ReadMeta(dir string) (*Meta, error) {
+	path := filepath.Join(dir, MetaFileName)
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+
+	d := newReader(bufio.NewReader(f))
+	magic := make([]byte, len(metaMagic))
+	d.bytes(magic)
+	if d.err == nil && string(magic) != metaMagic {
+		return nil, fmt.Errorf("format: %s: not a spio metadata file", path)
+	}
+	version := d.u32()
+	if d.err == nil && version != metaVersion {
+		return nil, fmt.Errorf("format: %s: unsupported metadata version %d", path, version)
+	}
+	wantCRC := d.u32()
+	if d.err != nil {
+		return nil, d.err
+	}
+	d.crc = 0
+
+	var m Meta
+	m.Domain = d.boxv()
+	m.SimDims = d.idx3()
+	m.PartitionFactor = d.idx3()
+	m.AggDims = d.idx3()
+	m.Schema, err = decodeSchema(d)
+	if err != nil {
+		return nil, fmt.Errorf("format: %s: %w", path, err)
+	}
+	m.LOD.BasePerReader = int(d.uvarint())
+	m.LOD.Scale = int(d.uvarint())
+	m.Heuristic = lod.Heuristic(d.u8())
+	m.Total = int64(d.u64())
+	nFiles := d.uvarint()
+	if d.err != nil {
+		return nil, fmt.Errorf("format: %s: %w", path, d.err)
+	}
+	if nFiles > 1<<28 {
+		return nil, fmt.Errorf("format: %s: implausible file count %d", path, nFiles)
+	}
+	comps := totalComponents(m.Schema)
+	m.Files = make([]FileEntry, nFiles)
+	for i := range m.Files {
+		fe := &m.Files[i]
+		fe.BoxIndex = int(d.uvarint())
+		fe.AggRank = int(d.uvarint())
+		fe.Name = d.str(maxFieldName)
+		fe.Partition = d.boxv()
+		fe.Bounds = d.boxv()
+		fe.Count = int64(d.u64())
+		if d.u8() != 0 {
+			fe.FieldMin = make([]float64, comps)
+			fe.FieldMax = make([]float64, comps)
+			for j := 0; j < comps; j++ {
+				fe.FieldMin[j] = d.f64()
+				fe.FieldMax[j] = d.f64()
+			}
+		}
+		if d.err != nil {
+			return nil, fmt.Errorf("format: %s: %w", path, d.err)
+		}
+	}
+	if d.err != nil {
+		return nil, fmt.Errorf("format: %s: %w", path, d.err)
+	}
+	if d.crc != wantCRC {
+		return nil, fmt.Errorf("format: %s: checksum mismatch", path)
+	}
+	if err := m.Validate(); err != nil {
+		return nil, fmt.Errorf("format: %s: %w", path, err)
+	}
+	return &m, nil
+}

@@ -1,0 +1,41 @@
+package format
+
+import (
+	"fmt"
+
+	"spio/internal/particle"
+)
+
+const maxFieldName = 4096
+
+// encodeSchema writes a schema's field list.
+func encodeSchema(e *writer, s *particle.Schema) {
+	e.uvarint(uint64(s.NumFields()))
+	for i := 0; i < s.NumFields(); i++ {
+		f := s.Field(i)
+		e.str(f.Name)
+		e.u8(uint8(f.Kind))
+		e.uvarint(uint64(f.Components))
+	}
+}
+
+// decodeSchema reads a field list and validates it through NewSchema.
+func decodeSchema(d *reader) (*particle.Schema, error) {
+	n := d.uvarint()
+	if d.err != nil {
+		return nil, d.err
+	}
+	if n == 0 || n > 1024 {
+		return nil, fmt.Errorf("format: implausible field count %d", n)
+	}
+	fields := make([]particle.Field, n)
+	for i := range fields {
+		fields[i].Name = d.str(maxFieldName)
+		fields[i].Kind = particle.Kind(d.u8())
+		fields[i].Components = int(d.uvarint())
+		if d.err != nil {
+			return nil, d.err
+		}
+	}
+	return particle.NewSchema(fields)
+}

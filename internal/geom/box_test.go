@@ -1,0 +1,169 @@
+package geom
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBoxBasics(t *testing.T) {
+	b := NewBox(V3(0, 0, 0), V3(2, 3, 4))
+	if !b.IsValid() || b.IsEmpty() {
+		t.Fatal("box should be valid and non-empty")
+	}
+	if got := b.Size(); got != V3(2, 3, 4) {
+		t.Errorf("Size = %v", got)
+	}
+	if got := b.Volume(); got != 24 {
+		t.Errorf("Volume = %v", got)
+	}
+	if got := b.Center(); got != V3(1, 1.5, 2) {
+		t.Errorf("Center = %v", got)
+	}
+}
+
+func TestBoxContainsHalfOpen(t *testing.T) {
+	b := NewBox(V3(0, 0, 0), V3(1, 1, 1))
+	cases := []struct {
+		p    Vec3
+		want bool
+	}{
+		{V3(0, 0, 0), true},           // lower corner included
+		{V3(0.5, 0.5, 0.5), true},     // interior
+		{V3(1, 0.5, 0.5), false},      // upper face excluded
+		{V3(0.5, 1, 0.5), false},      // upper face excluded
+		{V3(0.5, 0.5, 1), false},      // upper face excluded
+		{V3(-0.001, 0.5, 0.5), false}, // outside low
+	}
+	for _, c := range cases {
+		if got := b.Contains(c.p); got != c.want {
+			t.Errorf("Contains(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if !b.ContainsClosed(V3(1, 1, 1)) {
+		t.Error("ContainsClosed should include the upper corner")
+	}
+}
+
+func TestBoxEmpty(t *testing.T) {
+	e := EmptyBox()
+	if !e.IsEmpty() {
+		t.Error("EmptyBox should be empty")
+	}
+	if e.Volume() != 0 {
+		t.Errorf("empty Volume = %v", e.Volume())
+	}
+	degenerate := NewBox(V3(0, 0, 0), V3(1, 0, 1))
+	if !degenerate.IsEmpty() {
+		t.Error("zero-thickness box should be empty")
+	}
+}
+
+func TestBoxIntersection(t *testing.T) {
+	a := NewBox(V3(0, 0, 0), V3(2, 2, 2))
+	b := NewBox(V3(1, 1, 1), V3(3, 3, 3))
+	if !a.Intersects(b) {
+		t.Fatal("expected intersection")
+	}
+	got := a.Intersect(b)
+	want := NewBox(V3(1, 1, 1), V3(2, 2, 2))
+	if got != want {
+		t.Errorf("Intersect = %v, want %v", got, want)
+	}
+	// Face-touching boxes do not intersect under half-open semantics.
+	c := NewBox(V3(2, 0, 0), V3(4, 2, 2))
+	if a.Intersects(c) {
+		t.Error("face-touching boxes should not intersect")
+	}
+	if !a.Intersect(c).IsEmpty() {
+		t.Error("face-touching Intersect should be empty")
+	}
+}
+
+func TestBoxUnionIdentity(t *testing.T) {
+	a := NewBox(V3(0, 0, 0), V3(1, 1, 1))
+	if got := EmptyBox().Union(a); got != a {
+		t.Errorf("EmptyBox ∪ a = %v", got)
+	}
+	if got := a.Union(EmptyBox()); got != a {
+		t.Errorf("a ∪ EmptyBox = %v", got)
+	}
+}
+
+func TestBoxUnionExtend(t *testing.T) {
+	a := NewBox(V3(0, 0, 0), V3(1, 1, 1))
+	b := NewBox(V3(2, -1, 0.5), V3(3, 0.5, 2))
+	u := a.Union(b)
+	if !u.ContainsBox(a) || !u.ContainsBox(b) {
+		t.Errorf("union %v does not contain both operands", u)
+	}
+	e := EmptyBox().Extend(V3(1, 2, 3)).Extend(V3(-1, 0, 5))
+	want := NewBox(V3(-1, 0, 3), V3(1, 2, 5))
+	if e != want {
+		t.Errorf("Extend chain = %v, want %v", e, want)
+	}
+}
+
+func TestBoxContainsBox(t *testing.T) {
+	outer := NewBox(V3(0, 0, 0), V3(4, 4, 4))
+	inner := NewBox(V3(1, 1, 1), V3(4, 4, 4)) // shares Hi face
+	if !outer.ContainsBox(inner) {
+		t.Error("inner sharing Hi face should be contained")
+	}
+	if outer.ContainsBox(NewBox(V3(1, 1, 1), V3(4.1, 4, 4))) {
+		t.Error("protruding box should not be contained")
+	}
+}
+
+func randBox(r *rand.Rand) Box {
+	lo := V3(r.Float64()*10-5, r.Float64()*10-5, r.Float64()*10-5)
+	sz := V3(r.Float64()*5, r.Float64()*5, r.Float64()*5)
+	return NewBox(lo, lo.Add(sz))
+}
+
+func TestQuickIntersectCommutesAndShrinks(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 500; i++ {
+		a, b := randBox(r), randBox(r)
+		ab, ba := a.Intersect(b), b.Intersect(a)
+		if ab != ba {
+			t.Fatalf("Intersect not commutative: %v vs %v", ab, ba)
+		}
+		if !ab.IsEmpty() {
+			if !a.ContainsBox(ab) || !b.ContainsBox(ab) {
+				t.Fatalf("intersection %v escapes operands %v, %v", ab, a, b)
+			}
+			if ab.Volume() > a.Volume()+1e-12 || ab.Volume() > b.Volume()+1e-12 {
+				t.Fatalf("intersection bigger than operand")
+			}
+		}
+		if ab.IsEmpty() != !a.Intersects(b) {
+			t.Fatalf("Intersects(%v,%v)=%v disagrees with Intersect emptiness", a, b, a.Intersects(b))
+		}
+	}
+}
+
+func TestQuickUnionContains(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	for i := 0; i < 500; i++ {
+		a, b := randBox(r), randBox(r)
+		u := a.Union(b)
+		if !u.ContainsBox(a) || !u.ContainsBox(b) {
+			t.Fatalf("union %v does not contain %v and %v", u, a, b)
+		}
+	}
+}
+
+func TestQuickContainmentConsistent(t *testing.T) {
+	f := func(px, py, pz float64) bool {
+		b := NewBox(V3(-3, -3, -3), V3(3, 3, 3))
+		p := V3(px, py, pz)
+		if b.Contains(p) && !b.ContainsClosed(p) {
+			return false // half-open containment implies closed containment
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,205 @@
+package geom
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestGridCellSizeAndCount(t *testing.T) {
+	g := NewGrid(NewBox(V3(0, 0, 0), V3(8, 4, 2)), I3(4, 2, 1))
+	if got := g.Cells(); got != 8 {
+		t.Errorf("Cells = %d", got)
+	}
+	if got := g.CellSize(); got != V3(2, 2, 2) {
+		t.Errorf("CellSize = %v", got)
+	}
+}
+
+func TestGridCellBoxTilesDomain(t *testing.T) {
+	g := NewGrid(NewBox(V3(-1, -1, -1), V3(1, 1, 1)), I3(3, 3, 3))
+	var total float64
+	for i := 0; i < g.Cells(); i++ {
+		b := g.CellBoxLinear(i)
+		if !g.Domain.ContainsBox(b) {
+			t.Fatalf("cell %d box %v escapes domain", i, b)
+		}
+		total += b.Volume()
+	}
+	if diff := total - g.Domain.Volume(); diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("cell volumes sum to %v, domain is %v", total, g.Domain.Volume())
+	}
+	// Outermost faces snap exactly to the domain boundary.
+	last := g.CellBox(I3(2, 2, 2))
+	if last.Hi != g.Domain.Hi {
+		t.Errorf("last cell Hi = %v, want %v", last.Hi, g.Domain.Hi)
+	}
+}
+
+func TestGridLocateOwnsEveryPoint(t *testing.T) {
+	g := NewGrid(NewBox(V3(0, 0, 0), V3(1, 1, 1)), I3(4, 4, 4))
+	r := rand.New(rand.NewSource(3))
+	for i := 0; i < 2000; i++ {
+		p := V3(r.Float64(), r.Float64(), r.Float64())
+		idx := g.Locate(p)
+		box := g.CellBox(idx)
+		// The owning cell must contain p (closed form for boundary cells).
+		if !box.Contains(p) && !box.ContainsClosed(p) {
+			t.Fatalf("Locate(%v) = %v whose box %v does not contain it", p, idx, box)
+		}
+	}
+}
+
+func TestGridLocateBoundaryClamped(t *testing.T) {
+	g := NewGrid(NewBox(V3(0, 0, 0), V3(1, 1, 1)), I3(2, 2, 2))
+	if got := g.Locate(V3(1, 1, 1)); got != I3(1, 1, 1) {
+		t.Errorf("upper corner located at %v, want (1,1,1)", got)
+	}
+	if got := g.Locate(V3(0, 0, 0)); got != I3(0, 0, 0) {
+		t.Errorf("lower corner located at %v, want (0,0,0)", got)
+	}
+	// Slightly out-of-domain points clamp rather than panic (simulations
+	// occasionally hand us particles a ULP outside their patch).
+	if got := g.Locate(V3(-0.01, 0.5, 1.01)); got != I3(0, 1, 1) {
+		t.Errorf("out-of-domain point located at %v", got)
+	}
+}
+
+func TestGridLocateUniquePartition(t *testing.T) {
+	// A particle on an interior shared face belongs to exactly one cell:
+	// the one whose half-open box contains it.
+	g := NewGrid(NewBox(V3(0, 0, 0), V3(2, 2, 2)), I3(2, 2, 2))
+	p := V3(1, 0.5, 0.5) // exactly on the x face between cells 0 and 1
+	idx := g.Locate(p)
+	if idx != I3(1, 0, 0) {
+		t.Errorf("face point owned by %v, want (1,0,0)", idx)
+	}
+	if !g.CellBox(idx).Contains(p) {
+		t.Error("owner box does not contain the face point")
+	}
+	other := g.CellBox(I3(0, 0, 0))
+	if other.Contains(p) {
+		t.Error("face point contained by two half-open cells")
+	}
+}
+
+func TestGridCoarsenBy(t *testing.T) {
+	g := NewGrid(UnitBox(), I3(4, 4, 4))
+	c, err := g.CoarsenBy(I3(2, 2, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Dims != I3(2, 2, 1) {
+		t.Errorf("coarse dims = %v", c.Dims)
+	}
+	// Paper Fig. 3 arithmetic: f = (nx/Px)*(ny/Py). A 4x4 grid with a 2x2
+	// partition factor yields 4 files.
+	g2 := NewGrid(UnitBox(), I3(4, 4, 1))
+	c2, err := g2.CoarsenBy(I3(2, 2, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2.Cells() != 4 {
+		t.Errorf("Fig 3e file count = %d, want 4", c2.Cells())
+	}
+	// (1,1,1) factor is file-per-process: as many cells as patches.
+	c3, err := g2.CoarsenBy(I3(1, 1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c3.Cells() != 16 {
+		t.Errorf("Fig 3d file count = %d, want 16", c3.Cells())
+	}
+	// Whole-domain factor is shared-file: one cell.
+	c4, err := g2.CoarsenBy(I3(4, 4, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c4.Cells() != 1 {
+		t.Errorf("Fig 3f file count = %d, want 1", c4.Cells())
+	}
+}
+
+func TestGridCoarsenByErrors(t *testing.T) {
+	g := NewGrid(UnitBox(), I3(4, 4, 4))
+	if _, err := g.CoarsenBy(I3(3, 1, 1)); err == nil {
+		t.Error("non-dividing factor should error")
+	}
+	if _, err := g.CoarsenBy(I3(0, 1, 1)); err == nil {
+		t.Error("zero factor should error")
+	}
+}
+
+func TestCellOfCell(t *testing.T) {
+	f := I3(2, 2, 2)
+	if got := CellOfCell(I3(3, 2, 1), f); got != I3(1, 1, 0) {
+		t.Errorf("CellOfCell = %v", got)
+	}
+	// Every fine cell maps into the coarse cell whose box contains it.
+	g := NewGrid(UnitBox(), I3(4, 4, 4))
+	c, _ := g.CoarsenBy(f)
+	for i := 0; i < g.Cells(); i++ {
+		fine := Unlinear(i, g.Dims)
+		coarse := CellOfCell(fine, f)
+		if !c.CellBox(coarse).ContainsBox(g.CellBox(fine)) {
+			t.Fatalf("fine cell %v not inside coarse cell %v", fine, coarse)
+		}
+	}
+}
+
+func TestOverlappingCells(t *testing.T) {
+	g := NewGrid(UnitBox(), I3(4, 4, 4))
+	// A query matching exactly one cell.
+	one := g.OverlappingCells(NewBox(V3(0.26, 0.26, 0.26), V3(0.49, 0.49, 0.49)))
+	if len(one) != 1 || one[0] != I3(1, 1, 1).Linear(g.Dims) {
+		t.Errorf("single-cell query = %v", one)
+	}
+	// The whole domain matches every cell.
+	all := g.OverlappingCells(g.Domain)
+	if len(all) != g.Cells() {
+		t.Errorf("domain query matched %d cells, want %d", len(all), g.Cells())
+	}
+	// Disjoint query matches nothing.
+	if got := g.OverlappingCells(NewBox(V3(2, 2, 2), V3(3, 3, 3))); got != nil {
+		t.Errorf("disjoint query = %v", got)
+	}
+}
+
+func TestOverlappingCellsBruteForce(t *testing.T) {
+	g := NewGrid(NewBox(V3(-1, 0, 2), V3(3, 8, 4)), I3(5, 3, 2))
+	r := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 200; trial++ {
+		lo := V3(r.Float64()*6-2, r.Float64()*10-1, r.Float64()*4+1)
+		q := NewBox(lo, lo.Add(V3(r.Float64()*3, r.Float64()*3, r.Float64()*3)))
+		got := g.OverlappingCells(q)
+		var want []int
+		for i := 0; i < g.Cells(); i++ {
+			if g.CellBoxLinear(i).Intersects(q) {
+				want = append(want, i)
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("query %v: got %v want %v", q, got, want)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("query %v: got %v want %v", q, got, want)
+			}
+		}
+	}
+}
+
+func TestNewGridPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"zero dims":    func() { NewGrid(UnitBox(), I3(0, 1, 1)) },
+		"empty domain": func() { NewGrid(EmptyBox(), I3(1, 1, 1)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,84 @@
+package geom
+
+import "fmt"
+
+// HZ-order (hierarchical Z-order) is the multi-resolution linearization
+// the paper cites for structured data ("row-order, Z-order, or
+// HZ-order", Section 3; it is the ordering of the authors' PIDX line of
+// work). It permutes Z-order (Morton) indices so that all indices of
+// resolution level l precede those of level l+1: reading a prefix of an
+// HZ-ordered array yields a complete coarser-resolution grid — the
+// structured-data analogue of this library's particle LOD prefixes.
+//
+// For a domain of 2^bits cells, level 0 holds index 0; level l ≥ 1 holds
+// the 2^(l-1) Morton indices whose lowest set bit is bit bits-l.
+
+// HZEncode maps a Morton index (0 ≤ m < 2^bits) to its HZ index.
+func HZEncode(m uint64, bits int) uint64 {
+	checkHZ(m, bits)
+	if m == 0 {
+		return 0
+	}
+	tz := trailingZeros(m)
+	level := bits - tz
+	start := uint64(1) << (level - 1)
+	return start + (m >> uint(tz+1))
+}
+
+// HZDecode inverts HZEncode.
+func HZDecode(hz uint64, bits int) uint64 {
+	checkHZ(hz, bits)
+	if hz == 0 {
+		return 0
+	}
+	level := 63 - leadingZeros(hz) + 1 // position of highest set bit + 1
+	start := uint64(1) << (level - 1)
+	offset := hz - start
+	tz := bits - level
+	return (offset << uint(tz+1)) | (uint64(1) << uint(tz))
+}
+
+// HZLevel returns the resolution level of an HZ index: 0 for index 0,
+// else the position of its highest set bit + 1.
+func HZLevel(hz uint64) int {
+	if hz == 0 {
+		return 0
+	}
+	return 63 - leadingZeros(hz) + 1
+}
+
+// HZLevelSize returns the number of indices in a level: 1 at levels 0
+// and 1, else 2^(level-1).
+func HZLevelSize(level int) uint64 {
+	if level <= 0 {
+		return 1
+	}
+	return uint64(1) << (level - 1)
+}
+
+func checkHZ(v uint64, bits int) {
+	if bits <= 0 || bits > 62 {
+		panic(fmt.Sprintf("geom: hz bits %d out of (0,62]", bits))
+	}
+	if v >= uint64(1)<<uint(bits) {
+		panic(fmt.Sprintf("geom: hz value %d out of %d bits", v, bits))
+	}
+}
+
+func trailingZeros(v uint64) int {
+	n := 0
+	for v&1 == 0 {
+		v >>= 1
+		n++
+	}
+	return n
+}
+
+func leadingZeros(v uint64) int {
+	n := 64
+	for v != 0 {
+		v >>= 1
+		n--
+	}
+	return n
+}

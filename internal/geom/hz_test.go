@@ -1,0 +1,90 @@
+package geom
+
+import "testing"
+
+func TestHZBijection(t *testing.T) {
+	const bits = 10
+	seen := make(map[uint64]uint64)
+	for m := uint64(0); m < 1<<bits; m++ {
+		hz := HZEncode(m, bits)
+		if hz >= 1<<bits {
+			t.Fatalf("HZEncode(%d) = %d out of range", m, hz)
+		}
+		if prev, dup := seen[hz]; dup {
+			t.Fatalf("hz %d from both %d and %d", hz, prev, m)
+		}
+		seen[hz] = m
+		if back := HZDecode(hz, bits); back != m {
+			t.Fatalf("HZDecode(HZEncode(%d)) = %d", m, back)
+		}
+	}
+	if len(seen) != 1<<bits {
+		t.Fatalf("covered %d of %d", len(seen), 1<<bits)
+	}
+}
+
+func TestHZLevelsAreContiguousPrefixes(t *testing.T) {
+	// All HZ indices of level l occupy [2^(l-1), 2^l): a prefix of the
+	// HZ-ordered array is a union of complete levels — the
+	// multi-resolution property.
+	const bits = 8
+	for m := uint64(1); m < 1<<bits; m++ {
+		hz := HZEncode(m, bits)
+		l := HZLevel(hz)
+		lo := uint64(1) << (l - 1)
+		hi := uint64(1) << l
+		if hz < lo || hz >= hi {
+			t.Fatalf("m=%d: hz %d not in level-%d block [%d,%d)", m, hz, l, lo, hi)
+		}
+	}
+	if HZLevel(0) != 0 {
+		t.Error("level of 0 should be 0")
+	}
+}
+
+func TestHZLevelMatchesResolution(t *testing.T) {
+	// Level l of an HZ ordering over 2^bits cells contains the Morton
+	// indices whose lowest set bit is bits-l: coarser levels sample the
+	// grid more sparsely (larger strides).
+	const bits = 6
+	counts := make(map[int]uint64)
+	for m := uint64(0); m < 1<<bits; m++ {
+		counts[HZLevel(HZEncode(m, bits))]++
+	}
+	if counts[0] != 1 || counts[1] != 1 {
+		t.Errorf("levels 0,1 sizes: %d, %d", counts[0], counts[1])
+	}
+	for l := 1; l <= bits; l++ {
+		if counts[l] != HZLevelSize(l) {
+			t.Errorf("level %d holds %d, want %d", l, counts[l], HZLevelSize(l))
+		}
+	}
+}
+
+func TestHZFirstIndices(t *testing.T) {
+	// The canonical small example for an 8-element array (bits=3):
+	// morton 0 -> hz 0; 4 -> 1; 2 -> 2; 6 -> 3; odds -> level 3 in order.
+	cases := map[uint64]uint64{0: 0, 4: 1, 2: 2, 6: 3, 1: 4, 3: 5, 5: 6, 7: 7}
+	for m, want := range cases {
+		if got := HZEncode(m, 3); got != want {
+			t.Errorf("HZEncode(%d, 3) = %d, want %d", m, got, want)
+		}
+	}
+}
+
+func TestHZPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"bits 0":       func() { HZEncode(0, 0) },
+		"out of range": func() { HZEncode(8, 3) },
+		"decode range": func() { HZDecode(8, 3) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

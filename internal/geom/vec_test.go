@@ -1,0 +1,192 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestVecArithmetic(t *testing.T) {
+	v := V3(1, 2, 3)
+	w := V3(4, 6, 8)
+	if got := v.Add(w); got != V3(5, 8, 11) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := w.Sub(v); got != V3(3, 4, 5) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := v.Mul(2); got != V3(2, 4, 6) {
+		t.Errorf("Mul = %v", got)
+	}
+	if got := v.MulV(w); got != V3(4, 12, 24) {
+		t.Errorf("MulV = %v", got)
+	}
+	if got := w.Div(v); got != V3(4, 3, 8.0/3.0) {
+		t.Errorf("Div = %v", got)
+	}
+	if got := v.Dot(w); got != 4+12+24 {
+		t.Errorf("Dot = %v", got)
+	}
+}
+
+func TestVecMinMax(t *testing.T) {
+	v := V3(1, 9, 3)
+	w := V3(4, 2, 3)
+	if got := v.Min(w); got != V3(1, 2, 3) {
+		t.Errorf("Min = %v", got)
+	}
+	if got := v.Max(w); got != V3(4, 9, 3) {
+		t.Errorf("Max = %v", got)
+	}
+}
+
+func TestVecLenDist(t *testing.T) {
+	if got := V3(3, 4, 0).Len(); got != 5 {
+		t.Errorf("Len = %v", got)
+	}
+	if got := V3(1, 1, 1).Dist(V3(1, 1, 2)); got != 1 {
+		t.Errorf("Dist = %v", got)
+	}
+}
+
+func TestVecComp(t *testing.T) {
+	v := V3(10, 20, 30)
+	for axis, want := range []float64{10, 20, 30} {
+		if got := v.Comp(axis); got != want {
+			t.Errorf("Comp(%d) = %v, want %v", axis, got, want)
+		}
+	}
+	if got := v.WithComp(1, 99); got != V3(10, 99, 30) {
+		t.Errorf("WithComp = %v", got)
+	}
+}
+
+func TestVecCompPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Comp(3) should panic")
+		}
+	}()
+	V3(0, 0, 0).Comp(3)
+}
+
+func TestVecIsFinite(t *testing.T) {
+	if !V3(1, 2, 3).IsFinite() {
+		t.Error("finite vec reported non-finite")
+	}
+	if V3(math.NaN(), 0, 0).IsFinite() {
+		t.Error("NaN vec reported finite")
+	}
+	if V3(0, math.Inf(1), 0).IsFinite() {
+		t.Error("Inf vec reported finite")
+	}
+}
+
+func TestIdx3Arithmetic(t *testing.T) {
+	i := I3(2, 3, 4)
+	j := I3(1, 1, 2)
+	if got := i.Add(j); got != I3(3, 4, 6) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := i.Mul(j); got != I3(2, 3, 8) {
+		t.Errorf("Mul = %v", got)
+	}
+	if got := i.Div(j); got != I3(2, 3, 2) {
+		t.Errorf("Div = %v", got)
+	}
+	if got := i.Volume(); got != 24 {
+		t.Errorf("Volume = %v", got)
+	}
+	if got := i.Comp(2); got != 4 {
+		t.Errorf("Comp(2) = %v", got)
+	}
+}
+
+func TestLinearUnlinearRoundTrip(t *testing.T) {
+	dims := I3(3, 4, 5)
+	seen := make(map[int]bool)
+	for z := 0; z < dims.Z; z++ {
+		for y := 0; y < dims.Y; y++ {
+			for x := 0; x < dims.X; x++ {
+				idx := I3(x, y, z)
+				lin := idx.Linear(dims)
+				if lin < 0 || lin >= dims.Volume() {
+					t.Fatalf("Linear(%v) = %d out of range", idx, lin)
+				}
+				if seen[lin] {
+					t.Fatalf("Linear(%v) = %d is a collision", idx, lin)
+				}
+				seen[lin] = true
+				if back := Unlinear(lin, dims); back != idx {
+					t.Fatalf("Unlinear(Linear(%v)) = %v", idx, back)
+				}
+			}
+		}
+	}
+	if len(seen) != dims.Volume() {
+		t.Fatalf("covered %d of %d linear indices", len(seen), dims.Volume())
+	}
+}
+
+func TestLinearRowMajorXFastest(t *testing.T) {
+	dims := I3(4, 3, 2)
+	if got := I3(1, 0, 0).Linear(dims); got != 1 {
+		t.Errorf("x step = %d, want 1", got)
+	}
+	if got := I3(0, 1, 0).Linear(dims); got != 4 {
+		t.Errorf("y step = %d, want 4", got)
+	}
+	if got := I3(0, 0, 1).Linear(dims); got != 12 {
+		t.Errorf("z step = %d, want 12", got)
+	}
+}
+
+func TestLinearPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Linear out of range should panic")
+		}
+	}()
+	I3(4, 0, 0).Linear(I3(4, 4, 4))
+}
+
+func TestUnlinearPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Unlinear out of range should panic")
+		}
+	}()
+	Unlinear(64, I3(4, 4, 4))
+}
+
+func TestQuickMinMaxOrdering(t *testing.T) {
+	f := func(ax, ay, az, bx, by, bz float64) bool {
+		a, b := V3(ax, ay, az), V3(bx, by, bz)
+		mn, mx := a.Min(b), a.Max(b)
+		return mn.X <= mx.X && mn.Y <= mx.Y && mn.Z <= mx.Z
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickAddSubInverse(t *testing.T) {
+	f := func(ax, ay, az, bx, by, bz float64) bool {
+		a, b := V3(ax, ay, az), V3(bx, by, bz)
+		if !a.Add(b).IsFinite() { // overflow: identity cannot hold
+			return true
+		}
+		got := a.Add(b).Sub(b)
+		// Rounding error is bounded relative to the larger operand.
+		tol := func(x, y float64) float64 {
+			return 1e-9 * math.Max(1, math.Max(math.Abs(x), math.Abs(y)))
+		}
+		return math.Abs(got.X-a.X) <= tol(a.X, b.X) &&
+			math.Abs(got.Y-a.Y) <= tol(a.Y, b.Y) &&
+			math.Abs(got.Z-a.Z) <= tol(a.Z, b.Z)
+	}
+	cfg := &quick.Config{MaxCount: 200}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,54 @@
+package lod
+
+import (
+	"testing"
+
+	"spio/internal/geom"
+	"spio/internal/particle"
+)
+
+// The paper's Section 3.4 reference points: 32K-particle reorder takes
+// 33 ms on a Mira core and 80 ms on a Theta core. BenchmarkShuffle32K
+// gives this machine's number.
+func BenchmarkShuffle32K(b *testing.B) {
+	buf := particle.Uniform(particle.Uintah(), geom.UnitBox(), 32768, 7, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Shuffle(buf, int64(i))
+	}
+}
+
+func BenchmarkShuffle1M(b *testing.B) {
+	buf := particle.Uniform(particle.Uintah(), geom.UnitBox(), 1<<20, 7, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Shuffle(buf, int64(i))
+	}
+}
+
+func BenchmarkStratify32K(b *testing.B) {
+	buf := particle.Clustered(particle.Uintah(), geom.UnitBox(), 32768, 4, 7, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Stratify(buf, geom.I3(8, 8, 8), int64(i))
+	}
+}
+
+func BenchmarkApplyPermutation32K(b *testing.B) {
+	buf := particle.Uniform(particle.Uintah(), geom.UnitBox(), 32768, 7, 0)
+	perm := make([]int, buf.Len())
+	for i := range perm {
+		perm[i] = (i*7919 + 13) % len(perm) // a fixed full-cycle-ish mix
+	}
+	// Ensure perm is a permutation (7919 is coprime to 32768).
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ApplyPermutation(buf, perm)
+	}
+}
+
+func BenchmarkLevelSizes2B(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		LevelSizes(1<<31, 2048, 2)
+	}
+}

@@ -1,0 +1,225 @@
+// Package lod implements the paper's level-of-detail particle layout
+// (Section 3.4): after aggregation, each aggregator reorders its
+// particles in place so that every prefix of the written file is a
+// representative subset of the whole. Level l of a dataset read by n
+// processes holds up to x(n, l) = n·P·S^l particles, where P is the
+// particles-per-reader in level 0 and S the resolution scale (default 2).
+// The levels are implicit — plain subranges of the reordered sequence —
+// so the layout costs no extra storage.
+//
+// Two reorder heuristics are provided, matching the paper's "different
+// kinds of heuristics such as density or random": a seeded uniform
+// shuffle (the paper's default), and a density-stratified order that
+// round-robins over spatial bins so low levels cover the domain evenly.
+package lod
+
+import (
+	"fmt"
+	"math/rand"
+
+	"spio/internal/geom"
+	"spio/internal/particle"
+)
+
+// DefaultScale is the paper's default resolution scale factor S.
+const DefaultScale = 2
+
+// Params describes an LOD layout.
+type Params struct {
+	// BasePerReader is P: the number of particles each reading process
+	// gets at level 0.
+	BasePerReader int
+	// Scale is S: the per-level multiplier (>= 2).
+	Scale int
+}
+
+// DefaultParams returns the configuration used throughout the paper's
+// evaluation (Section 5.4): P = 32, S = 2.
+func DefaultParams() Params { return Params{BasePerReader: 32, Scale: DefaultScale} }
+
+// Validate checks the parameters.
+func (p Params) Validate() error {
+	if p.BasePerReader <= 0 {
+		return fmt.Errorf("lod: BasePerReader must be positive, got %d", p.BasePerReader)
+	}
+	if p.Scale < 2 {
+		return fmt.Errorf("lod: Scale must be >= 2, got %d", p.Scale)
+	}
+	return nil
+}
+
+// LevelSizes returns the particle count of each level for a sequence of
+// total particles read at base granularity base = n·P: level l holds
+// min(base·S^l, remaining). The sizes sum to total; the final level
+// holds the remainder (paper example: 100 particles, base 32, S 2 →
+// [32, 64, 4]).
+func LevelSizes(total, base int64, scale int) []int64 {
+	if total < 0 || base <= 0 || scale < 2 {
+		panic(fmt.Sprintf("lod: invalid LevelSizes(%d, %d, %d)", total, base, scale))
+	}
+	var sizes []int64
+	size := base
+	for remaining := total; remaining > 0; {
+		if size > remaining {
+			size = remaining
+		}
+		sizes = append(sizes, size)
+		remaining -= size
+		// Guard against overflow for absurd level counts.
+		if size > (1<<62)/int64(scale) {
+			size = 1 << 62
+		} else {
+			size *= int64(scale)
+		}
+	}
+	return sizes
+}
+
+// NumLevels returns len(LevelSizes(total, base, scale)) without building
+// the slice.
+func NumLevels(total, base int64, scale int) int {
+	n := 0
+	size := base
+	for remaining := total; remaining > 0; n++ {
+		if size > remaining {
+			size = remaining
+		}
+		remaining -= size
+		if size > (1<<62)/int64(scale) {
+			size = 1 << 62
+		} else {
+			size *= int64(scale)
+		}
+	}
+	return n
+}
+
+// PrefixCount returns the number of particles covered by levels
+// [0, levels), i.e. how much of the sequence a reader loads to get the
+// first `levels` levels of detail.
+func PrefixCount(total, base int64, scale int, levels int) int64 {
+	if levels <= 0 {
+		return 0
+	}
+	var sum int64
+	for i, s := range LevelSizes(total, base, scale) {
+		if i >= levels {
+			break
+		}
+		sum += s
+	}
+	return sum
+}
+
+// Heuristic selects the reorder strategy.
+type Heuristic int
+
+const (
+	// Random is the paper's default: a seeded uniform reshuffle.
+	Random Heuristic = iota
+	// DensityStratified bins particles on a coarse grid over their
+	// bounds and emits them round-robin across bins, so every prefix
+	// covers the occupied space evenly even for clustered inputs.
+	DensityStratified
+)
+
+func (h Heuristic) String() string {
+	switch h {
+	case Random:
+		return "random"
+	case DensityStratified:
+		return "density"
+	}
+	return fmt.Sprintf("heuristic(%d)", h)
+}
+
+// Reorder reorders b in place with the chosen heuristic. The result is
+// deterministic in (heuristic, seed).
+func Reorder(b *particle.Buffer, h Heuristic, seed int64) {
+	switch h {
+	case Random:
+		Shuffle(b, seed)
+	case DensityStratified:
+		Stratify(b, geom.I3(8, 8, 8), seed)
+	default:
+		panic(fmt.Sprintf("lod: unknown heuristic %d", h))
+	}
+}
+
+// Shuffle applies a seeded Fisher–Yates shuffle to the buffer in place.
+// This is the paper's random reshuffling: the expected composition of any
+// prefix matches the global particle distribution.
+func Shuffle(b *particle.Buffer, seed int64) {
+	r := rand.New(rand.NewSource(seed))
+	for i := b.Len() - 1; i > 0; i-- {
+		b.Swap(i, r.Intn(i+1))
+	}
+}
+
+// Stratify reorders the buffer in place so that particles are emitted
+// round-robin over the cells of a dims grid spanning the buffer's
+// bounds; ties within a cell are pre-shuffled with the seed. Prefixes of
+// the result cover every occupied cell before revisiting any, which for
+// highly clustered data yields more even low-level coverage than Random.
+func Stratify(b *particle.Buffer, dims geom.Idx3, seed int64) {
+	n := b.Len()
+	if n < 2 {
+		return
+	}
+	bounds := b.Bounds()
+	// Inflate the upper face slightly so the max particle falls inside
+	// the half-open grid.
+	sz := bounds.Size()
+	eps := 1e-9 * (sz.X + sz.Y + sz.Z + 1)
+	bounds.Hi = bounds.Hi.Add(geom.V3(eps, eps, eps))
+	g := geom.NewGrid(bounds, dims)
+
+	cells := make([][]int, g.Cells())
+	for i := 0; i < n; i++ {
+		c := g.LocateLinear(b.Position(i))
+		cells[c] = append(cells[c], i)
+	}
+	r := rand.New(rand.NewSource(seed))
+	for _, members := range cells {
+		r.Shuffle(len(members), func(i, j int) {
+			members[i], members[j] = members[j], members[i]
+		})
+	}
+	perm := make([]int, 0, n)
+	for round := 0; len(perm) < n; round++ {
+		for _, members := range cells {
+			if round < len(members) {
+				perm = append(perm, members[round])
+			}
+		}
+	}
+	ApplyPermutation(b, perm)
+}
+
+// ApplyPermutation reorders b in place so that the particle that was at
+// perm[i] ends up at position i. perm must be a permutation of
+// [0, b.Len()).
+func ApplyPermutation(b *particle.Buffer, perm []int) {
+	n := b.Len()
+	if len(perm) != n {
+		panic(fmt.Sprintf("lod: permutation length %d != buffer length %d", len(perm), n))
+	}
+	// Cycle decomposition with Swap keeps the reorder in place, matching
+	// the paper's in-place reshuffle.
+	cur := make([]int, n) // cur[i]: original index of the particle now at slot i
+	pos := make([]int, n) // pos[o]: current slot of original particle o
+	for i := range cur {
+		cur[i] = i
+		pos[i] = i
+	}
+	for i := 0; i < n; i++ {
+		want := perm[i]
+		j := pos[want]
+		if j == i {
+			continue
+		}
+		b.Swap(i, j)
+		pos[cur[i]], pos[cur[j]] = j, i
+		cur[i], cur[j] = cur[j], cur[i]
+	}
+}

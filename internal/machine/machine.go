@@ -1,0 +1,308 @@
+// Package machine provides first-order performance models of the three
+// platforms in the paper's evaluation (Section 5.1): Mira (IBM BG/Q, 5D
+// torus, GPFS with dedicated I/O nodes), Theta (Cray XC40, Dragonfly,
+// Lustre with 48 OSTs), and an SSD workstation used for reads.
+//
+// The models are deliberately simple — a handful of calibrated terms per
+// platform — but they carry the effects the paper's conclusions rest on:
+//
+//   - Incast congestion at aggregators. On Mira (torus, dedicated I/O
+//     nodes) congestion grows with the number of concurrent sender
+//     streams; on Theta (shared Dragonfly links) it grows with the
+//     volume pulled through the shared links. Either way, larger
+//     aggregation groups cost more network time, and systematically more
+//     on Theta than Mira — the Fig. 6 contrast, and the reason Theta
+//     prefers small partition factors while Mira prefers large ones.
+//   - File-count costs: GPFS degrades once the file count crosses a soft
+//     limit (directory/IO-node contention); Lustre serializes creates at
+//     the metadata server. Both penalize file-per-process at scale
+//     (Fig. 5).
+//   - Burst-size efficiency: small files waste bandwidth; larger
+//     aggregated bursts approach peak (Section 5.2's "bigger I/O burst
+//     size" argument). GPFS wants much larger bursts than Lustre.
+//   - Shared-file contention: single-file collective writes lose
+//     bandwidth with writer count (the IOR-collective and PHDF5 curves).
+//   - Read costs: per-file open latency (expensive on Lustre, cheap on
+//     SSD) plus per-client and aggregate bandwidth caps (Fig. 7/8).
+//
+// Absolute numbers are calibrated to the same order of magnitude as the
+// paper's; the reproduction targets are the curve shapes, crossovers and
+// winners, which internal/perfmodel's calibration tests pin down.
+package machine
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// Network models point-to-point aggregation traffic.
+type Network struct {
+	// MsgLatency is the per-message software+wire latency α.
+	MsgLatency time.Duration
+	// InjectionBW is a node's injection bandwidth in bytes/sec.
+	InjectionBW float64
+	// IncastCongestion is the congestion growth coefficient c in the
+	// effective-bandwidth divisor 1 + c·log2(x).
+	IncastCongestion float64
+	// CongestionByBytes selects what x is: false (Mira-style) uses the
+	// concurrent sender-stream count; true (Theta-style) uses the pulled
+	// volume in units of CongestionRefBytes.
+	CongestionByBytes bool
+	// CongestionRefBytes is the volume unit for byte-driven congestion.
+	CongestionRefBytes float64
+	// SharedBWBase and SharedContention model single-shared-file
+	// collective writes: effective bandwidth =
+	// SharedBWBase / (1 + SharedContention·nWriters).
+	SharedBWBase     float64
+	SharedContention float64
+}
+
+// IncastBW returns the effective receive bandwidth at an aggregator
+// pulling totalBytes from `senders` concurrent sources.
+func (n Network) IncastBW(senders int, totalBytes int64) float64 {
+	if senders < 1 {
+		senders = 1
+	}
+	var x float64
+	if n.CongestionByBytes {
+		x = float64(totalBytes) / n.CongestionRefBytes
+	} else {
+		x = float64(senders)
+	}
+	if x < 1 {
+		x = 1
+	}
+	return n.InjectionBW / (1 + n.IncastCongestion*math.Log2(x))
+}
+
+// GatherTime prices receiving totalBytes from `senders` sources.
+func (n Network) GatherTime(senders int, totalBytes int64) time.Duration {
+	if senders <= 0 || totalBytes <= 0 {
+		return 0
+	}
+	t := float64(senders)*n.MsgLatency.Seconds() + float64(totalBytes)/n.IncastBW(senders, totalBytes)
+	return dur(t)
+}
+
+// SharedWriteBW returns the effective bandwidth of nWriters writing one
+// shared file collectively.
+func (n Network) SharedWriteBW(nWriters int) float64 {
+	if nWriters < 1 {
+		nWriters = 1
+	}
+	return n.SharedBWBase / (1 + n.SharedContention*float64(nWriters))
+}
+
+// Storage models a parallel file system's write and read behaviour.
+type Storage struct {
+	// PeakBW is the file system's aggregate write ceiling (bytes/s).
+	PeakBW float64
+	// WriterBW is the bandwidth one writer stream can sustain (bytes/s).
+	WriterBW float64
+	// BurstHalf is the file size at which per-file efficiency reaches
+	// 50%: eff(s) = s/(s+BurstHalf). Encodes the "bigger burst" benefit.
+	BurstHalf float64
+	// CreatePerFile is the cost of creating one file.
+	CreatePerFile time.Duration
+	// CreateSoftLimit is the file count beyond which creation degrades
+	// (GPFS directory contention); 0 disables the penalty.
+	CreateSoftLimit int
+	// CreateSerialized, when true, serializes all creates through one
+	// metadata server (Lustre MDS); otherwise creates proceed in
+	// parallel across the I/O nodes with only 1/CreateParallelism of the
+	// nominal cost.
+	CreateSerialized  bool
+	CreateParallelism int
+	// OpenPerFile is the cost of opening an existing file for reading.
+	OpenPerFile time.Duration
+	// ReaderBW is the per-reader read bandwidth cap (bytes/s).
+	ReaderBW float64
+	// PeakReadBW is the aggregate read ceiling (bytes/s).
+	PeakReadBW float64
+}
+
+// Eff is the burst-size efficiency of writing files of the given size.
+func (s Storage) Eff(fileBytes int64) float64 {
+	if fileBytes <= 0 {
+		return 1
+	}
+	return float64(fileBytes) / (float64(fileBytes) + s.BurstHalf)
+}
+
+// CreateTime prices creating nFiles new files.
+func (s Storage) CreateTime(nFiles int) time.Duration {
+	if nFiles <= 0 {
+		return 0
+	}
+	t := float64(nFiles) * s.CreatePerFile.Seconds()
+	if !s.CreateSerialized {
+		p := s.CreateParallelism
+		if p <= 0 {
+			p = 1
+		}
+		t /= float64(p)
+	}
+	if s.CreateSoftLimit > 0 && nFiles > s.CreateSoftLimit {
+		t *= float64(nFiles) / float64(s.CreateSoftLimit)
+	}
+	return dur(t)
+}
+
+// AggregateWriteBW returns the effective aggregate bandwidth of nFiles
+// concurrent writers producing files of avgFileBytes.
+func (s Storage) AggregateWriteBW(nFiles int, avgFileBytes int64) float64 {
+	bw := s.PeakBW
+	if streams := float64(nFiles) * s.WriterBW; streams < bw {
+		bw = streams
+	}
+	return bw * s.Eff(avgFileBytes)
+}
+
+// WriteTime prices nFiles concurrent independent file writes moving
+// totalBytes in total, with the largest single file maxFileBytes (the
+// straggler bound: one writer cannot finish faster than its own file).
+func (s Storage) WriteTime(nFiles int, totalBytes, maxFileBytes int64) time.Duration {
+	if nFiles <= 0 || totalBytes <= 0 {
+		return 0
+	}
+	avg := totalBytes / int64(nFiles)
+	transfer := float64(totalBytes) / s.AggregateWriteBW(nFiles, avg)
+	if maxFileBytes > 0 {
+		straggler := float64(maxFileBytes) / (s.WriterBW * s.Eff(maxFileBytes))
+		if straggler > transfer {
+			transfer = straggler
+		}
+	}
+	return s.CreateTime(nFiles) + dur(transfer)
+}
+
+// ReadBW returns the per-reader bandwidth when nReaders read
+// concurrently.
+func (s Storage) ReadBW(nReaders int) float64 {
+	if nReaders < 1 {
+		nReaders = 1
+	}
+	bw := s.ReaderBW
+	if share := s.PeakReadBW / float64(nReaders); share < bw {
+		bw = share
+	}
+	return bw
+}
+
+// ReadTime prices one reader opening `opens` files and reading
+// bytesPerReader while nReaders run concurrently.
+func (s Storage) ReadTime(nReaders, opens int, bytesPerReader int64) time.Duration {
+	t := float64(opens) * s.OpenPerFile.Seconds()
+	if bytesPerReader > 0 {
+		t += float64(bytesPerReader) / s.ReadBW(nReaders)
+	}
+	return dur(t)
+}
+
+// Profile is a complete machine model.
+type Profile struct {
+	Name    string
+	Network Network
+	Storage Storage
+	// ReorderPerParticle is the single-core LOD reshuffle cost
+	// (Section 3.4 reports 33 ms / 32K particles on Mira and 80 ms on
+	// Theta — about 1.0 and 2.4 µs per particle).
+	ReorderPerParticle time.Duration
+	// MaxRanks is the machine's core count (Mira: 786K, Theta: 280K).
+	MaxRanks int
+}
+
+func (p Profile) String() string { return fmt.Sprintf("machine %s", p.Name) }
+
+// Mira models ALCF Mira: IBM Blue Gene/Q, 5D torus with dedicated I/O
+// nodes, GPFS. Dedicated I/O nodes and the torus make aggregation cheap
+// relative to file I/O, and GPFS strongly prefers few large bursts —
+// hence the paper's finding that Mira favours large partition factors.
+func Mira() Profile {
+	return Profile{
+		Name: "Mira",
+		Network: Network{
+			MsgLatency:       3 * time.Microsecond,
+			InjectionBW:      1.8e9,
+			IncastCongestion: 0.6, // sender-stream driven (torus paths)
+			SharedBWBase:     12e9,
+			SharedContention: 0.002,
+		},
+		Storage: Storage{
+			PeakBW:            200e9,
+			WriterBW:          1.5e9,
+			BurstHalf:         64e6,
+			CreatePerFile:     3 * time.Millisecond,
+			CreateParallelism: 64,
+			CreateSoftLimit:   65536,
+			OpenPerFile:       4 * time.Millisecond,
+			ReaderBW:          0.30e9,
+			PeakReadBW:        200e9,
+		},
+		ReorderPerParticle: 1007 * time.Nanosecond, // 33 ms / 32768
+		MaxRanks:           786432,
+	}
+}
+
+// Theta models ALCF Theta: Cray XC40 (KNL), Dragonfly, Lustre with 48
+// OSTs. Shared network links make aggregation volume expensive (Fig. 6),
+// the Lustre MDS serializes file creates (flattening FPP at scale), and
+// per-file bursts saturate quickly — hence small partition factors win.
+func Theta() Profile {
+	return Profile{
+		Name: "Theta",
+		Network: Network{
+			MsgLatency:         6 * time.Microsecond,
+			InjectionBW:        0.8e9,
+			IncastCongestion:   3.0, // volume driven (shared dragonfly links)
+			CongestionByBytes:  true,
+			CongestionRefBytes: 8e6,
+			SharedBWBase:       40e9,
+			SharedContention:   0.004,
+		},
+		Storage: Storage{
+			PeakBW:           250e9,
+			WriterBW:         0.2e9,
+			BurstHalf:        4e6,
+			CreatePerFile:    8 * time.Microsecond,
+			CreateSerialized: true,
+			OpenPerFile:      10 * time.Millisecond,
+			ReaderBW:         0.25e9,
+			PeakReadBW:       240e9,
+		},
+		ReorderPerParticle: 2441 * time.Nanosecond, // 80 ms / 32768
+		MaxRanks:           280320,
+	}
+}
+
+// Workstation models the paper's read platform: 4×18-core Xeon, 3 TB
+// RAM, two SSDs. Opens are cheap; bandwidth is modest and shared.
+func Workstation() Profile {
+	return Profile{
+		Name: "SSD workstation",
+		Network: Network{
+			MsgLatency:       1 * time.Microsecond,
+			InjectionBW:      8e9,
+			IncastCongestion: 0.1,
+			SharedBWBase:     2e9,
+			SharedContention: 0.01,
+		},
+		Storage: Storage{
+			PeakBW:            2.5e9,
+			WriterBW:          1.0e9,
+			BurstHalf:         0.5e6,
+			CreatePerFile:     30 * time.Microsecond,
+			CreateParallelism: 4,
+			OpenPerFile:       150 * time.Microsecond,
+			ReaderBW:          1.2e9,
+			PeakReadBW:        3.5e9,
+		},
+		ReorderPerParticle: 1200 * time.Nanosecond,
+		MaxRanks:           72,
+	}
+}
+
+func dur(seconds float64) time.Duration {
+	return time.Duration(seconds * float64(time.Second))
+}

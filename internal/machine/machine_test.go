@@ -1,0 +1,177 @@
+package machine
+
+import (
+	"testing"
+	"time"
+)
+
+func TestIncastBWDegradesWithSenders(t *testing.T) {
+	n := Mira().Network // sender-driven congestion
+	if n.CongestionByBytes {
+		t.Fatal("Mira should use sender-driven congestion")
+	}
+	one := n.IncastBW(1, 1<<20)
+	eight := n.IncastBW(8, 1<<20)
+	sixtyFour := n.IncastBW(64, 1<<20)
+	if !(one > eight && eight > sixtyFour) {
+		t.Errorf("incast bw should fall with senders: %v %v %v", one, eight, sixtyFour)
+	}
+	if one != n.InjectionBW {
+		t.Errorf("single sender should see full injection bw: %v vs %v", one, n.InjectionBW)
+	}
+}
+
+func TestIncastBWDegradesWithVolumeOnTheta(t *testing.T) {
+	n := Theta().Network
+	if !n.CongestionByBytes {
+		t.Fatal("Theta should use volume-driven congestion")
+	}
+	small := n.IncastBW(8, 8<<20)
+	big := n.IncastBW(8, 256<<20)
+	if small <= big {
+		t.Errorf("Theta incast bw should fall with volume: %v vs %v", small, big)
+	}
+	// Sender count alone does not matter on Theta.
+	if a, b := n.IncastBW(2, 64<<20), n.IncastBW(64, 64<<20); a != b {
+		t.Errorf("Theta incast should be volume-driven only: %v vs %v", a, b)
+	}
+}
+
+func TestGatherTimeEdgeCases(t *testing.T) {
+	n := Mira().Network
+	if n.GatherTime(0, 100) != 0 || n.GatherTime(5, 0) != 0 {
+		t.Error("degenerate gathers should cost nothing")
+	}
+	if n.GatherTime(8, 1<<20) <= 0 {
+		t.Error("real gather should take time")
+	}
+	// More bytes, more time.
+	if n.GatherTime(8, 1<<24) <= n.GatherTime(8, 1<<20) {
+		t.Error("gather time should grow with volume")
+	}
+}
+
+func TestSharedWriteBWCollapses(t *testing.T) {
+	for _, p := range []Profile{Mira(), Theta()} {
+		small := p.Network.SharedWriteBW(512)
+		big := p.Network.SharedWriteBW(262144)
+		if big >= small/10 {
+			t.Errorf("%s: shared-file bw should collapse at scale: %v vs %v", p.Name, small, big)
+		}
+	}
+}
+
+func TestEffMonotone(t *testing.T) {
+	s := Mira().Storage
+	if s.Eff(0) != 1 {
+		t.Error("zero-size eff should be 1 (no penalty)")
+	}
+	if !(s.Eff(4<<20) < s.Eff(64<<20) && s.Eff(64<<20) < s.Eff(1<<30)) {
+		t.Error("eff should grow with burst size")
+	}
+	if s.Eff(int64(s.BurstHalf)) < 0.49 || s.Eff(int64(s.BurstHalf)) > 0.51 {
+		t.Errorf("eff(BurstHalf) = %v, want 0.5", s.Eff(int64(s.BurstHalf)))
+	}
+}
+
+func TestCreateTimeModels(t *testing.T) {
+	lustre := Theta().Storage
+	// Serialized creates scale linearly with the file count.
+	t1 := lustre.CreateTime(1000)
+	t2 := lustre.CreateTime(2000)
+	if diff := t2.Seconds() / t1.Seconds(); diff < 1.9 || diff > 2.1 {
+		t.Errorf("serialized create should be linear, ratio %v", diff)
+	}
+	gpfs := Mira().Storage
+	// GPFS creates are parallel below the soft limit...
+	below := gpfs.CreateTime(1024)
+	if below.Seconds() >= float64(1024)*gpfs.CreatePerFile.Seconds() {
+		t.Error("parallel create should beat serial cost")
+	}
+	// ... and degrade superlinearly beyond it.
+	atLimit := gpfs.CreateTime(gpfs.CreateSoftLimit)
+	past := gpfs.CreateTime(4 * gpfs.CreateSoftLimit)
+	if past.Seconds() < 8*atLimit.Seconds() {
+		t.Errorf("past-soft-limit create should degrade superlinearly: %v vs %v", atLimit, past)
+	}
+	if gpfs.CreateTime(0) != 0 {
+		t.Error("zero files cost nothing")
+	}
+}
+
+func TestWriteTimeProperties(t *testing.T) {
+	s := Theta().Storage
+	if s.WriteTime(0, 100, 0) != 0 || s.WriteTime(10, 0, 0) != 0 {
+		t.Error("degenerate writes cost nothing")
+	}
+	// Weak scaling with constant per-file size: time should stay roughly
+	// flat once the aggregate cap binds (throughput grows to peak).
+	t1 := s.WriteTime(1024, 1024*64<<20, 64<<20)
+	t2 := s.WriteTime(2048, 2048*64<<20, 64<<20)
+	if t2.Seconds() > 2.2*t1.Seconds() {
+		t.Errorf("weak-scaled write should not blow up: %v -> %v", t1, t2)
+	}
+	// A straggler file bounds the time from below.
+	balanced := s.WriteTime(64, 64<<25, 1<<25)
+	skewed := s.WriteTime(64, 64<<25, 40<<25)
+	if skewed <= balanced {
+		t.Errorf("a giant file should slow the write: %v vs %v", balanced, skewed)
+	}
+}
+
+func TestReadBWSharesPeak(t *testing.T) {
+	s := Theta().Storage
+	if s.ReadBW(1) != s.ReaderBW {
+		t.Error("single reader gets the per-client cap")
+	}
+	many := s.ReadBW(1 << 20)
+	if many >= s.ReadBW(2048) {
+		t.Error("per-reader bw should shrink when the aggregate cap binds")
+	}
+}
+
+func TestReadTimeComposition(t *testing.T) {
+	s := Theta().Storage
+	opensOnly := s.ReadTime(64, 128, 0)
+	want := 128 * s.OpenPerFile.Seconds()
+	if d := opensOnly.Seconds() - want; d > 1e-9 || d < -1e-9 {
+		t.Errorf("opens-only read = %v, want %v", opensOnly.Seconds(), want)
+	}
+	withBytes := s.ReadTime(64, 128, 1<<30)
+	if withBytes <= opensOnly {
+		t.Error("payload should add time")
+	}
+}
+
+func TestProfilesSane(t *testing.T) {
+	for _, p := range []Profile{Mira(), Theta(), Workstation()} {
+		if p.Name == "" || p.MaxRanks <= 0 {
+			t.Errorf("profile %+v incomplete", p)
+		}
+		if p.Network.InjectionBW <= 0 || p.Storage.PeakBW <= 0 {
+			t.Errorf("%s: non-positive bandwidths", p.Name)
+		}
+		if p.ReorderPerParticle <= 0 {
+			t.Errorf("%s: no reorder cost", p.Name)
+		}
+		if p.String() == "" {
+			t.Error("empty String()")
+		}
+	}
+	// Paper-anchored facts.
+	if Mira().MaxRanks != 786432 {
+		t.Error("Mira is a 786,432-core machine; the paper used 1/3 of it")
+	}
+	if Theta().ReorderPerParticle <= Mira().ReorderPerParticle {
+		t.Error("Theta single-core reorder is slower than Mira's (80ms vs 33ms per 32K)")
+	}
+	if Theta().Storage.OpenPerFile <= Workstation().Storage.OpenPerFile {
+		t.Error("Lustre opens must dwarf SSD opens (Fig. 7's contrast)")
+	}
+}
+
+func TestDur(t *testing.T) {
+	if dur(1.5) != 1500*time.Millisecond {
+		t.Errorf("dur(1.5) = %v", dur(1.5))
+	}
+}

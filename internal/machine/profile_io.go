@@ -1,0 +1,77 @@
+package machine
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Profiles are plain data, so users can calibrate the model to their own
+// system without recompiling — the model-side analogue of the paper
+// exposing the partition factor "as a tuneable parameter". SaveProfile
+// writes a profile as JSON; LoadProfile reads one back (fields omitted
+// in the JSON keep their zero values, so start from a saved built-in).
+
+// SaveProfile writes p as indented JSON.
+func SaveProfile(path string, p Profile) error {
+	data, err := json.MarshalIndent(p, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// LoadProfile reads a profile written by SaveProfile (or hand-edited).
+func LoadProfile(path string) (Profile, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Profile{}, err
+	}
+	var p Profile
+	if err := json.Unmarshal(data, &p); err != nil {
+		return Profile{}, fmt.Errorf("machine: %s: %w", path, err)
+	}
+	if err := p.Validate(); err != nil {
+		return Profile{}, fmt.Errorf("machine: %s: %w", path, err)
+	}
+	return p, nil
+}
+
+// Validate checks that a (possibly hand-edited) profile is usable.
+func (p Profile) Validate() error {
+	if p.Name == "" {
+		return fmt.Errorf("profile has no name")
+	}
+	if p.Network.InjectionBW <= 0 {
+		return fmt.Errorf("profile %q: InjectionBW must be positive", p.Name)
+	}
+	if p.Network.IncastCongestion < 0 {
+		return fmt.Errorf("profile %q: negative IncastCongestion", p.Name)
+	}
+	if p.Network.CongestionByBytes && p.Network.CongestionRefBytes <= 0 {
+		return fmt.Errorf("profile %q: byte-driven congestion needs CongestionRefBytes", p.Name)
+	}
+	if p.Storage.PeakBW <= 0 || p.Storage.WriterBW <= 0 {
+		return fmt.Errorf("profile %q: storage bandwidths must be positive", p.Name)
+	}
+	if p.Storage.ReaderBW <= 0 || p.Storage.PeakReadBW <= 0 {
+		return fmt.Errorf("profile %q: read bandwidths must be positive", p.Name)
+	}
+	if p.ReorderPerParticle <= 0 {
+		return fmt.Errorf("profile %q: ReorderPerParticle must be positive", p.Name)
+	}
+	return nil
+}
+
+// ByName returns a built-in profile by (case-sensitive) name.
+func ByName(name string) (Profile, error) {
+	switch name {
+	case "Mira", "mira":
+		return Mira(), nil
+	case "Theta", "theta":
+		return Theta(), nil
+	case "Workstation", "workstation", "ssd":
+		return Workstation(), nil
+	}
+	return Profile{}, fmt.Errorf("machine: no built-in profile %q (Mira, Theta, Workstation)", name)
+}

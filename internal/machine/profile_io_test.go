@@ -1,0 +1,96 @@
+package machine
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestProfileSaveLoadRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "theta.json")
+	want := Theta()
+	if err := SaveProfile(path, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadProfile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("round trip changed profile:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestLoadProfileHandEdited(t *testing.T) {
+	// Start from a saved built-in, edit one knob like a user would.
+	path := filepath.Join(t.TempDir(), "custom.json")
+	if err := SaveProfile(path, Mira()); err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := os.ReadFile(path)
+	edited := strings.Replace(string(raw), `"Name": "Mira"`, `"Name": "MySystem"`, 1)
+	os.WriteFile(path, []byte(edited), 0o644)
+	p, err := LoadProfile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name != "MySystem" {
+		t.Errorf("name = %q", p.Name)
+	}
+	if p.Storage.PeakBW != Mira().Storage.PeakBW {
+		t.Error("unedited fields changed")
+	}
+}
+
+func TestLoadProfileRejectsInvalid(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.json")
+	os.WriteFile(bad, []byte(`{"Name":"x"}`), 0o644) // missing bandwidths
+	if _, err := LoadProfile(bad); err == nil {
+		t.Error("invalid profile accepted")
+	}
+	garbage := filepath.Join(dir, "garbage.json")
+	os.WriteFile(garbage, []byte("not json"), 0o644)
+	if _, err := LoadProfile(garbage); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := LoadProfile(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestValidateCatchesBadKnobs(t *testing.T) {
+	mutations := map[string]func(*Profile){
+		"no name":        func(p *Profile) { p.Name = "" },
+		"zero injection": func(p *Profile) { p.Network.InjectionBW = 0 },
+		"neg congestion": func(p *Profile) { p.Network.IncastCongestion = -1 },
+		"byte ref":       func(p *Profile) { p.Network.CongestionByBytes = true; p.Network.CongestionRefBytes = 0 },
+		"zero peak":      func(p *Profile) { p.Storage.PeakBW = 0 },
+		"zero reader":    func(p *Profile) { p.Storage.ReaderBW = 0 },
+		"zero reorder":   func(p *Profile) { p.ReorderPerParticle = 0 },
+	}
+	for name, mutate := range mutations {
+		p := Mira()
+		mutate(&p)
+		if p.Validate() == nil {
+			t.Errorf("%s: invalid profile validated", name)
+		}
+	}
+	for _, p := range []Profile{Mira(), Theta(), Workstation()} {
+		if err := p.Validate(); err != nil {
+			t.Errorf("built-in %s invalid: %v", p.Name, err)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"Mira", "theta", "ssd", "Workstation"} {
+		if _, err := ByName(name); err != nil {
+			t.Errorf("ByName(%q): %v", name, err)
+		}
+	}
+	if _, err := ByName("Summit"); err == nil {
+		t.Error("unknown machine accepted")
+	}
+}

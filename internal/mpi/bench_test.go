@@ -1,0 +1,87 @@
+package mpi
+
+import (
+	"fmt"
+	"testing"
+)
+
+func BenchmarkSendRecvPingPong(b *testing.B) {
+	payload := make([]byte, 4096)
+	b.SetBytes(int64(len(payload)))
+	err := Run(2, func(c *Comm) error {
+		for i := 0; i < b.N; i++ {
+			if c.Rank() == 0 {
+				c.Send(1, 0, payload)
+				c.Recv(1, 0)
+			} else {
+				c.Recv(0, 0)
+				c.Send(0, 0, payload)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkIncast16to1(b *testing.B) {
+	// The aggregation hot pattern: 15 senders, one receiver.
+	payload := make([]byte, 64<<10)
+	b.SetBytes(15 * int64(len(payload)))
+	err := Run(16, func(c *Comm) error {
+		for i := 0; i < b.N; i++ {
+			if c.Rank() == 0 {
+				for src := 1; src < 16; src++ {
+					c.Recv(src, 0)
+				}
+			} else {
+				c.Isend(0, 0, payload)
+			}
+			c.Barrier()
+		}
+		return nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+func benchCollective(b *testing.B, n int, fn func(c *Comm)) {
+	err := Run(n, func(c *Comm) error {
+		for i := 0; i < b.N; i++ {
+			fn(c)
+		}
+		return nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkBarrier64(b *testing.B) {
+	benchCollective(b, 64, func(c *Comm) { c.Barrier() })
+}
+
+func BenchmarkBcast64(b *testing.B) {
+	payload := make([]byte, 4096)
+	benchCollective(b, 64, func(c *Comm) {
+		var in []byte
+		if c.Rank() == 0 {
+			in = payload
+		}
+		c.Bcast(0, in)
+	})
+}
+
+func BenchmarkAllgather64(b *testing.B) {
+	benchCollective(b, 64, func(c *Comm) {
+		c.Allgather([]byte(fmt.Sprintf("rank-%d", c.Rank())))
+	})
+}
+
+func BenchmarkAllreduce64(b *testing.B) {
+	benchCollective(b, 64, func(c *Comm) {
+		c.Allreduce(int64(c.Rank()), OpSum)
+	})
+}

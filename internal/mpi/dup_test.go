@@ -1,0 +1,160 @@
+package mpi
+
+import (
+	"bytes"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestDupIsolatesUserTags(t *testing.T) {
+	// The same (src, tag) on parent and duplicate must not cross-match,
+	// regardless of send order.
+	err := Run(2, func(c *Comm) error {
+		d := c.Dup()
+		if c.Rank() == 0 {
+			// Send on the duplicate first, then the parent, same tag.
+			d.Send(1, 7, []byte("dup"))
+			c.Send(1, 7, []byte("parent"))
+		} else {
+			// Receive parent first: must get the parent message even
+			// though the duplicate's arrived earlier.
+			got, _ := c.Recv(0, 7)
+			if string(got) != "parent" {
+				return fmt.Errorf("parent recv got %q", got)
+			}
+			got, _ = d.Recv(0, 7)
+			if string(got) != "dup" {
+				return fmt.Errorf("dup recv got %q", got)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDupIsolatesCollectives(t *testing.T) {
+	// Interleaved collectives on parent and duplicate complete with the
+	// right payloads even when ranks issue them in different relative
+	// orders across the two communicators.
+	err := Run(4, func(c *Comm) error {
+		d := c.Dup()
+		var parentOut, dupOut []byte
+		if c.Rank()%2 == 0 {
+			parentOut = c.Bcast(0, []byte("P"))
+			dupOut = d.Bcast(0, []byte("D"))
+		} else {
+			dupOut = d.Bcast(0, nil)
+			parentOut = c.Bcast(0, nil)
+		}
+		if !bytes.Equal(parentOut, []byte("P")) || !bytes.Equal(dupOut, []byte("D")) {
+			return fmt.Errorf("rank %d: parent %q dup %q", c.Rank(), parentOut, dupOut)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDupIsolatesAnyTag(t *testing.T) {
+	// AnyTag on the duplicate must not steal parent messages.
+	err := Run(2, func(c *Comm) error {
+		d := c.Dup()
+		if c.Rank() == 0 {
+			c.Send(1, 3, []byte("for-parent"))
+			d.Send(1, 9, []byte("for-dup"))
+		} else {
+			got, st := d.Recv(0, AnyTag)
+			if string(got) != "for-dup" || st.Tag != 9 {
+				return fmt.Errorf("dup wildcard got %q tag %d", got, st.Tag)
+			}
+			got, st = c.Recv(0, AnyTag)
+			if string(got) != "for-parent" || st.Tag != 3 {
+				return fmt.Errorf("parent wildcard got %q tag %d", got, st.Tag)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDupBarriersIndependentUnderConcurrency(t *testing.T) {
+	// The asynchronous-checkpoint pattern: each rank runs a background
+	// flow on the duplicate concurrently with a foreground flow on the
+	// parent, both of which use barriers. With a shared barrier the
+	// mixed arrivals would corrupt the generation count (early release
+	// or a hang); with per-namespace barriers both flows complete and
+	// observe full attendance.
+	const rounds = 25
+	var fg, bg atomic.Int64
+	err := RunWorldTimeout(t, 4, func(c *Comm) error {
+		d := c.Dup()
+		done := make(chan error, 1)
+		go func() {
+			for i := 0; i < rounds; i++ {
+				bg.Add(1)
+				d.Barrier()
+				// After the barrier all 4 ranks of this round arrived.
+				if n := bg.Load(); n < int64(4*(i+1)) {
+					done <- fmt.Errorf("dup barrier released with %d arrivals at round %d", n, i)
+					return
+				}
+			}
+			done <- nil
+		}()
+		for i := 0; i < rounds; i++ {
+			fg.Add(1)
+			c.Barrier()
+			if n := fg.Load(); n < int64(4*(i+1)) {
+				return fmt.Errorf("parent barrier released with %d arrivals at round %d", n, i)
+			}
+		}
+		return <-done
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// RunWorldTimeout runs fn with a watchdog so a regression deadlock fails
+// the test instead of hanging the suite.
+func RunWorldTimeout(t *testing.T, n int, fn func(c *Comm) error) error {
+	t.Helper()
+	return NewWorld(n).RunTimeout(30*time.Second, fn)
+}
+
+func TestDupSequenceAgreesAcrossRanks(t *testing.T) {
+	// Two Dups in the same order yield corresponding communicators.
+	err := Run(3, func(c *Comm) error {
+		a := c.Dup()
+		b := c.Dup()
+		ab := a.Dup()
+		for i, comm := range []*Comm{a, b, ab} {
+			sum := comm.Allreduce(int64(c.Rank()), OpSum)
+			if sum != 3 {
+				return fmt.Errorf("dup %d allreduce = %d", i, sum)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUserTagBoundsPanic(t *testing.T) {
+	w := NewWorld(2)
+	c := w.Comm(0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("oversized tag should panic")
+		}
+	}()
+	c.Send(1, tagSpace, nil)
+}

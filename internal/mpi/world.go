@@ -1,0 +1,168 @@
+// Package mpi is an in-process message-passing runtime standing in for
+// MPI, which has no production-grade Go implementation. Ranks are
+// goroutines; each rank owns an unbounded mailbox; point-to-point
+// messages are matched by (source, tag) in arrival order; the collectives
+// the paper relies on (Barrier, Bcast, Gather, Allgather, Alltoall,
+// Reduce) are built from point-to-point messages exactly as a simple MPI
+// layer would build them.
+//
+// The substitution preserves the properties the paper's algorithm
+// depends on: every rank has a private address space (messages are
+// copied on send), sends are asynchronous ("non-blocking MPI
+// point-to-point communication", Section 3.3), receives block until a
+// matching message arrives, and collective operations synchronize all
+// ranks. What it does not model is wire time — performance of the
+// large-scale runs is priced separately by internal/perfmodel.
+package mpi
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// World is a set of ranks that can exchange messages, the analogue of
+// MPI_COMM_WORLD.
+type World struct {
+	size      int
+	mailboxes []*mailbox
+	// barriers are per communicator namespace, so duplicated
+	// communicators synchronize independently.
+	barrierMu sync.Mutex
+	barriers  map[int]*barrier
+	// Traffic counters (all cross-rank messages, including those sent on
+	// behalf of collectives).
+	msgCount  atomic.Int64
+	byteCount atomic.Int64
+}
+
+// barrierFor returns (creating on demand) the barrier of one
+// communicator namespace.
+func (w *World) barrierFor(ns int) *barrier {
+	w.barrierMu.Lock()
+	defer w.barrierMu.Unlock()
+	b, ok := w.barriers[ns]
+	if !ok {
+		b = newBarrier(w.size)
+		w.barriers[ns] = b
+	}
+	return b
+}
+
+// TrafficStats is a snapshot of the world's cross-rank traffic.
+type TrafficStats struct {
+	Messages int64
+	Bytes    int64
+}
+
+// Traffic returns the cumulative message and payload-byte counts of all
+// point-to-point sends so far (self-deliveries inside higher-level
+// protocols do not cross the wire and are not counted). It lets tests
+// compare the communication volume a plan predicts against what the
+// algorithm actually moved.
+func (w *World) Traffic() TrafficStats {
+	return TrafficStats{Messages: w.msgCount.Load(), Bytes: w.byteCount.Load()}
+}
+
+// NewWorld creates a world with n ranks. n must be positive.
+func NewWorld(n int) *World {
+	if n <= 0 {
+		panic(fmt.Sprintf("mpi: world size must be positive, got %d", n))
+	}
+	w := &World{size: n, mailboxes: make([]*mailbox, n), barriers: make(map[int]*barrier)}
+	for i := range w.mailboxes {
+		w.mailboxes[i] = newMailbox()
+	}
+	return w
+}
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return w.size }
+
+// Comm returns the communicator handle for one rank. Each rank goroutine
+// must use only its own communicator.
+func (w *World) Comm(rank int) *Comm {
+	if rank < 0 || rank >= w.size {
+		panic(fmt.Sprintf("mpi: rank %d out of range [0,%d)", rank, w.size))
+	}
+	return &Comm{world: w, rank: rank}
+}
+
+// RankError carries a panic or error raised by a rank's function during
+// Run.
+type RankError struct {
+	Rank int
+	Err  error
+}
+
+func (e *RankError) Error() string { return fmt.Sprintf("mpi: rank %d: %v", e.Rank, e.Err) }
+
+func (e *RankError) Unwrap() error { return e.Err }
+
+// Run executes fn once per rank, each in its own goroutine, and waits for
+// all of them. It returns the first error (by rank order) returned by any
+// fn; a panic in a rank is recovered and reported as that rank's error.
+// A deadlocked rank deadlocks Run, exactly as a hung MPI job hangs.
+func (w *World) Run(fn func(c *Comm) error) error {
+	errs := make([]error, w.size)
+	var wg sync.WaitGroup
+	wg.Add(w.size)
+	for rank := 0; rank < w.size; rank++ {
+		go func(rank int) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					buf := make([]byte, 8192)
+					n := runtime.Stack(buf, false)
+					errs[rank] = fmt.Errorf("panic: %v\n%s", r, buf[:n])
+				}
+			}()
+			errs[rank] = fn(w.Comm(rank))
+		}(rank)
+	}
+	wg.Wait()
+	for rank, err := range errs {
+		if err != nil {
+			return &RankError{Rank: rank, Err: err}
+		}
+	}
+	return nil
+}
+
+// Run is a convenience that builds a world of n ranks and runs fn on it.
+func Run(n int, fn func(c *Comm) error) error {
+	return NewWorld(n).Run(fn)
+}
+
+// barrier is a reusable counting barrier with generations.
+type barrier struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	n     int
+	count int
+	gen   uint64
+}
+
+func newBarrier(n int) *barrier {
+	b := &barrier{n: n}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+func (b *barrier) await() {
+	b.mu.Lock()
+	gen := b.gen
+	b.count++
+	if b.count == b.n {
+		b.count = 0
+		b.gen++
+		b.cond.Broadcast()
+		b.mu.Unlock()
+		return
+	}
+	for gen == b.gen {
+		b.cond.Wait()
+	}
+	b.mu.Unlock()
+}

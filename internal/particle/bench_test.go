@@ -1,0 +1,55 @@
+package particle
+
+import (
+	"testing"
+
+	"spio/internal/geom"
+)
+
+func BenchmarkEncode32K(b *testing.B) {
+	buf := Uniform(Uintah(), geom.UnitBox(), 32768, 7, 0)
+	b.SetBytes(buf.Bytes())
+	var scratch []byte
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		scratch = buf.EncodeRecords(scratch[:0], 0, buf.Len())
+	}
+}
+
+func BenchmarkDecode32K(b *testing.B) {
+	buf := Uniform(Uintah(), geom.UnitBox(), 32768, 7, 0)
+	data := buf.Encode()
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst := NewBuffer(Uintah(), buf.Len())
+		if err := dst.DecodeRecords(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBounds32K(b *testing.B) {
+	buf := Uniform(Uintah(), geom.UnitBox(), 32768, 7, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = buf.Bounds()
+	}
+}
+
+func BenchmarkGenerateUniform32K(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Uniform(Uintah(), geom.UnitBox(), 32768, int64(i), 0)
+	}
+}
+
+func BenchmarkAppendFrom(b *testing.B) {
+	src := Uniform(Uintah(), geom.UnitBox(), 4096, 7, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst := NewBuffer(Uintah(), 4096)
+		for j := 0; j < src.Len(); j++ {
+			dst.AppendFrom(src, j)
+		}
+	}
+}

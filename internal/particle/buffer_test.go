@@ -1,0 +1,252 @@
+package particle
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"spio/internal/geom"
+)
+
+func testBuffer(t *testing.T, n int, seed int64) *Buffer {
+	t.Helper()
+	return Uniform(Uintah(), geom.NewBox(geom.V3(0, 0, 0), geom.V3(2, 3, 4)), n, seed, 0)
+}
+
+func TestBufferAppendAndPosition(t *testing.T) {
+	b := NewBuffer(PositionOnly(), 4)
+	b.Append([]float64{1, 2, 3})
+	b.Append([]float64{4, 5, 6})
+	if b.Len() != 2 {
+		t.Fatalf("Len = %d", b.Len())
+	}
+	if got := b.Position(0); got != geom.V3(1, 2, 3) {
+		t.Errorf("Position(0) = %v", got)
+	}
+	if got := b.Position(1); got != geom.V3(4, 5, 6) {
+		t.Errorf("Position(1) = %v", got)
+	}
+	b.SetPosition(0, geom.V3(9, 9, 9))
+	if got := b.Position(0); got != geom.V3(9, 9, 9) {
+		t.Errorf("after SetPosition = %v", got)
+	}
+}
+
+func TestBufferBytes(t *testing.T) {
+	b := testBuffer(t, 10, 1)
+	if got := b.Bytes(); got != 10*124 {
+		t.Errorf("Bytes = %d, want %d", got, 10*124)
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	b := testBuffer(t, 57, 42)
+	data := b.Encode()
+	if len(data) != 57*124 {
+		t.Fatalf("encoded %d bytes, want %d", len(data), 57*124)
+	}
+	back, err := Decode(Uintah(), data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !b.Equal(back) {
+		t.Error("decode(encode(b)) != b")
+	}
+}
+
+func TestDecodePartialRecordFails(t *testing.T) {
+	b := testBuffer(t, 3, 1)
+	data := b.Encode()
+	if _, err := Decode(Uintah(), data[:len(data)-1]); err == nil {
+		t.Error("truncated record should fail to decode")
+	}
+}
+
+func TestEncodeRecordsSubrange(t *testing.T) {
+	b := testBuffer(t, 20, 9)
+	mid := b.EncodeRecords(nil, 5, 15)
+	back, err := Decode(Uintah(), mid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := b.Slice(5, 15)
+	if !back.Equal(want) {
+		t.Error("EncodeRecords subrange mismatch")
+	}
+}
+
+func TestSwapIsInvolution(t *testing.T) {
+	b := testBuffer(t, 16, 3)
+	orig := b.Slice(0, b.Len())
+	b.Swap(2, 11)
+	if b.Equal(orig) {
+		t.Fatal("swap of distinct particles should change the buffer")
+	}
+	b.Swap(2, 11)
+	if !b.Equal(orig) {
+		t.Error("double swap should restore the buffer")
+	}
+	b.Swap(5, 5)
+	if !b.Equal(orig) {
+		t.Error("self swap should be a no-op")
+	}
+}
+
+func TestSwapMovesWholeRecord(t *testing.T) {
+	b := testBuffer(t, 8, 4)
+	id := b.schema.FieldIndex("id")
+	p0, p1 := b.Position(0), b.Position(1)
+	id0, id1 := b.Float64Field(id)[0], b.Float64Field(id)[1]
+	b.Swap(0, 1)
+	if b.Position(0) != p1 || b.Position(1) != p0 {
+		t.Error("positions not swapped")
+	}
+	if b.Float64Field(id)[0] != id1 || b.Float64Field(id)[1] != id0 {
+		t.Error("auxiliary field not swapped with its particle")
+	}
+}
+
+func TestAppendFromAndAppendBuffer(t *testing.T) {
+	src := testBuffer(t, 10, 5)
+	dst := NewBuffer(Uintah(), 0)
+	dst.AppendFrom(src, 3)
+	dst.AppendFrom(src, 7)
+	if dst.Len() != 2 {
+		t.Fatalf("Len = %d", dst.Len())
+	}
+	if dst.Position(0) != src.Position(3) || dst.Position(1) != src.Position(7) {
+		t.Error("AppendFrom copied wrong particles")
+	}
+	dst2 := NewBuffer(Uintah(), 0)
+	dst2.AppendBuffer(src)
+	if !dst2.Equal(src) {
+		t.Error("AppendBuffer mismatch")
+	}
+}
+
+func TestAppendFromSchemaMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewBuffer(PositionOnly(), 0).AppendFrom(testBuffer(t, 1, 1), 0)
+}
+
+func TestSelectAndSlice(t *testing.T) {
+	b := testBuffer(t, 10, 6)
+	sel := b.Select([]int{9, 0, 4})
+	if sel.Len() != 3 {
+		t.Fatalf("Select Len = %d", sel.Len())
+	}
+	if sel.Position(0) != b.Position(9) || sel.Position(1) != b.Position(0) || sel.Position(2) != b.Position(4) {
+		t.Error("Select order wrong")
+	}
+	sl := b.Slice(2, 5)
+	for i := 0; i < 3; i++ {
+		if sl.Position(i) != b.Position(2+i) {
+			t.Errorf("Slice particle %d mismatch", i)
+		}
+	}
+}
+
+func TestSliceBoundsPanics(t *testing.T) {
+	b := testBuffer(t, 4, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	b.Slice(2, 5)
+}
+
+func TestBounds(t *testing.T) {
+	b := NewBuffer(PositionOnly(), 3)
+	b.Append([]float64{1, 5, -2})
+	b.Append([]float64{-3, 2, 7})
+	b.Append([]float64{0, 0, 0})
+	got := b.Bounds()
+	want := geom.NewBox(geom.V3(-3, 0, -2), geom.V3(1, 5, 7))
+	if got != want {
+		t.Errorf("Bounds = %v, want %v", got, want)
+	}
+	if !NewBuffer(PositionOnly(), 0).Bounds().IsEmpty() {
+		t.Error("empty buffer Bounds should be empty")
+	}
+}
+
+func TestBoundsContainAllGenerated(t *testing.T) {
+	patch := geom.NewBox(geom.V3(1, 1, 1), geom.V3(3, 3, 3))
+	b := Uniform(Uintah(), patch, 500, 77, 3)
+	bounds := b.Bounds()
+	if !patch.ContainsBox(bounds) {
+		t.Errorf("generated bounds %v escape patch %v", bounds, patch)
+	}
+	for i := 0; i < b.Len(); i++ {
+		if !bounds.ContainsClosed(b.Position(i)) {
+			t.Fatalf("particle %d outside Bounds", i)
+		}
+	}
+}
+
+func TestQuickEncodeDecodeAnyFloats(t *testing.T) {
+	// Property: any particle record, including NaN and ±Inf components,
+	// round-trips bit-exactly.
+	schema := MustSchema([]Field{
+		{Name: PositionField, Kind: Float64, Components: 3},
+		{Name: "v32", Kind: Float32, Components: 2},
+	})
+	f := func(x, y, z float64, a, c float32) bool {
+		b := NewBuffer(schema, 1)
+		b.Append([]float64{x, y, z}, []float64{float64(a), float64(c)})
+		back, err := Decode(schema, b.Encode())
+		if err != nil {
+			return false
+		}
+		return b.Equal(back)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickEqualDetectsBitFlips(t *testing.T) {
+	b := testBuffer(t, 12, 8)
+	data := b.Encode()
+	r := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		i := r.Intn(len(data))
+		mut := make([]byte, len(data))
+		copy(mut, data)
+		mut[i] ^= 1 << uint(r.Intn(8))
+		back, err := Decode(Uintah(), mut)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b.Equal(back) {
+			t.Fatalf("bit flip at byte %d not detected by Equal", i)
+		}
+	}
+}
+
+func TestFloat64FieldWrongKindPanics(t *testing.T) {
+	b := testBuffer(t, 1, 1)
+	typeIdx := b.schema.FieldIndex("type")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	b.Float64Field(typeIdx)
+}
+
+func TestNaNPositionsSurviveEqual(t *testing.T) {
+	b := NewBuffer(PositionOnly(), 1)
+	b.Append([]float64{math.NaN(), 0, 0})
+	c := NewBuffer(PositionOnly(), 1)
+	c.Append([]float64{math.NaN(), 0, 0})
+	if !b.Equal(c) {
+		t.Error("NaN payloads with identical bits should be Equal")
+	}
+}

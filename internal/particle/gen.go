@@ -1,0 +1,271 @@
+package particle
+
+import (
+	"math"
+	"math/rand"
+
+	"spio/internal/geom"
+)
+
+// Generators produce the evaluation workloads of the paper:
+//
+//   - Uniform: every rank holds the same number of particles spread
+//     uniformly over its patch (the weak-scaling write workload,
+//     Section 5.2).
+//   - Clustered: Gaussian blobs, a generic non-uniform density
+//     (Fig. 10a).
+//   - Injection: particles injected near one domain face and advected,
+//     the coal-injection style load of Fig. 9 / Fig. 10c.
+//   - Occupancy: all particles confined to a fraction of the domain
+//     (Fig. 10d and the Fig. 11 adaptive-aggregation study).
+//
+// All generators are deterministic in (seed, rank) so that distributed
+// tests can regenerate any rank's data independently.
+
+// rankSeed derives a per-rank RNG seed from a base seed, using a
+// splitmix64 step so that nearby ranks get uncorrelated streams.
+func rankSeed(seed int64, rank int) int64 {
+	z := uint64(seed) + 0x9e3779b97f4a7c15*uint64(rank+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
+}
+
+// fillAux populates every non-position field of particle i (the last
+// appended one) deterministically from its position and global ID, giving
+// physically plausible values: symmetric stress, positive density and
+// volume, sequential IDs, small integer types.
+func fillAux(b *Buffer, i int, globalID float64) {
+	pos := b.Position(i)
+	for fi := 1; fi < b.schema.NumFields(); fi++ {
+		f := b.schema.Field(fi)
+		switch f.Name {
+		case "stress":
+			s := b.Float64Field(fi)
+			base := i * f.Components
+			for k := 0; k < f.Components; k++ {
+				s[base+k] = 0.1 * math.Sin(pos.X*float64(k+1)+pos.Y) * math.Cos(pos.Z)
+			}
+		case "density":
+			b.Float64Field(fi)[i] = 1.0 + 0.5*math.Sin(pos.X*7)*math.Sin(pos.Y*5)
+		case "volume":
+			b.Float64Field(fi)[i] = 1e-6 * (1 + 0.1*math.Cos(pos.Z*3))
+		case "id":
+			b.Float64Field(fi)[i] = globalID
+		case "type":
+			if f.Kind == Float32 {
+				b.Float32Field(fi)[i] = float32(int(globalID) % 4)
+			} else {
+				b.Float64Field(fi)[i] = float64(int(globalID) % 4)
+			}
+		default:
+			// Unknown auxiliary fields get a position-derived value.
+			switch f.Kind {
+			case Float64:
+				s := b.Float64Field(fi)
+				base := i * f.Components
+				for k := 0; k < f.Components; k++ {
+					s[base+k] = pos.Len() + float64(k)
+				}
+			case Float32:
+				s := b.Float32Field(fi)
+				base := i * f.Components
+				for k := 0; k < f.Components; k++ {
+					s[base+k] = float32(pos.Len()) + float32(k)
+				}
+			}
+		}
+	}
+}
+
+// appendAt appends one particle at position p with every auxiliary field
+// filled, growing all field slices by exactly one record.
+func appendAt(b *Buffer, p geom.Vec3, globalID float64) {
+	for fi := 0; fi < b.schema.NumFields(); fi++ {
+		f := b.schema.Field(fi)
+		switch f.Kind {
+		case Float64:
+			slot := b.fieldSlot[fi]
+			b.f64[slot] = append(b.f64[slot], make([]float64, f.Components)...)
+		case Float32:
+			slot := b.fieldSlot[fi]
+			b.f32[slot] = append(b.f32[slot], make([]float32, f.Components)...)
+		}
+	}
+	i := b.n
+	b.n++
+	b.SetPosition(i, p)
+	fillAux(b, i, globalID)
+}
+
+// Uniform generates n particles uniformly distributed in patch for the
+// given rank. IDs are globally unique when every rank generates the same
+// n: id = rank*n + i.
+func Uniform(schema *Schema, patch geom.Box, n int, seed int64, rank int) *Buffer {
+	r := rand.New(rand.NewSource(rankSeed(seed, rank)))
+	b := NewBuffer(schema, n)
+	sz := patch.Size()
+	for i := 0; i < n; i++ {
+		p := geom.Vec3{
+			X: patch.Lo.X + r.Float64()*sz.X,
+			Y: patch.Lo.Y + r.Float64()*sz.Y,
+			Z: patch.Lo.Z + r.Float64()*sz.Z,
+		}
+		appendAt(b, p, float64(rank)*float64(n)+float64(i))
+	}
+	return b
+}
+
+// Clustered generates n particles in patch drawn from `clusters` Gaussian
+// blobs whose centers are themselves uniform in the patch. Particles
+// falling outside the patch are resampled, so the count is exact.
+func Clustered(schema *Schema, patch geom.Box, n, clusters int, seed int64, rank int) *Buffer {
+	if clusters <= 0 {
+		clusters = 1
+	}
+	r := rand.New(rand.NewSource(rankSeed(seed, rank)))
+	sz := patch.Size()
+	centers := make([]geom.Vec3, clusters)
+	for c := range centers {
+		centers[c] = geom.Vec3{
+			X: patch.Lo.X + r.Float64()*sz.X,
+			Y: patch.Lo.Y + r.Float64()*sz.Y,
+			Z: patch.Lo.Z + r.Float64()*sz.Z,
+		}
+	}
+	sigma := sz.Len() / (6 * float64(clusters))
+	b := NewBuffer(schema, n)
+	for i := 0; i < n; i++ {
+		var p geom.Vec3
+		for {
+			c := centers[r.Intn(clusters)]
+			p = geom.Vec3{
+				X: c.X + r.NormFloat64()*sigma,
+				Y: c.Y + r.NormFloat64()*sigma,
+				Z: c.Z + r.NormFloat64()*sigma,
+			}
+			if patch.Contains(p) {
+				break
+			}
+		}
+		appendAt(b, p, float64(rank)*float64(n)+float64(i))
+	}
+	return b
+}
+
+// Injection generates particles entering the domain through the low-X
+// face and advected toward +X. At time t in [0,1] the particle front has
+// reached x = Lo.X + t*width, so early timesteps occupy a thin slab —
+// the injected-over-time scenario of Fig. 10c. The count generated within
+// patch is proportional to the overlap of patch with the occupied slab,
+// so ranks outside the front hold zero particles.
+func Injection(schema *Schema, domain, patch geom.Box, nPerFullPatch int, t float64, seed int64, rank int) *Buffer {
+	if t < 0 {
+		t = 0
+	}
+	if t > 1 {
+		t = 1
+	}
+	front := domain.Lo.X + t*(domain.Hi.X-domain.Lo.X)
+	slab := geom.NewBox(domain.Lo, geom.Vec3{X: front, Y: domain.Hi.Y, Z: domain.Hi.Z})
+	region := patch.Intersect(slab)
+	if region.IsEmpty() {
+		return NewBuffer(schema, 0)
+	}
+	// Keep per-rank load proportional to occupied patch volume; density
+	// rises toward the inlet (x = Lo.X).
+	frac := region.Volume() / patch.Volume()
+	n := int(math.Round(float64(nPerFullPatch) * frac))
+	if n == 0 {
+		return NewBuffer(schema, 0)
+	}
+	r := rand.New(rand.NewSource(rankSeed(seed, rank)))
+	b := NewBuffer(schema, n)
+	sz := region.Size()
+	for i := 0; i < n; i++ {
+		// Bias x toward the inlet with a squared uniform variate.
+		u := r.Float64()
+		p := geom.Vec3{
+			X: region.Lo.X + u*u*sz.X,
+			Y: region.Lo.Y + r.Float64()*sz.Y,
+			Z: region.Lo.Z + r.Float64()*sz.Z,
+		}
+		appendAt(b, p, float64(rank)*float64(nPerFullPatch)+float64(i))
+	}
+	return b
+}
+
+// OccupiedRegion returns the sub-box of domain holding all particles in
+// the Fig. 11 occupancy workload: the fraction q (0 < q <= 1) of the
+// domain nearest the low-X face.
+func OccupiedRegion(domain geom.Box, q float64) geom.Box {
+	if q <= 0 || q > 1 {
+		panic("particle: occupancy fraction must be in (0, 1]")
+	}
+	hi := domain.Hi
+	hi.X = domain.Lo.X + q*(domain.Hi.X-domain.Lo.X)
+	return geom.NewBox(domain.Lo, hi)
+}
+
+// Occupancy generates the Fig. 11 workload for one rank: the total
+// particle count across all ranks is held constant at nRanks*nPerRank,
+// but all particles live inside OccupiedRegion(domain, q). A rank whose
+// patch lies outside the region holds zero particles; ranks inside hold
+// proportionally more (density 1/q), exactly the "higher density ...
+// others may have none at all" setup of Section 6.1.
+func Occupancy(schema *Schema, domain, patch geom.Box, nPerRank int, q float64, seed int64, rank int) *Buffer {
+	region := OccupiedRegion(domain, q)
+	overlap := patch.Intersect(region)
+	if overlap.IsEmpty() {
+		return NewBuffer(schema, 0)
+	}
+	// Total = nRanks*nPerRank spread uniformly over region. This rank's
+	// share is proportional to its overlap volume.
+	share := overlap.Volume() / region.Volume()
+	total := float64(nPerRank) / (patch.Volume() / domain.Volume()) // = nRanks*nPerRank for equal patches
+	n := int(math.Round(total * share))
+	if n == 0 {
+		return NewBuffer(schema, 0)
+	}
+	r := rand.New(rand.NewSource(rankSeed(seed, rank)))
+	b := NewBuffer(schema, n)
+	sz := overlap.Size()
+	for i := 0; i < n; i++ {
+		p := geom.Vec3{
+			X: overlap.Lo.X + r.Float64()*sz.X,
+			Y: overlap.Lo.Y + r.Float64()*sz.Y,
+			Z: overlap.Lo.Z + r.Float64()*sz.Z,
+		}
+		appendAt(b, p, float64(rank)*float64(nPerRank)+float64(i))
+	}
+	return b
+}
+
+// Advect moves every particle by v*dt, reflecting off the walls of
+// domain. It is used by the multi-timestep example to evolve a workload
+// between checkpoints.
+func Advect(b *Buffer, domain geom.Box, v geom.Vec3, dt float64) {
+	for i := 0; i < b.Len(); i++ {
+		p := b.Position(i).Add(v.Mul(dt))
+		p.X = reflect1(p.X, domain.Lo.X, domain.Hi.X)
+		p.Y = reflect1(p.Y, domain.Lo.Y, domain.Hi.Y)
+		p.Z = reflect1(p.Z, domain.Lo.Z, domain.Hi.Z)
+		b.SetPosition(i, p)
+	}
+}
+
+func reflect1(x, lo, hi float64) float64 {
+	w := hi - lo
+	for x < lo || x >= hi {
+		if x < lo {
+			x = lo + (lo - x)
+		}
+		if x >= hi {
+			x = hi - (x - hi)
+		}
+		if x == hi { // landed exactly on the excluded face
+			x = lo + w/2
+		}
+	}
+	return x
+}

@@ -1,0 +1,219 @@
+package particle
+
+import (
+	"math"
+	"testing"
+
+	"spio/internal/geom"
+)
+
+var genDomain = geom.NewBox(geom.V3(0, 0, 0), geom.V3(4, 4, 4))
+
+func TestUniformDeterministic(t *testing.T) {
+	patch := geom.NewBox(geom.V3(0, 0, 0), geom.V3(1, 1, 1))
+	a := Uniform(Uintah(), patch, 100, 7, 3)
+	b := Uniform(Uintah(), patch, 100, 7, 3)
+	if !a.Equal(b) {
+		t.Error("same (seed, rank) should regenerate identical particles")
+	}
+	c := Uniform(Uintah(), patch, 100, 7, 4)
+	if a.Equal(c) {
+		t.Error("different ranks should differ")
+	}
+	d := Uniform(Uintah(), patch, 100, 8, 3)
+	if a.Equal(d) {
+		t.Error("different seeds should differ")
+	}
+}
+
+func TestUniformInPatch(t *testing.T) {
+	patch := geom.NewBox(geom.V3(2, 0, 1), geom.V3(3, 2, 4))
+	b := Uniform(Uintah(), patch, 1000, 1, 0)
+	if b.Len() != 1000 {
+		t.Fatalf("Len = %d", b.Len())
+	}
+	for i := 0; i < b.Len(); i++ {
+		if !patch.Contains(b.Position(i)) {
+			t.Fatalf("particle %d at %v escapes patch %v", i, b.Position(i), patch)
+		}
+	}
+}
+
+func TestUniformGlobalIDsUnique(t *testing.T) {
+	patch := geom.UnitBox()
+	seen := make(map[float64]bool)
+	for rank := 0; rank < 4; rank++ {
+		b := Uniform(Uintah(), patch, 50, 1, rank)
+		ids := b.Float64Field(b.Schema().FieldIndex("id"))
+		for _, id := range ids {
+			if seen[id] {
+				t.Fatalf("duplicate global id %v", id)
+			}
+			seen[id] = true
+		}
+	}
+}
+
+func TestUniformAuxFieldsPlausible(t *testing.T) {
+	b := Uniform(Uintah(), geom.UnitBox(), 200, 3, 0)
+	dens := b.Float64Field(b.Schema().FieldIndex("density"))
+	for i, d := range dens {
+		if d <= 0 || math.IsNaN(d) {
+			t.Fatalf("density[%d] = %v not physical", i, d)
+		}
+	}
+	vols := b.Float64Field(b.Schema().FieldIndex("volume"))
+	for i, v := range vols {
+		if v <= 0 {
+			t.Fatalf("volume[%d] = %v not physical", i, v)
+		}
+	}
+	types := b.Float32Field(b.Schema().FieldIndex("type"))
+	for i, ty := range types {
+		if ty < 0 || ty > 3 || ty != float32(int(ty)) {
+			t.Fatalf("type[%d] = %v not a small integer", i, ty)
+		}
+	}
+}
+
+func TestClusteredInPatchAndClustered(t *testing.T) {
+	patch := geom.NewBox(geom.V3(0, 0, 0), geom.V3(2, 2, 2))
+	b := Clustered(Uintah(), patch, 2000, 3, 5, 0)
+	if b.Len() != 2000 {
+		t.Fatalf("Len = %d", b.Len())
+	}
+	for i := 0; i < b.Len(); i++ {
+		if !patch.Contains(b.Position(i)) {
+			t.Fatalf("particle escapes patch")
+		}
+	}
+	// Clustering sanity: an 8-cell histogram should be far from uniform.
+	g := geom.NewGrid(patch, geom.I3(2, 2, 2))
+	counts := make([]int, 8)
+	for i := 0; i < b.Len(); i++ {
+		counts[g.LocateLinear(b.Position(i))]++
+	}
+	mx, mn := 0, b.Len()
+	for _, c := range counts {
+		if c > mx {
+			mx = c
+		}
+		if c < mn {
+			mn = c
+		}
+	}
+	if mx < 2*mn+10 {
+		t.Errorf("clustered distribution suspiciously uniform: counts %v", counts)
+	}
+}
+
+func TestInjectionEarlyTimeEmptyFarPatches(t *testing.T) {
+	// At t = 0.25 only the first quarter of the X range holds particles.
+	farPatch := geom.NewBox(geom.V3(3, 0, 0), geom.V3(4, 4, 4))
+	b := Injection(Uintah(), genDomain, farPatch, 1000, 0.25, 9, 1)
+	if b.Len() != 0 {
+		t.Errorf("far patch should be empty at t=0.25, got %d", b.Len())
+	}
+	nearPatch := geom.NewBox(geom.V3(0, 0, 0), geom.V3(1, 4, 4))
+	nb := Injection(Uintah(), genDomain, nearPatch, 1000, 0.25, 9, 0)
+	if nb.Len() == 0 {
+		t.Error("inlet patch should hold particles")
+	}
+	for i := 0; i < nb.Len(); i++ {
+		p := nb.Position(i)
+		if p.X >= 1.0 {
+			t.Fatalf("particle beyond the injection front: %v", p)
+		}
+	}
+}
+
+func TestInjectionFullTimeFillsDomain(t *testing.T) {
+	patch := geom.NewBox(geom.V3(3, 0, 0), geom.V3(4, 4, 4))
+	b := Injection(Uintah(), genDomain, patch, 500, 1.0, 9, 2)
+	if b.Len() != 500 {
+		t.Errorf("full-time far patch should hold its full load, got %d", b.Len())
+	}
+}
+
+func TestOccupiedRegion(t *testing.T) {
+	r := OccupiedRegion(genDomain, 0.25)
+	if r.Hi.X != 1 || r.Hi.Y != 4 || r.Hi.Z != 4 {
+		t.Errorf("OccupiedRegion(0.25) = %v", r)
+	}
+	if got := OccupiedRegion(genDomain, 1.0); got != genDomain {
+		t.Errorf("OccupiedRegion(1) = %v", got)
+	}
+}
+
+func TestOccupiedRegionPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	OccupiedRegion(genDomain, 0)
+}
+
+func TestOccupancyConservesTotal(t *testing.T) {
+	// 4x1x1 patches over the domain; at q=0.5 the two low-X ranks hold
+	// everything, at ~double density, and the total stays n*ranks.
+	g := geom.NewGrid(genDomain, geom.I3(4, 1, 1))
+	const perRank = 1000
+	for _, q := range []float64{1.0, 0.5, 0.25} {
+		total := 0
+		emptyRanks := 0
+		for rank := 0; rank < 4; rank++ {
+			patch := g.CellBoxLinear(rank)
+			b := Occupancy(Uintah(), genDomain, patch, perRank, q, 11, rank)
+			total += b.Len()
+			if b.Len() == 0 {
+				emptyRanks++
+			}
+			region := OccupiedRegion(genDomain, q)
+			for i := 0; i < b.Len(); i++ {
+				if !region.Contains(b.Position(i)) {
+					t.Fatalf("q=%v: particle outside occupied region", q)
+				}
+			}
+		}
+		if total != 4*perRank {
+			t.Errorf("q=%v: total = %d, want %d", q, total, 4*perRank)
+		}
+		wantEmpty := int(math.Round(4 * (1 - q)))
+		if emptyRanks != wantEmpty {
+			t.Errorf("q=%v: %d empty ranks, want %d", q, emptyRanks, wantEmpty)
+		}
+	}
+}
+
+func TestAdvectStaysInDomain(t *testing.T) {
+	b := Uniform(Uintah(), genDomain, 500, 13, 0)
+	for step := 0; step < 20; step++ {
+		Advect(b, genDomain, geom.V3(0.9, -0.4, 1.7), 0.5)
+		for i := 0; i < b.Len(); i++ {
+			if !genDomain.Contains(b.Position(i)) {
+				t.Fatalf("step %d: particle %d escaped to %v", step, i, b.Position(i))
+			}
+		}
+	}
+}
+
+func TestAdvectMovesParticles(t *testing.T) {
+	b := Uniform(Uintah(), genDomain, 10, 13, 0)
+	before := b.Slice(0, b.Len())
+	Advect(b, genDomain, geom.V3(0.1, 0, 0), 1)
+	if b.Equal(before) {
+		t.Error("Advect with nonzero velocity should move particles")
+	}
+}
+
+func TestRankSeedDecorrelated(t *testing.T) {
+	seen := make(map[int64]bool)
+	for rank := 0; rank < 1000; rank++ {
+		s := rankSeed(42, rank)
+		if seen[s] {
+			t.Fatalf("rankSeed collision at rank %d", rank)
+		}
+		seen[s] = true
+	}
+}

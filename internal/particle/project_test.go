@@ -1,0 +1,127 @@
+package particle
+
+import (
+	"testing"
+
+	"spio/internal/geom"
+)
+
+func TestProjectSchemaSubset(t *testing.T) {
+	p, err := Uintah().Project([]string{"density", "type"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub := p.Schema()
+	if sub.NumFields() != 3 { // position + density + type
+		t.Fatalf("projected fields = %d", sub.NumFields())
+	}
+	if sub.Field(0).Name != PositionField {
+		t.Error("position must come first")
+	}
+	if sub.Stride() != 24+8+4 {
+		t.Errorf("projected stride = %d", sub.Stride())
+	}
+}
+
+func TestProjectAlwaysIncludesPosition(t *testing.T) {
+	p, err := Uintah().Project(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Schema().Equal(PositionOnly()) {
+		t.Error("empty projection should be position-only")
+	}
+	// Naming position explicitly does not duplicate it.
+	p2, err := Uintah().Project([]string{PositionField, PositionField, "id"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.Schema().NumFields() != 2 {
+		t.Errorf("fields = %d", p2.Schema().NumFields())
+	}
+}
+
+func TestProjectUnknownField(t *testing.T) {
+	if _, err := Uintah().Project([]string{"nope"}); err == nil {
+		t.Error("unknown field accepted")
+	}
+}
+
+func TestProjectionDecodeRecords(t *testing.T) {
+	src := Uniform(Uintah(), geom.UnitBox(), 100, 7, 0)
+	data := src.Encode()
+	p, err := Uintah().Project([]string{"density", "id"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := NewBuffer(p.Schema(), 100)
+	if err := p.DecodeRecords(dst, data); err != nil {
+		t.Fatal(err)
+	}
+	if dst.Len() != 100 {
+		t.Fatalf("decoded %d", dst.Len())
+	}
+	srcDens := src.Float64Field(src.Schema().FieldIndex("density"))
+	dstDens := dst.Float64Field(dst.Schema().FieldIndex("density"))
+	srcIDs := src.Float64Field(src.Schema().FieldIndex("id"))
+	dstIDs := dst.Float64Field(dst.Schema().FieldIndex("id"))
+	for i := 0; i < 100; i++ {
+		if dst.Position(i) != src.Position(i) {
+			t.Fatalf("position %d mismatch", i)
+		}
+		if dstDens[i] != srcDens[i] || dstIDs[i] != srcIDs[i] {
+			t.Fatalf("scalar %d mismatch", i)
+		}
+	}
+}
+
+func TestProjectionDecodeErrors(t *testing.T) {
+	p, _ := Uintah().Project([]string{"id"})
+	wrong := NewBuffer(Uintah(), 0)
+	if err := p.DecodeRecords(wrong, nil); err == nil {
+		t.Error("wrong target schema accepted")
+	}
+	dst := NewBuffer(p.Schema(), 0)
+	if err := p.DecodeRecords(dst, []byte{1, 2, 3}); err == nil {
+		t.Error("partial record accepted")
+	}
+}
+
+func TestProjectionApply(t *testing.T) {
+	src := Uniform(Uintah(), geom.UnitBox(), 50, 9, 1)
+	p, _ := Uintah().Project([]string{"stress"})
+	got, err := p.Apply(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 50 {
+		t.Fatalf("len = %d", got.Len())
+	}
+	srcStress := src.Float64Field(1)
+	gotStress := got.Float64Field(got.Schema().FieldIndex("stress"))
+	for i := range srcStress {
+		if srcStress[i] != gotStress[i] {
+			t.Fatal("stress tensor corrupted by projection")
+		}
+	}
+	if _, err := p.Apply(NewBuffer(PositionOnly(), 0)); err == nil {
+		t.Error("mismatched source buffer accepted")
+	}
+}
+
+func TestProjectionAgreesWithFullDecode(t *testing.T) {
+	src := Uniform(Uintah(), geom.UnitBox(), 64, 3, 2)
+	data := src.Encode()
+	p, _ := Uintah().Project([]string{"volume"})
+	viaBytes := NewBuffer(p.Schema(), 64)
+	if err := p.DecodeRecords(viaBytes, data); err != nil {
+		t.Fatal(err)
+	}
+	viaMemory, err := p.Apply(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !viaBytes.Equal(viaMemory) {
+		t.Error("byte-level and in-memory projection disagree")
+	}
+}

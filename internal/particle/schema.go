@@ -1,0 +1,191 @@
+// Package particle defines the particle data model used by spio: a typed
+// schema of per-particle variables, a structure-of-arrays buffer holding a
+// rank's particles, a compact binary record encoding, and workload
+// generators reproducing the particle distributions of the paper's
+// evaluation (uniform Uintah-style loads, clustered and injection-style
+// non-uniform loads, and fractional-occupancy loads for the adaptive
+// aggregation study).
+package particle
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Kind is the element type of a particle variable.
+type Kind uint8
+
+const (
+	// Float64 is a double-precision variable component.
+	Float64 Kind = iota
+	// Float32 is a single-precision variable component.
+	Float32
+)
+
+// Size returns the byte width of one component of the kind.
+func (k Kind) Size() int {
+	switch k {
+	case Float64:
+		return 8
+	case Float32:
+		return 4
+	}
+	panic(fmt.Sprintf("particle: unknown kind %d", k))
+}
+
+func (k Kind) String() string {
+	switch k {
+	case Float64:
+		return "float64"
+	case Float32:
+		return "float32"
+	}
+	return fmt.Sprintf("kind(%d)", k)
+}
+
+// Field is one named per-particle variable with a fixed number of
+// components, e.g. a 3-component double-precision position or a
+// 9-component stress tensor.
+type Field struct {
+	Name       string
+	Kind       Kind
+	Components int
+}
+
+// Bytes returns the encoded size of the field for one particle.
+func (f Field) Bytes() int { return f.Kind.Size() * f.Components }
+
+// PositionField is the canonical name of the mandatory position variable.
+const PositionField = "position"
+
+// Schema is an ordered list of particle variables. The first field must
+// be the 3-component float64 position; everything else is carried as
+// opaque payload by the I/O system (the aggregation algorithm only ever
+// inspects positions).
+type Schema struct {
+	fields []Field
+	stride int // encoded bytes per particle
+}
+
+// NewSchema validates and builds a schema. The first field must be
+// PositionField with Kind Float64 and 3 components, all field names must
+// be unique and non-empty, and all component counts positive.
+func NewSchema(fields []Field) (*Schema, error) {
+	if len(fields) == 0 {
+		return nil, fmt.Errorf("particle: schema needs at least the position field")
+	}
+	p := fields[0]
+	if p.Name != PositionField || p.Kind != Float64 || p.Components != 3 {
+		return nil, fmt.Errorf("particle: first field must be %q float64[3], got %q %v[%d]",
+			PositionField, p.Name, p.Kind, p.Components)
+	}
+	seen := make(map[string]bool, len(fields))
+	stride := 0
+	for _, f := range fields {
+		if f.Name == "" {
+			return nil, fmt.Errorf("particle: empty field name")
+		}
+		if strings.ContainsAny(f.Name, "\x00\n") {
+			return nil, fmt.Errorf("particle: field name %q contains forbidden characters", f.Name)
+		}
+		if seen[f.Name] {
+			return nil, fmt.Errorf("particle: duplicate field %q", f.Name)
+		}
+		seen[f.Name] = true
+		if f.Components <= 0 {
+			return nil, fmt.Errorf("particle: field %q must have positive components, got %d", f.Name, f.Components)
+		}
+		if f.Kind != Float64 && f.Kind != Float32 {
+			return nil, fmt.Errorf("particle: field %q has unknown kind %d", f.Name, f.Kind)
+		}
+		stride += f.Bytes()
+	}
+	cp := make([]Field, len(fields))
+	copy(cp, fields)
+	return &Schema{fields: cp, stride: stride}, nil
+}
+
+// MustSchema is NewSchema that panics on error, for statically-known
+// schemas.
+func MustSchema(fields []Field) *Schema {
+	s, err := NewSchema(fields)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Uintah returns the particle schema of the paper's experimental setup
+// (Section 5.1): 15 double-precision values — a 3-component position, a
+// 9-component stress tensor, density, volume and ID — plus one
+// single-precision type variable, 124 bytes per particle.
+func Uintah() *Schema {
+	return MustSchema([]Field{
+		{Name: PositionField, Kind: Float64, Components: 3},
+		{Name: "stress", Kind: Float64, Components: 9},
+		{Name: "density", Kind: Float64, Components: 1},
+		{Name: "volume", Kind: Float64, Components: 1},
+		{Name: "id", Kind: Float64, Components: 1},
+		{Name: "type", Kind: Float32, Components: 1},
+	})
+}
+
+// PositionOnly returns the minimal schema: just the position.
+func PositionOnly() *Schema {
+	return MustSchema([]Field{{Name: PositionField, Kind: Float64, Components: 3}})
+}
+
+// Fields returns a copy of the schema's field list.
+func (s *Schema) Fields() []Field {
+	cp := make([]Field, len(s.fields))
+	copy(cp, s.fields)
+	return cp
+}
+
+// NumFields returns the number of variables.
+func (s *Schema) NumFields() int { return len(s.fields) }
+
+// Field returns the i-th field.
+func (s *Schema) Field(i int) Field { return s.fields[i] }
+
+// FieldIndex returns the index of the named field, or -1.
+func (s *Schema) FieldIndex(name string) int {
+	for i, f := range s.fields {
+		if f.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Stride returns the encoded bytes per particle.
+func (s *Schema) Stride() int { return s.stride }
+
+// Equal reports whether two schemas have identical field lists.
+func (s *Schema) Equal(o *Schema) bool {
+	if s == nil || o == nil {
+		return s == o
+	}
+	if len(s.fields) != len(o.fields) {
+		return false
+	}
+	for i := range s.fields {
+		if s.fields[i] != o.fields[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *Schema) String() string {
+	var b strings.Builder
+	b.WriteString("schema{")
+	for i, f := range s.fields {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s %v[%d]", f.Name, f.Kind, f.Components)
+	}
+	b.WriteString("}")
+	return b.String()
+}

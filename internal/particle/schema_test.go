@@ -1,0 +1,135 @@
+package particle
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestUintahSchemaMatchesPaper(t *testing.T) {
+	s := Uintah()
+	// Section 5.1: 15 double precision values and 1 single precision
+	// variable, i.e. 15*8 + 4 = 124 bytes per particle.
+	if got := s.Stride(); got != 124 {
+		t.Errorf("Uintah stride = %d, want 124", got)
+	}
+	doubles := 0
+	floats := 0
+	for i := 0; i < s.NumFields(); i++ {
+		f := s.Field(i)
+		switch f.Kind {
+		case Float64:
+			doubles += f.Components
+		case Float32:
+			floats += f.Components
+		}
+	}
+	if doubles != 15 || floats != 1 {
+		t.Errorf("Uintah has %d doubles and %d floats, want 15 and 1", doubles, floats)
+	}
+	// 32K particles/core * 124B = ~4MB/core, 64K -> ~8MB (paper: "4 and 8
+	// MB respectively, data per core").
+	if mb := float64(32768*s.Stride()) / (1 << 20); mb < 3.5 || mb > 4.5 {
+		t.Errorf("32K particles = %.2f MB, paper says ~4 MB", mb)
+	}
+}
+
+func TestSchemaValidation(t *testing.T) {
+	cases := []struct {
+		name   string
+		fields []Field
+		substr string
+	}{
+		{"empty", nil, "at least"},
+		{"no position first", []Field{{Name: "density", Kind: Float64, Components: 1}}, "first field"},
+		{"position wrong kind", []Field{{Name: PositionField, Kind: Float32, Components: 3}}, "first field"},
+		{"position wrong comps", []Field{{Name: PositionField, Kind: Float64, Components: 2}}, "first field"},
+		{"duplicate", []Field{
+			{Name: PositionField, Kind: Float64, Components: 3},
+			{Name: "a", Kind: Float64, Components: 1},
+			{Name: "a", Kind: Float64, Components: 1},
+		}, "duplicate"},
+		{"zero components", []Field{
+			{Name: PositionField, Kind: Float64, Components: 3},
+			{Name: "a", Kind: Float64, Components: 0},
+		}, "positive components"},
+		{"empty name", []Field{
+			{Name: PositionField, Kind: Float64, Components: 3},
+			{Name: "", Kind: Float64, Components: 1},
+		}, "empty field name"},
+		{"bad kind", []Field{
+			{Name: PositionField, Kind: Float64, Components: 3},
+			{Name: "a", Kind: Kind(9), Components: 1},
+		}, "unknown kind"},
+		{"newline in name", []Field{
+			{Name: PositionField, Kind: Float64, Components: 3},
+			{Name: "a\nb", Kind: Float64, Components: 1},
+		}, "forbidden"},
+	}
+	for _, c := range cases {
+		_, err := NewSchema(c.fields)
+		if err == nil {
+			t.Errorf("%s: expected error", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.substr) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.substr)
+		}
+	}
+}
+
+func TestSchemaAccessors(t *testing.T) {
+	s := Uintah()
+	if s.NumFields() != 6 {
+		t.Errorf("NumFields = %d", s.NumFields())
+	}
+	if got := s.FieldIndex("stress"); got != 1 {
+		t.Errorf("FieldIndex(stress) = %d", got)
+	}
+	if got := s.FieldIndex("nope"); got != -1 {
+		t.Errorf("FieldIndex(nope) = %d", got)
+	}
+	fields := s.Fields()
+	fields[0].Name = "mutated"
+	if s.Field(0).Name != PositionField {
+		t.Error("Fields() must return a copy")
+	}
+}
+
+func TestSchemaEqual(t *testing.T) {
+	a, b := Uintah(), Uintah()
+	if !a.Equal(b) {
+		t.Error("identical schemas not Equal")
+	}
+	if a.Equal(PositionOnly()) {
+		t.Error("different schemas Equal")
+	}
+	var nilSchema *Schema
+	if nilSchema.Equal(a) || a.Equal(nilSchema) {
+		t.Error("nil schema comparison")
+	}
+	if !nilSchema.Equal(nil) {
+		t.Error("nil == nil")
+	}
+}
+
+func TestKindSize(t *testing.T) {
+	if Float64.Size() != 8 || Float32.Size() != 4 {
+		t.Error("kind sizes wrong")
+	}
+}
+
+func TestSchemaString(t *testing.T) {
+	s := PositionOnly().String()
+	if !strings.Contains(s, "position") || !strings.Contains(s, "float64[3]") {
+		t.Errorf("String() = %q", s)
+	}
+}
+
+func TestMustSchemaPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustSchema on invalid schema should panic")
+		}
+	}()
+	MustSchema(nil)
+}

@@ -1,0 +1,44 @@
+package particle
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"spio/internal/geom"
+)
+
+func TestCheckFinite(t *testing.T) {
+	b := Uniform(Uintah(), geom.UnitBox(), 20, 1, 0)
+	if err := b.CheckFinite(); err != nil {
+		t.Errorf("clean buffer failed: %v", err)
+	}
+	b.SetPosition(7, geom.V3(0.5, math.Inf(-1), 0.5))
+	err := b.CheckFinite()
+	if err == nil {
+		t.Fatal("Inf position accepted")
+	}
+	if !strings.Contains(err.Error(), "particle 7") {
+		t.Errorf("error does not name the particle: %v", err)
+	}
+	if NewBuffer(Uintah(), 0).CheckFinite() != nil {
+		t.Error("empty buffer should be finite")
+	}
+}
+
+func TestCheckInside(t *testing.T) {
+	box := geom.NewBox(geom.V3(0, 0, 0), geom.V3(1, 1, 1))
+	b := Uniform(Uintah(), box, 20, 1, 0)
+	if err := b.CheckInside(box); err != nil {
+		t.Errorf("in-box buffer failed: %v", err)
+	}
+	// The closed boundary is allowed.
+	b.SetPosition(0, geom.V3(1, 1, 1))
+	if err := b.CheckInside(box); err != nil {
+		t.Errorf("boundary particle rejected: %v", err)
+	}
+	b.SetPosition(1, geom.V3(1.0001, 0.5, 0.5))
+	if b.CheckInside(box) == nil {
+		t.Error("escaped particle accepted")
+	}
+}

@@ -1,0 +1,264 @@
+package perfmodel
+
+import (
+	"fmt"
+	"time"
+
+	"spio/internal/agg"
+	"spio/internal/geom"
+	"spio/internal/lod"
+	"spio/internal/machine"
+)
+
+// This file encodes the paper's evaluation sweeps (Section 5 and 6) as
+// reusable generators. Each FigN function returns the rows/series the
+// corresponding figure plots; cmd/spiobench and bench_test.go print
+// them, and EXPERIMENTS.md records them against the paper.
+
+// Factor is a named aggregation partition factor (Px, Py, Pz).
+type Factor struct {
+	Dims geom.Idx3
+}
+
+// Group returns Px·Py·Pz, the ranks aggregated per file.
+func (f Factor) Group() int { return f.Dims.Volume() }
+
+func (f Factor) String() string {
+	return fmt.Sprintf("%dx%dx%d", f.Dims.X, f.Dims.Y, f.Dims.Z)
+}
+
+// F is shorthand for a Factor.
+func F(x, y, z int) Factor { return Factor{Dims: geom.I3(x, y, z)} }
+
+// MiraFactors are the configurations the paper ran on Mira (Fig. 5 top).
+func MiraFactors() []Factor {
+	return []Factor{F(1, 1, 1), F(2, 2, 2), F(2, 2, 4), F(2, 4, 4)}
+}
+
+// ThetaFactors are the configurations the paper ran on Theta (Fig. 5
+// bottom).
+func ThetaFactors() []Factor {
+	return []Factor{F(1, 1, 1), F(1, 1, 2), F(1, 2, 2), F(2, 2, 2), F(2, 2, 4), F(2, 4, 4), F(4, 4, 4)}
+}
+
+// Fig5Scales is the paper's weak-scaling rank axis: 512 → 262,144.
+func Fig5Scales() []int {
+	var out []int
+	for n := 512; n <= 262144; n *= 2 {
+		out = append(out, n)
+	}
+	return out
+}
+
+// Fig5Row is one (ranks, strategy) point of the weak-scaling study.
+type Fig5Row struct {
+	Ranks    int
+	Strategy string
+	Result   WriteResult
+}
+
+// Fig5 generates the parallel-write weak-scaling curves of Fig. 5 for
+// one machine and particles-per-core workload (32768 or 65536 in the
+// paper): every spio configuration, plus IOR file-per-process, IOR
+// collective, and Parallel HDF5.
+func Fig5(m machine.Profile, particlesPerRank int64, factors []Factor, scales []int) ([]Fig5Row, error) {
+	var rows []Fig5Row
+	for _, n := range scales {
+		if err := checkScale(n); err != nil {
+			return nil, err
+		}
+		for _, f := range factors {
+			if n%f.Group() != 0 {
+				continue
+			}
+			plan, err := agg.UniformPlan(n, f.Group(), particlesPerRank, UintahBytesPerParticle)
+			if err != nil {
+				return nil, err
+			}
+			res, err := PriceWrite(m, plan, f.String())
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, Fig5Row{Ranks: n, Strategy: f.String(), Result: res})
+		}
+		fpp, err := PriceFPP(m, n, particlesPerRank, UintahBytesPerParticle)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows,
+			Fig5Row{Ranks: n, Strategy: fpp.Strategy, Result: fpp},
+			Fig5Row{Ranks: n, Strategy: "IOR collective", Result: PriceShared(m, n, particlesPerRank, UintahBytesPerParticle)},
+			Fig5Row{Ranks: n, Strategy: "Parallel HDF5", Result: PricePHDF5(m, n, particlesPerRank, UintahBytesPerParticle)},
+		)
+	}
+	return rows, nil
+}
+
+// Fig6Row is one configuration's phase split at a fixed scale.
+type Fig6Row struct {
+	Strategy string
+	Result   WriteResult
+	// AggPct and IOPct are the Fig. 6 bar heights (they sum to 100).
+	AggPct, IOPct float64
+}
+
+// Fig6 generates the aggregation-vs-file-I/O time profiles of Fig. 6 at
+// the paper's 32,768-rank scale.
+func Fig6(m machine.Profile, particlesPerRank int64, factors []Factor) ([]Fig6Row, error) {
+	const n = 32768
+	var rows []Fig6Row
+	for _, f := range factors {
+		plan, err := agg.UniformPlan(n, f.Group(), particlesPerRank, UintahBytesPerParticle)
+		if err != nil {
+			return nil, err
+		}
+		res, err := PriceWrite(m, plan, f.String())
+		if err != nil {
+			return nil, err
+		}
+		share := res.AggregationShare()
+		rows = append(rows, Fig6Row{
+			Strategy: f.String(),
+			Result:   res,
+			AggPct:   share * 100,
+			IOPct:    (1 - share) * 100,
+		})
+	}
+	return rows, nil
+}
+
+// Fig7Dataset describes the read-study dataset (Section 5.3): written at
+// 64K ranks with 32K particles per rank — 2^31 particles — under a
+// (2,2,2) grid (8K files) or (1,1,1) (64K files).
+type Fig7Dataset struct {
+	TotalParticles int64
+	WriterRanks    int
+}
+
+// DefaultFig7Dataset matches the paper.
+func DefaultFig7Dataset() Fig7Dataset {
+	return Fig7Dataset{TotalParticles: 1 << 31, WriterRanks: 65536}
+}
+
+// Fig7Case identifies one of the three read strategies compared.
+type Fig7Case string
+
+// The three Fig. 7 curves.
+const (
+	Case222NoMeta   Fig7Case = "2x2x2 (without spatial metadata)"
+	Case222WithMeta Fig7Case = "2x2x2 (with spatial metadata)"
+	Case111WithMeta Fig7Case = "1x1x1 (with spatial metadata)"
+)
+
+// Fig7Row is one (readers, case) timing.
+type Fig7Row struct {
+	Readers int
+	Case    Fig7Case
+	Time    time.Duration
+}
+
+// Fig7 generates the visualization-read strong-scaling study for one
+// machine over the given reader counts (Theta: 64→2048; workstation:
+// 1→64).
+func Fig7(m machine.Profile, ds Fig7Dataset, readerCounts []int) []Fig7Row {
+	totalBytes := ds.TotalParticles * UintahBytesPerParticle
+	files222 := ds.WriterRanks / 8 // (2,2,2) aggregates 8 ranks per file
+	files111 := ds.WriterRanks
+	var rows []Fig7Row
+	for _, n := range readerCounts {
+		perReader := totalBytes / int64(n)
+		rows = append(rows,
+			// Without metadata every reader must read every file in full.
+			Fig7Row{n, Case222NoMeta, ReadCase(m, n, files222, totalBytes)},
+			// With metadata each reader opens and reads only its share.
+			Fig7Row{n, Case222WithMeta, ReadCase(m, n, ceilDiv(files222, n), perReader)},
+			Fig7Row{n, Case111WithMeta, ReadCase(m, n, ceilDiv(files111, n), perReader)},
+		)
+	}
+	return rows
+}
+
+// Fig8Row is one LOD-read timing.
+type Fig8Row struct {
+	Levels    int
+	Particles int64
+	Time      time.Duration
+}
+
+// Fig8 generates the level-of-detail read study (Section 5.4): 64
+// readers progressively reading 1..max levels of the 2-billion-particle
+// dataset, P = 32, S = 2.
+func Fig8(m machine.Profile, ds Fig7Dataset) []Fig8Row {
+	const (
+		readers = 64
+		p       = 32
+		scale   = 2
+	)
+	base := int64(readers * p)
+	maxLevels := lod.NumLevels(ds.TotalParticles, base, scale)
+	files := ds.WriterRanks / 8
+	opens := ceilDiv(files, readers)
+	var rows []Fig8Row
+	for l := 1; l <= maxLevels; l++ {
+		particles := lod.PrefixCount(ds.TotalParticles, base, scale, l)
+		bytesPerReader := particles * UintahBytesPerParticle / readers
+		rows = append(rows, Fig8Row{
+			Levels:    l,
+			Particles: particles,
+			Time:      ReadCase(m, readers, opens, bytesPerReader),
+		})
+	}
+	return rows
+}
+
+// Fig11Row is one adaptive-vs-non-adaptive write timing.
+type Fig11Row struct {
+	OccupancyPct float64
+	Adaptive     bool
+	Result       WriteResult
+}
+
+// Fig11 generates the Section 6.1 study: 4096 ranks, particles confined
+// to a shrinking fraction of the domain (100% → 12.5%), written with and
+// without the adaptive aggregation-grid. The paper divides the domain
+// into 4096 regions; we use the (2,4,4) factor (32-rank groups, 128
+// files) so aggregation effects are visible.
+func Fig11(m machine.Profile, particlesPerRank int64) ([]Fig11Row, error) {
+	const (
+		n     = 4096
+		group = 32
+	)
+	var rows []Fig11Row
+	for _, q := range []float64{1.0, 0.5, 0.25, 0.125} {
+		for _, adaptive := range []bool{false, true} {
+			plan, err := agg.OccupancyPlan(n, group, particlesPerRank, UintahBytesPerParticle, q, adaptive)
+			if err != nil {
+				return nil, err
+			}
+			name := "non-adaptive"
+			if adaptive {
+				name = "adaptive"
+			}
+			res, err := PriceWrite(m, plan, name)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, Fig11Row{OccupancyPct: q * 100, Adaptive: adaptive, Result: res})
+		}
+	}
+	return rows, nil
+}
+
+// ReorderEstimate returns the modeled Section 3.4 reorder cost for
+// nParticles on the machine (paper: 33 ms on Mira, 80 ms on Theta for
+// 32K particles).
+func ReorderEstimate(m machine.Profile, nParticles int64) time.Duration {
+	return time.Duration(float64(m.ReorderPerParticle) * float64(nParticles))
+}
+
+func ceilDiv(a, b int) int {
+	if b <= 0 {
+		return a
+	}
+	return (a + b - 1) / b
+}

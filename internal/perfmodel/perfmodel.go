@@ -1,0 +1,189 @@
+// Package perfmodel prices I/O plans on machine profiles. It is the
+// second execution engine of spio (see DESIGN.md §6): the local engine
+// runs a plan with real goroutine ranks and real files; this engine
+// takes the identical plan — sender fan-ins, per-partition byte counts,
+// file counts and sizes — and computes the time each write phase would
+// take on a modeled platform, which is how the paper's 512→262,144-rank
+// evaluation (Figs. 5–8 and 11) is regenerated on one machine.
+package perfmodel
+
+import (
+	"fmt"
+	"time"
+
+	"spio/internal/agg"
+	"spio/internal/machine"
+)
+
+// WriteResult is one priced write experiment.
+type WriteResult struct {
+	Machine  string
+	Strategy string
+	Ranks    int
+	Files    int
+	// TotalBytes is the dataset payload.
+	TotalBytes int64
+	// Phase durations. Aggregation covers metadata + particle exchange;
+	// Reorder is the LOD shuffle; IO the data-file writes; Meta the
+	// spatial-metadata gather+write.
+	Aggregation time.Duration
+	Reorder     time.Duration
+	IO          time.Duration
+	Meta        time.Duration
+}
+
+// Total returns the end-to-end write time.
+func (r WriteResult) Total() time.Duration {
+	return r.Aggregation + r.Reorder + r.IO + r.Meta
+}
+
+// ThroughputGBs returns payload GB per second of total time.
+func (r WriteResult) ThroughputGBs() float64 {
+	t := r.Total().Seconds()
+	if t <= 0 {
+		return 0
+	}
+	return float64(r.TotalBytes) / 1e9 / t
+}
+
+// AggPlusIO returns aggregation + file I/O time — the two phases the
+// paper's profiling figures (Fig. 6 and Fig. 11) account.
+func (r WriteResult) AggPlusIO() time.Duration {
+	return r.Aggregation + r.IO
+}
+
+// AggregationShare returns the Fig. 6 quantity: aggregation time as a
+// fraction of aggregation + file I/O.
+func (r WriteResult) AggregationShare() float64 {
+	denom := (r.Aggregation + r.IO).Seconds()
+	if denom <= 0 {
+		return 0
+	}
+	return r.Aggregation.Seconds() / denom
+}
+
+// PriceWrite prices the paper's two-phase spatially-aware write on m.
+// The write is bulk-synchronous: each phase lasts as long as its slowest
+// partition.
+func PriceWrite(m machine.Profile, p *agg.Plan, strategy string) (WriteResult, error) {
+	if err := p.Validate(); err != nil {
+		return WriteResult{}, err
+	}
+	res := WriteResult{
+		Machine:    m.Name,
+		Strategy:   strategy,
+		Ranks:      p.NumRanks,
+		Files:      p.NumFiles(),
+		TotalBytes: p.TotalBytes(),
+	}
+
+	// Aggregation: the slowest aggregator's gather. Group size 1 with an
+	// aligned grid is file-per-process: no network traffic at all.
+	var maxAgg time.Duration
+	var maxParticles int64
+	for _, part := range p.Parts {
+		if part.Particles == 0 {
+			continue
+		}
+		bytes := part.Particles * int64(p.BytesPerParticle)
+		senders := part.Senders
+		if p.Aligned && senders <= 1 {
+			// The rank writes its own data; nothing crosses the wire.
+		} else {
+			if t := m.Network.GatherTime(senders, bytes); t > maxAgg {
+				maxAgg = t
+			}
+		}
+		if part.Particles > maxParticles {
+			maxParticles = part.Particles
+		}
+	}
+	res.Aggregation = maxAgg
+
+	// Reorder: the in-place LOD shuffle of the largest aggregated buffer
+	// (single-core, per Section 3.4).
+	res.Reorder = time.Duration(float64(m.ReorderPerParticle) * float64(maxParticles))
+
+	// File I/O: the non-empty files written concurrently.
+	res.IO = m.Storage.WriteTime(p.NumFiles(), p.TotalBytes(), p.MaxPartBytes())
+
+	// Metadata: an Allgather of ~64-byte entries plus one small write.
+	entries := int64(len(p.Parts)) * 64
+	res.Meta = m.Network.GatherTime(len(p.Parts), entries) + m.Storage.CreateTime(1) + time.Millisecond
+	return res, nil
+}
+
+// PriceFPP prices IOR-style file-per-process I/O: no aggregation, no
+// reorder, nRanks files.
+func PriceFPP(m machine.Profile, nRanks int, particlesPerRank int64, bytesPerParticle int) (WriteResult, error) {
+	plan, err := agg.UniformPlan(nRanks, 1, particlesPerRank, bytesPerParticle)
+	if err != nil {
+		return WriteResult{}, err
+	}
+	res := WriteResult{
+		Machine:    m.Name,
+		Strategy:   "IOR FPP",
+		Ranks:      nRanks,
+		Files:      nRanks,
+		TotalBytes: plan.TotalBytes(),
+	}
+	res.IO = m.Storage.WriteTime(nRanks, plan.TotalBytes(), plan.MaxPartBytes())
+	return res, nil
+}
+
+// PriceShared prices IOR-style single-shared-file collective I/O: all
+// ranks write disjoint extents of one file; effective bandwidth decays
+// with writer count (lock and collective-gather contention).
+func PriceShared(m machine.Profile, nRanks int, particlesPerRank int64, bytesPerParticle int) WriteResult {
+	total := int64(nRanks) * particlesPerRank * int64(bytesPerParticle)
+	res := WriteResult{
+		Machine:    m.Name,
+		Strategy:   "IOR collective",
+		Ranks:      nRanks,
+		Files:      1,
+		TotalBytes: total,
+	}
+	bw := m.Network.SharedWriteBW(nRanks)
+	res.IO = durSec(float64(total) / bw)
+	return res
+}
+
+// PricePHDF5 prices a Parallel-HDF5-style collective write: the shared
+// file path plus per-rank library/metadata overhead. (The paper's
+// PHDF5 numbers come from h5perf; Byna et al. additionally report it
+// failing outright past 32K ranks with sub-filing enabled.)
+func PricePHDF5(m machine.Profile, nRanks int, particlesPerRank int64, bytesPerParticle int) WriteResult {
+	total := int64(nRanks) * particlesPerRank * int64(bytesPerParticle)
+	res := WriteResult{
+		Machine:    m.Name,
+		Strategy:   "Parallel HDF5",
+		Ranks:      nRanks,
+		Files:      1,
+		TotalBytes: total,
+	}
+	bw := m.Network.SharedWriteBW(nRanks) * 0.8
+	overhead := time.Duration(nRanks) * 30 * time.Microsecond
+	res.IO = durSec(float64(total)/bw) + overhead
+	return res
+}
+
+// ReadCase prices one parallel-read scenario: nReaders processes, each
+// opening opensPerReader files and pulling bytesPerReader payload.
+func ReadCase(m machine.Profile, nReaders, opensPerReader int, bytesPerReader int64) time.Duration {
+	return m.Storage.ReadTime(nReaders, opensPerReader, bytesPerReader)
+}
+
+// durSec converts seconds to a Duration.
+func durSec(s float64) time.Duration { return time.Duration(s * float64(time.Second)) }
+
+// Uintah is the evaluation particle size (Section 5.1): 15 doubles + 1
+// float = 124 bytes.
+const UintahBytesPerParticle = 124
+
+// Validate basic arguments shared by the figure sweeps.
+func checkScale(nRanks int) error {
+	if nRanks <= 0 {
+		return fmt.Errorf("perfmodel: non-positive rank count %d", nRanks)
+	}
+	return nil
+}

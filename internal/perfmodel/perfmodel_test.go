@@ -1,0 +1,202 @@
+package perfmodel
+
+import (
+	"testing"
+
+	"spio/internal/agg"
+	"spio/internal/machine"
+)
+
+func TestPriceWriteComponents(t *testing.T) {
+	m := machine.Mira()
+	plan, err := agg.UniformPlan(4096, 8, 32768, UintahBytesPerParticle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := PriceWrite(m, plan, "2x2x2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Machine != "Mira" || res.Strategy != "2x2x2" || res.Ranks != 4096 {
+		t.Errorf("labels: %+v", res)
+	}
+	if res.Files != 512 {
+		t.Errorf("files = %d", res.Files)
+	}
+	if res.TotalBytes != 4096*32768*124 {
+		t.Errorf("bytes = %d", res.TotalBytes)
+	}
+	for name, d := range map[string]float64{
+		"agg":     res.Aggregation.Seconds(),
+		"reorder": res.Reorder.Seconds(),
+		"io":      res.IO.Seconds(),
+		"meta":    res.Meta.Seconds(),
+	} {
+		if d <= 0 {
+			t.Errorf("phase %s has no cost", name)
+		}
+	}
+	if res.Total() != res.Aggregation+res.Reorder+res.IO+res.Meta {
+		t.Error("Total != sum of phases")
+	}
+	if res.AggPlusIO() != res.Aggregation+res.IO {
+		t.Error("AggPlusIO wrong")
+	}
+	if res.ThroughputGBs() <= 0 {
+		t.Error("throughput must be positive")
+	}
+	share := res.AggregationShare()
+	if share <= 0 || share >= 1 {
+		t.Errorf("aggregation share = %v", share)
+	}
+}
+
+func TestPriceWriteFPPHasNoNetworkPhase(t *testing.T) {
+	plan, _ := agg.UniformPlan(1024, 1, 32768, UintahBytesPerParticle)
+	res, err := PriceWrite(machine.Theta(), plan, "1x1x1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Aggregation != 0 {
+		t.Errorf("aligned group-1 write should move nothing over the wire, got %v", res.Aggregation)
+	}
+}
+
+func TestPriceWriteInvalidPlan(t *testing.T) {
+	if _, err := PriceWrite(machine.Mira(), &agg.Plan{}, "x"); err == nil {
+		t.Error("invalid plan accepted")
+	}
+}
+
+func TestPriceFPPMatchesManualModel(t *testing.T) {
+	m := machine.Theta()
+	res, err := PriceFPP(m, 4096, 32768, UintahBytesPerParticle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := m.Storage.WriteTime(4096, 4096*32768*124, 32768*124)
+	if res.IO != want {
+		t.Errorf("FPP IO = %v, want %v", res.IO, want)
+	}
+	if res.Aggregation != 0 || res.Reorder != 0 {
+		t.Error("FPP has no aggregation or reorder phase")
+	}
+	if _, err := PriceFPP(m, 0, 1, 1); err == nil {
+		t.Error("zero ranks accepted")
+	}
+}
+
+func TestSharedAndPHDF5DegradeWithScale(t *testing.T) {
+	m := machine.Mira()
+	small := PriceShared(m, 512, 32768, UintahBytesPerParticle)
+	big := PriceShared(m, 262144, 32768, UintahBytesPerParticle)
+	// Weak scaling: 512x the data; if bandwidth were constant the time
+	// ratio would be 512; contention should make it far worse.
+	if ratio := big.Total().Seconds() / small.Total().Seconds(); ratio < 1000 {
+		t.Errorf("shared-file time ratio %v too mild for contention collapse", ratio)
+	}
+	h := PricePHDF5(m, 4096, 32768, UintahBytesPerParticle)
+	s := PriceShared(m, 4096, 32768, UintahBytesPerParticle)
+	if h.Total() <= s.Total() {
+		t.Error("PHDF5 should carry extra overhead over raw shared-file I/O")
+	}
+}
+
+func TestReadCaseMonotonicity(t *testing.T) {
+	m := machine.Theta()
+	base := ReadCase(m, 64, 128, 1<<30)
+	moreOpens := ReadCase(m, 64, 1024, 1<<30)
+	moreBytes := ReadCase(m, 64, 128, 8<<30)
+	if moreOpens <= base || moreBytes <= base {
+		t.Error("reads must cost more with more opens or bytes")
+	}
+}
+
+func TestFactorHelpers(t *testing.T) {
+	f := F(2, 4, 4)
+	if f.Group() != 32 {
+		t.Errorf("group = %d", f.Group())
+	}
+	if f.String() != "2x4x4" {
+		t.Errorf("name = %q", f.String())
+	}
+	if len(MiraFactors()) != 4 || len(ThetaFactors()) != 7 {
+		t.Error("paper configuration lists wrong")
+	}
+	scales := Fig5Scales()
+	if scales[0] != 512 || scales[len(scales)-1] != 262144 || len(scales) != 10 {
+		t.Errorf("scales = %v", scales)
+	}
+}
+
+func TestFig5SkipsNonDividingConfigs(t *testing.T) {
+	// A 48-rank scale is not divisible by group 32; Fig5 must skip
+	// rather than fail.
+	rows, err := Fig5(machine.Mira(), 1000, []Factor{F(2, 4, 4)}, []int{48})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.Strategy == "2x4x4" {
+			t.Error("non-dividing config should be skipped")
+		}
+	}
+}
+
+func TestFig5RejectsBadScale(t *testing.T) {
+	if _, err := Fig5(machine.Mira(), 1000, MiraFactors(), []int{0}); err == nil {
+		t.Error("zero scale accepted")
+	}
+}
+
+func TestFig7CaseArithmetic(t *testing.T) {
+	ds := DefaultFig7Dataset()
+	if ds.TotalParticles != 1<<31 || ds.WriterRanks != 65536 {
+		t.Errorf("dataset = %+v", ds)
+	}
+	rows := Fig7(machine.Theta(), ds, []int{64})
+	for _, r := range rows {
+		if r.Time <= 0 {
+			t.Errorf("case %s has no cost", r.Case)
+		}
+	}
+	if len(rows) != 3 {
+		t.Errorf("%d cases, want 3", len(rows))
+	}
+}
+
+func TestFig8MatchesLODFormula(t *testing.T) {
+	rows := Fig8(machine.Theta(), DefaultFig7Dataset())
+	// Level 1 holds n·P = 64·32 = 2048 particles (Section 3.4 formula).
+	if rows[0].Particles != 2048 {
+		t.Errorf("level 1 particles = %d, want 2048", rows[0].Particles)
+	}
+	// The last level covers the whole dataset.
+	if rows[len(rows)-1].Particles != 1<<31 {
+		t.Errorf("last level particles = %d", rows[len(rows)-1].Particles)
+	}
+}
+
+func TestFig11RowsComplete(t *testing.T) {
+	rows, err := Fig11(machine.Mira(), 32768)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 8 { // 4 occupancies × {adaptive, non-adaptive}
+		t.Errorf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.Result.TotalBytes != 4096*32768*124 {
+			t.Errorf("q=%v adaptive=%v: total bytes %d", r.OccupancyPct, r.Adaptive, r.Result.TotalBytes)
+		}
+	}
+}
+
+func TestCeilDiv(t *testing.T) {
+	if ceilDiv(10, 3) != 4 || ceilDiv(9, 3) != 3 || ceilDiv(1, 64) != 1 {
+		t.Error("ceilDiv wrong")
+	}
+	if ceilDiv(5, 0) != 5 {
+		t.Error("ceilDiv by zero should pass through")
+	}
+}

@@ -1,0 +1,91 @@
+package perfmodel
+
+// Sensitivity study: the paper-shape conclusions must not hinge on the
+// exact calibration constants. Each key machine knob is perturbed by
+// ×0.6 and ×1.6 and the three headline claims are re-checked:
+//
+//  1. Mira's winner at 262,144 ranks is a large aggregation group (≥16).
+//  2. Theta's winner at 262,144 ranks is a small aggregation group (≤8).
+//  3. On both machines the best spio configuration beats file-per-process
+//     at 262,144 ranks.
+
+import (
+	"testing"
+	"time"
+
+	"spio/internal/agg"
+	"spio/internal/machine"
+)
+
+type knob struct {
+	name  string
+	apply func(*machine.Profile, float64)
+}
+
+func knobs() []knob {
+	return []knob{
+		{"IncastCongestion", func(p *machine.Profile, f float64) { p.Network.IncastCongestion *= f }},
+		{"InjectionBW", func(p *machine.Profile, f float64) { p.Network.InjectionBW *= f }},
+		{"BurstHalf", func(p *machine.Profile, f float64) { p.Storage.BurstHalf *= f }},
+		{"CreatePerFile", func(p *machine.Profile, f float64) {
+			p.Storage.CreatePerFile = time.Duration(float64(p.Storage.CreatePerFile) * f)
+		}},
+		{"WriterBW", func(p *machine.Profile, f float64) { p.Storage.WriterBW *= f }},
+		{"PeakBW", func(p *machine.Profile, f float64) { p.Storage.PeakBW *= f }},
+	}
+}
+
+// winnerAt256K returns the best spio factor's group size and its
+// throughput ratio over FPP at 262,144 ranks.
+func winnerAt256K(t *testing.T, m machine.Profile, factors []Factor) (group int, vsFPP float64) {
+	t.Helper()
+	const n, ppc = 262144, 32768
+	best, bestGroup := 0.0, 0
+	for _, f := range factors {
+		if n%f.Group() != 0 {
+			continue
+		}
+		plan, err := agg.UniformPlan(n, f.Group(), ppc, UintahBytesPerParticle)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := PriceWrite(m, plan, f.String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tp := res.ThroughputGBs(); tp > best {
+			best, bestGroup = tp, f.Group()
+		}
+	}
+	fpp, err := PriceFPP(m, n, ppc, UintahBytesPerParticle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bestGroup, best / fpp.ThroughputGBs()
+}
+
+func TestModelSensitivity(t *testing.T) {
+	for _, k := range knobs() {
+		for _, f := range []float64{0.6, 1.6} {
+			mira := machine.Mira()
+			k.apply(&mira, f)
+			group, ratio := winnerAt256K(t, mira, MiraFactors())
+			if group < 16 {
+				t.Errorf("Mira %s×%.1f: winner group %d, want ≥16", k.name, f, group)
+			}
+			if ratio < 1.5 {
+				t.Errorf("Mira %s×%.1f: best only %.2fx FPP", k.name, f, ratio)
+			}
+
+			theta := machine.Theta()
+			k.apply(&theta, f)
+			group, ratio = winnerAt256K(t, theta, ThetaFactors())
+			if group > 8 {
+				t.Errorf("Theta %s×%.1f: winner group %d, want ≤8", k.name, f, group)
+			}
+			if ratio < 1.1 {
+				t.Errorf("Theta %s×%.1f: best only %.2fx FPP", k.name, f, ratio)
+			}
+		}
+	}
+}

@@ -1,0 +1,62 @@
+package query
+
+import (
+	"testing"
+
+	"spio/internal/agg"
+	"spio/internal/core"
+	"spio/internal/geom"
+	"spio/internal/mpi"
+	"spio/internal/particle"
+	"spio/internal/reader"
+)
+
+func BenchmarkKNN(b *testing.B) {
+	// Reuse the test fixture writer via a minimal inline dataset.
+	ds := benchDataset(b)
+	p := geom.V3(0.4, 0.6, 0.5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, _, err := KNN(ds, p, 16); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHalo(b *testing.B) {
+	ds := benchDataset(b)
+	patch := geom.NewBox(geom.V3(0.25, 0.25, 0), geom.V3(0.5, 0.5, 1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, _, err := Halo(ds, patch, 0.05, reader.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchDataset writes a 16-rank dataset once per benchmark run and opens
+// it with a warm file cache.
+func benchDataset(b *testing.B) *reader.Dataset {
+	b.Helper()
+	dir := b.TempDir()
+	simDims := geom.I3(4, 4, 1)
+	grid := geom.NewGrid(geom.UnitBox(), simDims)
+	cfg := core.WriteConfig{
+		Agg: agg.Config{Domain: geom.UnitBox(), SimDims: simDims, Factor: geom.I3(2, 2, 1)},
+	}
+	err := mpi.Run(16, func(c *mpi.Comm) error {
+		local := particle.Uniform(particle.Uintah(), grid.CellBox(geom.Unlinear(c.Rank(), simDims)), 2000, 7, c.Rank())
+		_, werr := core.Write(c, dir, cfg, local)
+		return werr
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ds, err := reader.Open(dir)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ds.SetFileCache(8)
+	b.Cleanup(func() { ds.Close() })
+	return ds
+}

@@ -1,0 +1,145 @@
+// Package query builds the region-based analysis operations the paper
+// cites as the consumers of its layout (Section 3: "a range of standard
+// analysis and visualization tasks are dependent on region-based
+// queries, e.g.: nearest neighbour search, vector field integration,
+// stencil operations") on top of the metadata-driven reader:
+//
+//   - KNN: k-nearest-neighbour search that grows its query box until the
+//     k-th neighbour is provably inside the searched region, reading
+//     only the files the metadata says intersect it.
+//   - Halo: a patch read plus a ghost margin, the access pattern of
+//     stencil operations and distributed-rendering tiles.
+//   - DensityGrid: an approximate density field computed from a low LOD
+//     level, scaled by the sampling fraction.
+package query
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"spio/internal/geom"
+	"spio/internal/particle"
+	"spio/internal/reader"
+)
+
+// KNNResult is one neighbour.
+type KNNResult struct {
+	// Index is the neighbour's position in the returned buffer.
+	Index int
+	// Distance is the Euclidean distance to the query point.
+	Distance float64
+}
+
+// KNN returns the k particles nearest to p as a buffer (nearest first)
+// plus their distances. It expands a box around p until it provably
+// contains the k nearest particles: once k candidates exist and the
+// k-th distance is no larger than the box's clearance, no closer
+// particle can be outside.
+func KNN(ds *reader.Dataset, p geom.Vec3, k int) (*particle.Buffer, []float64, reader.Stats, error) {
+	var st reader.Stats
+	if k <= 0 {
+		return nil, nil, st, fmt.Errorf("query: k must be positive, got %d", k)
+	}
+	meta := ds.Meta()
+	if meta.Total < int64(k) {
+		return nil, nil, st, fmt.Errorf("query: dataset holds %d particles, asked for %d", meta.Total, k)
+	}
+	// Initial radius from the mean density, with slack.
+	volume := meta.Domain.Volume()
+	r := 1.5 * math.Cbrt(float64(k)/float64(meta.Total)*volume/(4.0/3.0*math.Pi))
+	if r <= 0 || math.IsNaN(r) {
+		r = meta.Domain.Size().Len() / 16
+	}
+	maxR := meta.Domain.Size().Len() // covers everything
+
+	for {
+		box := geom.NewBox(p.Sub(geom.V3(r, r, r)), p.Add(geom.V3(r, r, r)))
+		buf, qst, err := ds.QueryBox(box, reader.Options{})
+		if err != nil {
+			return nil, nil, st, err
+		}
+		st = qst // keep the stats of the final (successful) pass
+		if buf.Len() >= k {
+			type cand struct {
+				idx  int
+				dist float64
+			}
+			cands := make([]cand, buf.Len())
+			for i := 0; i < buf.Len(); i++ {
+				cands[i] = cand{idx: i, dist: p.Dist(buf.Position(i))}
+			}
+			sort.Slice(cands, func(a, b int) bool { return cands[a].dist < cands[b].dist })
+			kth := cands[k-1].dist
+			// The box guarantees correctness only within its clearance
+			// around p (it is clipped mentally to the sphere of radius r).
+			if kth <= r || r >= maxR {
+				out := particle.NewBuffer(buf.Schema(), k)
+				dists := make([]float64, k)
+				for i := 0; i < k; i++ {
+					out.AppendFrom(buf, cands[i].idx)
+					dists[i] = cands[i].dist
+				}
+				return out, dists, st, nil
+			}
+		}
+		if r >= maxR {
+			return nil, nil, st, fmt.Errorf("query: exhausted domain with %d of %d neighbours", buf.Len(), k)
+		}
+		r *= 2
+	}
+}
+
+// Halo reads the particles of a patch plus those within `halo` of it —
+// the ghost layer a stencil operation needs. It returns the owned and
+// ghost particles separately.
+func Halo(ds *reader.Dataset, patch geom.Box, halo float64, opts reader.Options) (own, ghost *particle.Buffer, st reader.Stats, err error) {
+	if halo < 0 {
+		return nil, nil, st, fmt.Errorf("query: negative halo %v", halo)
+	}
+	grown := geom.NewBox(
+		patch.Lo.Sub(geom.V3(halo, halo, halo)),
+		patch.Hi.Add(geom.V3(halo, halo, halo)),
+	)
+	all, st, err := ds.QueryBox(grown, opts)
+	if err != nil {
+		return nil, nil, st, err
+	}
+	own = particle.NewBuffer(all.Schema(), all.Len())
+	ghost = particle.NewBuffer(all.Schema(), 0)
+	for i := 0; i < all.Len(); i++ {
+		if patch.Contains(all.Position(i)) {
+			own.AppendFrom(all, i)
+		} else {
+			ghost.AppendFrom(all, i)
+		}
+	}
+	return own, ghost, st, nil
+}
+
+// DensityGrid estimates the particle count per cell of a dims grid over
+// the domain by reading only the first `levels` LOD levels and scaling
+// by the inverse sampling fraction. levels <= 0 reads everything (exact
+// counts). Returns the estimated counts and the sampled fraction.
+func DensityGrid(ds *reader.Dataset, dims geom.Idx3, levels, readers int) ([]float64, float64, reader.Stats, error) {
+	sub, st, err := ds.ReadAll(reader.Options{Levels: levels, Readers: readers})
+	if err != nil {
+		return nil, 0, st, err
+	}
+	meta := ds.Meta()
+	grid := geom.NewGrid(meta.Domain, dims)
+	counts := make([]float64, grid.Cells())
+	for i := 0; i < sub.Len(); i++ {
+		counts[grid.LocateLinear(sub.Position(i))]++
+	}
+	frac := 1.0
+	if meta.Total > 0 {
+		frac = float64(sub.Len()) / float64(meta.Total)
+	}
+	if frac > 0 {
+		for i := range counts {
+			counts[i] /= frac
+		}
+	}
+	return counts, frac, st, nil
+}

@@ -1,0 +1,68 @@
+package reader
+
+import (
+	"spio/internal/format"
+	"spio/internal/geom"
+	"spio/internal/particle"
+)
+
+// QueryBoxes answers several box queries in one pass: every data file
+// intersecting any of the boxes is opened and read exactly once, and its
+// particles are distributed to every query box containing them. For a
+// tiled renderer issuing one query per tile this turns
+// tiles×files-per-tile opens into distinct-files opens.
+func (d *Dataset) QueryBoxes(qs []geom.Box, opts Options) ([]*particle.Buffer, Stats, error) {
+	var st Stats
+	var proj *particle.Projection
+	outSchema := d.meta.Schema
+	if len(opts.Fields) > 0 {
+		p, err := d.meta.Schema.Project(opts.Fields)
+		if err != nil {
+			return nil, st, err
+		}
+		proj = p
+		outSchema = p.Schema()
+	}
+	outs := make([]*particle.Buffer, len(qs))
+	for i := range outs {
+		outs[i] = particle.NewBuffer(outSchema, 0)
+	}
+
+	// File -> interested queries.
+	type hit struct {
+		entry   *format.FileEntry
+		queries []int
+	}
+	var hits []hit
+	index := make(map[string]int)
+	for qi, q := range qs {
+		for _, e := range d.meta.FilesIntersecting(q) {
+			hi, ok := index[e.Name]
+			if !ok {
+				hi = len(hits)
+				index[e.Name] = hi
+				hits = append(hits, hit{entry: e})
+			}
+			hits[hi].queries = append(hits[hi].queries, qi)
+		}
+	}
+
+	base := perFileBase(d.meta, opts.readers())
+	for _, h := range hits {
+		buf, fst, err := d.readOne(h.entry, base, opts, proj)
+		if err != nil {
+			return nil, st, err
+		}
+		st.Add(fst)
+		for i := 0; i < buf.Len(); i++ {
+			p := buf.Position(i)
+			for _, qi := range h.queries {
+				if qs[qi].Contains(p) || qs[qi].ContainsClosed(p) {
+					outs[qi].AppendFrom(buf, i)
+					st.ParticlesKept++
+				}
+			}
+		}
+	}
+	return outs, st, nil
+}

@@ -1,0 +1,110 @@
+package reader
+
+import (
+	"testing"
+
+	"spio/internal/geom"
+)
+
+func TestQueryBoxesMatchesIndividualQueries(t *testing.T) {
+	dir, _ := writeDataset(t, geom.I3(4, 4, 1), geom.I3(2, 2, 1), 120, nil)
+	ds, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tiles := geom.NewGrid(geom.UnitBox(), geom.I3(2, 2, 1))
+	var qs []geom.Box
+	for i := 0; i < 4; i++ {
+		qs = append(qs, tiles.CellBoxLinear(i))
+	}
+	batch, _, err := ds.QueryBoxes(qs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch) != 4 {
+		t.Fatalf("%d results", len(batch))
+	}
+	for i, q := range qs {
+		single, _, err := ds.QueryBox(q, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, b := idSet(batch[i]), idSet(single)
+		if len(a) != len(b) {
+			t.Fatalf("tile %d: batch %d vs single %d particles", i, len(a), len(b))
+		}
+		for id := range b {
+			if !a[id] {
+				t.Fatalf("tile %d: batch missing particle %v", i, id)
+			}
+		}
+	}
+}
+
+func TestQueryBoxesOpensEachFileOnce(t *testing.T) {
+	dir, _ := writeDataset(t, geom.I3(4, 4, 1), geom.I3(2, 2, 1), 60, nil)
+	ds, _ := Open(dir)
+	// Overlapping queries all intersecting every file: individually they
+	// would cost 3×4 opens; batched, 4.
+	qs := []geom.Box{
+		geom.NewBox(geom.V3(0.1, 0.1, 0), geom.V3(0.9, 0.9, 1)),
+		geom.NewBox(geom.V3(0.2, 0.2, 0), geom.V3(0.8, 0.8, 1)),
+		geom.NewBox(geom.V3(0.3, 0.3, 0), geom.V3(0.7, 0.7, 1)),
+	}
+	_, st, err := ds.QueryBoxes(qs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.FilesOpened != 4 {
+		t.Errorf("batch opened %d files, want 4", st.FilesOpened)
+	}
+}
+
+func TestQueryBoxesOverlappingBoxesDuplicateAcrossResults(t *testing.T) {
+	dir, _ := writeDataset(t, geom.I3(2, 2, 1), geom.I3(2, 1, 1), 100, nil)
+	ds, _ := Open(dir)
+	q := geom.NewBox(geom.V3(0.2, 0.2, 0), geom.V3(0.6, 0.6, 1))
+	outs, _, err := ds.QueryBoxes([]geom.Box{q, q}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outs[0].Len() != outs[1].Len() || outs[0].Len() == 0 {
+		t.Errorf("identical queries returned %d and %d", outs[0].Len(), outs[1].Len())
+	}
+}
+
+func TestQueryBoxesEmptyAndDisjoint(t *testing.T) {
+	dir, _ := writeDataset(t, geom.I3(2, 1, 1), geom.I3(1, 1, 1), 40, nil)
+	ds, _ := Open(dir)
+	outs, st, err := ds.QueryBoxes(nil, Options{})
+	if err != nil || len(outs) != 0 {
+		t.Errorf("nil queries: %v %d", err, len(outs))
+	}
+	outs, st, err = ds.QueryBoxes([]geom.Box{geom.NewBox(geom.V3(5, 5, 5), geom.V3(6, 6, 6))}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outs[0].Len() != 0 || st.FilesOpened != 0 {
+		t.Errorf("disjoint query: %d particles, %d opens", outs[0].Len(), st.FilesOpened)
+	}
+}
+
+func TestQueryBoxesWithProjectionAndLevels(t *testing.T) {
+	dir, _ := writeDataset(t, geom.I3(2, 2, 1), geom.I3(2, 1, 1), 256, nil)
+	ds, _ := Open(dir)
+	qs := []geom.Box{geom.NewBox(geom.V3(0, 0, 0), geom.V3(1, 0.5, 1))}
+	outs, _, err := ds.QueryBoxes(qs, Options{Levels: 2, Fields: []string{"id"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, _, err := ds.QueryBox(qs[0], Options{Levels: 2, Fields: []string{"id"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outs[0].Len() != single.Len() {
+		t.Errorf("batch %d vs single %d", outs[0].Len(), single.Len())
+	}
+	if outs[0].Schema().NumFields() != 2 {
+		t.Errorf("projection not applied in batch")
+	}
+}

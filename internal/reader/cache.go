@@ -1,0 +1,176 @@
+package reader
+
+import (
+	"container/list"
+	"path/filepath"
+	"sync"
+
+	"spio/internal/format"
+)
+
+// fileCache keeps data-file handles open across queries. The Fig. 7/8
+// analysis shows opens dominating low-volume reads on parallel file
+// systems; an interactive viewer issuing repeated box queries against
+// the same dataset pays that cost once per file with the cache enabled.
+//
+// Entries are reference-counted: eviction closes a handle only once no
+// read is using it, so concurrent queries on one Dataset are safe.
+type fileCache struct {
+	mu       sync.Mutex
+	capacity int
+	entries  map[string]*cacheEntry
+	lru      *list.List // front = most recently used; element value: string (name)
+	hits     int64
+	misses   int64
+}
+
+type cacheEntry struct {
+	df      *format.DataFile
+	refs    int
+	evicted bool // close when refs drops to 0
+	elem    *list.Element
+}
+
+func newFileCache(capacity int) *fileCache {
+	return &fileCache{
+		capacity: capacity,
+		entries:  make(map[string]*cacheEntry),
+		lru:      list.New(),
+	}
+}
+
+// acquire returns an open handle for name, opening it on a miss, and
+// pins it until release. opened reports whether a real open happened.
+func (fc *fileCache) acquire(dir, name string) (df *format.DataFile, opened bool, err error) {
+	fc.mu.Lock()
+	if e, ok := fc.entries[name]; ok && !e.evicted {
+		e.refs++
+		fc.lru.MoveToFront(e.elem)
+		fc.hits++
+		fc.mu.Unlock()
+		return e.df, false, nil
+	}
+	fc.misses++
+	fc.mu.Unlock()
+
+	// Open outside the lock; a racing open of the same file just wastes
+	// one descriptor briefly.
+	df, err = format.OpenDataFile(filepath.Join(dir, name))
+	if err != nil {
+		return nil, true, err
+	}
+	fc.mu.Lock()
+	if e, ok := fc.entries[name]; ok && !e.evicted {
+		// Lost the race: use the cached one and discard ours.
+		e.refs++
+		fc.lru.MoveToFront(e.elem)
+		fc.mu.Unlock()
+		df.Close()
+		return e.df, true, nil
+	}
+	e := &cacheEntry{df: df, refs: 1}
+	e.elem = fc.lru.PushFront(name)
+	fc.entries[name] = e
+	fc.evictLocked()
+	fc.mu.Unlock()
+	return df, true, nil
+}
+
+// release unpins a handle previously acquired.
+func (fc *fileCache) release(name string) {
+	fc.mu.Lock()
+	defer fc.mu.Unlock()
+	e, ok := fc.entries[name]
+	if !ok {
+		// Already evicted and closed after its last release.
+		return
+	}
+	e.refs--
+	if e.evicted && e.refs <= 0 {
+		delete(fc.entries, name)
+		e.df.Close()
+	}
+}
+
+// evictLocked shrinks the cache to capacity, closing idle handles and
+// flagging busy ones for close-on-release.
+func (fc *fileCache) evictLocked() {
+	for fc.lru.Len() > fc.capacity {
+		back := fc.lru.Back()
+		if back == nil {
+			return
+		}
+		name := back.Value.(string)
+		fc.lru.Remove(back)
+		e := fc.entries[name]
+		if e == nil {
+			continue
+		}
+		e.evicted = true
+		e.elem = nil
+		if e.refs <= 0 {
+			delete(fc.entries, name)
+			e.df.Close()
+		}
+	}
+}
+
+// closeAll closes every idle handle and flags busy ones.
+func (fc *fileCache) closeAll() error {
+	fc.mu.Lock()
+	defer fc.mu.Unlock()
+	var first error
+	for name, e := range fc.entries {
+		e.evicted = true
+		if e.refs <= 0 {
+			if err := e.df.Close(); err != nil && first == nil {
+				first = err
+			}
+			delete(fc.entries, name)
+		}
+	}
+	fc.lru.Init()
+	return first
+}
+
+// SetFileCache enables (n > 0) or disables (n <= 0) the open-file cache.
+// Disabling closes all idle cached handles.
+func (d *Dataset) SetFileCache(n int) error {
+	if n <= 0 {
+		if d.cache != nil {
+			err := d.cache.closeAll()
+			d.cache = nil
+			return err
+		}
+		return nil
+	}
+	if d.cache != nil {
+		d.cache.mu.Lock()
+		d.cache.capacity = n
+		d.cache.evictLocked()
+		d.cache.mu.Unlock()
+		return nil
+	}
+	d.cache = newFileCache(n)
+	return nil
+}
+
+// CacheStats reports the cache's hit/miss counters (zeros when the
+// cache is disabled).
+func (d *Dataset) CacheStats() (hits, misses int64) {
+	if d.cache == nil {
+		return 0, 0
+	}
+	d.cache.mu.Lock()
+	defer d.cache.mu.Unlock()
+	return d.cache.hits, d.cache.misses
+}
+
+// Close releases any cached file handles. The Dataset remains usable
+// (subsequent reads reopen files).
+func (d *Dataset) Close() error {
+	if d.cache != nil {
+		return d.cache.closeAll()
+	}
+	return nil
+}

@@ -1,0 +1,166 @@
+package reader
+
+import (
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"spio/internal/geom"
+)
+
+func TestFileCacheAvoidsReopens(t *testing.T) {
+	dir, _ := writeDataset(t, geom.I3(4, 4, 1), geom.I3(2, 2, 1), 64, nil)
+	ds, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.SetFileCache(8); err != nil {
+		t.Fatal(err)
+	}
+	defer ds.Close()
+
+	q := geom.NewBox(geom.V3(0.1, 0.1, 0.1), geom.V3(0.9, 0.9, 0.9))
+	_, st1, err := ds.QueryBox(q, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st1.FilesOpened != 4 {
+		t.Fatalf("first query opened %d files", st1.FilesOpened)
+	}
+	// Repeat queries hit the cache: no new opens.
+	for i := 0; i < 5; i++ {
+		_, st, err := ds.QueryBox(q, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.FilesOpened != 0 {
+			t.Fatalf("repeat query %d opened %d files", i, st.FilesOpened)
+		}
+	}
+	hits, misses := ds.CacheStats()
+	if misses != 4 || hits != 20 {
+		t.Errorf("cache stats: %d hits, %d misses", hits, misses)
+	}
+}
+
+func TestFileCacheEviction(t *testing.T) {
+	// 16 files, cache of 2: every full sweep reopens (capacity pressure),
+	// but handles do not leak and results stay correct.
+	dir, all := writeDataset(t, geom.I3(4, 4, 1), geom.I3(1, 1, 1), 16, nil)
+	ds, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.SetFileCache(2); err != nil {
+		t.Fatal(err)
+	}
+	defer ds.Close()
+	for i := 0; i < 3; i++ {
+		got, _, err := ds.ReadAll(Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Len() != all.Len() {
+			t.Fatalf("sweep %d read %d of %d", i, got.Len(), all.Len())
+		}
+	}
+	if ds.cache.lru.Len() > 2 || len(ds.cache.entries) > 2 {
+		t.Errorf("cache overgrew: %d entries", len(ds.cache.entries))
+	}
+}
+
+func TestFileCacheConcurrentQueries(t *testing.T) {
+	dir, _ := writeDataset(t, geom.I3(4, 2, 1), geom.I3(2, 1, 1), 128, nil)
+	ds, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.SetFileCache(2); err != nil { // smaller than file count: forces eviction under load
+		t.Fatal(err)
+	}
+	defer ds.Close()
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				if _, _, err := ds.ReadAll(Options{Levels: 1 + (g+i)%4}); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestFileCacheDisable(t *testing.T) {
+	dir, _ := writeDataset(t, geom.I3(2, 1, 1), geom.I3(1, 1, 1), 16, nil)
+	ds, _ := Open(dir)
+	ds.SetFileCache(4)
+	if _, _, err := ds.ReadAll(Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.SetFileCache(0); err != nil {
+		t.Fatal(err)
+	}
+	// Disabled: opens count again.
+	_, st, err := ds.ReadAll(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.FilesOpened != 2 {
+		t.Errorf("after disable, opened %d files", st.FilesOpened)
+	}
+}
+
+func TestFsckCleanDataset(t *testing.T) {
+	dir, _ := writeDataset(t, geom.I3(2, 2, 1), geom.I3(2, 1, 1), 50, nil)
+	ds, _ := Open(dir)
+	if problems := ds.Fsck(FsckOptions{Deep: true, Checksums: true}); len(problems) != 0 {
+		t.Errorf("clean dataset reported problems: %v", problems)
+	}
+}
+
+func TestFsckDetectsMissingFile(t *testing.T) {
+	dir, _ := writeDataset(t, geom.I3(2, 2, 1), geom.I3(2, 1, 1), 50, nil)
+	ds, _ := Open(dir)
+	os.Remove(filepath.Join(dir, ds.Meta().Files[0].Name))
+	problems := ds.Fsck(FsckOptions{})
+	if len(problems) != 1 || problems[0].File != ds.Meta().Files[0].Name {
+		t.Errorf("problems = %v", problems)
+	}
+	if problems[0].String() == "" {
+		t.Error("empty problem description")
+	}
+}
+
+func TestFsckDetectsSwappedFiles(t *testing.T) {
+	// Swap two data files on disk: headers disagree with the metadata
+	// counts (and deep check catches out-of-partition particles).
+	dir, _ := writeDataset(t, geom.I3(4, 1, 1), geom.I3(1, 1, 1), 50, nil)
+	ds, _ := Open(dir)
+	a := filepath.Join(dir, ds.Meta().Files[0].Name)
+	b := filepath.Join(dir, ds.Meta().Files[3].Name)
+	tmp := filepath.Join(dir, "swap.tmp")
+	if err := os.Rename(a, tmp); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Rename(b, a); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Rename(tmp, b); err != nil {
+		t.Fatal(err)
+	}
+	problems := ds.Fsck(FsckOptions{Deep: true})
+	if len(problems) == 0 {
+		t.Fatal("swapped files not detected")
+	}
+}

@@ -1,0 +1,98 @@
+package reader
+
+import (
+	"fmt"
+	"path/filepath"
+
+	"spio/internal/format"
+	"spio/internal/lod"
+	"spio/internal/particle"
+)
+
+// Progressive streams a file set level by level: each NextLevel call
+// returns only the *new* particles of the next level of detail, so a
+// visualization can refine its current frame without re-reading what it
+// already has (Section 4: "the application can read and append another
+// level of data to the previously loaded particles to provide
+// progressive refinement").
+type Progressive struct {
+	ds       *Dataset
+	files    []*format.DataFile
+	consumed []int64 // particles already delivered per file
+	base     int64   // per-file level-0 budget
+	level    int     // next level to deliver (0-based)
+	done     bool
+}
+
+// Progressive opens the given entries for level-by-level streaming.
+// readers is n in the LOD formula. Close the returned reader when done.
+func (d *Dataset) Progressive(entries []*format.FileEntry, readers int) (*Progressive, error) {
+	if len(entries) == 0 {
+		return nil, fmt.Errorf("reader: no entries to stream")
+	}
+	if readers <= 0 {
+		readers = 1
+	}
+	p := &Progressive{
+		ds:       d,
+		consumed: make([]int64, len(entries)),
+		base:     perFileBase(d.meta, readers),
+	}
+	for _, e := range entries {
+		df, err := format.OpenDataFile(filepath.Join(d.dir, e.Name))
+		if err != nil {
+			p.Close()
+			return nil, err
+		}
+		p.files = append(p.files, df)
+	}
+	return p, nil
+}
+
+// Level returns the number of levels already delivered.
+func (p *Progressive) Level() int { return p.level }
+
+// Done reports whether every file has been fully streamed.
+func (p *Progressive) Done() bool { return p.done }
+
+// NextLevel reads and returns the increment for the next level of
+// detail: the particles in level p.Level() that have not been delivered
+// yet. It returns (nil, false, nil) once all levels are exhausted.
+func (p *Progressive) NextLevel() (*particle.Buffer, bool, error) {
+	if p.done {
+		return nil, false, nil
+	}
+	out := particle.NewBuffer(p.ds.meta.Schema, 0)
+	remaining := false
+	for i, df := range p.files {
+		target := lod.PrefixCount(df.Header.Count, p.base, df.Header.LOD.Scale, p.level+1)
+		if target > p.consumed[i] {
+			buf, err := df.ReadRange(p.consumed[i], target)
+			if err != nil {
+				return nil, false, err
+			}
+			out.AppendBuffer(buf)
+			p.consumed[i] = target
+		}
+		if p.consumed[i] < df.Header.Count {
+			remaining = true
+		}
+	}
+	p.level++
+	if !remaining {
+		p.done = true
+	}
+	return out, true, nil
+}
+
+// Close releases all file handles.
+func (p *Progressive) Close() error {
+	var first error
+	for _, df := range p.files {
+		if err := df.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	p.files = nil
+	return first
+}

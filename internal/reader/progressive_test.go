@@ -1,0 +1,128 @@
+package reader
+
+import (
+	"testing"
+
+	"spio/internal/geom"
+)
+
+func TestProgressiveStreamsWholeDataset(t *testing.T) {
+	dir, all := writeDataset(t, geom.I3(4, 4, 1), geom.I3(2, 2, 1), 128, nil)
+	ds, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries := AssignFiles(ds.Meta(), 1, 0)
+	p, err := ds.Progressive(entries, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	seen := make(map[float64]bool)
+	total := 0
+	levels := 0
+	var prevInc int
+	for {
+		inc, ok, err := p.NextLevel()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		levels++
+		// Increments are disjoint: no particle arrives twice.
+		ids := inc.Float64Field(inc.Schema().FieldIndex("id"))
+		for _, id := range ids {
+			if seen[id] {
+				t.Fatalf("particle %v delivered twice", id)
+			}
+			seen[id] = true
+		}
+		total += inc.Len()
+		// Geometric-ish growth until the tail (each level at most ~2x+slack
+		// the previous, never smaller than 0 obviously).
+		if prevInc > 0 && inc.Len() > 3*prevInc {
+			t.Errorf("level %d increment %d jumped from %d", levels, inc.Len(), prevInc)
+		}
+		if inc.Len() > 0 {
+			prevInc = inc.Len()
+		}
+	}
+	if total != all.Len() {
+		t.Errorf("streamed %d of %d particles", total, all.Len())
+	}
+	if !p.Done() {
+		t.Error("Done should be true after exhaustion")
+	}
+	if p.Level() != levels {
+		t.Errorf("Level() = %d, delivered %d", p.Level(), levels)
+	}
+	// Further calls keep returning not-ok.
+	if _, ok, _ := p.NextLevel(); ok {
+		t.Error("NextLevel after done should return ok=false")
+	}
+}
+
+func TestProgressiveMatchesBatchLevels(t *testing.T) {
+	// Accumulating k increments must equal a batch read of k levels.
+	dir, _ := writeDataset(t, geom.I3(2, 2, 1), geom.I3(2, 1, 1), 200, nil)
+	ds, _ := Open(dir)
+	entries := AssignFiles(ds.Meta(), 1, 0)
+	p, err := ds.Progressive(entries, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	accumulated := 0
+	for k := 1; k <= 4; k++ {
+		inc, ok, err := p.NextLevel()
+		if err != nil || !ok {
+			t.Fatalf("level %d: %v %v", k, ok, err)
+		}
+		accumulated += inc.Len()
+		batch, _, err := ds.ReadAll(Options{Levels: k, Readers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if accumulated != batch.Len() {
+			t.Fatalf("after %d levels: progressive %d vs batch %d", k, accumulated, batch.Len())
+		}
+	}
+}
+
+func TestProgressivePerReaderSubset(t *testing.T) {
+	// Two readers streaming disjoint file sets cover the dataset.
+	dir, all := writeDataset(t, geom.I3(4, 2, 1), geom.I3(2, 1, 1), 64, nil)
+	ds, _ := Open(dir)
+	total := 0
+	for rdr := 0; rdr < 2; rdr++ {
+		p, err := ds.Progressive(AssignFiles(ds.Meta(), 2, rdr), 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for {
+			inc, ok, err := p.NextLevel()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok {
+				break
+			}
+			total += inc.Len()
+		}
+		p.Close()
+	}
+	if total != all.Len() {
+		t.Errorf("two readers streamed %d of %d", total, all.Len())
+	}
+}
+
+func TestProgressiveEmptyEntries(t *testing.T) {
+	dir, _ := writeDataset(t, geom.I3(2, 1, 1), geom.I3(1, 1, 1), 10, nil)
+	ds, _ := Open(dir)
+	if _, err := ds.Progressive(nil, 1); err == nil {
+		t.Error("empty entry list accepted")
+	}
+}

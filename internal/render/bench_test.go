@@ -1,0 +1,31 @@
+package render
+
+import (
+	"testing"
+
+	"spio/internal/geom"
+	"spio/internal/particle"
+)
+
+func BenchmarkRender256K(b *testing.B) {
+	buf := particle.Uniform(particle.Uintah(), geom.UnitBox(), 1<<18, 7, 0)
+	b.SetBytes(int64(buf.Len()) * 24) // positions touched per frame
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Render(buf, geom.UnitBox(), Options{Width: 256, Height: 256})
+	}
+}
+
+func BenchmarkPSNR(b *testing.B) {
+	x := NewImage(256, 256)
+	y := NewImage(256, 256)
+	for i := range y.Pix {
+		y.Pix[i] = float64(i%7) / 7
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := PSNR(x, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,224 @@
+// Package render is a miniature particle renderer: an orthographic
+// additive splatter producing grayscale images. It exists to reproduce
+// Fig. 9 the way the paper presents it — as pictures: LOD prefixes of a
+// dataset are rendered and compared in image space (RMSE/PSNR), showing
+// that a 25% prefix already "looks like" the full data. Images can be
+// written as PGM for eyeballing.
+package render
+
+import (
+	"bufio"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+
+	"spio/internal/geom"
+	"spio/internal/particle"
+)
+
+// Image is a grayscale float image with values in [0, 1].
+type Image struct {
+	W, H int
+	Pix  []float64
+}
+
+// NewImage returns a black image.
+func NewImage(w, h int) *Image {
+	if w <= 0 || h <= 0 {
+		panic(fmt.Sprintf("render: invalid image size %dx%d", w, h))
+	}
+	return &Image{W: w, H: h, Pix: make([]float64, w*h)}
+}
+
+// At returns the pixel value at (x, y).
+func (im *Image) At(x, y int) float64 { return im.Pix[y*im.W+x] }
+
+// Axis selects the orthographic projection direction.
+type Axis int
+
+// Projection axes. AlongZ is the zero value (the default projection).
+const (
+	AlongZ Axis = iota
+	AlongX
+	AlongY
+)
+
+// Options configures a rendering.
+type Options struct {
+	// Width and Height of the image (defaults 256×256).
+	Width, Height int
+	// Axis is the projection direction (default AlongZ).
+	Axis Axis
+	// Splat is the splat radius in pixels: the kernel is
+	// (2·Splat+1)² pixels (default 1: a 3×3 kernel).
+	Splat int
+	// Weight scales each particle's contribution; with WeightPerSample
+	// true the weight is divided by the sample fraction so sub-sampled
+	// renders are exposure-matched to full renders (the particle-radius
+	// compensation of Fig. 9).
+	Weight         float64
+	SampleFraction float64
+	ExposureGamma  float64 // tone-map exponent (default 0.5: sqrt)
+	DisableToneMap bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Width <= 0 {
+		o.Width = 256
+	}
+	if o.Height <= 0 {
+		o.Height = 256
+	}
+	if o.Splat <= 0 {
+		o.Splat = 1
+	}
+	if o.Weight <= 0 {
+		o.Weight = 1
+	}
+	if o.SampleFraction <= 0 || o.SampleFraction > 1 {
+		o.SampleFraction = 1
+	}
+	if o.ExposureGamma <= 0 {
+		o.ExposureGamma = 0.5
+	}
+	return o
+}
+
+// Render splats the particles onto an image, projecting the domain box
+// orthographically along the chosen axis, and normalizes to [0, 1].
+func Render(buf *particle.Buffer, domain geom.Box, opts Options) *Image {
+	opts = opts.withDefaults()
+	im := NewImage(opts.Width, opts.Height)
+	u0, v0, uw, vw := planeOf(domain, opts.Axis)
+	w := opts.Weight / opts.SampleFraction
+	r := opts.Splat
+
+	for i := 0; i < buf.Len(); i++ {
+		u, v := project(buf.Position(i), opts.Axis)
+		px := int((u - u0) / uw * float64(im.W))
+		py := int((v - v0) / vw * float64(im.H))
+		for dy := -r; dy <= r; dy++ {
+			for dx := -r; dx <= r; dx++ {
+				x, y := px+dx, py+dy
+				if x < 0 || x >= im.W || y < 0 || y >= im.H {
+					continue
+				}
+				im.Pix[y*im.W+x] += w
+			}
+		}
+	}
+
+	// Tone map: gamma compress, then normalize by a robust scale (the
+	// 99th percentile) so a handful of hot pixels cannot change the
+	// exposure of the whole image; clamp the tail to 1.
+	for i, p := range im.Pix {
+		if !opts.DisableToneMap {
+			im.Pix[i] = math.Pow(p, opts.ExposureGamma)
+		}
+		_ = p
+	}
+	scale := percentile(im.Pix, 0.99)
+	if scale > 0 {
+		for i := range im.Pix {
+			v := im.Pix[i] / scale
+			if v > 1 {
+				v = 1
+			}
+			im.Pix[i] = v
+		}
+	}
+	return im
+}
+
+// percentile returns the q-quantile of the positive values of xs (0 if
+// none).
+func percentile(xs []float64, q float64) float64 {
+	var pos []float64
+	for _, x := range xs {
+		if x > 0 {
+			pos = append(pos, x)
+		}
+	}
+	if len(pos) == 0 {
+		return 0
+	}
+	sort.Float64s(pos)
+	i := int(q * float64(len(pos)-1))
+	return pos[i]
+}
+
+func project(p geom.Vec3, axis Axis) (u, v float64) {
+	switch axis {
+	case AlongX:
+		return p.Y, p.Z
+	case AlongY:
+		return p.X, p.Z
+	default:
+		return p.X, p.Y
+	}
+}
+
+func planeOf(domain geom.Box, axis Axis) (u0, v0, uw, vw float64) {
+	switch axis {
+	case AlongX:
+		return domain.Lo.Y, domain.Lo.Z, domain.Size().Y, domain.Size().Z
+	case AlongY:
+		return domain.Lo.X, domain.Lo.Z, domain.Size().X, domain.Size().Z
+	default:
+		return domain.Lo.X, domain.Lo.Y, domain.Size().X, domain.Size().Y
+	}
+}
+
+// RMSE returns the root-mean-square pixel difference of two images of
+// identical shape.
+func RMSE(a, b *Image) (float64, error) {
+	if a.W != b.W || a.H != b.H {
+		return 0, fmt.Errorf("render: image shapes differ (%dx%d vs %dx%d)", a.W, a.H, b.W, b.H)
+	}
+	var se float64
+	for i := range a.Pix {
+		d := a.Pix[i] - b.Pix[i]
+		se += d * d
+	}
+	return math.Sqrt(se / float64(len(a.Pix))), nil
+}
+
+// PSNR returns the peak signal-to-noise ratio in dB of b against
+// reference a (+Inf for identical images).
+func PSNR(a, b *Image) (float64, error) {
+	rmse, err := RMSE(a, b)
+	if err != nil {
+		return 0, err
+	}
+	if rmse == 0 {
+		return math.Inf(1), nil
+	}
+	return 20 * math.Log10(1/rmse), nil
+}
+
+// WritePGM saves the image as a binary 8-bit PGM file.
+func (im *Image) WritePGM(path string) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}()
+	w := bufio.NewWriter(f)
+	fmt.Fprintf(w, "P5\n%d %d\n255\n", im.W, im.H)
+	for _, p := range im.Pix {
+		v := int(p*255 + 0.5)
+		if v > 255 {
+			v = 255
+		}
+		if v < 0 {
+			v = 0
+		}
+		w.WriteByte(byte(v))
+	}
+	return w.Flush()
+}

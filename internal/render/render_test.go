@@ -1,0 +1,132 @@
+package render
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"spio/internal/geom"
+	"spio/internal/lod"
+	"spio/internal/particle"
+)
+
+func TestRenderBasics(t *testing.T) {
+	b := particle.NewBuffer(particle.PositionOnly(), 2)
+	b.Append([]float64{0.25, 0.25, 0.5})
+	b.Append([]float64{0.75, 0.75, 0.5})
+	im := Render(b, geom.UnitBox(), Options{Width: 8, Height: 8, Splat: 1})
+	if im.W != 8 || im.H != 8 {
+		t.Fatalf("image %dx%d", im.W, im.H)
+	}
+	if im.At(2, 2) != 1 || im.At(6, 6) != 1 {
+		t.Errorf("splats missing: %v %v", im.At(2, 2), im.At(6, 6))
+	}
+	if im.At(0, 7) != 0 {
+		t.Errorf("background not black: %v", im.At(0, 7))
+	}
+}
+
+func TestRenderAxes(t *testing.T) {
+	b := particle.NewBuffer(particle.PositionOnly(), 1)
+	b.Append([]float64{0.1, 0.5, 0.9})
+	for _, axis := range []Axis{AlongX, AlongY, AlongZ} {
+		im := Render(b, geom.UnitBox(), Options{Width: 10, Height: 10, Axis: axis})
+		sum := 0.0
+		for _, p := range im.Pix {
+			sum += p
+		}
+		if sum <= 0 {
+			t.Errorf("axis %d: empty image", axis)
+		}
+	}
+}
+
+func TestRenderNormalized(t *testing.T) {
+	b := particle.Uniform(particle.Uintah(), geom.UnitBox(), 5000, 3, 0)
+	im := Render(b, geom.UnitBox(), Options{Width: 32, Height: 32})
+	mx := 0.0
+	for _, p := range im.Pix {
+		if p < 0 || p > 1 {
+			t.Fatalf("pixel %v out of range", p)
+		}
+		if p > mx {
+			mx = p
+		}
+	}
+	if mx != 1 {
+		t.Errorf("max pixel %v, want 1 after normalization", mx)
+	}
+}
+
+func TestRMSEAndPSNR(t *testing.T) {
+	a := NewImage(4, 4)
+	b := NewImage(4, 4)
+	if r, err := RMSE(a, b); err != nil || r != 0 {
+		t.Errorf("identical RMSE = %v, %v", r, err)
+	}
+	if p, err := PSNR(a, b); err != nil || !math.IsInf(p, 1) {
+		t.Errorf("identical PSNR = %v, %v", p, err)
+	}
+	b.Pix[0] = 1
+	r, err := RMSE(a, b)
+	if err != nil || math.Abs(r-0.25) > 1e-12 { // sqrt(1/16)
+		t.Errorf("RMSE = %v, %v", r, err)
+	}
+	if _, err := RMSE(a, NewImage(3, 3)); err == nil {
+		t.Error("shape mismatch accepted")
+	}
+}
+
+func TestLODPrefixRendersLikeFullData(t *testing.T) {
+	// The Fig. 9 claim in image space: a shuffled 25% prefix renders
+	// close to the full dataset; an unshuffled 25% prefix (rank order)
+	// does not.
+	domain := geom.UnitBox()
+	full := particle.NewBuffer(particle.Uintah(), 0)
+	g := geom.NewGrid(domain, geom.I3(4, 1, 1))
+	for rank := 0; rank < 4; rank++ {
+		full.AppendBuffer(particle.Injection(particle.Uintah(), domain, g.CellBoxLinear(rank), 8000, 0.8, 7, rank))
+	}
+	opts := Options{Width: 64, Height: 64}
+	ref := Render(full, domain, opts)
+
+	quarter := full.Len() / 4
+	unshuffledOpts := opts
+	unshuffledOpts.SampleFraction = 0.25
+	badImg := Render(full.Slice(0, quarter), domain, unshuffledOpts)
+	badPSNR, _ := PSNR(ref, badImg)
+
+	shuffled := full.Slice(0, full.Len())
+	lod.Shuffle(shuffled, 3)
+	goodImg := Render(shuffled.Slice(0, quarter), domain, unshuffledOpts)
+	goodPSNR, _ := PSNR(ref, goodImg)
+
+	if goodPSNR <= badPSNR+2 {
+		t.Errorf("shuffled 25%% PSNR %.1f dB should clearly beat unshuffled %.1f dB", goodPSNR, badPSNR)
+	}
+	if goodPSNR < 15 {
+		t.Errorf("shuffled 25%% render PSNR %.1f dB too low to be 'representative'", goodPSNR)
+	}
+}
+
+func TestWritePGM(t *testing.T) {
+	im := NewImage(3, 2)
+	im.Pix = []float64{0, 0.5, 1, 1, 0.5, 0}
+	path := filepath.Join(t.TempDir(), "out.pgm")
+	if err := im.WritePGM(path); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "P5\n3 2\n255\n"
+	if string(raw[:len(want)]) != want {
+		t.Errorf("header %q", raw[:len(want)])
+	}
+	pix := raw[len(want):]
+	if len(pix) != 6 || pix[0] != 0 || pix[2] != 255 {
+		t.Errorf("pixels % d", pix)
+	}
+}

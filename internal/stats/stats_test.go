@@ -1,0 +1,136 @@
+package stats
+
+import (
+	"testing"
+
+	"spio/internal/geom"
+	"spio/internal/lod"
+	"spio/internal/particle"
+)
+
+func TestCompareIdentical(t *testing.T) {
+	b := particle.Uniform(particle.Uintah(), geom.UnitBox(), 1000, 3, 0)
+	rep, err := Compare(b, b, geom.I3(4, 4, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.SubsetFraction != 1 || rep.Coverage != 1 || rep.DensityRMSE != 0 {
+		t.Errorf("self comparison: %+v", rep)
+	}
+}
+
+func TestCompareEmptySubset(t *testing.T) {
+	full := particle.Uniform(particle.Uintah(), geom.UnitBox(), 100, 3, 0)
+	rep, err := Compare(particle.NewBuffer(particle.Uintah(), 0), full, geom.I3(2, 2, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Coverage != 0 || rep.DensityRMSE != 1 {
+		t.Errorf("empty subset: %+v", rep)
+	}
+}
+
+func TestCompareEmptyReferenceFails(t *testing.T) {
+	if _, err := Compare(particle.NewBuffer(particle.Uintah(), 0), particle.NewBuffer(particle.Uintah(), 0), geom.I3(2, 2, 2)); err == nil {
+		t.Error("empty reference accepted")
+	}
+}
+
+func TestShuffledPrefixIsRepresentative(t *testing.T) {
+	// Fig. 9's claim, quantified: a 25% LOD prefix of shuffled data
+	// covers nearly all occupied cells with low density error.
+	full := particle.Clustered(particle.Uintah(), geom.UnitBox(), 20000, 4, 7, 0)
+	lod.Shuffle(full, 3)
+	reps, err := PrefixReports(full, geom.I3(8, 8, 8), []float64{0.25, 0.5, 0.75, 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reps[0].Coverage < 0.8 {
+		t.Errorf("25%% prefix coverage %.2f, want ≥0.8", reps[0].Coverage)
+	}
+	if reps[0].DensityRMSE > 0.2 {
+		t.Errorf("25%% prefix density RMSE %.3f, want ≤0.2", reps[0].DensityRMSE)
+	}
+	// Quality improves monotonically with more data.
+	for i := 1; i < len(reps); i++ {
+		if reps[i].DensityRMSE > reps[i-1].DensityRMSE+1e-9 {
+			t.Errorf("RMSE not monotone: %+v", reps)
+		}
+		if reps[i].Coverage < reps[i-1].Coverage {
+			t.Errorf("coverage not monotone: %+v", reps)
+		}
+	}
+	if reps[3].DensityRMSE != 0 || reps[3].Coverage != 1 {
+		t.Errorf("100%% prefix should be perfect: %+v", reps[3])
+	}
+}
+
+func TestUnshuffledPrefixIsNotRepresentative(t *testing.T) {
+	// Control: without LOD reordering, a 25% prefix of rank-ordered data
+	// covers a thin slab only — the reason the paper reorders at all.
+	full := particle.NewBuffer(particle.Uintah(), 0)
+	g := geom.NewGrid(geom.UnitBox(), geom.I3(4, 1, 1))
+	for rank := 0; rank < 4; rank++ {
+		full.AppendBuffer(particle.Uniform(particle.Uintah(), g.CellBoxLinear(rank), 2500, 7, rank))
+	}
+	rep, err := Compare(full.Slice(0, full.Len()/4), full, geom.I3(8, 8, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Coverage > 0.5 {
+		t.Errorf("unshuffled 25%% prefix coverage %.2f should be poor", rep.Coverage)
+	}
+	if rep.DensityRMSE < 0.5 {
+		t.Errorf("unshuffled 25%% prefix RMSE %.3f should be large", rep.DensityRMSE)
+	}
+}
+
+func TestDensityOrderingBeatsRandomAtTinyPrefix(t *testing.T) {
+	// Ablation backing the DensityStratified heuristic: at very small
+	// prefixes, stratified ordering covers at least as many cells.
+	mk := func() *particle.Buffer {
+		return particle.Clustered(particle.Uintah(), geom.UnitBox(), 8000, 5, 11, 0)
+	}
+	dims := geom.I3(8, 8, 8)
+	rnd := mk()
+	lod.Shuffle(rnd, 5)
+	strat := mk()
+	lod.Stratify(strat, dims, 5)
+	frac := []float64{0.02}
+	rRep, err := PrefixReports(rnd, dims, frac)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sRep, err := PrefixReports(strat, dims, frac)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sRep[0].Coverage < rRep[0].Coverage {
+		t.Errorf("stratified coverage %.3f < random %.3f at 2%% prefix", sRep[0].Coverage, rRep[0].Coverage)
+	}
+}
+
+func TestPrefixReportsValidatesFractions(t *testing.T) {
+	b := particle.Uniform(particle.Uintah(), geom.UnitBox(), 10, 1, 0)
+	if _, err := PrefixReports(b, geom.I3(2, 2, 2), []float64{1.5}); err == nil {
+		t.Error("fraction > 1 accepted")
+	}
+}
+
+func TestHistogramCounts(t *testing.T) {
+	b := particle.NewBuffer(particle.PositionOnly(), 3)
+	b.Append([]float64{0.1, 0.1, 0.1})
+	b.Append([]float64{0.9, 0.9, 0.9})
+	b.Append([]float64{0.95, 0.95, 0.95})
+	h := Histogram(b, geom.UnitBox(), geom.I3(2, 2, 2))
+	if h[0] != 1 || h[7] != 2 {
+		t.Errorf("histogram = %v", h)
+	}
+	total := 0.0
+	for _, c := range h {
+		total += c
+	}
+	if total != 3 {
+		t.Errorf("histogram total = %v", total)
+	}
+}

@@ -1,0 +1,69 @@
+package spio
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"spio/internal/core"
+	"spio/internal/reader"
+)
+
+// Time-series conventions: a simulation writes one dataset directory per
+// checkpoint under a common base directory, named t000000, t000001, ….
+// These helpers manage such a series.
+
+// StepDir returns the dataset directory for one timestep.
+func StepDir(base string, step int) string {
+	return filepath.Join(base, fmt.Sprintf("t%06d", step))
+}
+
+// Steps lists the timesteps present under base (directories matching the
+// StepDir convention that contain a readable metadata file), sorted.
+func Steps(base string) ([]int, error) {
+	entries, err := os.ReadDir(base)
+	if err != nil {
+		return nil, err
+	}
+	var steps []int
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		var step int
+		if _, err := fmt.Sscanf(e.Name(), "t%06d", &step); err != nil {
+			continue
+		}
+		if e.Name() != fmt.Sprintf("t%06d", step) {
+			continue
+		}
+		if _, err := reader.Open(filepath.Join(base, e.Name())); err != nil {
+			continue
+		}
+		steps = append(steps, step)
+	}
+	sort.Ints(steps)
+	return steps, nil
+}
+
+// WriteStep writes one timestep of a series (Write into StepDir).
+func WriteStep(c *Comm, base string, step int, cfg WriteConfig, local *Buffer) (WriteResult, error) {
+	return core.Write(c, StepDir(base, step), cfg, local)
+}
+
+// OpenStep opens one timestep of a series.
+func OpenStep(base string, step int) (*Dataset, error) {
+	return reader.Open(StepDir(base, step))
+}
+
+// Restart collectively loads the particles of each calling rank's patch
+// from a checkpoint, for a job of any size (simDims.Volume() must equal
+// the world size, but need not match the writer count).
+func Restart(c *Comm, dir string, domain Box, simDims Idx3) (*Buffer, error) {
+	return reader.Restart(c, dir, domain, simDims)
+}
+
+// ProgressiveReader streams a file set level by level; see
+// Dataset.Progressive.
+type ProgressiveReader = reader.Progressive

@@ -1,0 +1,244 @@
+// Package spio is a spatially-aware parallel I/O library for particle
+// data, reproducing Kumar, Petruzza, Usher and Pascucci, "Spatially-aware
+// Parallel I/O for Particle Data" (ICPP 2019).
+//
+// The library writes particle datasets through a two-phase,
+// spatially-aware aggregation: an aggregation-grid imposed on the
+// simulation domain groups spatially-near ranks' particles onto
+// aggregator processes, each of which writes one file after reordering
+// its particles into an implicit level-of-detail (LOD) hierarchy. A
+// small spatial metadata file maps every data file to the disjoint
+// region whose particles it holds, so post-processing readers — which
+// typically run on far fewer processes than the writers — open exactly
+// the files their box queries intersect, and can read any prefix of a
+// file as a lower-resolution representative subset.
+//
+// # Writing
+//
+// Ranks are goroutines of an in-process message-passing world (the Go
+// substitute for MPI). Every rank calls Write collectively:
+//
+//	cfg := spio.WriteConfig{
+//		Agg: spio.AggConfig{
+//			Domain:  spio.UnitBox(),
+//			SimDims: spio.I3(4, 4, 1), // one patch per rank
+//			Factor:  spio.I3(2, 2, 1), // aggregation partition factor
+//		},
+//	}
+//	err := spio.Run(16, func(c *spio.Comm) error {
+//		local := spio.Uniform(spio.UintahSchema(), patchOf(c.Rank()), 32768, seed, c.Rank())
+//		_, err := spio.Write(c, "out/t0000", cfg, local)
+//		return err
+//	})
+//
+// # Reading
+//
+//	ds, _ := spio.Open("out/t0000")
+//	buf, stats, _ := ds.QueryBox(region, spio.QueryOptions{Levels: 4, Readers: 4})
+//
+// # Performance modelling
+//
+// The internal perfmodel/machine packages (exposed through
+// cmd/spiobench) price write/read plans on calibrated models of the
+// paper's platforms, regenerating its evaluation figures.
+package spio
+
+import (
+	"spio/internal/agg"
+	"spio/internal/core"
+	"spio/internal/format"
+	"spio/internal/geom"
+	"spio/internal/lod"
+	"spio/internal/mpi"
+	"spio/internal/particle"
+	"spio/internal/profile"
+	"spio/internal/reader"
+)
+
+// Geometry vocabulary.
+type (
+	// Vec3 is a 3D point.
+	Vec3 = geom.Vec3
+	// Box is an axis-aligned box, half-open per axis.
+	Box = geom.Box
+	// Idx3 is an integer 3D lattice coordinate.
+	Idx3 = geom.Idx3
+	// Grid is a rectilinear partitioning of a box.
+	Grid = geom.Grid
+)
+
+// V3 constructs a Vec3.
+func V3(x, y, z float64) Vec3 { return geom.V3(x, y, z) }
+
+// I3 constructs an Idx3.
+func I3(x, y, z int) Idx3 { return geom.I3(x, y, z) }
+
+// NewBox returns the box spanning [lo, hi).
+func NewBox(lo, hi Vec3) Box { return geom.NewBox(lo, hi) }
+
+// UnitBox returns the unit cube.
+func UnitBox() Box { return geom.UnitBox() }
+
+// NewGrid partitions a domain into dims cells.
+func NewGrid(domain Box, dims Idx3) Grid { return geom.NewGrid(domain, dims) }
+
+// Unlinear inverts row-major linearization (rank → patch coordinate).
+func Unlinear(idx int, dims Idx3) Idx3 { return geom.Unlinear(idx, dims) }
+
+// Particle data model.
+type (
+	// Schema is an ordered list of typed particle variables.
+	Schema = particle.Schema
+	// Field is one variable of a schema.
+	Field = particle.Field
+	// Kind is a field's element type.
+	Kind = particle.Kind
+	// Buffer holds one rank's (or one file's) particles.
+	Buffer = particle.Buffer
+)
+
+// Field element kinds.
+const (
+	Float64 = particle.Float64
+	Float32 = particle.Float32
+)
+
+// NewSchema validates and builds a schema; the first field must be the
+// 3-component float64 position.
+func NewSchema(fields []Field) (*Schema, error) { return particle.NewSchema(fields) }
+
+// UintahSchema is the paper's evaluation schema: 15 doubles + 1 float,
+// 124 bytes per particle.
+func UintahSchema() *Schema { return particle.Uintah() }
+
+// PositionOnlySchema holds just positions.
+func PositionOnlySchema() *Schema { return particle.PositionOnly() }
+
+// NewBuffer returns an empty particle buffer.
+func NewBuffer(schema *Schema, capHint int) *Buffer { return particle.NewBuffer(schema, capHint) }
+
+// Workload generators (deterministic in seed and rank).
+var (
+	// Uniform fills a patch uniformly.
+	Uniform = particle.Uniform
+	// Clustered draws from Gaussian blobs inside the patch.
+	Clustered = particle.Clustered
+	// Injection emits particles advected from the low-X face (Fig. 9/10
+	// style).
+	Injection = particle.Injection
+	// Occupancy confines the global load to a domain fraction (Fig. 11
+	// workload).
+	Occupancy = particle.Occupancy
+	// Advect moves particles, reflecting at domain walls.
+	Advect = particle.Advect
+)
+
+// Message passing.
+type (
+	// Comm is one rank's communicator.
+	Comm = mpi.Comm
+	// World is a set of communicating ranks.
+	World = mpi.World
+)
+
+// Run executes fn on n goroutine ranks and waits for all of them.
+func Run(n int, fn func(c *Comm) error) error { return mpi.Run(n, fn) }
+
+// NewWorld creates a rank world for repeated collective operations.
+func NewWorld(n int) *World { return mpi.NewWorld(n) }
+
+// Write-side configuration.
+type (
+	// AggConfig is the aggregation setup (domain, patch decomposition,
+	// partition factor).
+	AggConfig = agg.Config
+	// WriteConfig configures a dataset write.
+	WriteConfig = core.WriteConfig
+	// WriteResult is one rank's report of a completed write.
+	WriteResult = core.WriteResult
+	// Timing is the per-phase write timing breakdown.
+	Timing = agg.Timing
+	// LODParams configures the level-of-detail layout.
+	LODParams = lod.Params
+	// Heuristic selects the LOD reorder strategy.
+	Heuristic = lod.Heuristic
+)
+
+// LOD reorder heuristics.
+const (
+	// RandomLOD is the paper's default random reshuffle.
+	RandomLOD = lod.Random
+	// DensityLOD is the density-stratified alternative.
+	DensityLOD = lod.DensityStratified
+)
+
+// DefaultLOD returns the paper's LOD parameters (P=32, S=2).
+func DefaultLOD() LODParams { return lod.DefaultParams() }
+
+// Write runs the paper's 8-step write pipeline collectively; every rank
+// of the world must call it with the same dir and cfg.
+func Write(c *Comm, dir string, cfg WriteConfig, local *Buffer) (WriteResult, error) {
+	return core.Write(c, dir, cfg, local)
+}
+
+// PendingWrite is a handle to an in-flight asynchronous checkpoint.
+type PendingWrite = core.PendingWrite
+
+// WriteAsync starts Write in the background on a duplicated communicator
+// so the simulation can overlap compute and its own communication with
+// the checkpoint. Ownership of local transfers to the write until
+// Wait returns. Collective (same ordering rules as Write).
+func WriteAsync(c *Comm, dir string, cfg WriteConfig, local *Buffer) *PendingWrite {
+	return core.WriteAsync(c, dir, cfg, local)
+}
+
+// WriteProfile is the fleet-wide phase-timing summary of a collective
+// write (min/mean/max per pipeline phase).
+type WriteProfile = profile.Report
+
+// CollectProfile gathers every rank's WriteResult on rank 0 and returns
+// the fleet profile there (nil elsewhere). Collective.
+func CollectProfile(c *Comm, res WriteResult) (*WriteProfile, error) {
+	return profile.Collect(c, res)
+}
+
+// Read side.
+type (
+	// Dataset is an open spio dataset directory.
+	Dataset = reader.Dataset
+	// QueryOptions configures a read.
+	QueryOptions = reader.Options
+	// ReadStats counts the file work a read performed.
+	ReadStats = reader.Stats
+	// Meta is the decoded spatial metadata file.
+	Meta = format.Meta
+	// FileEntry is one data file's metadata row.
+	FileEntry = format.FileEntry
+)
+
+// Open reads and validates a dataset's spatial metadata.
+func Open(dir string) (*Dataset, error) { return reader.Open(dir) }
+
+// Dataset integrity checking (Dataset.Fsck).
+type (
+	// FsckOptions controls how deep Dataset.Fsck checks go.
+	FsckOptions = reader.FsckOptions
+	// Problem is one inconsistency Fsck found.
+	Problem = reader.Problem
+)
+
+// AssignFiles deals a dataset's files to nReaders readers in
+// spatially-contiguous (Morton-ordered) chunks.
+func AssignFiles(meta *Meta, nReaders, rdr int) []*FileEntry {
+	return reader.AssignFiles(meta, nReaders, rdr)
+}
+
+// ScanWithoutMetadata is the spatially-blind fallback read: open every
+// data file, read everything, cherry-pick the box.
+func ScanWithoutMetadata(dir string, schema *Schema, q Box) (*Buffer, ReadStats, error) {
+	return reader.ScanWithoutMetadata(dir, schema, q)
+}
+
+// LevelSizes returns the per-level particle counts of the LOD hierarchy
+// for a dataset of total particles read at base granularity base = n·P.
+func LevelSizes(total, base int64, scale int) []int64 { return lod.LevelSizes(total, base, scale) }

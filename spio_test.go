@@ -1,0 +1,155 @@
+package spio_test
+
+import (
+	"fmt"
+	"testing"
+
+	"spio"
+)
+
+// TestPublicAPIEndToEnd drives the whole library through the public
+// facade only: collective write, metadata-driven box query, LOD read,
+// reader/writer decoupling.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	const nRanks = 16
+	simDims := spio.I3(4, 4, 1)
+	domain := spio.UnitBox()
+	grid := spio.NewGrid(domain, simDims)
+	cfg := spio.WriteConfig{
+		Agg: spio.AggConfig{Domain: domain, SimDims: simDims, Factor: spio.I3(2, 2, 1)},
+	}
+	err := spio.Run(nRanks, func(c *spio.Comm) error {
+		patch := grid.CellBox(spio.Unlinear(c.Rank(), simDims))
+		local := spio.Uniform(spio.UintahSchema(), patch, 200, 7, c.Rank())
+		res, err := spio.Write(c, dir, cfg, local)
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 && res.Partition != 0 {
+			return fmt.Errorf("rank 0 should aggregate partition 0, got %d", res.Partition)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ds, err := spio.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Meta().Total != nRanks*200 {
+		t.Fatalf("total = %d", ds.Meta().Total)
+	}
+	if len(ds.Meta().Files) != 4 {
+		t.Fatalf("files = %d", len(ds.Meta().Files))
+	}
+
+	// Box query touches one file and returns only in-box particles.
+	q := spio.NewBox(spio.V3(0.05, 0.05, 0.05), spio.V3(0.45, 0.45, 0.95))
+	buf, st, err := ds.QueryBox(q, spio.QueryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.FilesOpened != 1 {
+		t.Errorf("opened %d files", st.FilesOpened)
+	}
+	for i := 0; i < buf.Len(); i++ {
+		if !q.ContainsClosed(buf.Position(i)) {
+			t.Fatal("query returned out-of-box particle")
+		}
+	}
+
+	// Progressive LOD: level prefixes grow toward the full set.
+	lo, _, err := ds.ReadAll(spio.QueryOptions{Levels: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hi, _, err := ds.ReadAll(spio.QueryOptions{Levels: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo.Len() >= hi.Len() || int64(hi.Len()) != ds.Meta().Total {
+		t.Errorf("LOD sizes: level1=%d, all=%d", lo.Len(), hi.Len())
+	}
+
+	// Read with a different process count than the write (4 readers for
+	// a 16-rank write).
+	seen := 0
+	for rdr := 0; rdr < 4; rdr++ {
+		entries := spio.AssignFiles(ds.Meta(), 4, rdr)
+		part, _, err := ds.ReadEntries(entries, domain, spio.QueryOptions{NoFilter: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen += part.Len()
+	}
+	if int64(seen) != ds.Meta().Total {
+		t.Errorf("4-reader union = %d", seen)
+	}
+
+	// The spatially-blind fallback agrees with the metadata path.
+	blind, blindStats, err := spio.ScanWithoutMetadata(dir, spio.UintahSchema(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if blind.Len() != buf.Len() {
+		t.Errorf("blind scan found %d, query found %d", blind.Len(), buf.Len())
+	}
+	if blindStats.FilesOpened != 4 {
+		t.Errorf("blind scan opened %d files", blindStats.FilesOpened)
+	}
+}
+
+func TestPublicSchemaAndLOD(t *testing.T) {
+	s, err := spio.NewSchema([]spio.Field{
+		{Name: "position", Kind: spio.Float64, Components: 3},
+		{Name: "mass", Kind: spio.Float32, Components: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Stride() != 28 {
+		t.Errorf("stride = %d", s.Stride())
+	}
+	if spio.UintahSchema().Stride() != 124 {
+		t.Error("Uintah schema should be 124 bytes/particle")
+	}
+	sizes := spio.LevelSizes(100, 32, 2)
+	if len(sizes) != 3 || sizes[0] != 32 || sizes[1] != 64 || sizes[2] != 4 {
+		t.Errorf("LevelSizes = %v", sizes)
+	}
+	if spio.DefaultLOD().BasePerReader != 32 {
+		t.Error("default P should be 32")
+	}
+}
+
+func TestPublicAdaptiveWrite(t *testing.T) {
+	dir := t.TempDir()
+	simDims := spio.I3(4, 2, 1)
+	domain := spio.UnitBox()
+	grid := spio.NewGrid(domain, simDims)
+	cfg := spio.WriteConfig{
+		Agg:      spio.AggConfig{Domain: domain, SimDims: simDims, Factor: spio.I3(2, 1, 1)},
+		Adaptive: true,
+	}
+	err := spio.Run(8, func(c *spio.Comm) error {
+		patch := grid.CellBox(spio.Unlinear(c.Rank(), simDims))
+		local := spio.Occupancy(spio.UintahSchema(), domain, patch, 100, 0.5, 3, c.Rank())
+		_, err := spio.Write(c, dir, cfg, local)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := spio.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fe := range ds.Meta().Files {
+		if fe.Count == 0 {
+			t.Error("adaptive write left an empty file")
+		}
+	}
+}
