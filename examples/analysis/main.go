@@ -45,7 +45,9 @@ func main() {
 		log.Fatal(err)
 	}
 	// Keep file handles warm across the queries below.
-	ds.SetFileCache(8)
+	if err := ds.SetFileCache(8); err != nil {
+		log.Fatal(err)
+	}
 	defer ds.Close()
 	fmt.Printf("dataset: %d particles in %d files\n\n", ds.Meta().Total, len(ds.Meta().Files))
 

@@ -1,0 +1,188 @@
+// Package analysis is a stdlib-only static-analysis engine (go/ast +
+// go/types + go/importer — no external dependencies) carrying the
+// project-specific analyzers behind cmd/spiolint.
+//
+// The analyzers encode the correctness contracts the runtime cannot
+// fully enforce:
+//
+//   - collorder: every rank must issue the same collective sequence, so
+//     a collective call control-dependent on the rank is a deadlock in
+//     waiting (internal/mpi documents the SPMD contract; guard.go
+//     catches kind mismatches at runtime, but a skipped collective can
+//     still hang, which only static analysis can reject up front).
+//   - bufhandoff: WriteAsync transfers ownership of the particle buffer
+//     until Wait returns (spio.go), so any use in between is a data
+//     race with the background checkpoint.
+//   - errdrop: the write/read APIs report partial failure through
+//     error and WriteResult returns; dropping them silently corrupts
+//     the "every rank observed the same outcome" reasoning the
+//     collective pipeline depends on.
+//   - tagclash: user point-to-point tags must stay inside
+//     [0, mpi.UserTagSpace); everything else is the reserved collective
+//     tag namespace (internal/mpi/coll.go).
+//
+// The engine is deliberately small: packages are loaded with `go list`,
+// parsed and type-checked with the stdlib source importer, and each
+// analyzer gets one type-checked package at a time.
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"io"
+	"sort"
+)
+
+// Analyzer is one named check over a type-checked package.
+type Analyzer struct {
+	// Name is the analyzer's short identifier, prefixed to diagnostics.
+	Name string
+	// Doc is a one-line description.
+	Doc string
+	// Run inspects the package in pass and reports findings via
+	// pass.Reportf.
+	Run func(pass *Pass)
+}
+
+// Pass carries one analyzer's view of one package.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Package:  p.Pkg.Path(),
+		Position: p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Analyzer string
+	Package  string
+	Position token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Position, d.Analyzer, d.Message)
+}
+
+// Analyzers returns the full spiolint suite.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{CollOrder, BufHandoff, ErrDrop, TagClash}
+}
+
+// ByName returns the named analyzers, or an error naming the unknown
+// one.
+func ByName(names []string) ([]*Analyzer, error) {
+	all := Analyzers()
+	if len(names) == 0 {
+		return all, nil
+	}
+	var out []*Analyzer
+	for _, n := range names {
+		found := false
+		for _, a := range all {
+			if a.Name == n {
+				out = append(out, a)
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("unknown analyzer %q", n)
+		}
+	}
+	return out, nil
+}
+
+// Run applies every analyzer to every package and returns the combined
+// findings sorted by file position.
+func Run(analyzers []*Analyzer, pkgs []*Package) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				diags:    &diags,
+			}
+			a.Run(pass)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		pi, pj := diags[i].Position, diags[j].Position
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		if pi.Column != pj.Column {
+			return pi.Column < pj.Column
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+	return diags
+}
+
+// WriteText prints diagnostics one per line in file:line:col form.
+func WriteText(w io.Writer, diags []Diagnostic) {
+	for _, d := range diags {
+		fmt.Fprintln(w, d.String())
+	}
+}
+
+// jsonDiagnostic is the -json wire form of one finding.
+type jsonDiagnostic struct {
+	Analyzer string `json:"analyzer"`
+	Package  string `json:"package"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Message  string `json:"message"`
+}
+
+// WriteJSON prints diagnostics as a JSON array.
+func WriteJSON(w io.Writer, diags []Diagnostic) error {
+	out := make([]jsonDiagnostic, len(diags))
+	for i, d := range diags {
+		out[i] = jsonDiagnostic{
+			Analyzer: d.Analyzer,
+			Package:  d.Package,
+			File:     d.Position.Filename,
+			Line:     d.Position.Line,
+			Column:   d.Position.Column,
+			Message:  d.Message,
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// typesInfo allocates the Info maps the analyzers need.
+func typesInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+}

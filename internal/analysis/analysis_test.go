@@ -1,0 +1,142 @@
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// wantRe extracts the expectation pattern from a `// want "..."`
+// comment in a fixture file.
+var wantRe = regexp.MustCompile(`// want "([^"]*)"`)
+
+// expectation is one `// want` comment: a diagnostic must appear on
+// this file:line with a message matching pattern.
+type expectation struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+func loadFixture(t *testing.T, name string) *Package {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", name)
+	pkg, err := LoadDir(dir, "fixture/"+name)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", name, err)
+	}
+	return pkg
+}
+
+func parseWants(t *testing.T, pkg *Package) []*expectation {
+	t.Helper()
+	var wants []*expectation
+	for _, file := range pkg.Files {
+		for _, group := range file.Comments {
+			for _, c := range group.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				re, err := regexp.Compile(m[1])
+				if err != nil {
+					t.Fatalf("bad want pattern %q: %v", m[1], err)
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				wants = append(wants, &expectation{
+					file:    filepath.Base(pos.Filename),
+					line:    pos.Line,
+					pattern: re,
+				})
+			}
+		}
+	}
+	return wants
+}
+
+// TestAnalyzerFixtures runs each analyzer over its golden fixture
+// package and checks the diagnostics against the `// want` comments:
+// every want must be hit, and every diagnostic must be wanted. Each
+// fixture contains at least two true positives and at least one
+// deliberately clean shape (for collorder, the rank-0-writes-metadata
+// pattern used by internal/core).
+func TestAnalyzerFixtures(t *testing.T) {
+	for _, a := range Analyzers() {
+		a := a
+		t.Run(a.Name, func(t *testing.T) {
+			pkg := loadFixture(t, a.Name)
+			wants := parseWants(t, pkg)
+			if len(wants) < 2 {
+				t.Fatalf("fixture for %s declares %d wants; need at least 2 true positives", a.Name, len(wants))
+			}
+			diags := Run([]*Analyzer{a}, []*Package{pkg})
+			for _, d := range diags {
+				if d.Analyzer != a.Name {
+					t.Errorf("diagnostic from unexpected analyzer %s: %s", d.Analyzer, d)
+					continue
+				}
+				matched := false
+				for _, w := range wants {
+					if w.file == filepath.Base(d.Position.Filename) && w.line == d.Position.Line && w.pattern.MatchString(d.Message) {
+						w.matched = true
+						matched = true
+					}
+				}
+				if !matched {
+					t.Errorf("unexpected diagnostic (no matching want): %s", d)
+				}
+			}
+			for _, w := range wants {
+				if !w.matched {
+					t.Errorf("want %q at %s:%d: no diagnostic reported", w.pattern, w.file, w.line)
+				}
+			}
+		})
+	}
+}
+
+// TestRepoClean dogfoods the full analyzer suite over the whole module
+// and requires zero diagnostics: the repo itself is the largest
+// negative fixture, and any true positive found later must be fixed,
+// not suppressed.
+func TestRepoClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short mode")
+	}
+	pkgs, err := Load([]string{"spio/..."})
+	if err != nil {
+		t.Fatalf("loading module packages: %v", err)
+	}
+	diags := Run(Analyzers(), pkgs)
+	if len(diags) > 0 {
+		var b strings.Builder
+		for _, d := range diags {
+			fmt.Fprintf(&b, "\n  %s", d)
+		}
+		t.Errorf("spiolint reports %d diagnostics on the repo (must be clean):%s", len(diags), b.String())
+	}
+}
+
+// TestLoadDirRejectsMissing covers the fixture loader's error path.
+func TestLoadDirRejectsMissing(t *testing.T) {
+	if _, err := LoadDir(filepath.Join("testdata", "src", "nosuch"), "fixture/nosuch"); err == nil {
+		t.Fatal("LoadDir on a missing directory: want error, got nil")
+	}
+}
+
+// TestDiagnosticString pins the file:line:col prefix format the CI
+// gate greps for.
+func TestDiagnosticString(t *testing.T) {
+	d := Diagnostic{
+		Analyzer: "collorder",
+		Position: token.Position{Filename: "x.go", Line: 3, Column: 7},
+		Message:  "boom",
+	}
+	if got, want := d.String(), "x.go:3:7: collorder: boom"; got != want {
+		t.Fatalf("Diagnostic.String() = %q, want %q", got, want)
+	}
+}

@@ -1,0 +1,157 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// BufHandoff enforces the WriteAsync ownership transfer documented in
+// spio.go: "Ownership of local transfers to the write until Wait
+// returns: the caller must not modify the buffer in between." Any use
+// of a *particle.Buffer between passing it to WriteAsync (spio or
+// internal/core spelling) and calling Wait on the returned handle races
+// with the background checkpoint, so it is flagged.
+//
+// The check is per function and straight-line: statements are ordered
+// by source position, a buffer is tainted from the WriteAsync call to
+// the Wait on that call's result (or to the end of the function if the
+// handle is discarded or never waited on), and reassigning the buffer
+// variable ends its taint (the old buffer is no longer reachable
+// through it). Uses inside function literals are flagged too — a
+// closure reading the buffer while the checkpoint runs is exactly the
+// race — but literal bodies are scanned only for uses, not for Waits,
+// since their execution time is unknown.
+var BufHandoff = &Analyzer{
+	Name: "bufhandoff",
+	Doc:  "flags uses of a particle.Buffer between WriteAsync handoff and Wait (ownership race)",
+	Run:  runBufHandoff,
+}
+
+// handoff is one WriteAsync call's taint interval.
+type handoff struct {
+	bufObj  types.Object // the buffer variable handed off
+	pendObj types.Object // the PendingWrite variable, if bound
+	start   token.Pos    // end of the WriteAsync call
+	end     token.Pos    // position of the matching Wait (or NoPos = function end)
+}
+
+func runBufHandoff(pass *Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			fd, ok := n.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				return true
+			}
+			checkHandoffs(pass, fd.Body)
+			return true
+		})
+	}
+}
+
+func checkHandoffs(pass *Pass, body *ast.BlockStmt) {
+	var handoffs []*handoff
+
+	// Pass 1: find WriteAsync calls and bind them to their result
+	// variable when the call is the sole RHS of an assignment.
+	ast.Inspect(body, func(n ast.Node) bool {
+		var call *ast.CallExpr
+		var pend types.Object
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Rhs) == 1 {
+				if c, ok := n.Rhs[0].(*ast.CallExpr); ok && isWriteAsync(pass.Info, c) {
+					call = c
+					if len(n.Lhs) == 1 {
+						pend = identObj(pass.Info, n.Lhs[0])
+					}
+				}
+			}
+		case *ast.ExprStmt:
+			if c, ok := n.X.(*ast.CallExpr); ok && isWriteAsync(pass.Info, c) {
+				call = c
+			}
+		}
+		if call == nil || len(call.Args) == 0 {
+			return true
+		}
+		bufObj := identObj(pass.Info, call.Args[len(call.Args)-1])
+		if bufObj == nil {
+			return true
+		}
+		handoffs = append(handoffs, &handoff{bufObj: bufObj, pendObj: pend, start: call.End()})
+		return true
+	})
+	if len(handoffs) == 0 {
+		return
+	}
+
+	// Pass 2: close each interval at the first Wait on its handle, and
+	// at any reassignment of the buffer variable.
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if !methodOn(pass.Info, n, corePath, "PendingWrite", "Wait") {
+				return true
+			}
+			sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			recv := identObj(pass.Info, sel.X)
+			if recv == nil {
+				return true
+			}
+			for _, h := range handoffs {
+				if h.pendObj == recv && n.Pos() > h.start && (h.end == token.NoPos || n.Pos() < h.end) {
+					h.end = n.Pos()
+				}
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				obj := identObj(pass.Info, lhs)
+				if obj == nil {
+					continue
+				}
+				for _, h := range handoffs {
+					if h.bufObj == obj && n.Pos() > h.start && (h.end == token.NoPos || n.Pos() < h.end) {
+						h.end = n.Pos()
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	// Pass 3: flag every use of a tainted buffer inside its interval.
+	ast.Inspect(body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := pass.Info.Uses[id]
+		if obj == nil {
+			return true
+		}
+		for _, h := range handoffs {
+			if h.bufObj != obj || id.Pos() <= h.start {
+				continue
+			}
+			if h.end != token.NoPos && id.Pos() >= h.end {
+				continue
+			}
+			waited := "before Wait on the pending write"
+			if h.pendObj == nil && h.end == token.NoPos {
+				waited = "and the PendingWrite handle is never waited on"
+			}
+			pass.Reportf(id.Pos(), "buffer %s is used after being handed off to WriteAsync %s: ownership transfers to the checkpoint until Wait returns", id.Name, waited)
+		}
+		return true
+	})
+}
+
+// isWriteAsync reports whether call is spio.WriteAsync or
+// core.WriteAsync.
+func isWriteAsync(info *types.Info, call *ast.CallExpr) bool {
+	return pkgFunc(info, call, rootPath, "WriteAsync") || pkgFunc(info, call, corePath, "WriteAsync")
+}

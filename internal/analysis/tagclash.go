@@ -1,0 +1,71 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+
+	"spio/internal/mpi"
+)
+
+// TagClash checks hard-coded point-to-point tag arguments against the
+// tag namespace contract in internal/mpi: user tags live in
+// [0, mpi.UserTagSpace), and every negative wire tag belongs to the
+// reserved collective namespace (coll.go stamps communicator, sequence
+// number and operation kind into it). A constant tag outside the user
+// range either panics at runtime (wireTag rejects it) or — worse, if
+// the runtime check ever relaxed — would cross-match collective
+// traffic. AnyTag (-1) is accepted where matching is legal: Recv,
+// Irecv and Probe.
+var TagClash = &Analyzer{
+	Name: "tagclash",
+	Doc:  "flags hard-coded p2p tags outside the user tag space (reserved collective namespace)",
+	Run:  runTagClash,
+}
+
+// p2pTagArg maps Comm p2p methods to the index of their tag argument;
+// canRecvAny marks the methods whose tag may be AnyTag.
+var p2pTagArg = map[string]struct {
+	index      int
+	canRecvAny bool
+}{
+	"Send":     {1, false},
+	"Isend":    {1, false},
+	"Recv":     {1, true},
+	"Irecv":    {1, true},
+	"SendRecv": {2, false}, // the tag is also used for the send half
+	"Probe":    {1, true},
+}
+
+func runTagClash(pass *Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			name := commMethodName(pass.Info, call)
+			spec, watched := p2pTagArg[name]
+			if !watched || len(call.Args) <= spec.index {
+				return true
+			}
+			arg := call.Args[spec.index]
+			tv, ok := pass.Info.Types[arg]
+			if !ok || tv.Value == nil || tv.Value.Kind() != constant.Int {
+				return true
+			}
+			tag, exact := constant.Int64Val(tv.Value)
+			if !exact {
+				return true
+			}
+			switch {
+			case tag == mpi.AnyTag && spec.canRecvAny:
+				// fine: wildcard receive
+			case tag < 0:
+				pass.Reportf(arg.Pos(), "tag %d in %s collides with the reserved collective tag namespace (all negative wire tags): user tags must lie in [0, %d)", tag, name, mpi.UserTagSpace)
+			case tag >= mpi.UserTagSpace:
+				pass.Reportf(arg.Pos(), "tag %d in %s is outside the user tag space [0, %d): wireTag panics on it at runtime", tag, name, mpi.UserTagSpace)
+			}
+			return true
+		})
+	}
+}

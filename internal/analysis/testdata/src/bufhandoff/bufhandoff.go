@@ -1,0 +1,49 @@
+// Fixture for the bufhandoff analyzer: the particle buffer belongs to
+// the asynchronous checkpoint between WriteAsync and Wait.
+package bufhandoff
+
+import (
+	"spio/internal/core"
+	"spio/internal/mpi"
+	"spio/internal/particle"
+)
+
+// Reading the buffer while the checkpoint owns it races with the
+// background write.
+func useAfterHandoff(c *mpi.Comm, cfg core.WriteConfig, buf *particle.Buffer) int {
+	p := core.WriteAsync(c, "out", cfg, buf)
+	n := buf.Len() // want "used after being handed off to WriteAsync"
+	_, _ = p.Wait()
+	return n
+}
+
+// Handing the buffer to other code before Wait is the same race.
+func aliasBeforeWait(c *mpi.Comm, cfg core.WriteConfig, buf *particle.Buffer, sink func(*particle.Buffer)) {
+	p := core.WriteAsync(c, "out", cfg, buf)
+	sink(buf) // want "used after being handed off to WriteAsync"
+	_, _ = p.Wait()
+}
+
+// Discarding the PendingWrite handle leaves the buffer owned by the
+// checkpoint for the rest of the function.
+func neverWaited(c *mpi.Comm, cfg core.WriteConfig, buf *particle.Buffer) int {
+	core.WriteAsync(c, "out", cfg, buf)
+	return buf.Len() // want "never waited on"
+}
+
+// Using the buffer after Wait is the documented ownership return.
+func okAfterWait(c *mpi.Comm, cfg core.WriteConfig, buf *particle.Buffer) int {
+	p := core.WriteAsync(c, "out", cfg, buf)
+	_, _ = p.Wait()
+	return buf.Len()
+}
+
+// Rebinding the variable to a fresh buffer ends the old buffer's taint:
+// the double-buffering pattern a simulation uses.
+func okDoubleBuffer(c *mpi.Comm, cfg core.WriteConfig, buf *particle.Buffer, schema *particle.Schema) int {
+	p := core.WriteAsync(c, "out", cfg, buf)
+	buf = particle.NewBuffer(schema, 0)
+	n := buf.Len()
+	_, _ = p.Wait()
+	return n
+}

@@ -1,0 +1,65 @@
+// Fixture for the collorder analyzer: rank-guarded collectives are
+// flagged; rank-balanced shapes — including the rank-0-writes-metadata
+// pattern internal/core uses — are not.
+package collorder
+
+import "spio/internal/mpi"
+
+// A collective issued only by rank 0: the other ranks never enter it.
+func rankGuardedBarrier(c *mpi.Comm) {
+	if c.Rank() == 0 {
+		c.Barrier() // want "issued by only some ranks"
+	}
+}
+
+// Rank-dependence tracked through locals: me derives from Rank.
+func rankDerivedVar(c *mpi.Comm) {
+	r := c.Rank()
+	me := r % 2
+	if me == 0 {
+		c.Bcast(0, nil) // want "issued by only some ranks"
+	}
+}
+
+// A rank-guarded early return skips the Allreduce on non-zero ranks.
+func earlyReturnSkips(c *mpi.Comm) int64 {
+	if c.Rank() != 0 {
+		return 0
+	}
+	return c.Allreduce(1, mpi.OpSum) // want "skipped by ranks that leave early"
+}
+
+// A rank-dependent loop bound repeats the collective a different number
+// of times per rank.
+func rankBoundLoop(c *mpi.Comm) {
+	for i := 0; i < c.Rank(); i++ {
+		c.Barrier() // want "repeats under"
+	}
+}
+
+// Balanced branches: every rank issues the same collective sequence, so
+// the guard is fine (the Exscan root/non-root shape).
+func balancedBranches(c *mpi.Comm, parts [][]byte) []byte {
+	if c.Rank() == 0 {
+		return c.Scatter(0, parts)
+	}
+	return c.Scatter(0, nil)
+}
+
+// The rank-0-writes-metadata pattern used by internal/core: the
+// collective runs on every rank first, the rank guard only gates
+// rank-local file work afterwards. No finding.
+func rank0Metadata(c *mpi.Comm, payload []byte) [][]byte {
+	gathered := c.Allgather(payload)
+	if c.Rank() != 0 {
+		return nil
+	}
+	return gathered
+}
+
+// A rank-uniform condition (same on all ranks) may guard collectives.
+func uniformGuard(c *mpi.Comm, everyone bool) {
+	if everyone {
+		c.Barrier()
+	}
+}

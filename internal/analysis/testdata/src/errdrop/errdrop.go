@@ -1,0 +1,40 @@
+// Fixture for the errdrop analyzer: error and WriteResult returns from
+// the spio API surface must not be silently dropped.
+package errdrop
+
+import (
+	"spio/internal/core"
+	"spio/internal/format"
+	"spio/internal/mpi"
+	"spio/internal/particle"
+)
+
+// A bare statement drops both the WriteResult and the error.
+func droppedWrite(c *mpi.Comm, cfg core.WriteConfig, buf *particle.Buffer) {
+	core.Write(c, "out", cfg, buf) // want "is dropped: it reports both an error and the rank's WriteResult"
+}
+
+// A format encode call's error silently dropped.
+func droppedEncode(path string, hdr format.DataHeader, buf *particle.Buffer) {
+	format.WriteDataFile(path, hdr, buf) // want "result of format.WriteDataFile is dropped"
+}
+
+// Blanking the error while binding the payload hides decode failures.
+func blankedError() *particle.Schema {
+	s, _ := particle.NewSchema(nil) // want "error from particle.NewSchema is blanked"
+	return s
+}
+
+// Keeping the error while discarding the WriteResult is the documented
+// non-aggregator pattern. No finding.
+func writeResultDiscarded(c *mpi.Comm, cfg core.WriteConfig, buf *particle.Buffer) error {
+	_, err := core.Write(c, "out", cfg, buf)
+	return err
+}
+
+// Deferred teardown and explicit single-value discards are idiomatic.
+// No finding.
+func deferredClose(df *format.DataFile) {
+	defer df.Close()
+	_ = df.Close()
+}

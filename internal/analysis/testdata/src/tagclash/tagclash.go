@@ -1,0 +1,28 @@
+// Fixture for the tagclash analyzer: user point-to-point tags must lie
+// in [0, mpi.UserTagSpace); negative wire tags are the reserved
+// collective namespace.
+package tagclash
+
+import "spio/internal/mpi"
+
+const collidingTag = -7
+
+func sends(c *mpi.Comm, data []byte) {
+	c.Send(1, -3, data)            // want "collides with the reserved collective tag namespace"
+	c.Isend(1, collidingTag, data) // want "collides with the reserved collective tag namespace"
+	c.Send(1, 1<<20, data)         // want "outside the user tag space"
+}
+
+func recvs(c *mpi.Comm) {
+	c.Recv(0, -2) // want "collides with the reserved collective tag namespace"
+}
+
+// Legal tags: in-range constants, wildcard receives, and runtime
+// values the analyzer cannot evaluate. No findings.
+func okTags(c *mpi.Comm, data []byte, dynamic int) {
+	c.Send(1, 42, data)
+	c.Recv(0, mpi.AnyTag)
+	if c.Probe(0, mpi.AnyTag) {
+		c.Recv(0, dynamic)
+	}
+}

@@ -192,7 +192,7 @@ func Fig9(dir string, nRanks, perRank int) (*Table, error) {
 	}
 	defer func() {
 		for _, df := range files {
-			df.Close()
+			_ = df.Close() // read-only handles
 		}
 	}()
 

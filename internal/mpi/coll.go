@@ -16,20 +16,22 @@ import (
 // collective operation. All ranks call collectives in the same order, so
 // their sequence numbers — and therefore tags — agree. Collective tags
 // are negative (disjoint from every user namespace) and carry the
-// communicator namespace so duplicated communicators never cross-match.
-func (c *Comm) nextCollTag() int {
-	c.collSeq++
-	if c.collSeq >= tagSpace {
-		panic("mpi: collective sequence space exhausted")
-	}
-	return -(c.ns*tagSpace + int(c.collSeq)) - 1 // < 0, AnyTag (-1) unused: seq starts at 1
+// communicator namespace, the sequence number, and the operation kind:
+// stamping the kind into the tag means a mismatched collective's traffic
+// can never be mistaken for the right operation's, and registering it
+// with the guard (stampColl) turns the mismatch into an immediate named
+// panic instead of a deadlock.
+func (c *Comm) nextCollTag(kind collKind) int {
+	c.stampColl(kind)
+	// < 0 always; AnyTag (-1) unused because seq starts at 1.
+	return -((c.ns*tagSpace+int(c.collSeq))*collKindSpace + int(kind)) - 1
 }
 
 // Barrier blocks until every rank has entered it (on this
 // communicator's namespace — duplicated communicators have independent
 // barriers).
 func (c *Comm) Barrier() {
-	c.collSeq++ // keep sequence numbers aligned across collective kinds
+	c.stampColl(collBarrier) // keep sequence numbers aligned across collective kinds
 	c.world.barrierFor(c.ns).await()
 }
 
@@ -37,7 +39,7 @@ func (c *Comm) Barrier() {
 // returns it. Non-root ranks pass nil (their argument is ignored). On the
 // root the returned slice aliases the input.
 func (c *Comm) Bcast(root int, data []byte) []byte {
-	tag := c.nextCollTag()
+	tag := c.nextCollTag(collBcast)
 	n := c.world.size
 	vrank := (c.rank - root + n) % n
 	// Receive phase: a non-root rank receives from the parent at its
@@ -64,7 +66,7 @@ func (c *Comm) Bcast(root int, data []byte) []byte {
 // Gather collects each rank's data at root. On root, the returned slice
 // has one entry per rank (in rank order); on other ranks it is nil.
 func (c *Comm) Gather(root int, data []byte) [][]byte {
-	tag := c.nextCollTag()
+	tag := c.nextCollTag(collGather)
 	if c.rank != root {
 		c.send(root, tag, data)
 		return nil
@@ -86,6 +88,7 @@ func (c *Comm) Gather(root int, data []byte) [][]byte {
 // Gather to rank 0 followed by a Bcast — the same two-step structure the
 // paper uses for the metadata file (Section 3.5).
 func (c *Comm) Allgather(data []byte) [][]byte {
+	c.stampColl(collAllgather)
 	parts := c.Gather(0, data)
 	var packed []byte
 	if c.rank == 0 {
@@ -106,7 +109,7 @@ func (c *Comm) Alltoall(bufs [][]byte) [][]byte {
 	if len(bufs) != c.world.size {
 		panic(fmt.Sprintf("mpi: Alltoall needs %d buffers, got %d", c.world.size, len(bufs)))
 	}
-	tag := c.nextCollTag()
+	tag := c.nextCollTag(collAlltoall)
 	for dst, b := range bufs {
 		if dst == c.rank {
 			continue
@@ -168,6 +171,7 @@ func (op ReduceOp) combineF64(a, b float64) float64 {
 
 // Reduce combines every rank's value at root. Non-root ranks get 0.
 func (c *Comm) Reduce(root int, value int64, op ReduceOp) int64 {
+	c.stampColl(collReduce)
 	buf := make([]byte, 8)
 	binary.LittleEndian.PutUint64(buf, uint64(value))
 	parts := c.Gather(root, buf)
@@ -187,6 +191,7 @@ func (c *Comm) Reduce(root int, value int64, op ReduceOp) int64 {
 // Allreduce combines every rank's value and returns the result on all
 // ranks.
 func (c *Comm) Allreduce(value int64, op ReduceOp) int64 {
+	c.stampColl(collAllreduce)
 	res := c.Reduce(0, value, op)
 	buf := make([]byte, 8)
 	if c.rank == 0 {
@@ -198,6 +203,7 @@ func (c *Comm) Allreduce(value int64, op ReduceOp) int64 {
 
 // AllreduceF64 is Allreduce for float64 values.
 func (c *Comm) AllreduceF64(value float64, op ReduceOp) float64 {
+	c.stampColl(collAllreduceF64)
 	buf := make([]byte, 8)
 	binary.LittleEndian.PutUint64(buf, math.Float64bits(value))
 	parts := c.Allgather(buf)

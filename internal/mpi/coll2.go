@@ -11,7 +11,7 @@ import (
 // Scatter distributes root's per-rank payloads: rank i receives
 // parts[i]. Non-root ranks pass nil.
 func (c *Comm) Scatter(root int, parts [][]byte) []byte {
-	tag := c.nextCollTag()
+	tag := c.nextCollTag(collScatter)
 	if c.rank == root {
 		if len(parts) != c.world.size {
 			panic(fmt.Sprintf("mpi: Scatter needs %d parts, got %d", c.world.size, len(parts)))
@@ -34,6 +34,7 @@ func (c *Comm) Scatter(root int, parts [][]byte) []byte {
 // OpSum — callers using Min/Max must special-case rank 0 themselves).
 // It is the offset-establishing collective shared-file writers use.
 func (c *Comm) Exscan(value int64, op ReduceOp) int64 {
+	c.stampColl(collExscan)
 	// Gather-then-scan through rank 0: simple and O(n), adequate for the
 	// scales the local engine runs.
 	var buf [8]byte

@@ -1,0 +1,135 @@
+package mpi
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// A kind mismatch at the same collective position must panic with both
+// kinds by name instead of deadlocking, and the panic must surface
+// through Run as a rank error.
+func TestCollectiveMismatchPanics(t *testing.T) {
+	w := NewWorld(2)
+	err := w.RunTimeout(10*time.Second, func(c *Comm) error {
+		if c.Rank() == 0 {
+			c.Barrier()
+		} else {
+			c.Bcast(1, []byte("x"))
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("mismatched collectives completed without error")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "entered Barrier") && !strings.Contains(msg, "entered Bcast") {
+		t.Fatalf("error does not name the mismatched collectives: %v", msg)
+	}
+	if strings.Contains(msg, "did not complete within") {
+		t.Fatalf("mismatch hit the watchdog instead of the guard: %v", msg)
+	}
+}
+
+// The rank parked inside the orphaned collective must be woken and
+// unwound by the world abort, not left hanging until a watchdog fires.
+func TestCollectiveMismatchReleasesBlockedRanks(t *testing.T) {
+	cases := []struct {
+		name  string
+		wrong func(c *Comm)
+	}{
+		// Rank 1 parks in a barrier, rank 0 proves the mismatch.
+		{"blocked-in-barrier", func(c *Comm) { c.Barrier() }},
+		// Rank 1 parks in a receive inside Gather (root waiting for
+		// contributions that never come).
+		{"blocked-in-gather", func(c *Comm) { c.Gather(1, []byte("x")) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			w := NewWorld(3)
+			err := w.RunTimeout(10*time.Second, func(c *Comm) error {
+				if c.Rank() == 1 {
+					tc.wrong(c)
+				} else {
+					c.Alltoall(make([][]byte, 3))
+				}
+				return nil
+			})
+			if err == nil {
+				t.Fatal("mismatched collectives completed without error")
+			}
+			if strings.Contains(err.Error(), "did not complete within") {
+				t.Fatalf("blocked rank was not released: %v", err)
+			}
+		})
+	}
+}
+
+// Composite collectives stamp their own kind, so a composite mismatched
+// against its own first primitive is still caught at entry.
+func TestCompositeCollectiveMismatch(t *testing.T) {
+	w := NewWorld(2)
+	err := w.RunTimeout(10*time.Second, func(c *Comm) error {
+		if c.Rank() == 0 {
+			c.Allgather([]byte("a"))
+		} else {
+			c.Gather(0, []byte("a")) // Allgather's first primitive
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("Allgather-vs-Gather mismatch completed without error")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "Allgather") || !strings.Contains(msg, "Gather") {
+		t.Fatalf("error does not name both collectives: %v", msg)
+	}
+}
+
+// Matched collectives must leave no ledger entries behind: every
+// position is forgotten once all ranks have stamped it.
+func TestCollectiveLedgerBounded(t *testing.T) {
+	w := NewWorld(4)
+	err := w.Run(func(c *Comm) error {
+		for i := 0; i < 10; i++ {
+			c.Barrier()
+			c.Allreduce(int64(c.Rank()), OpSum)
+			c.Allgather([]byte{byte(c.Rank())})
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.collMu.Lock()
+	n := len(w.collLedger)
+	w.collMu.Unlock()
+	if n != 0 {
+		t.Fatalf("ledger holds %d entries after matched collectives, want 0", n)
+	}
+}
+
+// The machine-readable collective list must cover exactly the methods
+// the guard knows, with unique kinds in the tag-encodable range.
+func TestCollectiveMethodsTable(t *testing.T) {
+	names := CollectiveMethods()
+	if len(names) != len(collectives) {
+		t.Fatalf("CollectiveMethods returned %d names, table has %d", len(names), len(collectives))
+	}
+	seenKind := map[collKind]string{}
+	for _, spec := range collectives {
+		if spec.kind == collNone || spec.kind >= collKindLimit {
+			t.Errorf("%s: kind %d out of range", spec.name, spec.kind)
+		}
+		if prev, dup := seenKind[spec.kind]; dup {
+			t.Errorf("%s and %s share kind %d", prev, spec.name, spec.kind)
+		}
+		seenKind[spec.kind] = spec.name
+		if spec.kind.String() != spec.name {
+			t.Errorf("kind %d stringifies to %q, want %q", spec.kind, spec.kind.String(), spec.name)
+		}
+	}
+	if collKindLimit > collKindSpace {
+		t.Fatalf("collKindLimit %d exceeds tag kind space %d", collKindLimit, collKindSpace)
+	}
+}

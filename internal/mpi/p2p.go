@@ -30,11 +30,12 @@ type message struct {
 type mailbox struct {
 	mu    sync.Mutex
 	cond  *sync.Cond
+	ab    *abortState
 	queue []message
 }
 
-func newMailbox() *mailbox {
-	m := &mailbox{}
+func newMailbox(ab *abortState) *mailbox {
+	m := &mailbox{ab: ab}
 	m.cond = sync.NewCond(&m.mu)
 	return m
 }
@@ -58,6 +59,7 @@ func (m *mailbox) take(src int, match func(wireTag int) bool) message {
 				return msg
 			}
 		}
+		m.ab.check()
 		m.cond.Wait()
 	}
 }
@@ -91,6 +93,7 @@ func (c *Comm) Size() int { return c.world.size }
 // same order on the same communicator (the usual SPMD contract) so the
 // duplicates correspond.
 func (c *Comm) Dup() *Comm {
+	c.stampColl(collDup)
 	c.dupCount++
 	if c.dupCount >= 64 {
 		panic("mpi: too many duplicates of one communicator")

@@ -35,6 +35,10 @@ type World struct {
 	// behalf of collectives).
 	msgCount  atomic.Int64
 	byteCount atomic.Int64
+	// Collective-mismatch guard state (guard.go).
+	collMu     sync.Mutex
+	collLedger map[collKey]*collEntry
+	ab         *abortState
 }
 
 // barrierFor returns (creating on demand) the barrier of one
@@ -44,7 +48,7 @@ func (w *World) barrierFor(ns int) *barrier {
 	defer w.barrierMu.Unlock()
 	b, ok := w.barriers[ns]
 	if !ok {
-		b = newBarrier(w.size)
+		b = newBarrier(w.size, w.ab)
 		w.barriers[ns] = b
 	}
 	return b
@@ -70,9 +74,15 @@ func NewWorld(n int) *World {
 	if n <= 0 {
 		panic(fmt.Sprintf("mpi: world size must be positive, got %d", n))
 	}
-	w := &World{size: n, mailboxes: make([]*mailbox, n), barriers: make(map[int]*barrier)}
+	w := &World{
+		size:       n,
+		mailboxes:  make([]*mailbox, n),
+		barriers:   make(map[int]*barrier),
+		collLedger: make(map[collKey]*collEntry),
+		ab:         &abortState{},
+	}
 	for i := range w.mailboxes {
-		w.mailboxes[i] = newMailbox()
+		w.mailboxes[i] = newMailbox(w.ab)
 	}
 	return w
 }
@@ -139,30 +149,31 @@ func Run(n int, fn func(c *Comm) error) error {
 type barrier struct {
 	mu    sync.Mutex
 	cond  *sync.Cond
+	ab    *abortState
 	n     int
 	count int
 	gen   uint64
 }
 
-func newBarrier(n int) *barrier {
-	b := &barrier{n: n}
+func newBarrier(n int, ab *abortState) *barrier {
+	b := &barrier{n: n, ab: ab}
 	b.cond = sync.NewCond(&b.mu)
 	return b
 }
 
 func (b *barrier) await() {
 	b.mu.Lock()
+	defer b.mu.Unlock()
 	gen := b.gen
 	b.count++
 	if b.count == b.n {
 		b.count = 0
 		b.gen++
 		b.cond.Broadcast()
-		b.mu.Unlock()
 		return
 	}
 	for gen == b.gen {
+		b.ab.check()
 		b.cond.Wait()
 	}
-	b.mu.Unlock()
 }

@@ -65,7 +65,7 @@ func (fc *fileCache) acquire(dir, name string) (df *format.DataFile, opened bool
 		e.refs++
 		fc.lru.MoveToFront(e.elem)
 		fc.mu.Unlock()
-		df.Close()
+		_ = df.Close() // read-only duplicate handle
 		return e.df, true, nil
 	}
 	e := &cacheEntry{df: df, refs: 1}
@@ -88,7 +88,7 @@ func (fc *fileCache) release(name string) {
 	e.refs--
 	if e.evicted && e.refs <= 0 {
 		delete(fc.entries, name)
-		e.df.Close()
+		_ = e.df.Close() // read-only handle evicted from the cache
 	}
 }
 
@@ -110,7 +110,7 @@ func (fc *fileCache) evictLocked() {
 		e.elem = nil
 		if e.refs <= 0 {
 			delete(fc.entries, name)
-			e.df.Close()
+			_ = e.df.Close() // read-only handle evicted from the cache
 		}
 	}
 }

@@ -79,7 +79,7 @@ func (d *Dataset) Fsck(opts FsckOptions) []Problem {
 				}
 			}
 		}
-		df.Close()
+		_ = df.Close() // read-only; close failures are not integrity problems
 	}
 	return problems
 }

@@ -41,7 +41,7 @@ func (d *Dataset) Progressive(entries []*format.FileEntry, readers int) (*Progre
 	for _, e := range entries {
 		df, err := format.OpenDataFile(filepath.Join(d.dir, e.Name))
 		if err != nil {
-			p.Close()
+			_ = p.Close() // unwinding: the open error is the one to report
 			return nil, err
 		}
 		p.files = append(p.files, df)

@@ -320,7 +320,7 @@ func ScanWithoutMetadata(dir string, schema *particle.Schema, q geom.Box) (*part
 			return nil, st, err
 		}
 		buf, err := df.ReadAll()
-		df.Close()
+		_ = df.Close() // read-only; the ReadAll error is the one to report
 		if err != nil {
 			return nil, st, err
 		}

@@ -1,0 +1,38 @@
+#!/bin/sh
+# Tier-1 CI gate for spio. Run from the repo root:
+#
+#	./scripts/ci.sh
+#
+# Every step must pass. The race-detector step covers the packages with
+# real concurrency (the goroutine-rank MPI substitute, the collective
+# write pipeline, and the reader's shared file cache); the spiolint step
+# runs the collective-correctness analyzer suite over the whole module
+# and fails on any diagnostic.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== gofmt =="
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+	echo "gofmt: needs formatting:"
+	echo "$unformatted"
+	exit 1
+fi
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test =="
+go test ./...
+
+echo "== go test -race (mpi, core, reader) =="
+go test -race ./internal/mpi ./internal/core ./internal/reader
+
+echo "== spiolint =="
+go run ./cmd/spiolint ./...
+
+echo "ci: all checks passed"
