@@ -9,11 +9,23 @@
 //	bufhandoff  particle buffers used between WriteAsync and Wait
 //	errdrop     discarded error/WriteResult returns from the spio API
 //	tagclash    hard-coded p2p tags in the reserved collective namespace
+//	wiresym     writer/reader asymmetries in the on-disk format
 //
-// Exit status is 0 when the analyzed packages are clean, 1 when any
-// diagnostic is reported, 2 on usage or load errors. The tool is
-// stdlib-only and must be run from inside the module (package loading
-// uses the go tool and the source importer).
+// All analyzers are interprocedural: a collective, a buffer handoff, or
+// a dropped error hidden inside a helper is reported at the call site
+// with the call path. Findings can be suppressed per line with
+//
+//	//spio:allow <analyzer> -- <reason>
+//
+// Suppressed findings do not affect the exit status but stay visible in
+// -json output and in the summary counts; a directive without a reason,
+// or one suppressing nothing, is itself a finding.
+//
+// Exit status is analysis.ExitClean (0) when the analyzed packages are
+// clean, analysis.ExitFindings (1) when any unsuppressed diagnostic is
+// reported, analysis.ExitLoadError (2) on usage, load, or type-check
+// errors. The tool is stdlib-only and must be run from inside the
+// module (package loading uses the go tool and the source importer).
 package main
 
 import (
@@ -26,11 +38,13 @@ import (
 )
 
 func main() {
-	jsonOut := flag.Bool("json", false, "emit diagnostics as a JSON array")
+	jsonOut := flag.Bool("json", false, "emit diagnostics as a JSON array (suppressed findings included, marked)")
 	only := flag.String("analyzers", "", "comma-separated subset of analyzers to run (default: all)")
 	list := flag.Bool("list", false, "list available analyzers and exit")
+	showSuppressed := flag.Bool("show-suppressed", false, "also print findings suppressed by //spio:allow directives")
+	summary := flag.Bool("summary", false, "print per-analyzer diagnostic counts after the findings")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: spiolint [-json] [-analyzers a,b] [packages]\n\n")
+		fmt.Fprintf(os.Stderr, "usage: spiolint [-json] [-analyzers a,b] [-show-suppressed] [-summary] [packages]\n\n")
 		fmt.Fprintf(os.Stderr, "Runs the spio collective-correctness analyzers over the given\npackage patterns (default ./...).\n\nFlags:\n")
 		flag.PrintDefaults()
 	}
@@ -50,7 +64,7 @@ func main() {
 	analyzers, err := analysis.ByName(names)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "spiolint:", err)
-		os.Exit(2)
+		os.Exit(analysis.ExitLoadError)
 	}
 
 	patterns := flag.Args()
@@ -60,19 +74,20 @@ func main() {
 	pkgs, err := analysis.Load(patterns)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "spiolint:", err)
-		os.Exit(2)
+		os.Exit(analysis.ExitLoadError)
 	}
 
 	diags := analysis.Run(analyzers, pkgs)
 	if *jsonOut {
 		if err := analysis.WriteJSON(os.Stdout, diags); err != nil {
 			fmt.Fprintln(os.Stderr, "spiolint:", err)
-			os.Exit(2)
+			os.Exit(analysis.ExitLoadError)
 		}
 	} else {
-		analysis.WriteText(os.Stdout, diags)
+		analysis.WriteText(os.Stdout, diags, *showSuppressed)
 	}
-	if len(diags) > 0 {
-		os.Exit(1)
+	if *summary {
+		fmt.Println(analysis.Summarize(analyzers, diags))
 	}
+	os.Exit(analysis.ExitCode(diags))
 }

@@ -34,6 +34,7 @@ import (
 	"go/types"
 	"io"
 	"sort"
+	"strings"
 )
 
 // Analyzer is one named check over a type-checked package.
@@ -54,6 +55,9 @@ type Pass struct {
 	Files    []*ast.File
 	Pkg      *types.Package
 	Info     *types.Info
+	// Prog is the whole-program view (call graph + per-function
+	// summaries) shared by every pass of one Run.
+	Prog *Program
 
 	diags *[]Diagnostic
 }
@@ -74,6 +78,12 @@ type Diagnostic struct {
 	Package  string
 	Position token.Position
 	Message  string
+	// Suppressed marks a finding covered by a //spio:allow directive
+	// (directive.go); SuppressReason carries the directive's reason.
+	// Suppressed findings do not fail the run but stay visible in -json
+	// output and in the summary counts.
+	Suppressed     bool
+	SuppressReason string
 }
 
 func (d Diagnostic) String() string {
@@ -82,7 +92,7 @@ func (d Diagnostic) String() string {
 
 // Analyzers returns the full spiolint suite.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{CollOrder, BufHandoff, ErrDrop, TagClash}
+	return []*Analyzer{CollOrder, BufHandoff, ErrDrop, TagClash, WireSym}
 }
 
 // ByName returns the named analyzers, or an error naming the unknown
@@ -110,8 +120,13 @@ func ByName(names []string) ([]*Analyzer, error) {
 }
 
 // Run applies every analyzer to every package and returns the combined
-// findings sorted by file position.
+// findings sorted by file position. A whole-program view (call graph +
+// summaries) is built once over all packages, so helper functions are
+// seen through even when caller and callee live in different packages.
+// Findings covered by a //spio:allow directive are marked Suppressed
+// (not removed); malformed directives are findings themselves.
 func Run(analyzers []*Analyzer, pkgs []*Package) []Diagnostic {
+	prog := BuildProgram(pkgs)
 	var diags []Diagnostic
 	for _, pkg := range pkgs {
 		for _, a := range analyzers {
@@ -121,11 +136,13 @@ func Run(analyzers []*Analyzer, pkgs []*Package) []Diagnostic {
 				Files:    pkg.Files,
 				Pkg:      pkg.Types,
 				Info:     pkg.Info,
+				Prog:     prog,
 				diags:    &diags,
 			}
 			a.Run(pass)
 		}
 	}
+	applyDirectives(pkgs, analyzers, &diags)
 	sort.Slice(diags, func(i, j int) bool {
 		pi, pj := diags[i].Position, diags[j].Position
 		if pi.Filename != pj.Filename {
@@ -142,39 +159,108 @@ func Run(analyzers []*Analyzer, pkgs []*Package) []Diagnostic {
 	return diags
 }
 
-// WriteText prints diagnostics one per line in file:line:col form.
-func WriteText(w io.Writer, diags []Diagnostic) {
+// WriteText prints active diagnostics one per line in file:line:col
+// form. Suppressed findings are printed only when showSuppressed is
+// set, with the directive's reason appended.
+func WriteText(w io.Writer, diags []Diagnostic, showSuppressed bool) {
 	for _, d := range diags {
+		if d.Suppressed {
+			if showSuppressed {
+				fmt.Fprintf(w, "%s [suppressed: %s]\n", d.String(), d.SuppressReason)
+			}
+			continue
+		}
 		fmt.Fprintln(w, d.String())
 	}
 }
 
 // jsonDiagnostic is the -json wire form of one finding.
 type jsonDiagnostic struct {
-	Analyzer string `json:"analyzer"`
-	Package  string `json:"package"`
-	File     string `json:"file"`
-	Line     int    `json:"line"`
-	Column   int    `json:"column"`
-	Message  string `json:"message"`
+	Analyzer   string `json:"analyzer"`
+	Package    string `json:"package"`
+	File       string `json:"file"`
+	Line       int    `json:"line"`
+	Column     int    `json:"column"`
+	Message    string `json:"message"`
+	Suppressed bool   `json:"suppressed,omitempty"`
+	Reason     string `json:"reason,omitempty"`
 }
 
-// WriteJSON prints diagnostics as a JSON array.
+// WriteJSON prints diagnostics as a JSON array. Suppressed findings are
+// included, marked "suppressed" with the directive's reason, so tooling
+// can audit what the directives hide.
 func WriteJSON(w io.Writer, diags []Diagnostic) error {
 	out := make([]jsonDiagnostic, len(diags))
 	for i, d := range diags {
 		out[i] = jsonDiagnostic{
-			Analyzer: d.Analyzer,
-			Package:  d.Package,
-			File:     d.Position.Filename,
-			Line:     d.Position.Line,
-			Column:   d.Position.Column,
-			Message:  d.Message,
+			Analyzer:   d.Analyzer,
+			Package:    d.Package,
+			File:       d.Position.Filename,
+			Line:       d.Position.Line,
+			Column:     d.Position.Column,
+			Message:    d.Message,
+			Suppressed: d.Suppressed,
+			Reason:     d.SuppressReason,
 		}
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(out)
+}
+
+// Exit codes of the spiolint command. Load or type-check failures
+// (ExitLoadError) are distinct from findings (ExitFindings): CI can
+// tell "the code is broken" from "the code is suspect".
+const (
+	ExitClean     = 0
+	ExitFindings  = 1
+	ExitLoadError = 2
+)
+
+// ExitCode maps a finished run's diagnostics to the spiolint exit
+// code: ExitFindings when any unsuppressed diagnostic remains,
+// ExitClean otherwise. Load failures never reach here — they are
+// ExitLoadError at the caller.
+func ExitCode(diags []Diagnostic) int {
+	for _, d := range diags {
+		if !d.Suppressed {
+			return ExitFindings
+		}
+	}
+	return ExitClean
+}
+
+// Summarize renders the per-analyzer diagnostic counts as one line,
+// e.g. "collorder=1 bufhandoff=0 ... suppressed=2". Analyzer order is
+// the suite order; suppressed findings count toward the suppressed
+// total, not the per-analyzer count.
+func Summarize(analyzers []*Analyzer, diags []Diagnostic) string {
+	counts := make(map[string]int)
+	suppressed := 0
+	for _, d := range diags {
+		if d.Suppressed {
+			suppressed++
+			continue
+		}
+		counts[d.Analyzer]++
+	}
+	var b strings.Builder
+	for _, a := range analyzers {
+		fmt.Fprintf(&b, "%s=%d ", a.Name, counts[a.Name])
+		delete(counts, a.Name)
+	}
+	// Diagnostics from outside the analyzer list (malformed
+	// directives) still need to be visible.
+	extras := make([]string, 0, len(counts))
+	for name := range counts {
+		extras = append(extras, name)
+	}
+	sort.Strings(extras)
+	for _, name := range extras {
+		fmt.Fprintf(&b, "%s=%d ", name, counts[name])
+	}
+	fmt.Fprintf(&b, "suppressed=%d", suppressed)
+	return b.String()
 }
 
 // typesInfo allocates the Info maps the analyzers need.

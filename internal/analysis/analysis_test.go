@@ -121,6 +121,117 @@ func TestRepoClean(t *testing.T) {
 	}
 }
 
+// TestSuppression runs the suite over the suppress fixture and checks
+// the //spio:allow contract: covered findings are marked Suppressed
+// with the directive's reason, uncovered ones stay live, and malformed
+// or stale directives are findings of the pseudo-analyzer "directive".
+func TestSuppression(t *testing.T) {
+	pkg := loadFixture(t, "suppress")
+	diags := Run(Analyzers(), []*Package{pkg})
+
+	find := func(analyzer, msgPart string) *Diagnostic {
+		t.Helper()
+		for i := range diags {
+			d := &diags[i]
+			if d.Analyzer == analyzer && strings.Contains(d.Message, msgPart) {
+				return d
+			}
+		}
+		t.Fatalf("no %s diagnostic containing %q in:\n%v", analyzer, msgPart, diags)
+		return nil
+	}
+
+	suppressed := 0
+	live := 0
+	for _, d := range diags {
+		if d.Analyzer != "collorder" {
+			continue
+		}
+		if d.Suppressed {
+			suppressed++
+			if want := "demo: deliberate rank-0 barrier"; d.SuppressReason != want {
+				t.Errorf("suppressed finding carries reason %q, want %q", d.SuppressReason, want)
+			}
+		} else {
+			live++
+		}
+	}
+	if suppressed != 1 {
+		t.Errorf("got %d suppressed collorder findings, want 1", suppressed)
+	}
+	if live != 3 {
+		// unsuppressedBarrier, missingReason, unknownAnalyzer
+		t.Errorf("got %d live collorder findings, want 3", live)
+	}
+
+	find(directiveAnalyzer, "missing its reason")
+	find(directiveAnalyzer, `unknown analyzer "collorderr"`)
+	find(directiveAnalyzer, "suppresses no finding")
+
+	// Suppressed findings are hidden from plain text output, shown with
+	// the flag, and always present (marked) in JSON.
+	var plain, withFlag, asJSON strings.Builder
+	WriteText(&plain, diags, false)
+	WriteText(&withFlag, diags, true)
+	if strings.Contains(plain.String(), "[suppressed:") {
+		t.Errorf("default text output leaks suppressed findings:\n%s", plain.String())
+	}
+	if !strings.Contains(withFlag.String(), "[suppressed: demo: deliberate rank-0 barrier]") {
+		t.Errorf("-show-suppressed text output misses the suppressed finding:\n%s", withFlag.String())
+	}
+	if err := WriteJSON(&asJSON, diags); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	if !strings.Contains(asJSON.String(), `"suppressed": true`) {
+		t.Errorf("JSON output does not mark the suppressed finding:\n%s", asJSON.String())
+	}
+
+	// The summary line counts suppressed findings separately.
+	if sum := Summarize(Analyzers(), diags); !strings.Contains(sum, "suppressed=1") {
+		t.Errorf("Summarize = %q, want suppressed=1", sum)
+	}
+}
+
+// TestExitCodes pins the engine's three-way exit contract: clean runs
+// exit 0, unsuppressed findings exit 1, suppressed-only runs exit 0,
+// and load failures are the caller's ExitLoadError (2), distinct from
+// both.
+func TestExitCodes(t *testing.T) {
+	if ExitClean != 0 || ExitFindings != 1 || ExitLoadError != 2 {
+		t.Fatalf("exit code constants changed: clean=%d findings=%d load=%d", ExitClean, ExitFindings, ExitLoadError)
+	}
+	if got := ExitCode(nil); got != ExitClean {
+		t.Errorf("ExitCode(nil) = %d, want %d", got, ExitClean)
+	}
+	if got := ExitCode([]Diagnostic{{Analyzer: "collorder", Suppressed: true}}); got != ExitClean {
+		t.Errorf("ExitCode(suppressed-only) = %d, want %d", got, ExitClean)
+	}
+	if got := ExitCode([]Diagnostic{{Analyzer: "collorder", Suppressed: true}, {Analyzer: "errdrop"}}); got != ExitFindings {
+		t.Errorf("ExitCode(mixed) = %d, want %d", got, ExitFindings)
+	}
+	// A load failure never produces diagnostics; the loader's error is
+	// what the CLI maps to ExitLoadError.
+	if _, err := Load([]string{"spio/internal/nosuchpackage"}); err == nil {
+		t.Error("Load of a missing package: want error (CLI exit 2), got nil")
+	}
+}
+
+// TestSummarize pins the one-line per-analyzer count format ci.sh
+// surfaces.
+func TestSummarize(t *testing.T) {
+	diags := []Diagnostic{
+		{Analyzer: "collorder"},
+		{Analyzer: "collorder"},
+		{Analyzer: "wiresym", Suppressed: true},
+		{Analyzer: "directive"},
+	}
+	got := Summarize(Analyzers(), diags)
+	want := "collorder=2 bufhandoff=0 errdrop=0 tagclash=0 wiresym=0 directive=1 suppressed=1"
+	if got != want {
+		t.Fatalf("Summarize = %q, want %q", got, want)
+	}
+}
+
 // TestLoadDirRejectsMissing covers the fixture loader's error path.
 func TestLoadDirRejectsMissing(t *testing.T) {
 	if _, err := LoadDir(filepath.Join("testdata", "src", "nosuch"), "fixture/nosuch"); err == nil {

@@ -4,6 +4,7 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"strings"
 )
 
 // BufHandoff enforces the WriteAsync ownership transfer documented in
@@ -34,6 +35,10 @@ type handoff struct {
 	pendObj types.Object // the PendingWrite variable, if bound
 	start   token.Pos    // end of the WriteAsync call
 	end     token.Pos    // position of the matching Wait (or NoPos = function end)
+	// viaPath is set when the handoff happened through a helper whose
+	// summary passes the buffer on to WriteAsync; it names the chain for
+	// the diagnostic.
+	viaPath []string
 }
 
 func runBufHandoff(pass *Pass) {
@@ -52,34 +57,43 @@ func runBufHandoff(pass *Pass) {
 func checkHandoffs(pass *Pass, body *ast.BlockStmt) {
 	var handoffs []*handoff
 
-	// Pass 1: find WriteAsync calls and bind them to their result
-	// variable when the call is the sole RHS of an assignment.
+	// Pass 1: find handoff calls — WriteAsync itself, or a helper whose
+	// summary passes a buffer argument on to WriteAsync — and bind them
+	// to their result variable when the call is the RHS of an
+	// assignment. The PendingWrite result is identified by type, so
+	// helpers returning (handle, error) tuples still bind.
 	ast.Inspect(body, func(n ast.Node) bool {
 		var call *ast.CallExpr
-		var pend types.Object
+		var lhs []ast.Expr
 		switch n := n.(type) {
 		case *ast.AssignStmt:
 			if len(n.Rhs) == 1 {
-				if c, ok := n.Rhs[0].(*ast.CallExpr); ok && isWriteAsync(pass.Info, c) {
+				if c, ok := n.Rhs[0].(*ast.CallExpr); ok {
 					call = c
-					if len(n.Lhs) == 1 {
-						pend = identObj(pass.Info, n.Lhs[0])
-					}
+					lhs = n.Lhs
 				}
 			}
 		case *ast.ExprStmt:
-			if c, ok := n.X.(*ast.CallExpr); ok && isWriteAsync(pass.Info, c) {
+			if c, ok := n.X.(*ast.CallExpr); ok {
 				call = c
 			}
 		}
-		if call == nil || len(call.Args) == 0 {
+		if call == nil {
 			return true
 		}
-		bufObj := identObj(pass.Info, call.Args[len(call.Args)-1])
-		if bufObj == nil {
+		bufObj, viaPath, ok := handoffTarget(pass, call)
+		if !ok {
 			return true
 		}
-		handoffs = append(handoffs, &handoff{bufObj: bufObj, pendObj: pend, start: call.End()})
+		var pend types.Object
+		for _, l := range lhs {
+			obj := identObj(pass.Info, l)
+			if obj != nil && isNamed(obj.Type(), corePath, "PendingWrite") {
+				pend = obj
+				break
+			}
+		}
+		handoffs = append(handoffs, &handoff{bufObj: bufObj, pendObj: pend, start: call.End(), viaPath: viaPath})
 		return true
 	})
 	if len(handoffs) == 0 {
@@ -123,6 +137,43 @@ func checkHandoffs(pass *Pass, body *ast.BlockStmt) {
 		return true
 	})
 
+	// Deep uses: a tainted buffer passed whole to a loaded function
+	// whose summary touches that parameter gets its diagnostic enriched
+	// with the call path to the use inside the helper.
+	deepUse := make(map[*ast.Ident][]string)
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || pass.Prog == nil {
+			return true
+		}
+		callee := calleeFunc(pass.Info, call)
+		if callee == nil {
+			return true
+		}
+		sum := pass.Prog.bufSummaryOf(callee)
+		if sum == nil {
+			return true
+		}
+		csig, ok := callee.Type().(*types.Signature)
+		if !ok {
+			return true
+		}
+		for a, arg := range call.Args {
+			id, ok := ast.Unparen(arg).(*ast.Ident)
+			if !ok {
+				continue
+			}
+			j := a
+			if j >= csig.Params().Len() {
+				j = csig.Params().Len() - 1
+			}
+			if j >= 0 && sum.touches[j] {
+				deepUse[id] = sum.touchPath[j]
+			}
+		}
+		return true
+	})
+
 	// Pass 3: flag every use of a tainted buffer inside its interval.
 	ast.Inspect(body, func(n ast.Node) bool {
 		id, ok := n.(*ast.Ident)
@@ -144,10 +195,62 @@ func checkHandoffs(pass *Pass, body *ast.BlockStmt) {
 			if h.pendObj == nil && h.end == token.NoPos {
 				waited = "and the PendingWrite handle is never waited on"
 			}
-			pass.Reportf(id.Pos(), "buffer %s is used after being handed off to WriteAsync %s: ownership transfers to the checkpoint until Wait returns", id.Name, waited)
+			via := ""
+			if len(h.viaPath) > 0 {
+				via = " (handed off via " + strings.Join(h.viaPath, " → ") + ")"
+			}
+			if path, ok := deepUse[id]; ok {
+				pass.Reportf(id.Pos(), "buffer %s is used after being handed off to WriteAsync%s %s (use path: %s): ownership transfers to the checkpoint until Wait returns", id.Name, via, waited, strings.Join(path, " → "))
+			} else {
+				pass.Reportf(id.Pos(), "buffer %s is used after being handed off to WriteAsync%s %s: ownership transfers to the checkpoint until Wait returns", id.Name, via, waited)
+			}
 		}
 		return true
 	})
+}
+
+// handoffTarget reports whether call transfers a buffer's ownership to
+// the background checkpoint: a direct WriteAsync call (last argument is
+// the buffer), or a call to a loaded helper whose summary hands a
+// buffer argument off. It returns the handed-off buffer variable and,
+// for helpers, the call path to the underlying WriteAsync.
+func handoffTarget(pass *Pass, call *ast.CallExpr) (types.Object, []string, bool) {
+	if isWriteAsync(pass.Info, call) {
+		if len(call.Args) == 0 {
+			return nil, nil, false
+		}
+		obj := identObj(pass.Info, call.Args[len(call.Args)-1])
+		return obj, nil, obj != nil
+	}
+	if pass.Prog == nil {
+		return nil, nil, false
+	}
+	callee := calleeFunc(pass.Info, call)
+	if callee == nil {
+		return nil, nil, false
+	}
+	sum := pass.Prog.bufSummaryOf(callee)
+	if sum == nil || len(sum.handoff) == 0 {
+		return nil, nil, false
+	}
+	csig, ok := callee.Type().(*types.Signature)
+	if !ok {
+		return nil, nil, false
+	}
+	for a, arg := range call.Args {
+		obj := identObj(pass.Info, arg)
+		if obj == nil {
+			continue
+		}
+		j := a
+		if j >= csig.Params().Len() {
+			j = csig.Params().Len() - 1
+		}
+		if j >= 0 && sum.handoff[j] {
+			return obj, sum.handoffPath[j], true
+		}
+	}
+	return nil, nil, false
 }
 
 // isWriteAsync reports whether call is spio.WriteAsync or

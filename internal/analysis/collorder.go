@@ -48,10 +48,16 @@ var collectiveSet = func() map[string]bool {
 	return m
 }()
 
-// collCall is one collective call site.
+// collCall is one collective call site: a direct Comm collective, or a
+// call to a helper whose summary (summary.go) issues collectives.
 type collCall struct {
 	name string
 	pos  token.Pos
+	// seq and path are set for helper calls only: the helper's inlined
+	// collective signature and a representative call path to the
+	// underlying collective.
+	seq  []string
+	path []string
 }
 
 // flowResult summarizes the collective behaviour of a statement region.
@@ -87,15 +93,25 @@ type collWalker struct {
 	// rankObjs holds the types.Objects of locals derived from the rank.
 	rankObjs map[any]bool
 	flagged  map[token.Pos]bool
+	// silent disables reporting: summary.go reuses the walker to compute
+	// a function's collective signature without emitting diagnostics.
+	silent bool
 }
 
-// flag reports one divergent collective call, once.
+// flag reports one divergent collective call, once. Helper calls are
+// reported with the helper's collective sequence and a call path, so
+// the reader can see which function deep in the tree actually blocks.
 func (w *collWalker) flag(cc collCall, guardPos token.Pos, why string) {
-	if w.flagged[cc.pos] {
+	if w.silent || w.flagged[cc.pos] {
 		return
 	}
 	w.flagged[cc.pos] = true
 	g := w.pass.Fset.Position(guardPos)
+	if len(cc.seq) > 0 {
+		w.pass.Reportf(cc.pos, "call to %s (collective sequence [%s]; call path: %s) %s rank-dependent guard at line %d: every rank must issue the same collective sequence",
+			cc.name, strings.Join(cc.seq, " "), strings.Join(cc.path, " → "), why, g.Line)
+		return
+	}
 	w.pass.Reportf(cc.pos, "collective %s %s rank-dependent guard at line %d: every rank must issue the same collective sequence", cc.name, why, g.Line)
 }
 
@@ -377,17 +393,41 @@ func (w *collWalker) walkSwitch(tag ast.Expr, init ast.Stmt, body *ast.BlockStmt
 
 // exprCollsNode collects collective calls under an arbitrary statement
 // node (assignments, expression statements, declarations, defers).
+// Direct Comm collectives contribute themselves; calls to loaded
+// functions contribute their summary's inlined collective signature, so
+// `if rank == 0 { helper() }` is flagged exactly like a rank-guarded
+// Barrier when helper (transitively) issues one — and `helper()` on
+// both arms still balances.
 func exprCollsNode(pass *Pass, n ast.Node) flowResult {
 	var out flowResult
 	ast.Inspect(n, func(x ast.Node) bool {
 		if _, ok := x.(*ast.FuncLit); ok {
 			return false
 		}
-		if call, ok := x.(*ast.CallExpr); ok {
-			if name := commMethodName(pass.Info, call); collectiveSet[name] {
-				out.sig = append(out.sig, name)
-				out.calls = append(out.calls, collCall{name: name, pos: call.Pos()})
-			}
+		call, ok := x.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if name := commMethodName(pass.Info, call); collectiveSet[name] {
+			out.sig = append(out.sig, name)
+			out.calls = append(out.calls, collCall{name: name, pos: call.Pos()})
+			return true
+		}
+		if pass.Prog == nil {
+			return true
+		}
+		callee := calleeFunc(pass.Info, call)
+		if callee == nil {
+			return true
+		}
+		if s := pass.Prog.collSummaryOf(callee); s != nil && len(s.sig) > 0 {
+			out.sig = append(out.sig, s.sig...)
+			out.calls = append(out.calls, collCall{
+				name: funcDisplayName(callee),
+				pos:  call.Pos(),
+				seq:  s.sig,
+				path: s.path,
+			})
 		}
 		return true
 	})

@@ -3,6 +3,7 @@ package analysis
 import (
 	"go/ast"
 	"go/types"
+	"strings"
 )
 
 // ErrDrop flags discarded error and WriteResult returns from the spio
@@ -54,8 +55,12 @@ func runErrDrop(pass *Pass) {
 				if !ok {
 					return true
 				}
-				fn, droppable := watchedCall(pass.Info, call)
+				fn, path, droppable := watchedOrPropagating(pass, call)
 				if !droppable {
+					return true
+				}
+				if len(path) > 0 {
+					pass.Reportf(call.Pos(), "result of %s is dropped: its error propagates the result of %s (call path: %s)", callName(fn), path[len(path)-1], strings.Join(path, " → "))
 					return true
 				}
 				pass.Reportf(call.Pos(), "result of %s is dropped: it reports %s", callName(fn), droppedWhat(fn))
@@ -65,6 +70,28 @@ func runErrDrop(pass *Pass) {
 			return true
 		})
 	}
+}
+
+// watchedOrPropagating resolves call's callee and reports whether its
+// results must not be dropped: a member of the watched API surface, or
+// a loaded helper whose error result (per its summary) may carry a
+// watched call's error. The returned path is non-nil only in the
+// helper case.
+func watchedOrPropagating(pass *Pass, call *ast.CallExpr) (*types.Func, []string, bool) {
+	if fn, ok := watchedCall(pass.Info, call); ok {
+		return fn, nil, true
+	}
+	if pass.Prog == nil {
+		return nil, nil, false
+	}
+	callee := calleeFunc(pass.Info, call)
+	if callee == nil {
+		return nil, nil, false
+	}
+	if s := pass.Prog.errSummaryOf(callee); s != nil && s.propagates {
+		return callee, s.path, true
+	}
+	return nil, nil, false
 }
 
 // checkBlankedError flags `x, _ := watched(...)` where the blanked
@@ -77,7 +104,7 @@ func checkBlankedError(pass *Pass, as *ast.AssignStmt) {
 	if !ok {
 		return
 	}
-	fn, droppable := watchedCall(pass.Info, call)
+	fn, path, droppable := watchedOrPropagating(pass, call)
 	if !droppable {
 		return
 	}
@@ -96,6 +123,10 @@ func checkBlankedError(pass *Pass, as *ast.AssignStmt) {
 	}
 	for i, lhs := range as.Lhs {
 		if isBlank(lhs) && isErrorType(sig.Results().At(i).Type()) {
+			if len(path) > 0 {
+				pass.Reportf(lhs.Pos(), "error from %s is blanked while other results are used (propagates %s; call path: %s)", callName(fn), path[len(path)-1], strings.Join(path, " → "))
+				continue
+			}
 			pass.Reportf(lhs.Pos(), "error from %s is blanked while other results are used", callName(fn))
 		}
 	}

@@ -47,3 +47,41 @@ func okDoubleBuffer(c *mpi.Comm, cfg core.WriteConfig, buf *particle.Buffer, sch
 	_, _ = p.Wait()
 	return n
 }
+
+// startCheckpoint wraps WriteAsync: per its summary, its buffer
+// parameter is handed off to the background checkpoint.
+func startCheckpoint(c *mpi.Comm, cfg core.WriteConfig, buf *particle.Buffer) *core.PendingWrite {
+	return core.WriteAsync(c, "out", cfg, buf)
+}
+
+// readLen is a deep use: any buffer passed to it is touched.
+func readLen(buf *particle.Buffer) int {
+	return buf.Len()
+}
+
+// Interprocedural: the handoff hides one call deep. The ownership
+// window opens at the wrapper call, and the use is flagged with the
+// hand-off chain.
+func useAfterHelperHandoff(c *mpi.Comm, cfg core.WriteConfig, buf *particle.Buffer) int {
+	p := startCheckpoint(c, cfg, buf)
+	n := buf.Len() // want "handed off via bufhandoff.startCheckpoint"
+	_, _ = p.Wait()
+	return n
+}
+
+// Interprocedural: the use hides one call deep too — the diagnostic
+// names the path to the touch inside the helper.
+func deepUseAfterHandoff(c *mpi.Comm, cfg core.WriteConfig, buf *particle.Buffer) int {
+	p := core.WriteAsync(c, "out", cfg, buf)
+	n := readLen(buf) // want "use path: bufhandoff.readLen"
+	_, _ = p.Wait()
+	return n
+}
+
+// The helper wrapper used correctly: hand off, wait, then read. The
+// summary-driven window closes at Wait exactly like the direct one.
+func okHelperHandoff(c *mpi.Comm, cfg core.WriteConfig, buf *particle.Buffer) int {
+	p := startCheckpoint(c, cfg, buf)
+	_, _ = p.Wait()
+	return readLen(buf)
+}

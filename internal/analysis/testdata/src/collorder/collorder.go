@@ -63,3 +63,41 @@ func uniformGuard(c *mpi.Comm, everyone bool) {
 		c.Barrier()
 	}
 }
+
+// syncAndCount hides a collective one call deep: its summary is the
+// inlined sequence [Barrier Allreduce].
+func syncAndCount(c *mpi.Comm, n int64) int64 {
+	c.Barrier()
+	return c.Allreduce(n, mpi.OpSum)
+}
+
+// Interprocedural: the rank guard is on the helper call, not on any
+// visible Comm method. The diagnostic names the helper's collective
+// sequence and the call path to the blocking collective.
+func rankGuardedHelper(c *mpi.Comm) {
+	if c.Rank() == 0 {
+		syncAndCount(c, 1) // want "call path: collorder.syncAndCount → Comm.Barrier"
+	}
+}
+
+// The same helper on both arms balances exactly like a direct
+// collective would: the inlined signatures compare equal. No finding.
+func balancedHelper(c *mpi.Comm) int64 {
+	if c.Rank() == 0 {
+		return syncAndCount(c, 1)
+	}
+	return syncAndCount(c, 0)
+}
+
+// Two levels deep: outer wraps syncAndCount, and the early return skips
+// it on non-zero ranks.
+func deepHelper(c *mpi.Comm) int64 {
+	return syncAndCount(c, 2)
+}
+
+func earlyReturnSkipsHelper(c *mpi.Comm) int64 {
+	if c.Rank() != 0 {
+		return 0
+	}
+	return deepHelper(c) // want "call path: collorder.deepHelper → collorder.syncAndCount → Comm.Barrier"
+}

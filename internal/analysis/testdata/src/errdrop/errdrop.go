@@ -38,3 +38,38 @@ func deferredClose(df *format.DataFile) {
 	defer df.Close()
 	_ = df.Close()
 }
+
+// writeBoth wraps the watched API: its error result carries
+// core.Write's error, so per its summary it is watched too.
+func writeBoth(c *mpi.Comm, cfg core.WriteConfig, a, b *particle.Buffer) error {
+	if _, err := core.Write(c, "a", cfg, a); err != nil {
+		return err
+	}
+	_, err := core.Write(c, "b", cfg, b)
+	return err
+}
+
+// Interprocedural: dropping the helper's result drops the API error it
+// propagates; the diagnostic names the call path.
+func droppedHelper(c *mpi.Comm, cfg core.WriteConfig, a, b *particle.Buffer) {
+	writeBoth(c, cfg, a, b) // want "call path: errdrop.writeBoth → core.Write"
+}
+
+// countAndWrite returns a count alongside the propagated error.
+func countAndWrite(c *mpi.Comm, cfg core.WriteConfig, buf *particle.Buffer) (int, error) {
+	_, err := core.Write(c, "out", cfg, buf)
+	return buf.Len(), err
+}
+
+// Interprocedural: blanking the helper's error while keeping the count
+// hides the propagated write failure.
+func blankedHelperError(c *mpi.Comm, cfg core.WriteConfig, buf *particle.Buffer) int {
+	n, _ := countAndWrite(c, cfg, buf) // want "propagates core.Write"
+	return n
+}
+
+// Handling the helper's error is the point of the propagation summary.
+// No finding.
+func okHelperHandled(c *mpi.Comm, cfg core.WriteConfig, buf *particle.Buffer) error {
+	return writeBoth(c, cfg, buf, buf)
+}

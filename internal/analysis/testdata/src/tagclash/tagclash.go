@@ -26,3 +26,11 @@ func okTags(c *mpi.Comm, data []byte, dynamic int) {
 		c.Recv(0, dynamic)
 	}
 }
+
+// Boundary: the user tag space is half-open — UserTagSpace itself is
+// the first reserved value (wireTag panics on it), UserTagSpace-1 the
+// last legal one.
+func boundaryTags(c *mpi.Comm, data []byte) {
+	c.Send(1, mpi.UserTagSpace, data) // want "outside the user tag space"
+	c.Send(1, mpi.UserTagSpace-1, data)
+}

@@ -86,6 +86,31 @@ func TestCompositeCollectiveMismatch(t *testing.T) {
 	}
 }
 
+// The same Allgather-vs-Gather kind mismatch at three ranks: the ranks
+// already parked inside the Allgather when the mismatch is proven must
+// be unwound by the guard's abort, not left for the watchdog.
+func TestCompositeCollectiveMismatchAbortsBlockedRanks(t *testing.T) {
+	w := NewWorld(3)
+	err := w.RunTimeout(10*time.Second, func(c *Comm) error {
+		if c.Rank() == 1 {
+			c.Gather(0, []byte("a"))
+		} else {
+			c.Allgather([]byte("a"))
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("Allgather-vs-Gather mismatch completed without error")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "Allgather") || !strings.Contains(msg, "Gather") {
+		t.Fatalf("error does not name both collectives: %v", msg)
+	}
+	if strings.Contains(msg, "did not complete within") {
+		t.Fatalf("blocked ranks hit the watchdog instead of the guard abort: %v", msg)
+	}
+}
+
 // Matched collectives must leave no ledger entries behind: every
 // position is forgotten once all ranks have stamped it.
 func TestCollectiveLedgerBounded(t *testing.T) {
