@@ -24,6 +24,9 @@ type Timing struct {
 	Reorder          time.Duration
 	FileIO           time.Duration
 	MetaIO           time.Duration
+	// Abort is the time spent in the error-agreement rounds and abort
+	// cleanup when a write fails; zero on the success path.
+	Abort time.Duration
 }
 
 // Aggregation returns the total time spent moving data over the network
@@ -34,7 +37,7 @@ func (t Timing) Aggregation() time.Duration {
 
 // Total returns the end-to-end write time on this rank.
 func (t Timing) Total() time.Duration {
-	return t.Aggregation() + t.Reorder + t.FileIO + t.MetaIO
+	return t.Aggregation() + t.Reorder + t.FileIO + t.MetaIO + t.Abort
 }
 
 // send is one outgoing bundle: a buffer destined for one aggregator.
@@ -56,10 +59,25 @@ type send struct {
 //
 // sends lists this rank's outgoing bundles (self-sends are delivered
 // in-memory). expectFrom lists, for an aggregator rank, the ranks it must
-// hear a count from; nil for non-aggregators. Returns the aggregated
-// buffer (nil for non-aggregators) and the phase timings.
-func exchange(c *mpi.Comm, schema *particle.Schema, sends []send, expectFrom []int) (*particle.Buffer, Timing, error) {
+// hear a count from; isAgg says whether this rank is an aggregator (an
+// aggregator's sender set may legitimately be empty). Returns the
+// aggregated buffer (empty but non-nil for aggregators with nothing to
+// receive, nil for non-aggregators) and the phase timings.
+//
+// Content errors (malformed counts, short payloads, decode failures) do
+// not abort the protocol mid-flight: the rank keeps posting every send
+// and receive its peers count on, records the first error, and reports
+// it only after the exchange is drained. An early return here would
+// leave peers blocked in Recv — error agreement happens collectively in
+// the caller (internal/core), which requires every rank to reach it.
+func exchange(c *mpi.Comm, schema *particle.Schema, sends []send, expectFrom []int, isAgg bool) (*particle.Buffer, Timing, error) {
 	var tm Timing
+	var firstErr error
+	note := func(err error) {
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
 
 	// Phase 1: metadata exchange.
 	start := time.Now()
@@ -85,7 +103,13 @@ func exchange(c *mpi.Comm, schema *particle.Schema, sends []send, expectFrom []i
 		}
 		data, _ := c.Recv(src, tagMetaCount)
 		if len(data) != 8 {
-			return nil, tm, fmt.Errorf("agg: malformed count message from rank %d (%d bytes)", src, len(data))
+			// Treat the count as zero so no data receive is posted for
+			// src; if src nevertheless sends a data message it stays
+			// queued and is discarded with the communicator (see DESIGN
+			// §9 on stray messages after a content error).
+			note(fmt.Errorf("agg: malformed count message from rank %d (%d bytes)", src, len(data)))
+			counts[src] = 0
+			continue
 		}
 		n := int64(binary.LittleEndian.Uint64(data))
 		counts[src] = n
@@ -93,10 +117,12 @@ func exchange(c *mpi.Comm, schema *particle.Schema, sends []send, expectFrom []i
 	}
 	tm.MetadataExchange = time.Since(start)
 
-	// Phase 2+3: allocate once, then the particle exchange.
+	// Phase 2+3: allocate once, then the particle exchange. Aggregators
+	// always get a buffer, even when every sender announced zero
+	// particles — callers index into it unconditionally.
 	start = time.Now()
 	var agg *particle.Buffer
-	if expectFrom != nil {
+	if isAgg {
 		agg = particle.NewBuffer(schema, int(total))
 	}
 	var scratch []byte
@@ -120,15 +146,16 @@ func exchange(c *mpi.Comm, schema *particle.Schema, sends []send, expectFrom []i
 		data, _ := c.Recv(src, tagData)
 		want := counts[src] * int64(schema.Stride())
 		if int64(len(data)) != want {
-			return nil, tm, fmt.Errorf("agg: rank %d announced %d particles but sent %d bytes (want %d)",
-				src, counts[src], len(data), want)
+			note(fmt.Errorf("agg: rank %d announced %d particles but sent %d bytes (want %d)",
+				src, counts[src], len(data), want))
+			continue
 		}
 		if err := agg.DecodeRecords(data); err != nil {
-			return nil, tm, fmt.Errorf("agg: decoding records from rank %d: %w", src, err)
+			note(fmt.Errorf("agg: decoding records from rank %d: %w", src, err))
 		}
 	}
 	tm.ParticleExchange = time.Since(start)
-	return agg, tm, nil
+	return agg, tm, firstErr
 }
 
 // ExchangeAligned runs the two-phase exchange for an aligned
@@ -145,10 +172,11 @@ func ExchangeAligned(c *mpi.Comm, l *Layout, local *particle.Buffer) (*particle.
 	}
 	sends := []send{{to: l.AggregatorOfRank(c.Rank()), buf: local}}
 	var expectFrom []int
-	if part, ok := l.IsAggregator(c.Rank()); ok {
+	part, isAgg := l.IsAggregator(c.Rank())
+	if isAgg {
 		expectFrom = l.RanksInPartition(part)
 	}
-	return exchange(c, local.Schema(), sends, expectFrom)
+	return exchange(c, local.Schema(), sends, expectFrom, isAgg)
 }
 
 // ExchangeScan runs the two-phase exchange for a non-aligned grid: each
@@ -169,14 +197,20 @@ func ExchangeScan(c *mpi.Comm, grid geom.Grid, aggregators []int, senderSets [][
 		}
 	}
 	// Sanity: every non-empty bin must be covered by a sender-set entry,
-	// otherwise the aggregator would never post a receive for us.
-	var sends []send
+	// otherwise the aggregator would never post a receive for us. The
+	// violation is recorded, not returned early: this rank still runs the
+	// full exchange (dropping the uncovered particles, which no peer is
+	// expecting anyway) so its peers' sends and receives all complete,
+	// and the caller's collective error agreement surfaces the failure on
+	// every rank.
+	var sanityErr error
 	for p, buf := range split {
-		if buf != nil && buf.Len() > 0 && !mine[p] {
-			return nil, Timing{}, fmt.Errorf("agg: rank %d holds %d particles for partition %d but is not in its sender set",
+		if buf != nil && buf.Len() > 0 && !mine[p] && sanityErr == nil {
+			sanityErr = fmt.Errorf("agg: rank %d holds %d particles for partition %d but is not in its sender set",
 				c.Rank(), buf.Len(), p)
 		}
 	}
+	var sends []send
 	schema := local.Schema()
 	for p := range senderSets {
 		if !mine[p] {
@@ -190,11 +224,17 @@ func ExchangeScan(c *mpi.Comm, grid geom.Grid, aggregators []int, senderSets [][
 	}
 
 	var expectFrom []int
+	var isAgg bool
 	for p, aggRank := range aggregators {
 		if aggRank == c.Rank() {
 			expectFrom = senderSets[p]
+			isAgg = true
 			break
 		}
 	}
-	return exchange(c, schema, sends, expectFrom)
+	agg, tm, err := exchange(c, schema, sends, expectFrom, isAgg)
+	if sanityErr != nil {
+		err = sanityErr
+	}
+	return agg, tm, err
 }

@@ -39,6 +39,7 @@ type Program struct {
 	errSums  map[*types.Func]*errSummary
 	wireSums map[*types.Func]*wireSummary
 	mayColl  map[*types.Func]bool
+	mayP2P   map[*types.Func]bool
 
 	collVisiting map[*types.Func]bool
 	bufVisiting  map[*types.Func]bool

@@ -84,6 +84,50 @@ func (p *Program) ensureMayColl() {
 	}
 }
 
+// mayP2P is the matching closure for point-to-point communication:
+// "fn may (transitively) issue a Send/Recv-family call". The collabort
+// analyzer unions it with mayColl to decide that a function has entered
+// the communication phase.
+func (p *Program) ensureMayP2P() {
+	if p.mayP2P != nil {
+		return
+	}
+	p.mayP2P = make(map[*types.Func]bool)
+	callees := make(map[*types.Func][]*types.Func)
+	for fn, fi := range p.Funcs {
+		direct := false
+		scanCalls(fi.Pkg.Info, fi.Decl.Body, func(call *ast.CallExpr) {
+			if p2pSet[commMethodName(fi.Pkg.Info, call)] {
+				direct = true
+				return
+			}
+			if callee := calleeFunc(fi.Pkg.Info, call); callee != nil {
+				if _, loaded := p.Funcs[callee]; loaded {
+					callees[fn] = append(callees[fn], callee)
+				}
+			}
+		})
+		if direct {
+			p.mayP2P[fn] = true
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for fn, cs := range callees {
+			if p.mayP2P[fn] {
+				continue
+			}
+			for _, c := range cs {
+				if p.mayP2P[c] {
+					p.mayP2P[fn] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+}
+
 // scanCalls visits every call expression under n in source order,
 // skipping function literals (their bodies run on their own schedule —
 // the same exclusion the intraprocedural walkers apply) and go

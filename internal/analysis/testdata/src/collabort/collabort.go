@@ -1,0 +1,132 @@
+// Fixture for the collabort analyzer: once a function has entered the
+// communication phase, an early return on a locally-scoped error skips
+// collectives the healthy ranks still enter, deadlocking them. The
+// sanctioned shape routes the error through an agreement collective
+// first, so every rank aborts together.
+package collabort
+
+import (
+	"fmt"
+
+	"spio/internal/mpi"
+)
+
+// exchangeCounts is a point-to-point helper: calling it puts the caller
+// in the communication phase, but it issues no collectives, so its
+// error is locally scoped.
+func exchangeCounts(c *mpi.Comm) error {
+	if c.Rank() == 0 {
+		c.Isend(1, 7, []byte{1})
+		return nil
+	}
+	if c.Rank() != 1 {
+		return nil
+	}
+	data, _ := c.Recv(0, 7)
+	if len(data) != 1 {
+		return fmt.Errorf("collabort: malformed count message (%d bytes)", len(data))
+	}
+	return nil
+}
+
+// localWork cannot communicate at all; its error is locally scoped.
+func localWork(n int) error {
+	if n < 0 {
+		return fmt.Errorf("collabort: bad n %d", n)
+	}
+	return nil
+}
+
+// agree is the agreement round: the Allreduce makes the outcome
+// symmetric across ranks, so errors derived from it are agreed.
+func agree(c *mpi.Comm, local error) error {
+	flag := int64(0)
+	if local != nil {
+		flag = 1
+	}
+	if c.Allreduce(flag, mpi.OpSum) > 0 {
+		return fmt.Errorf("collabort: write failed on some rank")
+	}
+	return nil
+}
+
+// buggyPipeline returns early on local errors after the exchange has
+// started: ranks that did not fail proceed into the Barrier and hang.
+func buggyPipeline(c *mpi.Comm, n int) error {
+	if err := exchangeCounts(c); err != nil { // want "skips collective"
+		return err
+	}
+	if err := localWork(n); err != nil { // want "skips collective"
+		return err
+	}
+	c.Barrier()
+	return nil
+}
+
+// fixedPipeline routes both failure modes through the agreement round:
+// every exit between the exchange and the Barrier is symmetric. No
+// finding.
+func fixedPipeline(c *mpi.Comm, n int) error {
+	exchErr := exchangeCounts(c)
+	if err := agree(c, exchErr); err != nil {
+		return err
+	}
+	if err := agree(c, localWork(n)); err != nil {
+		return err
+	}
+	c.Barrier()
+	return nil
+}
+
+// validate rejects bad input before any communication: the error is
+// derived from arguments every rank shares, so the early return is
+// symmetric. No finding.
+func validate(c *mpi.Comm, n int) error {
+	if err := localWork(n); err != nil {
+		return err
+	}
+	c.Barrier()
+	return exchangeCounts(c)
+}
+
+// abortThenReturn runs the agreement collective inside the guard body
+// before leaving, so no peer is stranded. No finding.
+func abortThenReturn(c *mpi.Comm, n int) error {
+	c.Barrier()
+	if err := localWork(n); err != nil {
+		return agree(c, err)
+	}
+	if err := agree(c, nil); err != nil {
+		return err
+	}
+	c.Barrier()
+	return nil
+}
+
+// run mimics mpi.Run: the analyzer does not resolve the func value, but
+// the literal's body is analyzed as its own scope.
+func run(n int, fn func(c *mpi.Comm) error) error { return fn(nil) }
+
+// buggyClosure is the common user shape: the rank body lives in a
+// literal passed to the runner, and its local-error early return skips
+// the Barrier just like a named function's would.
+func buggyClosure(n int) error {
+	return run(n, func(c *mpi.Comm) error {
+		if err := exchangeCounts(c); err != nil { // want "skips collective"
+			return err
+		}
+		c.Barrier()
+		return nil
+	})
+}
+
+// fixedClosure agrees first. No finding.
+func fixedClosure(n int) error {
+	return run(n, func(c *mpi.Comm) error {
+		if err := agree(c, exchangeCounts(c)); err != nil {
+			return err
+		}
+		c.Barrier()
+		return nil
+	})
+}

@@ -16,7 +16,7 @@ func droppedWrite(c *mpi.Comm, cfg core.WriteConfig, buf *particle.Buffer) {
 
 // A format encode call's error silently dropped.
 func droppedEncode(path string, hdr format.DataHeader, buf *particle.Buffer) {
-	format.WriteDataFile(path, hdr, buf) // want "result of format.WriteDataFile is dropped"
+	format.WriteDataFile(nil, path, hdr, buf) // want "result of format.WriteDataFile is dropped"
 }
 
 // Blanking the error while binding the payload hides decode failures.

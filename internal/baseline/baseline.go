@@ -122,6 +122,62 @@ func ReadFPPAll(dir string, schema *particle.Schema, nRanks int) (*particle.Buff
 // SharedFileName is the single shared file's name.
 const SharedFileName = "shared.raw"
 
+// agreeOnError is the baseline writers' error-agreement round (the same
+// protocol internal/core runs, DESIGN §9): every rank contributes its
+// local error flag, and a failure on any rank surfaces on every rank.
+// Without it, a rank that returns early on a local I/O error strands
+// its peers in the next Barrier. The Allreduce doubles as the
+// synchronization point the Barrier used to provide.
+func agreeOnError(c *mpi.Comm, local error) error {
+	flag := int64(0)
+	if local != nil {
+		flag = 1
+	}
+	if c.Allreduce(flag, mpi.OpSum) == 0 {
+		return nil
+	}
+	if local != nil {
+		return local
+	}
+	return fmt.Errorf("baseline: collective write failed on another rank")
+}
+
+// createShared creates and pre-sizes the shared file (rank 0 only).
+func createShared(dir, path string, total, stride int64) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	var hdr [headerSize]byte
+	copy(hdr[:8], rawMagic)
+	binary.LittleEndian.PutUint64(hdr[8:], uint64(total))
+	binary.LittleEndian.PutUint64(hdr[16:], uint64(stride))
+	if _, err := f.Write(hdr[:]); err != nil {
+		f.Close()
+		return err
+	}
+	// Pre-size so concurrent WriteAt calls land in allocated space.
+	if err := f.Truncate(headerSize + total*stride); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// writeSharedExtent writes this rank's records at its offset.
+func writeSharedExtent(path string, local *particle.Buffer, off int64) error {
+	f, err := os.OpenFile(path, os.O_WRONLY, 0)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	_, err = f.WriteAt(local.Encode(), off)
+	return err
+}
+
 // WriteShared performs collective single-shared-file I/O: ranks
 // establish disjoint extents with an Allgather of counts, rank 0 writes
 // the header, and every rank writes its records at its offset. Data is
@@ -141,45 +197,21 @@ func WriteShared(c *mpi.Comm, dir string, local *particle.Buffer) error {
 	stride := int64(local.Schema().Stride())
 	path := filepath.Join(dir, SharedFileName)
 
+	var werr error
 	if c.Rank() == 0 {
-		if err := os.MkdirAll(dir, 0o755); err != nil {
-			return err
-		}
-		f, err := os.Create(path)
-		if err != nil {
-			return err
-		}
-		var hdr [headerSize]byte
-		copy(hdr[:8], rawMagic)
-		binary.LittleEndian.PutUint64(hdr[8:], uint64(total))
-		binary.LittleEndian.PutUint64(hdr[16:], uint64(stride))
-		if _, err := f.Write(hdr[:]); err != nil {
-			f.Close()
-			return err
-		}
-		// Pre-size so concurrent WriteAt calls land in allocated space.
-		if err := f.Truncate(headerSize + total*stride); err != nil {
-			f.Close()
-			return err
-		}
-		if err := f.Close(); err != nil {
-			return err
-		}
+		werr = createShared(dir, path, total, stride)
 	}
-	c.Barrier() // file exists and is sized before anyone writes
+	// Agreement doubles as the "file exists and is sized" barrier.
+	if err := agreeOnError(c, werr); err != nil {
+		return err
+	}
 
 	if local.Len() > 0 {
-		f, err := os.OpenFile(path, os.O_WRONLY, 0)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		if _, err := f.WriteAt(local.Encode(), headerSize+offset*stride); err != nil {
-			return err
-		}
+		werr = writeSharedExtent(path, local, headerSize+offset*stride)
 	}
-	c.Barrier() // write completes collectively
-	return nil
+	// Second round: the write completes collectively, and a failed
+	// extent surfaces on every rank instead of stranding the peers.
+	return agreeOnError(c, werr)
 }
 
 // ReadShared reads the whole shared file.
@@ -212,10 +244,12 @@ func WriteSubfiled(c *mpi.Comm, dir string, nSubfiles int, local *particle.Buffe
 		if local.Len() > 0 {
 			c.Isend(leader, tagData, local.Encode())
 		}
-		c.Barrier()
-		return nil
+		// Completion doubles as the error-agreement round: a leader
+		// that failed to decode or write surfaces here.
+		return agreeOnError(c, nil)
 	}
 
+	var werr error
 	aggregated := particle.NewBuffer(local.Schema(), local.Len()*group)
 	aggregated.AppendBuffer(local)
 	for r := leader + 1; r < leader+group; r++ {
@@ -225,18 +259,23 @@ func WriteSubfiled(c *mpi.Comm, dir string, nSubfiles int, local *particle.Buffe
 			continue
 		}
 		payload, _ := c.Recv(r, tagData)
+		// After a decode failure keep draining the group's sends so the
+		// P2P protocol stays symmetric; only the agreement round below
+		// may abort.
+		if werr != nil {
+			continue
+		}
 		if err := aggregated.DecodeRecords(payload); err != nil {
-			return fmt.Errorf("baseline: subfile leader %d: %w", leader, err)
+			werr = fmt.Errorf("baseline: subfile leader %d: %w", leader, err)
 		}
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return err
+	if werr == nil {
+		werr = os.MkdirAll(dir, 0o755)
 	}
-	if err := writeRaw(filepath.Join(dir, SubfileName(sub)), aggregated); err != nil {
-		return err
+	if werr == nil {
+		werr = writeRaw(filepath.Join(dir, SubfileName(sub)), aggregated)
 	}
-	c.Barrier()
-	return nil
+	return agreeOnError(c, werr)
 }
 
 // ReadSubfiled reads subfile `reader` of a dataset written with

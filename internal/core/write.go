@@ -18,11 +18,11 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
-	"os"
 	"path/filepath"
 	"time"
 
 	"spio/internal/agg"
+	"spio/internal/fault"
 	"spio/internal/format"
 	"spio/internal/geom"
 	"spio/internal/lod"
@@ -64,6 +64,10 @@ type WriteConfig struct {
 	// a non-finite position or lies outside the domain (which would
 	// silently land in the wrong file under the aligned exchange).
 	ValidateInput bool
+	// FS, when non-nil, routes every mutating filesystem operation of
+	// this rank's write through it — the fault-injection seam of
+	// internal/fault. Nil means the real filesystem.
+	FS fault.WriteFS
 }
 
 func (cfg *WriteConfig) withDefaults() WriteConfig {
@@ -72,6 +76,14 @@ func (cfg *WriteConfig) withDefaults() WriteConfig {
 		out.LOD = lod.DefaultParams()
 	}
 	return out
+}
+
+// fs resolves the possibly-nil injected filesystem to a usable one.
+func (cfg *WriteConfig) fs() fault.WriteFS {
+	if cfg.FS == nil {
+		return fault.OS()
+	}
+	return cfg.FS
 }
 
 // WriteResult reports one rank's view of a completed write.
@@ -98,6 +110,18 @@ func Write(c *mpi.Comm, dir string, cfg WriteConfig, local *particle.Buffer) (Wr
 	if cfg.Adaptive && cfg.AggDims != (geom.Idx3{}) {
 		return res, fmt.Errorf("core: Adaptive and AggDims are mutually exclusive")
 	}
+	// For the aligned path, build the layout before any communication:
+	// layout errors are pure config errors, identical on every rank, so
+	// an early return here is symmetric and cannot strand a peer in a
+	// collective.
+	var layout *agg.Layout
+	if !cfg.Adaptive && cfg.AggDims == (geom.Idx3{}) {
+		var err error
+		layout, err = agg.NewLayout(cfg.Agg, c.Size())
+		if err != nil {
+			return res, err
+		}
+	}
 	if cfg.ValidateInput {
 		// Collective validation: every rank learns whether any rank's
 		// input is bad, so a failure aborts the write everywhere instead
@@ -106,15 +130,8 @@ func Write(c *mpi.Comm, dir string, cfg WriteConfig, local *particle.Buffer) (Wr
 		if verr == nil {
 			verr = local.CheckInside(cfg.Agg.Domain)
 		}
-		flag := int64(0)
-		if verr != nil {
-			flag = 1
-		}
-		if c.Allreduce(flag, mpi.OpSum) > 0 {
-			if verr != nil {
-				return res, fmt.Errorf("core: rank %d: %w", c.Rank(), verr)
-			}
-			return res, fmt.Errorf("core: input validation failed on another rank")
+		if err := agreeOnError(c, "input validation", verr); err != nil {
+			return res, err
 		}
 	}
 	if cfg.Adaptive {
@@ -123,35 +140,19 @@ func Write(c *mpi.Comm, dir string, cfg WriteConfig, local *particle.Buffer) (Wr
 	if cfg.AggDims != (geom.Idx3{}) {
 		return writeScan(c, dir, cfg, local)
 	}
-	layout, err := agg.NewLayout(cfg.Agg, c.Size())
-	if err != nil {
-		return res, err
-	}
 
 	// Steps 1–5.
-	aggBuf, tm, err := agg.ExchangeAligned(c, layout, local)
-	if err != nil {
-		return res, err
-	}
+	aggBuf, tm, exchErr := agg.ExchangeAligned(c, layout, local)
 	res.Timing = tm
-
 	part, isAgg := layout.IsAggregator(c.Rank())
-	var entry fileEntryMsg
+	var partBox geom.Box
 	if isAgg {
-		res.Partition = part
-		res.FileParticles = int64(aggBuf.Len())
-		entry, err = reorderAndWrite(dir, cfg, c.Rank(), part, layout.PartitionBox(part), aggBuf, &res.Timing)
-		if err != nil {
-			return res, err
-		}
+		partBox = layout.PartitionBox(part)
 	}
 
-	// Step 8: gather every aggregator's entry on rank 0 and write the
-	// metadata file.
-	start := time.Now()
-	err = writeMetaCollective(c, dir, cfg, layout.SimDims, cfg.Agg.Factor, layout.AggGrid.Dims,
-		local.Schema(), isAgg, entry)
-	res.Timing.MetaIO = time.Since(start)
+	// Steps 6–8 plus error agreement.
+	err := finishWrite(c, dir, cfg, layout.SimDims, cfg.Agg.Factor, layout.AggGrid.Dims,
+		local.Schema(), isAgg, part, partBox, aggBuf, exchErr, &res)
 	return res, err
 }
 
@@ -171,78 +172,149 @@ func writeScan(c *mpi.Comm, dir string, cfg WriteConfig, local *particle.Buffer)
 	if err != nil {
 		return res, err
 	}
-	aggBuf, tm, err := layout.Exchange(c, local)
-	if err != nil {
-		return res, err
-	}
+	aggBuf, tm, exchErr := layout.Exchange(c, local)
 	res.Timing = tm
 
 	part, isAgg := layout.IsAggregator(c.Rank())
-	var entry fileEntryMsg
+	var partBox geom.Box
 	if isAgg {
-		res.Partition = part
-		res.FileParticles = int64(aggBuf.Len())
-		entry, err = reorderAndWrite(dir, cfg, c.Rank(), part, layout.PartitionBox(part), aggBuf, &res.Timing)
-		if err != nil {
-			return res, err
-		}
+		partBox = layout.PartitionBox(part)
 	}
-
-	start := time.Now()
 	// A non-aligned grid has no meaningful partition factor; record
 	// zeros so readers can tell the difference.
-	err = writeMetaCollective(c, dir, cfg, cfg.Agg.SimDims, geom.Idx3{}, cfg.AggDims,
-		local.Schema(), isAgg, entry)
-	res.Timing.MetaIO = time.Since(start)
+	err = finishWrite(c, dir, cfg, cfg.Agg.SimDims, geom.Idx3{}, cfg.AggDims,
+		local.Schema(), isAgg, part, partBox, aggBuf, exchErr, &res)
 	return res, err
 }
 
 func writeAdaptive(c *mpi.Comm, dir string, cfg WriteConfig, local *particle.Buffer) (WriteResult, error) {
 	res := WriteResult{Partition: -1}
+	// Validate before deriving the partition-grid shape: a zero factor
+	// component must be rejected here, not divided by below.
+	if err := cfg.Agg.Validate(c.Size()); err != nil {
+		return res, err
+	}
 	parts := geom.Idx3{
 		X: cfg.Agg.SimDims.X / cfg.Agg.Factor.X,
 		Y: cfg.Agg.SimDims.Y / cfg.Agg.Factor.Y,
 		Z: cfg.Agg.SimDims.Z / cfg.Agg.Factor.Z,
 	}
-	if err := cfg.Agg.Validate(c.Size()); err != nil {
-		return res, err
-	}
 	layout, err := agg.BuildAdaptive(c, cfg.Agg.Domain, parts, local)
 	if err != nil {
 		return res, err
 	}
-	aggBuf, tm, err := layout.Exchange(c, local)
-	if err != nil {
-		return res, err
-	}
+	aggBuf, tm, exchErr := layout.Exchange(c, local)
 	res.Timing = tm
 
 	part, isAgg := layout.IsAggregator(c.Rank())
-	var entry fileEntryMsg
+	var partBox geom.Box
 	if isAgg {
-		res.Partition = part
-		res.FileParticles = int64(aggBuf.Len())
-		entry, err = reorderAndWrite(dir, cfg, c.Rank(), part, layout.PartitionBox(part), aggBuf, &res.Timing)
-		if err != nil {
-			return res, err
-		}
+		partBox = layout.PartitionBox(part)
 	}
-
-	start := time.Now()
-	err = writeMetaCollective(c, dir, cfg, cfg.Agg.SimDims, cfg.Agg.Factor, parts,
-		local.Schema(), isAgg, entry)
-	res.Timing.MetaIO = time.Since(start)
+	err = finishWrite(c, dir, cfg, cfg.Agg.SimDims, cfg.Agg.Factor, parts,
+		local.Schema(), isAgg, part, partBox, aggBuf, exchErr, &res)
 	return res, err
 }
 
+// finishWrite runs steps 6–8 plus the collective error-agreement
+// protocol (DESIGN §9). Every exit path between the particle exchange
+// and the metadata write passes through an agreement round, so a
+// failure on any rank surfaces as a non-nil error on every rank and no
+// rank is left blocked in a collective its peers skipped.
+func finishWrite(c *mpi.Comm, dir string, cfg WriteConfig,
+	simDims, factor, aggDims geom.Idx3, schema *particle.Schema,
+	isAgg bool, part int, partBox geom.Box,
+	aggBuf *particle.Buffer, exchErr error, res *WriteResult) error {
+
+	// Agreement point 1: the exchange itself. Nothing has been written
+	// yet, so there is nothing to clean up.
+	if err := agreePoint(c, "particle exchange", exchErr, dir, cfg, isAgg, false, &res.Timing); err != nil {
+		return err
+	}
+
+	var entry fileEntryMsg
+	var werr error
+	if isAgg {
+		res.Partition = part
+		res.FileParticles = int64(aggBuf.Len())
+		entry, werr = reorderAndWrite(cfg.fs(), dir, cfg, c.Rank(), part, partBox, aggBuf, &res.Timing)
+	}
+	// Agreement point 2: the data-file writes. Some aggregators may have
+	// already published their file; an agreed failure removes them.
+	if err := agreePoint(c, "data file write", werr, dir, cfg, isAgg, true, &res.Timing); err != nil {
+		return err
+	}
+
+	start := time.Now()
+	merr := writeMetaCollective(c, dir, cfg, simDims, factor, aggDims, schema, isAgg, entry)
+	res.Timing.MetaIO = time.Since(start)
+	// Agreement point 3: the metadata write (only rank 0 writes the
+	// file, so only rank 0 can fail it locally).
+	return agreePoint(c, "metadata write", merr, dir, cfg, isAgg, true, &res.Timing)
+}
+
+// agreeOnError is one round of the error-agreement protocol: every rank
+// contributes its local error flag to an Allreduce, and if any rank
+// failed, every rank returns a non-nil error — ranks that failed
+// locally report their own cause, the rest a summary. The result is
+// symmetric by construction, so callers may return on it without
+// stranding peers.
+func agreeOnError(c *mpi.Comm, phase string, local error) error {
+	flag := int64(0)
+	if local != nil {
+		flag = 1
+	}
+	failed := c.Allreduce(flag, mpi.OpSum)
+	if failed == 0 {
+		return nil
+	}
+	if local != nil {
+		return fmt.Errorf("core: rank %d: %s failed: %w", c.Rank(), phase, local)
+	}
+	return fmt.Errorf("core: %s failed on %d of %d ranks", phase, failed, c.Size())
+}
+
+// agreePoint is agreeOnError plus abort bookkeeping: on an agreed
+// failure it optionally removes this rank's published outputs and
+// charges the time to the Abort phase.
+func agreePoint(c *mpi.Comm, phase string, local error, dir string, cfg WriteConfig,
+	isAgg, cleanup bool, tm *agg.Timing) error {
+	start := time.Now()
+	err := agreeOnError(c, phase, local)
+	if err == nil {
+		return nil
+	}
+	if cleanup {
+		abortWrite(c, dir, cfg, isAgg)
+	}
+	tm.Abort += time.Since(start)
+	return err
+}
+
+// abortWrite removes this rank's visible contribution to a failed
+// write: each aggregator its (possibly already renamed) data file,
+// rank 0 the metadata file. Removal is best-effort — the fail-stop
+// contract is carried by the absent meta.spmd, which readers require.
+// Temp files need no handling here: writeFileOnce already removed them
+// on the failing rank.
+func abortWrite(c *mpi.Comm, dir string, cfg WriteConfig, isAgg bool) {
+	fsys := cfg.fs()
+	if isAgg {
+		_ = fsys.Remove(filepath.Join(dir, format.DataFileName(c.Rank())))
+	}
+	if c.Rank() == 0 {
+		_ = fsys.Remove(filepath.Join(dir, format.MetaFileName))
+	}
+}
+
 // reorderAndWrite performs steps 6–7 on an aggregator.
-func reorderAndWrite(dir string, cfg WriteConfig, aggRank, part int, partBox geom.Box, aggBuf *particle.Buffer, tm *agg.Timing) (fileEntryMsg, error) {
+func reorderAndWrite(fsys fault.WriteFS, dir string, cfg WriteConfig, aggRank, part int, partBox geom.Box, aggBuf *particle.Buffer, tm *agg.Timing) (fileEntryMsg, error) {
 	start := time.Now()
 	lod.Reorder(aggBuf, cfg.Heuristic, reorderSeed(cfg.Seed, part))
 	tm.Reorder = time.Since(start)
 
 	start = time.Now()
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return fileEntryMsg{}, err
 	}
 	name := format.DataFileName(aggRank)
@@ -252,7 +324,7 @@ func reorderAndWrite(dir string, cfg WriteConfig, aggRank, part int, partBox geo
 		Seed:       reorderSeed(cfg.Seed, part),
 		PayloadCRC: cfg.Checksum,
 	}
-	if err := format.WriteDataFile(filepath.Join(dir, name), hdr, aggBuf); err != nil {
+	if err := format.WriteDataFile(fsys, filepath.Join(dir, name), hdr, aggBuf); err != nil {
 		return fileEntryMsg{}, err
 	}
 	tm.FileIO = time.Since(start)
@@ -263,7 +335,9 @@ func reorderAndWrite(dir string, cfg WriteConfig, aggRank, part int, partBox geo
 		partition: partBox,
 		bounds:    aggBuf.Bounds(),
 	}
-	if cfg.FieldRanges {
+	// An aggregator with no particles has no field values: skip the
+	// range row rather than storing the ±Inf scan sentinels.
+	if cfg.FieldRanges && aggBuf.Len() > 0 {
 		entry.fieldMin, entry.fieldMax = fieldRanges(aggBuf)
 	}
 	return entry, nil
@@ -277,8 +351,12 @@ func reorderSeed(seed int64, part int) int64 {
 }
 
 // fieldRanges computes per-component minima and maxima across all
-// particles, flattened in schema order.
+// particles, flattened in schema order. An empty buffer yields no
+// ranges: min/max of nothing is undefined, not ±Inf.
 func fieldRanges(b *particle.Buffer) (mins, maxs []float64) {
+	if b.Len() == 0 {
+		return nil, nil
+	}
 	s := b.Schema()
 	for fi := 0; fi < s.NumFields(); fi++ {
 		f := s.Field(fi)
@@ -424,8 +502,9 @@ func writeMetaCollective(c *mpi.Comm, dir string, cfg WriteConfig,
 			FieldMax:  m.fieldMax,
 		})
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	fsys := cfg.fs()
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
-	return format.WriteMeta(dir, meta)
+	return format.WriteMeta(fsys, dir, meta)
 }

@@ -1,0 +1,343 @@
+// Package fault is the write-side fault-injection seam of spio. The
+// collective write pipeline (internal/core) and the file format layer
+// (internal/format) perform every mutating filesystem operation through
+// a WriteFS, so tests can fail the Nth write, simulate a full disk,
+// tear a write in half, or slow a specific rank's I/O — and prove that
+// the error-agreement protocol converges (every rank errors, none
+// hang) and that the dataset directory stays crash-consistent.
+//
+// The real filesystem is OS(). An Injector wraps it with per-rank
+// fault rules; ranks are goroutines of one process here, so the seam
+// is threaded per rank through core.WriteConfig.FS rather than set
+// globally.
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+)
+
+// Op names one class of mutating filesystem operation a Fault can
+// target.
+type Op int
+
+const (
+	// OpCreate targets WriteFS.Create.
+	OpCreate Op = iota
+	// OpWrite targets File.Write on a created file.
+	OpWrite
+	// OpSync targets File.Sync.
+	OpSync
+	// OpClose targets File.Close.
+	OpClose
+	// OpRename targets WriteFS.Rename (the atomic publish step).
+	OpRename
+	// OpRemove targets WriteFS.Remove (abort cleanup).
+	OpRemove
+	// OpMkdir targets WriteFS.MkdirAll.
+	OpMkdir
+	// OpSyncDir targets WriteFS.SyncDir.
+	OpSyncDir
+)
+
+var opNames = [...]string{"create", "write", "sync", "close", "rename", "remove", "mkdir", "syncdir"}
+
+func (o Op) String() string {
+	if int(o) < len(opNames) {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", int(o))
+}
+
+// File is the mutating subset of *os.File the write pipeline needs.
+type File interface {
+	io.Writer
+	Sync() error
+	Close() error
+}
+
+// WriteFS abstracts every mutating filesystem operation the write
+// pipeline performs. Reads stay on the real filesystem: the paper's
+// failure story is about writers, and readers already validate
+// checksums and sizes.
+type WriteFS interface {
+	Create(path string) (File, error)
+	Rename(oldpath, newpath string) error
+	Remove(path string) error
+	MkdirAll(path string, perm os.FileMode) error
+	// SyncDir fsyncs the directory itself so a completed rename
+	// survives a crash. Callers treat failures as best-effort: some
+	// filesystems refuse to sync directories.
+	SyncDir(dir string) error
+}
+
+// ErrNoSpace is the default injected error: a disk-full condition.
+var ErrNoSpace = fmt.Errorf("fault: injected disk full: %w", syscall.ENOSPC)
+
+// transientError marks an error as worth retrying, via the same
+// Temporary() convention net.Error uses.
+type transientError struct{ err error }
+
+func (t *transientError) Error() string   { return t.err.Error() }
+func (t *transientError) Unwrap() error   { return t.err }
+func (t *transientError) Temporary() bool { return true }
+
+// Transient wraps err so IsTransient reports true: an injected fault
+// built with it exercises the bounded retry path instead of aborting
+// the write.
+func Transient(err error) error { return &transientError{err: err} }
+
+// IsTransient reports whether err is worth a bounded retry: it is
+// marked Temporary(), or it is one of the errno values that mean
+// "try again" rather than "give up" (EINTR, EAGAIN).
+func IsTransient(err error) bool {
+	if err == nil {
+		return false
+	}
+	var t interface{ Temporary() bool }
+	if errors.As(err, &t) && t.Temporary() {
+		return true
+	}
+	return errors.Is(err, syscall.EINTR) || errors.Is(err, syscall.EAGAIN)
+}
+
+// osFS is the passthrough WriteFS.
+type osFS struct{}
+
+// OS returns the real filesystem.
+func OS() WriteFS { return osFS{} }
+
+func (osFS) Create(path string) (File, error)             { return os.Create(path) }
+func (osFS) Rename(oldpath, newpath string) error         { return os.Rename(oldpath, newpath) }
+func (osFS) Remove(path string) error                     { return os.Remove(path) }
+func (osFS) MkdirAll(path string, perm os.FileMode) error { return os.MkdirAll(path, perm) }
+func (osFS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	serr := d.Sync()
+	if cerr := d.Close(); serr == nil {
+		serr = cerr
+	}
+	return serr
+}
+
+// Fault is one injection rule. A rule matches an operation when the
+// Op matches and Path is a substring of the operation's path (empty
+// Path matches every path). Among matching operations, the Nth and
+// the Count-1 after it trigger.
+type Fault struct {
+	// Op selects the operation class.
+	Op Op
+	// Path, when non-empty, restricts the rule to paths containing it
+	// as a substring (data files include their rank: "file_3.spd").
+	Path string
+	// Nth is the 1-based index of the first matching operation to
+	// trigger on; 0 means 1 (the first).
+	Nth int
+	// Count is how many consecutive matching operations trigger; 0
+	// means every one from the Nth on. Count=1 with a Transient error
+	// exercises exactly one retry round.
+	Count int
+	// Err is the injected error; nil means ErrNoSpace. A rule with
+	// Err == nil, Torn == false and Delay > 0 only delays (slow I/O),
+	// it does not fail.
+	Err error
+	// Torn, on an OpWrite rule, writes the first half of the chunk to
+	// the underlying file before failing — a torn write.
+	Torn bool
+	// Delay is slept before the operation each time the rule triggers.
+	Delay time.Duration
+}
+
+// delayOnly reports whether the rule slows the operation without
+// failing it.
+func (f *Fault) delayOnly() bool { return f.Err == nil && !f.Torn && f.Delay > 0 }
+
+func (f *Fault) err() error {
+	if f.Err != nil {
+		return f.Err
+	}
+	return ErrNoSpace
+}
+
+// rule is a Fault plus its per-injector match counter.
+type rule struct {
+	Fault
+	seen int
+}
+
+// match reports whether the rule triggers for this operation, counting
+// the match either way.
+func (r *rule) match(op Op, path string) bool {
+	if op != r.Op || !strings.Contains(path, r.Path) {
+		return false
+	}
+	r.seen++
+	nth := r.Nth
+	if nth <= 0 {
+		nth = 1
+	}
+	if r.seen < nth {
+		return false
+	}
+	return r.Count <= 0 || r.seen < nth+r.Count
+}
+
+// Injector hands out per-rank WriteFS views that apply the registered
+// fault rules on top of the real filesystem. Safe for concurrent use
+// by all ranks of a world.
+type Injector struct {
+	mu       sync.Mutex
+	rules    map[int][]*rule // rank → rules; AllRanks applies everywhere
+	injected int
+}
+
+// AllRanks registers a fault on every rank.
+const AllRanks = -1
+
+// NewInjector returns an empty injector: every FS it hands out is a
+// passthrough until Add is called.
+func NewInjector() *Injector {
+	return &Injector{rules: make(map[int][]*rule)}
+}
+
+// Add registers one fault rule for rank (or AllRanks).
+func (in *Injector) Add(rank int, f Fault) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.rules[rank] = append(in.rules[rank], &rule{Fault: f})
+}
+
+// Injected returns how many operations have triggered a rule (failed
+// or delayed) so far — tests use it to prove a fault actually fired.
+func (in *Injector) Injected() int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.injected
+}
+
+// FS returns rank's filesystem view.
+func (in *Injector) FS(rank int) WriteFS {
+	return &injectFS{in: in, rank: rank, real: OS()}
+}
+
+// check consults the rules for one operation. It returns the matched
+// rule (nil when the operation should proceed untouched) after
+// applying its delay.
+func (in *Injector) check(rank int, op Op, path string) *Fault {
+	in.mu.Lock()
+	var hit *rule
+	for _, r := range in.rules[rank] {
+		if r.match(op, path) {
+			hit = r
+			break
+		}
+	}
+	if hit == nil && rank != AllRanks {
+		for _, r := range in.rules[AllRanks] {
+			if r.match(op, path) {
+				hit = r
+				break
+			}
+		}
+	}
+	if hit != nil {
+		in.injected++
+	}
+	in.mu.Unlock()
+	if hit == nil {
+		return nil
+	}
+	if hit.Delay > 0 {
+		time.Sleep(hit.Delay)
+	}
+	f := hit.Fault
+	return &f
+}
+
+// injectFS is one rank's fault-applying filesystem view.
+type injectFS struct {
+	in   *Injector
+	rank int
+	real WriteFS
+}
+
+func (fs *injectFS) Create(path string) (File, error) {
+	if f := fs.in.check(fs.rank, OpCreate, path); f != nil && !f.delayOnly() {
+		return nil, f.err()
+	}
+	f, err := fs.real.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return &injectFile{fs: fs, path: path, f: f}, nil
+}
+
+func (fs *injectFS) Rename(oldpath, newpath string) error {
+	if f := fs.in.check(fs.rank, OpRename, newpath); f != nil && !f.delayOnly() {
+		return f.err()
+	}
+	return fs.real.Rename(oldpath, newpath)
+}
+
+func (fs *injectFS) Remove(path string) error {
+	if f := fs.in.check(fs.rank, OpRemove, path); f != nil && !f.delayOnly() {
+		return f.err()
+	}
+	return fs.real.Remove(path)
+}
+
+func (fs *injectFS) MkdirAll(path string, perm os.FileMode) error {
+	if f := fs.in.check(fs.rank, OpMkdir, path); f != nil && !f.delayOnly() {
+		return f.err()
+	}
+	return fs.real.MkdirAll(path, perm)
+}
+
+func (fs *injectFS) SyncDir(dir string) error {
+	if f := fs.in.check(fs.rank, OpSyncDir, dir); f != nil && !f.delayOnly() {
+		return f.err()
+	}
+	return fs.real.SyncDir(dir)
+}
+
+// injectFile applies write/sync/close rules to one created file.
+type injectFile struct {
+	fs   *injectFS
+	path string
+	f    File
+}
+
+func (w *injectFile) Write(p []byte) (int, error) {
+	if f := w.fs.in.check(w.fs.rank, OpWrite, w.path); f != nil && !f.delayOnly() {
+		if f.Torn {
+			n, _ := w.f.Write(p[:len(p)/2])
+			return n, f.err()
+		}
+		return 0, f.err()
+	}
+	return w.f.Write(p)
+}
+
+func (w *injectFile) Sync() error {
+	if f := w.fs.in.check(w.fs.rank, OpSync, w.path); f != nil && !f.delayOnly() {
+		return f.err()
+	}
+	return w.f.Sync()
+}
+
+func (w *injectFile) Close() error {
+	if f := w.fs.in.check(w.fs.rank, OpClose, w.path); f != nil && !f.delayOnly() {
+		_ = w.f.Close() // release the descriptor either way
+		return f.err()
+	}
+	return w.f.Close()
+}

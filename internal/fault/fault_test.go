@@ -1,0 +1,192 @@
+package fault
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func TestOSPassthrough(t *testing.T) {
+	dir := t.TempDir()
+	fs := OS()
+	if err := fs.MkdirAll(filepath.Join(dir, "a/b"), 0o755); err != nil {
+		t.Fatalf("MkdirAll: %v", err)
+	}
+	path := filepath.Join(dir, "a/b/x")
+	f, err := fs.Create(path)
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	if _, err := f.Write([]byte("hello")); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	moved := filepath.Join(dir, "a/b/y")
+	if err := fs.Rename(path, moved); err != nil {
+		t.Fatalf("Rename: %v", err)
+	}
+	if err := fs.SyncDir(filepath.Join(dir, "a/b")); err != nil {
+		t.Fatalf("SyncDir: %v", err)
+	}
+	data, err := os.ReadFile(moved)
+	if err != nil || string(data) != "hello" {
+		t.Fatalf("ReadFile after rename: %q, %v", data, err)
+	}
+	if err := fs.Remove(moved); err != nil {
+		t.Fatalf("Remove: %v", err)
+	}
+}
+
+func TestInjectNthWrite(t *testing.T) {
+	dir := t.TempDir()
+	in := NewInjector()
+	in.Add(0, Fault{Op: OpWrite, Nth: 2})
+	fs := in.FS(0)
+	f, err := fs.Create(filepath.Join(dir, "x"))
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	if _, err := f.Write([]byte("one")); err != nil {
+		t.Fatalf("first write should pass: %v", err)
+	}
+	if _, err := f.Write([]byte("two")); !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("second write: got %v, want ErrNoSpace", err)
+	}
+	if _, err := f.Write([]byte("three")); !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("third write (Count=0 fails forever): got %v, want ErrNoSpace", err)
+	}
+	if got := in.Injected(); got != 2 {
+		t.Fatalf("Injected() = %d, want 2", got)
+	}
+	_ = f.Close()
+}
+
+func TestInjectCountBounds(t *testing.T) {
+	dir := t.TempDir()
+	in := NewInjector()
+	in.Add(0, Fault{Op: OpWrite, Count: 1, Err: Transient(errors.New("blip"))})
+	fs := in.FS(0)
+	f, err := fs.Create(filepath.Join(dir, "x"))
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	_, err = f.Write([]byte("a"))
+	if err == nil || !IsTransient(err) {
+		t.Fatalf("first write: got %v, want transient failure", err)
+	}
+	if _, err := f.Write([]byte("b")); err != nil {
+		t.Fatalf("second write after Count exhausted: %v", err)
+	}
+	_ = f.Close()
+}
+
+func TestInjectPathFilterAndRank(t *testing.T) {
+	dir := t.TempDir()
+	in := NewInjector()
+	in.Add(3, Fault{Op: OpCreate, Path: "file_3.spd"})
+	// Wrong rank: untouched.
+	if f, err := in.FS(1).Create(filepath.Join(dir, "file_3.spd")); err != nil {
+		t.Fatalf("rank 1 create: %v", err)
+	} else {
+		_ = f.Close()
+	}
+	// Right rank, wrong path: untouched.
+	if f, err := in.FS(3).Create(filepath.Join(dir, "file_2.spd")); err != nil {
+		t.Fatalf("rank 3 other path: %v", err)
+	} else {
+		_ = f.Close()
+	}
+	// Right rank and path: injected.
+	if _, err := in.FS(3).Create(filepath.Join(dir, "file_3.spd")); !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("rank 3 target path: got %v, want ENOSPC", err)
+	}
+}
+
+func TestInjectAllRanks(t *testing.T) {
+	in := NewInjector()
+	in.Add(AllRanks, Fault{Op: OpRename})
+	for rank := 0; rank < 3; rank++ {
+		if err := in.FS(rank).Rename("a", "b"); !errors.Is(err, ErrNoSpace) {
+			t.Fatalf("rank %d rename: got %v, want ErrNoSpace", rank, err)
+		}
+	}
+}
+
+func TestTornWrite(t *testing.T) {
+	dir := t.TempDir()
+	in := NewInjector()
+	in.Add(0, Fault{Op: OpWrite, Torn: true})
+	fs := in.FS(0)
+	path := filepath.Join(dir, "x")
+	f, err := fs.Create(path)
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	n, err := f.Write([]byte("0123456789"))
+	if err == nil {
+		t.Fatal("torn write reported success")
+	}
+	if n != 5 {
+		t.Fatalf("torn write landed %d bytes, want 5", n)
+	}
+	_ = f.Close()
+	data, err := os.ReadFile(path)
+	if err != nil || string(data) != "01234" {
+		t.Fatalf("on-disk torn content: %q, %v", data, err)
+	}
+}
+
+func TestDelayOnly(t *testing.T) {
+	dir := t.TempDir()
+	in := NewInjector()
+	in.Add(0, Fault{Op: OpWrite, Delay: 20 * time.Millisecond})
+	fs := in.FS(0)
+	f, err := fs.Create(filepath.Join(dir, "x"))
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	start := time.Now()
+	if _, err := f.Write([]byte("slow")); err != nil {
+		t.Fatalf("delay-only write failed: %v", err)
+	}
+	if d := time.Since(start); d < 20*time.Millisecond {
+		t.Fatalf("write returned after %v, want >= 20ms delay", d)
+	}
+	if in.Injected() == 0 {
+		t.Fatal("delay did not count as injected")
+	}
+	_ = f.Close()
+}
+
+func TestIsTransient(t *testing.T) {
+	cases := []struct {
+		err  error
+		want bool
+	}{
+		{nil, false},
+		{errors.New("plain"), false},
+		{ErrNoSpace, false},
+		{Transient(errors.New("blip")), true},
+		{syscall.EINTR, true},
+		{syscall.EAGAIN, true},
+	}
+	for _, c := range cases {
+		if got := IsTransient(c.err); got != c.want {
+			t.Errorf("IsTransient(%v) = %v, want %v", c.err, got, c.want)
+		}
+	}
+}
+
+func TestOpString(t *testing.T) {
+	if OpCreate.String() != "create" || OpSyncDir.String() != "syncdir" {
+		t.Fatalf("Op names wrong: %v %v", OpCreate, OpSyncDir)
+	}
+}

@@ -3,11 +3,13 @@ package format
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
 	"os"
 
+	"spio/internal/fault"
 	"spio/internal/geom"
 	"spio/internal/lod"
 	"spio/internal/particle"
@@ -30,6 +32,12 @@ const (
 	dataMagic   = "SPIODATA"
 	dataVersion = 2 // v2 added the flags byte + optional payload CRC
 )
+
+// ErrTruncated marks a data file whose on-disk size disagrees with its
+// header — a torn or truncated write (the atomic-rename path never
+// produces one; an fsck hit means the file was mutilated out-of-band
+// or written by a pre-atomic version). errors.Is-matchable.
+var ErrTruncated = errors.New("torn or truncated data file")
 
 // DataHeader is the decoded header of a data file.
 type DataHeader struct {
@@ -69,8 +77,10 @@ func encodeDataHeader(e *writer, h *DataHeader) {
 }
 
 // WriteDataFile writes a complete data file at path. buf must already be
-// in LOD order; hdr.Count and hdr.Bounds are filled from buf.
-func WriteDataFile(path string, hdr DataHeader, buf *particle.Buffer) (err error) {
+// in LOD order; hdr.Count and hdr.Bounds are filled from buf. The file
+// lands via temp-file + fsync + atomic rename (fsys nil means the real
+// filesystem), so readers never observe a torn data file under path.
+func WriteDataFile(fsys fault.WriteFS, path string, hdr DataHeader, buf *particle.Buffer) error {
 	if hdr.Schema == nil {
 		hdr.Schema = buf.Schema()
 	}
@@ -83,17 +93,6 @@ func WriteDataFile(path string, hdr DataHeader, buf *particle.Buffer) (err error
 	hdr.Count = int64(buf.Len())
 	hdr.Bounds = buf.Bounds()
 
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	defer func() {
-		if cerr := f.Close(); err == nil {
-			err = cerr
-		}
-	}()
-
-	bw := bufio.NewWriterSize(f, 1<<20)
 	// Encode the header body once to learn its CRC.
 	var body headerBuf
 	e := newWriter(&body)
@@ -102,7 +101,11 @@ func WriteDataFile(path string, hdr DataHeader, buf *particle.Buffer) (err error
 		return e.err
 	}
 
-	pre := newWriter(bw)
+	// Pre-encode the full file prefix (everything before the payload)
+	// so each write attempt only replays raw bytes plus the record
+	// stream.
+	var prefix headerBuf
+	pre := newWriter(&prefix)
 	pre.bytes([]byte(dataMagic))
 	pre.u32(dataVersion)
 	pre.u32(crc32.ChecksumIEEE(body.b))
@@ -111,8 +114,17 @@ func WriteDataFile(path string, hdr DataHeader, buf *particle.Buffer) (err error
 		return pre.err
 	}
 
-	// Stream the payload in chunks to bound memory, checksumming along
-	// the way if requested.
+	return writeFileAtomic(fsOrOS(fsys), path, func(w io.Writer) error {
+		return writeDataPayload(w, prefix.b, &hdr, buf)
+	})
+}
+
+// writeDataPayload streams the prefix and the particle records in
+// chunks to bound memory, checksumming along the way if requested.
+func writeDataPayload(w io.Writer, prefix []byte, hdr *DataHeader, buf *particle.Buffer) error {
+	if _, err := w.Write(prefix); err != nil {
+		return err
+	}
 	const chunk = 8192
 	var scratch []byte
 	var payloadCRC uint32
@@ -125,18 +137,18 @@ func WriteDataFile(path string, hdr DataHeader, buf *particle.Buffer) (err error
 		if hdr.PayloadCRC {
 			payloadCRC = crc32.Update(payloadCRC, crc32.IEEETable, scratch)
 		}
-		if _, err := bw.Write(scratch); err != nil {
+		if _, err := w.Write(scratch); err != nil {
 			return err
 		}
 	}
 	if hdr.PayloadCRC {
 		var tail [4]byte
 		binary.LittleEndian.PutUint32(tail[:], payloadCRC)
-		if _, err := bw.Write(tail[:]); err != nil {
+		if _, err := w.Write(tail[:]); err != nil {
 			return err
 		}
 	}
-	return bw.Flush()
+	return nil
 }
 
 // headerBuf is a minimal growing byte sink for header pre-encoding.
@@ -184,7 +196,7 @@ func readDataFileHeader(f *os.File, path string) (*DataFile, error) {
 	}
 	wantCRC := d.u32()
 	if d.err != nil {
-		return nil, d.err
+		return nil, classifyHeaderErr(path, d.err)
 	}
 
 	d.crc = 0 // CRC covers only the header body
@@ -206,7 +218,7 @@ func readDataFileHeader(f *os.File, path string) (*DataFile, error) {
 		return nil, fmt.Errorf("format: %s: unknown header flags %#x", path, flags)
 	}
 	if d.err != nil {
-		return nil, fmt.Errorf("format: %s: %w", path, d.err)
+		return nil, classifyHeaderErr(path, d.err)
 	}
 	if d.crc != wantCRC {
 		return nil, fmt.Errorf("format: %s: header checksum mismatch", path)
@@ -231,9 +243,18 @@ func readDataFileHeader(f *os.File, path string) (*DataFile, error) {
 		want += 4
 	}
 	if st.Size() != want {
-		return nil, fmt.Errorf("format: %s: size %d, want %d (%d records)", path, st.Size(), want, h.Count)
+		return nil, fmt.Errorf("format: %s: size %d, want %d (%d records): %w", path, st.Size(), want, h.Count, ErrTruncated)
 	}
 	return &DataFile{f: f, Header: h, payloadOff: payloadOff, path: path}, nil
+}
+
+// classifyHeaderErr tags header reads that ran off the end of the file
+// as truncation, so fsck can tell a torn file from a corrupt one.
+func classifyHeaderErr(path string, err error) error {
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+		return fmt.Errorf("format: %s: header ends early: %w", path, ErrTruncated)
+	}
+	return fmt.Errorf("format: %s: %w", path, err)
 }
 
 // Path returns the file's path.

@@ -18,7 +18,7 @@ func writeTestDataFile(t *testing.T, n int) (string, *particle.Buffer) {
 	lod.Shuffle(buf, 7)
 	path := filepath.Join(dir, DataFileName(0))
 	hdr := DataHeader{LOD: lod.DefaultParams(), Heuristic: lod.Random, Seed: 7}
-	if err := WriteDataFile(path, hdr, buf); err != nil {
+	if err := WriteDataFile(nil, path, hdr, buf); err != nil {
 		t.Fatal(err)
 	}
 	return path, buf
@@ -126,7 +126,7 @@ func TestDataFileEmpty(t *testing.T) {
 	dir := t.TempDir()
 	buf := particle.NewBuffer(particle.Uintah(), 0)
 	path := filepath.Join(dir, DataFileName(3))
-	if err := WriteDataFile(path, DataHeader{LOD: lod.DefaultParams()}, buf); err != nil {
+	if err := WriteDataFile(nil, path, DataHeader{LOD: lod.DefaultParams()}, buf); err != nil {
 		t.Fatal(err)
 	}
 	df, err := OpenDataFile(path)
@@ -197,7 +197,7 @@ func TestWriteDataFileSchemaMismatch(t *testing.T) {
 	dir := t.TempDir()
 	buf := particle.Uniform(particle.Uintah(), geom.UnitBox(), 5, 1, 0)
 	hdr := DataHeader{Schema: particle.PositionOnly(), LOD: lod.DefaultParams()}
-	if err := WriteDataFile(filepath.Join(dir, "x.spd"), hdr, buf); err == nil {
+	if err := WriteDataFile(nil, filepath.Join(dir, "x.spd"), hdr, buf); err == nil {
 		t.Error("schema mismatch accepted")
 	}
 }
@@ -240,7 +240,7 @@ func testMeta(t *testing.T) *Meta {
 func TestMetaRoundTrip(t *testing.T) {
 	dir := t.TempDir()
 	m := testMeta(t)
-	if err := WriteMeta(dir, m); err != nil {
+	if err := WriteMeta(nil, dir, m); err != nil {
 		t.Fatal(err)
 	}
 	back, err := ReadMeta(dir)
@@ -279,7 +279,7 @@ func TestMetaFig4Layout(t *testing.T) {
 	m.Files[3].AggRank = 12
 	m.Files[3].Name = DataFileName(12)
 	dir := t.TempDir()
-	if err := WriteMeta(dir, m); err != nil {
+	if err := WriteMeta(nil, dir, m); err != nil {
 		t.Fatal(err)
 	}
 	back, err := ReadMeta(dir)
@@ -313,7 +313,7 @@ func TestMetaWithFieldRanges(t *testing.T) {
 		m.Files[i].FieldMax = maxs
 	}
 	dir := t.TempDir()
-	if err := WriteMeta(dir, m); err != nil {
+	if err := WriteMeta(nil, dir, m); err != nil {
 		t.Fatal(err)
 	}
 	back, err := ReadMeta(dir)
@@ -371,7 +371,7 @@ func TestMetaFilesIntersecting(t *testing.T) {
 
 func TestMetaRejectsCorruption(t *testing.T) {
 	dir := t.TempDir()
-	if err := WriteMeta(dir, testMeta(t)); err != nil {
+	if err := WriteMeta(nil, dir, testMeta(t)); err != nil {
 		t.Fatal(err)
 	}
 	path := filepath.Join(dir, MetaFileName)
@@ -400,7 +400,7 @@ func TestMetaMissingFile(t *testing.T) {
 func TestWriteMetaValidatesFirst(t *testing.T) {
 	m := testMeta(t)
 	m.Total = 1 // inconsistent
-	if err := WriteMeta(t.TempDir(), m); err == nil {
+	if err := WriteMeta(nil, t.TempDir(), m); err == nil {
 		t.Error("invalid meta written")
 	}
 }

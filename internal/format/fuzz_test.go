@@ -20,7 +20,7 @@ func validDataFileBytes(tb testing.TB) []byte {
 	dir := tb.TempDir()
 	buf := particle.Uniform(particle.Uintah(), geom.UnitBox(), 20, 1, 0)
 	path := filepath.Join(dir, "seed.spd")
-	if err := WriteDataFile(path, DataHeader{LOD: lod.DefaultParams(), PayloadCRC: true}, buf); err != nil {
+	if err := WriteDataFile(nil, path, DataHeader{LOD: lod.DefaultParams(), PayloadCRC: true}, buf); err != nil {
 		tb.Fatal(err)
 	}
 	raw, err := os.ReadFile(path)
@@ -78,7 +78,7 @@ func validMetaBytes(tb testing.TB) []byte {
 			{BoxIndex: 1, AggRank: 1, Name: DataFileName(1), Partition: g.CellBoxLinear(1), Bounds: g.CellBoxLinear(1), Count: 6},
 		},
 	}
-	if err := WriteMeta(dir, m); err != nil {
+	if err := WriteMeta(nil, dir, m); err != nil {
 		tb.Fatal(err)
 	}
 	raw, err := os.ReadFile(filepath.Join(dir, MetaFileName))

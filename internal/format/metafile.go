@@ -4,9 +4,11 @@ import (
 	"bufio"
 	"fmt"
 	"hash/crc32"
+	"io"
 	"os"
 	"path/filepath"
 
+	"spio/internal/fault"
 	"spio/internal/geom"
 	"spio/internal/lod"
 	"spio/internal/particle"
@@ -153,20 +155,16 @@ func (m *Meta) FilesIntersecting(q geom.Box) []*FileEntry {
 	return out
 }
 
-// WriteMeta writes the metadata file into dir.
-func WriteMeta(dir string, m *Meta) (err error) {
+// WriteMeta writes the metadata file into dir, atomically: the bytes
+// land in a temp file that is fsynced and renamed over the canonical
+// name (fsys nil means the real filesystem), so a reader either sees
+// the previous metadata or the complete new table — never a torn one.
+// Since the metadata is the dataset's commit record, this makes the
+// whole write pipeline fail-stop: no meta.spmd, no dataset.
+func WriteMeta(fsys fault.WriteFS, dir string, m *Meta) error {
 	if err := m.Validate(); err != nil {
 		return err
 	}
-	f, err := os.Create(filepath.Join(dir, MetaFileName))
-	if err != nil {
-		return err
-	}
-	defer func() {
-		if cerr := f.Close(); err == nil {
-			err = cerr
-		}
-	}()
 
 	var body headerBuf
 	e := newWriter(&body)
@@ -201,8 +199,10 @@ func WriteMeta(dir string, m *Meta) (err error) {
 		return e.err
 	}
 
-	bw := bufio.NewWriter(f)
-	out := newWriter(bw)
+	// The metadata is small: pre-encode the complete file so each
+	// atomic-write attempt just replays the bytes.
+	var full headerBuf
+	out := newWriter(&full)
 	out.bytes([]byte(metaMagic))
 	out.u32(metaVersion)
 	out.u32(crc32.ChecksumIEEE(body.b))
@@ -210,7 +210,10 @@ func WriteMeta(dir string, m *Meta) (err error) {
 	if out.err != nil {
 		return out.err
 	}
-	return bw.Flush()
+	return writeFileAtomic(fsOrOS(fsys), filepath.Join(dir, MetaFileName), func(w io.Writer) error {
+		_, err := w.Write(full.b)
+		return err
+	})
 }
 
 // ReadMeta reads and validates the metadata file in dir.

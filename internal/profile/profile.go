@@ -36,6 +36,7 @@ type Report struct {
 	Reorder          PhaseStats
 	FileIO           PhaseStats
 	MetaIO           PhaseStats
+	Abort            PhaseStats
 	// TotalParticles written, and the largest single file.
 	TotalParticles   int64
 	MaxFileParticles int64
@@ -51,8 +52,8 @@ func Collect(c *mpi.Comm, res core.WriteResult) (*Report, error) {
 		return nil, nil
 	}
 	rep := &Report{Ranks: c.Size()}
-	var sums [5]time.Duration
-	var mins, maxs [5]time.Duration
+	var sums [6]time.Duration
+	var mins, maxs [6]time.Duration
 	for i := range mins {
 		mins[i] = math.MaxInt64
 	}
@@ -61,9 +62,10 @@ func Collect(c *mpi.Comm, res core.WriteResult) (*Report, error) {
 		if err != nil {
 			return nil, fmt.Errorf("profile: rank %d: %w", rank, err)
 		}
-		phases := [5]time.Duration{
+		phases := [6]time.Duration{
 			r.Timing.MetadataExchange, r.Timing.ParticleExchange,
 			r.Timing.Reorder, r.Timing.FileIO, r.Timing.MetaIO,
+			r.Timing.Abort,
 		}
 		for i, d := range phases {
 			sums[i] += d
@@ -90,6 +92,7 @@ func Collect(c *mpi.Comm, res core.WriteResult) (*Report, error) {
 	rep.Reorder = mk(2)
 	rep.FileIO = mk(3)
 	rep.MetaIO = mk(4)
+	rep.Abort = mk(5)
 	return rep, nil
 }
 
@@ -107,6 +110,7 @@ func (r *Report) Fprint(w io.Writer) error {
 		{"LOD reorder", r.Reorder},
 		{"file I/O", r.FileIO},
 		{"metadata write", r.MetaIO},
+		{"abort", r.Abort},
 	}
 	for _, row := range rows {
 		fmt.Fprintf(&b, "  %-18s %s\n", row.name, row.st)
@@ -126,24 +130,25 @@ func (r *Report) AggregationShare() float64 {
 	return agg / denom
 }
 
-// encodeResult packs a WriteResult into a fixed 7-word payload.
+// encodeResult packs a WriteResult into a fixed 8-word payload.
 func encodeResult(r core.WriteResult) []byte {
-	out := make([]byte, 7*8)
+	out := make([]byte, 8*8)
 	put := func(i int, v int64) { binary.LittleEndian.PutUint64(out[i*8:], uint64(v)) }
 	put(0, int64(r.Timing.MetadataExchange))
 	put(1, int64(r.Timing.ParticleExchange))
 	put(2, int64(r.Timing.Reorder))
 	put(3, int64(r.Timing.FileIO))
 	put(4, int64(r.Timing.MetaIO))
-	put(5, int64(r.Partition))
-	put(6, r.FileParticles)
+	put(5, int64(r.Timing.Abort))
+	put(6, int64(r.Partition))
+	put(7, r.FileParticles)
 	return out
 }
 
 func decodeResult(data []byte) (core.WriteResult, error) {
 	var r core.WriteResult
-	if len(data) != 7*8 {
-		return r, fmt.Errorf("payload has %d bytes, want %d", len(data), 7*8)
+	if len(data) != 8*8 {
+		return r, fmt.Errorf("payload has %d bytes, want %d", len(data), 8*8)
 	}
 	get := func(i int) int64 { return int64(binary.LittleEndian.Uint64(data[i*8:])) }
 	r.Timing.MetadataExchange = time.Duration(get(0))
@@ -151,7 +156,8 @@ func decodeResult(data []byte) (core.WriteResult, error) {
 	r.Timing.Reorder = time.Duration(get(2))
 	r.Timing.FileIO = time.Duration(get(3))
 	r.Timing.MetaIO = time.Duration(get(4))
-	r.Partition = int(get(5))
-	r.FileParticles = get(6)
+	r.Timing.Abort = time.Duration(get(5))
+	r.Partition = int(get(6))
+	r.FileParticles = get(7)
 	return r, nil
 }

@@ -1,8 +1,11 @@
 package reader
 
 import (
+	"errors"
 	"fmt"
+	"os"
 	"path/filepath"
+	"strings"
 
 	"spio/internal/format"
 )
@@ -44,10 +47,24 @@ func (d *Dataset) Fsck(opts FsckOptions) []Problem {
 	add := func(file string, err error) {
 		problems = append(problems, Problem{File: file, Err: err})
 	}
+	// Leftover *.spio-tmp files mark writes that were interrupted before
+	// their atomic rename: the dataset itself is still consistent (the
+	// canonical names hold either old or complete content), but the
+	// crash is worth reporting.
+	if ents, err := os.ReadDir(d.dir); err == nil {
+		for _, ent := range ents {
+			if strings.HasSuffix(ent.Name(), format.TempSuffix) {
+				add(ent.Name(), fmt.Errorf("leftover temp file from an interrupted write"))
+			}
+		}
+	}
 	for i := range d.meta.Files {
 		fe := &d.meta.Files[i]
 		df, err := format.OpenDataFile(filepath.Join(d.dir, fe.Name))
 		if err != nil {
+			if errors.Is(err, format.ErrTruncated) {
+				err = fmt.Errorf("torn or truncated data file (crashed or interrupted write): %w", err)
+			}
 			add(fe.Name, err)
 			continue
 		}

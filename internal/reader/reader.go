@@ -232,6 +232,9 @@ func (d *Dataset) QueryFieldRange(field string, component int, lo, hi float64) (
 	var out []*format.FileEntry
 	for i := range d.meta.Files {
 		e := &d.meta.Files[i]
+		if e.Count == 0 {
+			continue // empty file: no value of any field is present
+		}
 		if len(e.FieldMin) == 0 {
 			out = append(out, e) // no summary: cannot exclude
 			continue

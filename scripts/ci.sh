@@ -3,13 +3,16 @@
 #
 #	./scripts/ci.sh
 #
-# Every step must pass. The race-detector step covers the packages with
-# real concurrency (the goroutine-rank MPI substitute, the collective
-# write pipeline, and the reader's shared file cache); the spiolint step
-# runs the full analyzer suite (collorder, bufhandoff, errdrop,
-# tagclash, wiresym — all interprocedural) over the whole module,
-# prints the per-analyzer diagnostic counts, and fails on any
-# unsuppressed diagnostic (exit 1; load errors exit 2).
+# Every step must pass. The fault step re-runs the failure-semantics
+# tests (error agreement, abort cleanup, torn-write fsck) by name so a
+# regression there is called out as such. The race-detector step covers
+# the packages with real concurrency (the goroutine-rank MPI
+# substitute, the collective write pipeline, the fault-injection seam,
+# the atomic format writers, and the reader's shared file cache); the
+# spiolint step runs the full analyzer suite (collorder, bufhandoff,
+# errdrop, tagclash, wiresym, collabort — all interprocedural) over the
+# whole module, prints the per-analyzer diagnostic counts, and fails on
+# any unsuppressed diagnostic (exit 1; load errors exit 2).
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -34,8 +37,12 @@ go build ./...
 echo "== go test =="
 go test ./...
 
-echo "== go test -race (mpi, core, reader) =="
-go test -race ./internal/mpi ./internal/core ./internal/reader
+echo "== fault-injection tests =="
+go test ./internal/fault
+go test -run 'TestFault|TestFsck|TestWrite(File|Meta)' ./internal/core ./internal/format
+
+echo "== go test -race (mpi, core, fault, format, reader) =="
+go test -race ./internal/mpi ./internal/core ./internal/fault ./internal/format ./internal/reader
 
 echo "== spiolint =="
 go run ./cmd/spiolint -summary ./...

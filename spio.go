@@ -46,6 +46,7 @@ package spio
 import (
 	"spio/internal/agg"
 	"spio/internal/core"
+	"spio/internal/fault"
 	"spio/internal/format"
 	"spio/internal/geom"
 	"spio/internal/lod"
@@ -174,6 +175,49 @@ const (
 
 // DefaultLOD returns the paper's LOD parameters (P=32, S=2).
 func DefaultLOD() LODParams { return lod.DefaultParams() }
+
+// Fault injection (internal/fault): the testing seam behind the
+// failure semantics of DESIGN §9. Setting WriteConfig.FS to an
+// injector's per-rank filesystem makes a write fail on cue, so
+// applications can verify their abort and retry handling.
+type (
+	// WriteFS is the mutating-filesystem seam every write runs through
+	// (WriteConfig.FS); nil means the real filesystem.
+	WriteFS = fault.WriteFS
+	// Fault describes one injected filesystem failure: which operation,
+	// which path (substring match), which occurrence, what error.
+	Fault = fault.Fault
+	// FaultOp selects the filesystem operation a Fault targets.
+	FaultOp = fault.Op
+	// FaultInjector hands out per-rank fault-injecting filesystems.
+	FaultInjector = fault.Injector
+)
+
+// Filesystem operations a Fault can target.
+const (
+	FaultCreate  = fault.OpCreate
+	FaultWrite   = fault.OpWrite
+	FaultSync    = fault.OpSync
+	FaultClose   = fault.OpClose
+	FaultRename  = fault.OpRename
+	FaultRemove  = fault.OpRemove
+	FaultMkdir   = fault.OpMkdir
+	FaultSyncDir = fault.OpSyncDir
+)
+
+// AllRanks targets a Fault at every rank of an injector.
+const AllRanks = fault.AllRanks
+
+// ErrDiskFull is the default injected error; it wraps ENOSPC.
+var ErrDiskFull = fault.ErrNoSpace
+
+// NewFaultInjector returns an empty injector; add faults with Add and
+// pass FS(rank) as each rank's WriteConfig.FS.
+func NewFaultInjector() *FaultInjector { return fault.NewInjector() }
+
+// TransientFault marks err as transient: the atomic file writer retries
+// it (with backoff) instead of aborting the write.
+func TransientFault(err error) error { return fault.Transient(err) }
 
 // Write runs the paper's 8-step write pipeline collectively; every rank
 // of the world must call it with the same dir and cfg.
