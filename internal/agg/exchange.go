@@ -3,12 +3,36 @@ package agg
 import (
 	"encoding/binary"
 	"fmt"
+	"sync"
 	"time"
 
 	"spio/internal/geom"
 	"spio/internal/mpi"
 	"spio/internal/particle"
 )
+
+// wirePool recycles encoded record payloads across exchanges. A payload
+// is written once by its sender's encode, read once by the receiver's
+// decode, and is then dead — without recycling every write allocates
+// (and the runtime zero-fills) megabytes of one-shot wire buffers. The
+// sender draws from the pool before encoding; the receiver returns every
+// payload once its decode pool has drained. sync.Pool supplies the
+// happens-before edge between a Put on one rank's goroutine and a Get on
+// another's.
+var wirePool sync.Pool // *[]byte
+
+// getWire returns an n-byte slice that may hold stale payload bytes;
+// callers must overwrite all of it (EncodeRecordsInto fills every byte).
+func getWire(n int) []byte {
+	if v, _ := wirePool.Get().(*[]byte); v != nil && cap(*v) >= n {
+		return (*v)[:n]
+	}
+	return make([]byte, n)
+}
+
+func putWire(b []byte) {
+	wirePool.Put(&b)
+}
 
 // Message tags for the two exchange phases (Section 3.3).
 const (
@@ -27,6 +51,15 @@ type Timing struct {
 	// Abort is the time spent in the error-agreement rounds and abort
 	// cleanup when a write fails; zero on the success path.
 	Abort time.Duration
+	// ExchangeBytes counts the particle payload bytes this rank received
+	// over the wire during the data phase (self-sends are in-memory
+	// copies and are not counted).
+	ExchangeBytes int64
+	// DecodeConcurrency is the peak number of payloads this rank decoded
+	// simultaneously during the data phase — the observability hook for
+	// the arrival-order overlap (0 on non-aggregators, 1 when every
+	// payload decoded serially).
+	DecodeConcurrency int
 }
 
 // Aggregation returns the total time spent moving data over the network
@@ -53,9 +86,20 @@ type send struct {
 //     many particles to expect (the aggregators "do not know a-priori
 //     how many data packets to expect, nor how big a buffer to
 //     allocate").
-//  2. Buffer allocation sized from the received counts.
+//  2. Buffer allocation sized once from the received counts, with each
+//     sender's region offset fixed by the globally known sender order.
 //  3. Particle exchange — non-blocking point-to-point sends of the
-//     encoded records, received in deterministic rank order.
+//     encoded records, received with AnySource in arrival order and
+//     decoded concurrently into the disjoint pre-assigned regions.
+//
+// Because placement is by offset, not arrival, the aggregated buffer is
+// byte-identical to rank-order assembly: a slow sender delays only its
+// own region's decode, never the decodes behind it (the paper's
+// non-blocking consumption, Section 3.3). The data phase's AnySource
+// matching does mean consecutive exchanges on the same communicator must
+// be separated by a collective (or run on Dup'd communicators) so one
+// exchange cannot consume the next one's payloads; every caller in
+// internal/core satisfies this via the error-agreement rounds.
 //
 // sends lists this rank's outgoing bundles (self-sends are delivered
 // in-memory). expectFrom lists, for an aggregator rank, the ranks it must
@@ -70,7 +114,13 @@ type send struct {
 // it only after the exchange is drained. An early return here would
 // leave peers blocked in Recv — error agreement happens collectively in
 // the caller (internal/core), which requires every rank to reach it.
-func exchange(c *mpi.Comm, schema *particle.Schema, sends []send, expectFrom []int, isAgg bool) (*particle.Buffer, Timing, error) {
+// wantMirror additionally assembles the aggregated buffer's encoded
+// mirror (particle.SetEncodedMirror) from the wire payloads as they
+// arrive: the AoS image the downstream data-file write needs is exactly
+// the received bytes laid out at their region offsets, so building it
+// here is a copy per payload instead of a full SoA -> AoS re-encode
+// later. Callers that never write a file skip the copies.
+func exchange(c *mpi.Comm, schema *particle.Schema, sends []send, expectFrom []int, isAgg, wantMirror bool) (*particle.Buffer, Timing, error) {
 	var tm Timing
 	var firstErr error
 	note := func(err error) {
@@ -117,42 +167,122 @@ func exchange(c *mpi.Comm, schema *particle.Schema, sends []send, expectFrom []i
 	}
 	tm.MetadataExchange = time.Since(start)
 
-	// Phase 2+3: allocate once, then the particle exchange. Aggregators
+	// Phase 2: size the aggregation buffer once from the counts and fix
+	// each source's region offset by its position in expectFrom — the
+	// sender order every rank derives from globally known geometry.
+	// Placement is thereby independent of arrival order. Aggregators
 	// always get a buffer, even when every sender announced zero
 	// particles — callers index into it unconditionally.
 	start = time.Now()
 	var agg *particle.Buffer
-	if isAgg {
-		agg = particle.NewBuffer(schema, int(total))
+	offsets := make(map[int]int64, len(expectFrom))
+	pending := 0
+	{
+		off := int64(0)
+		for _, src := range expectFrom {
+			offsets[src] = off
+			off += counts[src] // missing key (self with no selfBuf) reads 0
+			if src != c.Rank() && counts[src] > 0 {
+				pending++
+			}
+		}
 	}
-	var scratch []byte
+	if isAgg {
+		// Recycled, stale-valued columns on purpose: on the success path
+		// every particle of the buffer is overwritten before anything reads
+		// it (the self region by CopyFrom, every other announced region by
+		// its payload's decode), and on a content error the collective
+		// agreement in the caller aborts the write before the buffer is
+		// consumed — so paying for zeroed pages here would be pure waste.
+		agg = particle.NewBufferOverwrite(schema, int(total))
+	}
+	stride := schema.Stride()
+	var image []byte // AoS mirror assembly, filled region by region
+	if wantMirror && isAgg && total > 0 {
+		image = particle.GetAoS(int(total) * stride)
+	}
+
+	// Phase 3: particle exchange. Sends are posted first (eager,
+	// non-blocking); the self bundle is an in-memory copy into its region.
+	// Each payload is encoded into a pooled slice whose ownership moves to
+	// the receiver (SendOwned), so the wire bytes are written exactly once
+	// — encoding into a rank-local scratch would force the transport to
+	// copy the payload again. The receiver recycles the slice after its
+	// decode pool drains.
 	for _, s := range sends {
 		if s.to == c.Rank() || s.buf.Len() == 0 {
 			continue
 		}
-		scratch = s.buf.EncodeRecords(scratch[:0], 0, s.buf.Len())
-		c.Isend(s.to, tagData, scratch)
+		payload := getWire(s.buf.Len() * schema.Stride())
+		s.buf.EncodeRecordsInto(payload, 0, s.buf.Len())
+		c.SendOwned(s.to, tagData, payload)
 	}
-	for _, src := range expectFrom {
-		if src == c.Rank() {
-			if selfBuf != nil {
-				agg.AppendBuffer(selfBuf)
+	if selfBuf != nil && agg != nil {
+		agg.CopyFrom(int(offsets[c.Rank()]), selfBuf)
+		if image != nil && selfBuf.Len() > 0 {
+			// The self bundle never hits the wire, so its mirror region is
+			// encoded here — the one region whose transpose is not saved.
+			off := int(offsets[c.Rank()]) * stride
+			selfBuf.EncodeRecordsInto(image[off:off+selfBuf.Len()*stride], 0, selfBuf.Len())
+		}
+	}
+
+	// Receive in arrival order: AnySource, first payload in wins. Each
+	// payload goes to a bounded worker pool decoding into its sender's
+	// pre-assigned region; regions are disjoint, so decodes overlap both
+	// each other and the remaining receives. agg is off-limits from the
+	// first Go until Wait returns (the bufhandoff contract).
+	if pending > 0 {
+		pool := particle.NewDecodePool(agg, 0)
+		got := make(map[int]bool, pending)
+		// Every received payload goes back to the wire pool, but only
+		// after pool.Wait: until then the decode workers are reading them.
+		wires := make([][]byte, 0, pending)
+		for i := 0; i < pending; i++ {
+			data, st := c.Recv(mpi.AnySource, tagData)
+			wires = append(wires, data)
+			src := st.Source
+			n, expected := counts[src]
+			switch {
+			case !expected || src == c.Rank() || n == 0:
+				// A payload nobody announced. Drop it and keep the
+				// receive posted — the announced payloads are still in
+				// flight and peers count on us consuming them.
+				note(fmt.Errorf("agg: unexpected data message from rank %d (%d bytes)", src, len(data)))
+				i--
+				continue
+			case got[src]:
+				note(fmt.Errorf("agg: duplicate data message from rank %d", src))
+				i--
+				continue
 			}
-			continue
+			got[src] = true
+			if want := n * int64(schema.Stride()); int64(len(data)) != want {
+				note(fmt.Errorf("agg: rank %d announced %d particles but sent %d bytes (want %d)",
+					src, n, len(data), want))
+				continue
+			}
+			tm.ExchangeBytes += int64(len(data))
+			if image != nil {
+				// Concurrent with the pool's decode of the same payload —
+				// both only read data.
+				copy(image[int(offsets[src])*stride:], data)
+			}
+			pool.Go(data, int(offsets[src]))
 		}
-		if counts[src] == 0 {
-			continue
+		if err := pool.Wait(); err != nil {
+			note(err)
 		}
-		data, _ := c.Recv(src, tagData)
-		want := counts[src] * int64(schema.Stride())
-		if int64(len(data)) != want {
-			note(fmt.Errorf("agg: rank %d announced %d particles but sent %d bytes (want %d)",
-				src, counts[src], len(data), want))
-			continue
+		tm.DecodeConcurrency = pool.PeakConcurrency()
+		for _, w := range wires {
+			putWire(w)
 		}
-		if err := agg.DecodeRecords(data); err != nil {
-			note(fmt.Errorf("agg: decoding records from rank %d: %w", src, err))
-		}
+	}
+	// Attach the mirror only on a clean exchange: a content error leaves
+	// regions of the image unwritten, and the caller aborts the write
+	// before anything could consume it anyway.
+	if image != nil && firstErr == nil {
+		agg.SetEncodedMirror(image)
 	}
 	tm.ParticleExchange = time.Since(start)
 	return agg, tm, firstErr
@@ -167,6 +297,18 @@ func exchange(c *mpi.Comm, schema *particle.Schema, sends []send, expectFrom []i
 // Aggregator ranks return their partition's aggregated buffer; other
 // ranks return nil.
 func ExchangeAligned(c *mpi.Comm, l *Layout, local *particle.Buffer) (*particle.Buffer, Timing, error) {
+	return exchangeAligned(c, l, local, false)
+}
+
+// ExchangeAlignedMirrored is ExchangeAligned with the aggregated
+// buffer's encoded mirror assembled from the wire payloads (see
+// exchange's wantMirror). The write pipeline uses it so the data-file
+// encode degenerates to a row gather over already-encoded bytes.
+func ExchangeAlignedMirrored(c *mpi.Comm, l *Layout, local *particle.Buffer) (*particle.Buffer, Timing, error) {
+	return exchangeAligned(c, l, local, true)
+}
+
+func exchangeAligned(c *mpi.Comm, l *Layout, local *particle.Buffer, wantMirror bool) (*particle.Buffer, Timing, error) {
 	if l.NumRanks != c.Size() {
 		return nil, Timing{}, fmt.Errorf("agg: layout built for %d ranks, world has %d", l.NumRanks, c.Size())
 	}
@@ -176,7 +318,7 @@ func ExchangeAligned(c *mpi.Comm, l *Layout, local *particle.Buffer) (*particle.
 	if isAgg {
 		expectFrom = l.RanksInPartition(part)
 	}
-	return exchange(c, local.Schema(), sends, expectFrom, isAgg)
+	return exchange(c, local.Schema(), sends, expectFrom, isAgg, wantMirror)
 }
 
 // ExchangeScan runs the two-phase exchange for a non-aligned grid: each
@@ -185,6 +327,18 @@ func ExchangeAligned(c *mpi.Comm, l *Layout, local *particle.Buffer) (*particle.
 // will send a count to partition p's aggregator; every rank must compute
 // identical senderSets (they are derived from globally known geometry).
 func ExchangeScan(c *mpi.Comm, grid geom.Grid, aggregators []int, senderSets [][]int, local *particle.Buffer) (*particle.Buffer, Timing, error) {
+	return exchangeScan(c, grid, aggregators, senderSets, local, false)
+}
+
+// ExchangeScanMirrored is ExchangeScan with the aggregated buffer's
+// encoded mirror assembled from the wire payloads (see exchange's
+// wantMirror). The write pipeline uses it so the data-file encode
+// degenerates to a row gather over already-encoded bytes.
+func ExchangeScanMirrored(c *mpi.Comm, grid geom.Grid, aggregators []int, senderSets [][]int, local *particle.Buffer) (*particle.Buffer, Timing, error) {
+	return exchangeScan(c, grid, aggregators, senderSets, local, true)
+}
+
+func exchangeScan(c *mpi.Comm, grid geom.Grid, aggregators []int, senderSets [][]int, local *particle.Buffer, wantMirror bool) (*particle.Buffer, Timing, error) {
 	split := SplitByPartition(local, grid)
 
 	// Which partitions am I on record as sending to?
@@ -232,7 +386,15 @@ func ExchangeScan(c *mpi.Comm, grid geom.Grid, aggregators []int, senderSets [][
 			break
 		}
 	}
-	agg, tm, err := exchange(c, schema, sends, expectFrom, isAgg)
+	agg, tm, err := exchange(c, schema, sends, expectFrom, isAgg, wantMirror)
+	// The split bins are dead once exchange returns: every bundle has
+	// either been encoded onto the wire or copied into the aggregation
+	// buffer (the self-send). Recycle their columns for the next write.
+	// Each split buffer appears at most once in sends, so no column is
+	// returned to the pool twice.
+	for _, buf := range split {
+		particle.Recycle(buf)
+	}
 	if sanityErr != nil {
 		err = sanityErr
 	}

@@ -174,14 +174,37 @@ func (l *Layout) RanksInPartition(part int) []int {
 // aggregators, it must loop through the particles to determine which
 // aggregator they belong to"). The result has one (possibly nil) buffer
 // per partition.
+// The scan is two passes: a locate pass that bins indices, then one
+// columnar gather per occupied partition (Buffer.Select), so the
+// per-particle schema walk of AppendFrom is off the hot path.
 func SplitByPartition(buf *particle.Buffer, aggGrid geom.Grid) []*particle.Buffer {
-	out := make([]*particle.Buffer, aggGrid.Cells())
-	for i := 0; i < buf.Len(); i++ {
-		part := aggGrid.LocateLinear(buf.Position(i))
-		if out[part] == nil {
-			out[part] = particle.NewBuffer(buf.Schema(), 0)
+	cells := aggGrid.Cells()
+	n := buf.Len()
+	parts := make([]int, n)
+	counts := make([]int, cells)
+	for i := 0; i < n; i++ {
+		p := aggGrid.LocateLinear(buf.Position(i))
+		parts[i] = p
+		counts[p]++
+	}
+	// Bucket the indices into one backing array via a counting sort:
+	// offs[p] is where partition p's index run starts.
+	offs := make([]int, cells+1)
+	for p, c := range counts {
+		offs[p+1] = offs[p] + c
+	}
+	order := make([]int, n)
+	next := make([]int, cells)
+	copy(next, offs[:cells])
+	for i, p := range parts {
+		order[next[p]] = i
+		next[p]++
+	}
+	out := make([]*particle.Buffer, cells)
+	for p := 0; p < cells; p++ {
+		if counts[p] > 0 {
+			out[p] = buf.Select(order[offs[p]:offs[p+1]])
 		}
-		out[part].AppendFrom(buf, i)
 	}
 	return out
 }

@@ -7,12 +7,18 @@ import (
 	"strings"
 )
 
-// BufHandoff enforces the WriteAsync ownership transfer documented in
-// spio.go: "Ownership of local transfers to the write until Wait
-// returns: the caller must not modify the buffer in between." Any use
-// of a *particle.Buffer between passing it to WriteAsync (spio or
-// internal/core spelling) and calling Wait on the returned handle races
-// with the background checkpoint, so it is flagged.
+// BufHandoff enforces the asynchronous buffer-ownership transfers of
+// the API. Two hand-offs open an ownership window:
+//
+//   - WriteAsync (spio or internal/core spelling): "Ownership of local
+//     transfers to the write until Wait returns: the caller must not
+//     modify the buffer in between."
+//   - particle.NewDecodePool: the destination buffer belongs to the
+//     pool's decode workers from construction until DecodePool.Wait
+//     returns (the arrival-order aggregation contract).
+//
+// Any use of the *particle.Buffer between the hand-off and the matching
+// Wait races with the background goroutines, so it is flagged.
 //
 // The check is per function and straight-line: statements are ordered
 // by source position, a buffer is tainted from the WriteAsync call to
@@ -25,19 +31,23 @@ import (
 // since their execution time is unknown.
 var BufHandoff = &Analyzer{
 	Name: "bufhandoff",
-	Doc:  "flags uses of a particle.Buffer between WriteAsync handoff and Wait (ownership race)",
+	Doc:  "flags uses of a particle.Buffer between an async handoff (WriteAsync, NewDecodePool) and Wait (ownership race)",
 	Run:  runBufHandoff,
 }
 
-// handoff is one WriteAsync call's taint interval.
+// handoff is one hand-off call's taint interval.
 type handoff struct {
 	bufObj  types.Object // the buffer variable handed off
-	pendObj types.Object // the PendingWrite variable, if bound
-	start   token.Pos    // end of the WriteAsync call
+	pendObj types.Object // the handle variable (PendingWrite / DecodePool), if bound
+	start   token.Pos    // end of the hand-off call
 	end     token.Pos    // position of the matching Wait (or NoPos = function end)
+	// what names the hand-off call and owner names who holds the buffer,
+	// for the diagnostic ("WriteAsync"/"the checkpoint",
+	// "NewDecodePool"/"the decode pool").
+	what, owner, handle string
 	// viaPath is set when the handoff happened through a helper whose
-	// summary passes the buffer on to WriteAsync; it names the chain for
-	// the diagnostic.
+	// summary passes the buffer on; it names the chain for the
+	// diagnostic.
 	viaPath []string
 }
 
@@ -81,19 +91,19 @@ func checkHandoffs(pass *Pass, body *ast.BlockStmt) {
 		if call == nil {
 			return true
 		}
-		bufObj, viaPath, ok := handoffTarget(pass, call)
+		h, ok := handoffTarget(pass, call)
 		if !ok {
 			return true
 		}
-		var pend types.Object
 		for _, l := range lhs {
 			obj := identObj(pass.Info, l)
-			if obj != nil && isNamed(obj.Type(), corePath, "PendingWrite") {
-				pend = obj
+			if obj != nil && (isNamed(obj.Type(), corePath, "PendingWrite") || isNamed(obj.Type(), particlePath, "DecodePool")) {
+				h.pendObj = obj
 				break
 			}
 		}
-		handoffs = append(handoffs, &handoff{bufObj: bufObj, pendObj: pend, start: call.End(), viaPath: viaPath})
+		h.start = call.End()
+		handoffs = append(handoffs, h)
 		return true
 	})
 	if len(handoffs) == 0 {
@@ -105,7 +115,8 @@ func checkHandoffs(pass *Pass, body *ast.BlockStmt) {
 	ast.Inspect(body, func(n ast.Node) bool {
 		switch n := n.(type) {
 		case *ast.CallExpr:
-			if !methodOn(pass.Info, n, corePath, "PendingWrite", "Wait") {
+			if !methodOn(pass.Info, n, corePath, "PendingWrite", "Wait") &&
+				!methodOn(pass.Info, n, particlePath, "DecodePool", "Wait") {
 				return true
 			}
 			sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr)
@@ -193,49 +204,67 @@ func checkHandoffs(pass *Pass, body *ast.BlockStmt) {
 			}
 			waited := "before Wait on the pending write"
 			if h.pendObj == nil && h.end == token.NoPos {
-				waited = "and the PendingWrite handle is never waited on"
+				waited = "and the " + h.handle + " handle is never waited on"
 			}
 			via := ""
 			if len(h.viaPath) > 0 {
 				via = " (handed off via " + strings.Join(h.viaPath, " → ") + ")"
 			}
 			if path, ok := deepUse[id]; ok {
-				pass.Reportf(id.Pos(), "buffer %s is used after being handed off to WriteAsync%s %s (use path: %s): ownership transfers to the checkpoint until Wait returns", id.Name, via, waited, strings.Join(path, " → "))
+				pass.Reportf(id.Pos(), "buffer %s is used after being handed off to %s%s %s (use path: %s): ownership transfers to %s until Wait returns", id.Name, h.what, via, waited, strings.Join(path, " → "), h.owner)
 			} else {
-				pass.Reportf(id.Pos(), "buffer %s is used after being handed off to WriteAsync%s %s: ownership transfers to the checkpoint until Wait returns", id.Name, via, waited)
+				pass.Reportf(id.Pos(), "buffer %s is used after being handed off to %s%s %s: ownership transfers to %s until Wait returns", id.Name, h.what, via, waited, h.owner)
 			}
 		}
 		return true
 	})
 }
 
-// handoffTarget reports whether call transfers a buffer's ownership to
-// the background checkpoint: a direct WriteAsync call (last argument is
-// the buffer), or a call to a loaded helper whose summary hands a
-// buffer argument off. It returns the handed-off buffer variable and,
-// for helpers, the call path to the underlying WriteAsync.
-func handoffTarget(pass *Pass, call *ast.CallExpr) (types.Object, []string, bool) {
+// checkpointHandoff and poolHandoff describe the two hand-off shapes
+// for diagnostics.
+func checkpointHandoff(bufObj types.Object, viaPath []string) *handoff {
+	return &handoff{bufObj: bufObj, viaPath: viaPath, what: "WriteAsync", owner: "the checkpoint", handle: "PendingWrite"}
+}
+
+func poolHandoff(bufObj types.Object, viaPath []string) *handoff {
+	return &handoff{bufObj: bufObj, viaPath: viaPath, what: "NewDecodePool", owner: "the decode pool", handle: "DecodePool"}
+}
+
+// handoffTarget reports whether call transfers a buffer's ownership to a
+// background owner: a direct WriteAsync call (last argument is the
+// buffer), a direct particle.NewDecodePool call (first argument is the
+// destination buffer), or a call to a loaded helper whose summary hands
+// a buffer argument off. For helpers the returned handoff carries the
+// call path to the underlying hand-off.
+func handoffTarget(pass *Pass, call *ast.CallExpr) (*handoff, bool) {
 	if isWriteAsync(pass.Info, call) {
 		if len(call.Args) == 0 {
-			return nil, nil, false
+			return nil, false
 		}
 		obj := identObj(pass.Info, call.Args[len(call.Args)-1])
-		return obj, nil, obj != nil
+		return checkpointHandoff(obj, nil), obj != nil
+	}
+	if isNewDecodePool(pass.Info, call) {
+		if len(call.Args) == 0 {
+			return nil, false
+		}
+		obj := identObj(pass.Info, call.Args[0])
+		return poolHandoff(obj, nil), obj != nil
 	}
 	if pass.Prog == nil {
-		return nil, nil, false
+		return nil, false
 	}
 	callee := calleeFunc(pass.Info, call)
 	if callee == nil {
-		return nil, nil, false
+		return nil, false
 	}
 	sum := pass.Prog.bufSummaryOf(callee)
 	if sum == nil || len(sum.handoff) == 0 {
-		return nil, nil, false
+		return nil, false
 	}
 	csig, ok := callee.Type().(*types.Signature)
 	if !ok {
-		return nil, nil, false
+		return nil, false
 	}
 	for a, arg := range call.Args {
 		obj := identObj(pass.Info, arg)
@@ -247,14 +276,23 @@ func handoffTarget(pass *Pass, call *ast.CallExpr) (types.Object, []string, bool
 			j = csig.Params().Len() - 1
 		}
 		if j >= 0 && sum.handoff[j] {
-			return obj, sum.handoffPath[j], true
+			path := sum.handoffPath[j]
+			if len(path) > 0 && strings.HasPrefix(path[len(path)-1], "NewDecodePool") {
+				return poolHandoff(obj, path), true
+			}
+			return checkpointHandoff(obj, path), true
 		}
 	}
-	return nil, nil, false
+	return nil, false
 }
 
 // isWriteAsync reports whether call is spio.WriteAsync or
 // core.WriteAsync.
 func isWriteAsync(info *types.Info, call *ast.CallExpr) bool {
 	return pkgFunc(info, call, rootPath, "WriteAsync") || pkgFunc(info, call, corePath, "WriteAsync")
+}
+
+// isNewDecodePool reports whether call is particle.NewDecodePool.
+func isNewDecodePool(info *types.Info, call *ast.CallExpr) bool {
+	return pkgFunc(info, call, particlePath, "NewDecodePool")
 }

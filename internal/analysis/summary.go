@@ -348,6 +348,14 @@ func (p *Program) bufSummaryOf(fn *types.Func) *bufSummary {
 				return
 			}
 		}
+		if isNewDecodePool(info, call) && len(call.Args) > 0 {
+			if i, id, ok := argIdx(0); ok {
+				consumed[id] = true
+				pos := fi.Pkg.Fset.Position(call.Pos())
+				markHandoff(i, []string{name, fmt.Sprintf("NewDecodePool at %s", pos)})
+				return
+			}
+		}
 		callee := calleeFunc(info, call)
 		var calleeSum *bufSummary
 		if callee != nil {

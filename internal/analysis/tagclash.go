@@ -28,12 +28,13 @@ var p2pTagArg = map[string]struct {
 	index      int
 	canRecvAny bool
 }{
-	"Send":     {1, false},
-	"Isend":    {1, false},
-	"Recv":     {1, true},
-	"Irecv":    {1, true},
-	"SendRecv": {2, false}, // the tag is also used for the send half
-	"Probe":    {1, true},
+	"Send":      {1, false},
+	"SendOwned": {1, false},
+	"Isend":     {1, false},
+	"Recv":      {1, true},
+	"Irecv":     {1, true},
+	"SendRecv":  {2, false}, // the tag is also used for the send half
+	"Probe":     {1, true},
 }
 
 func runTagClash(pass *Pass) {

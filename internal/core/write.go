@@ -141,8 +141,10 @@ func Write(c *mpi.Comm, dir string, cfg WriteConfig, local *particle.Buffer) (Wr
 		return writeScan(c, dir, cfg, local)
 	}
 
-	// Steps 1–5.
-	aggBuf, tm, exchErr := agg.ExchangeAligned(c, layout, local)
+	// Steps 1–5. The mirrored exchange assembles the aggregation
+	// buffer's encoded (AoS) image from the wire payloads as a side
+	// effect, so the data-file write below skips re-encoding it.
+	aggBuf, tm, exchErr := agg.ExchangeAlignedMirrored(c, layout, local)
 	res.Timing = tm
 	part, isAgg := layout.IsAggregator(c.Rank())
 	var partBox geom.Box
@@ -172,7 +174,7 @@ func writeScan(c *mpi.Comm, dir string, cfg WriteConfig, local *particle.Buffer)
 	if err != nil {
 		return res, err
 	}
-	aggBuf, tm, exchErr := layout.Exchange(c, local)
+	aggBuf, tm, exchErr := layout.ExchangeMirrored(c, local)
 	res.Timing = tm
 
 	part, isAgg := layout.IsAggregator(c.Rank())
@@ -203,7 +205,7 @@ func writeAdaptive(c *mpi.Comm, dir string, cfg WriteConfig, local *particle.Buf
 	if err != nil {
 		return res, err
 	}
-	aggBuf, tm, exchErr := layout.Exchange(c, local)
+	aggBuf, tm, exchErr := layout.ExchangeMirrored(c, local)
 	res.Timing = tm
 
 	part, isAgg := layout.IsAggregator(c.Rank())
@@ -238,6 +240,10 @@ func finishWrite(c *mpi.Comm, dir string, cfg WriteConfig,
 		res.Partition = part
 		res.FileParticles = int64(aggBuf.Len())
 		entry, werr = reorderAndWrite(cfg.fs(), dir, cfg, c.Rank(), part, partBox, aggBuf, &res.Timing)
+		// The aggregation buffer is dead once its file entry is built
+		// (Bounds is a value, FieldRanges returns fresh slices): recycle
+		// its columns for the next write's exchange.
+		particle.Recycle(aggBuf)
 	}
 	// Agreement point 2: the data-file writes. Some aggregators may have
 	// already published their file; an agreed failure removes them.
@@ -307,10 +313,16 @@ func abortWrite(c *mpi.Comm, dir string, cfg WriteConfig, isAgg bool) {
 	}
 }
 
-// reorderAndWrite performs steps 6–7 on an aggregator.
+// reorderAndWrite performs steps 6–7 on an aggregator. The LOD reorder
+// is fused into the file write: only the index permutation is computed
+// here, and WriteDataFileOrdered gathers the payload through it as it
+// streams out, so the permuted buffer is never materialized (the bytes
+// on disk are identical to reordering in place first). The buffer itself
+// stays in arrival order — the bounds and field-range scans below are
+// order-independent.
 func reorderAndWrite(fsys fault.WriteFS, dir string, cfg WriteConfig, aggRank, part int, partBox geom.Box, aggBuf *particle.Buffer, tm *agg.Timing) (fileEntryMsg, error) {
 	start := time.Now()
-	lod.Reorder(aggBuf, cfg.Heuristic, reorderSeed(cfg.Seed, part))
+	order := lod.Permutation(aggBuf, cfg.Heuristic, reorderSeed(cfg.Seed, part))
 	tm.Reorder = time.Since(start)
 
 	start = time.Now()
@@ -324,7 +336,7 @@ func reorderAndWrite(fsys fault.WriteFS, dir string, cfg WriteConfig, aggRank, p
 		Seed:       reorderSeed(cfg.Seed, part),
 		PayloadCRC: cfg.Checksum,
 	}
-	if err := format.WriteDataFile(fsys, filepath.Join(dir, name), hdr, aggBuf); err != nil {
+	if err := format.WriteDataFileOrdered(fsys, filepath.Join(dir, name), hdr, aggBuf, order); err != nil {
 		return fileEntryMsg{}, err
 	}
 	tm.FileIO = time.Since(start)
@@ -352,37 +364,12 @@ func reorderSeed(seed int64, part int) int64 {
 
 // fieldRanges computes per-component minima and maxima across all
 // particles, flattened in schema order. An empty buffer yields no
-// ranges: min/max of nothing is undefined, not ±Inf.
+// ranges: min/max of nothing is undefined, not ±Inf. It delegates to the
+// buffer's single-pass-per-field scan, which preserves the old
+// math.Min/math.Max semantics (NaN propagates, -0 < +0) with plain
+// comparisons.
 func fieldRanges(b *particle.Buffer) (mins, maxs []float64) {
-	if b.Len() == 0 {
-		return nil, nil
-	}
-	s := b.Schema()
-	for fi := 0; fi < s.NumFields(); fi++ {
-		f := s.Field(fi)
-		for k := 0; k < f.Components; k++ {
-			mn, mx := math.Inf(1), math.Inf(-1)
-			switch f.Kind {
-			case particle.Float64:
-				vals := b.Float64Field(fi)
-				for i := 0; i < b.Len(); i++ {
-					v := vals[i*f.Components+k]
-					mn = math.Min(mn, v)
-					mx = math.Max(mx, v)
-				}
-			case particle.Float32:
-				vals := b.Float32Field(fi)
-				for i := 0; i < b.Len(); i++ {
-					v := float64(vals[i*f.Components+k])
-					mn = math.Min(mn, v)
-					mx = math.Max(mx, v)
-				}
-			}
-			mins = append(mins, mn)
-			maxs = append(maxs, mx)
-		}
-	}
-	return mins, maxs
+	return b.FieldRanges()
 }
 
 // fileEntryMsg is the Allgather payload each aggregator contributes for

@@ -8,6 +8,7 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
+	"sync"
 
 	"spio/internal/fault"
 	"spio/internal/geom"
@@ -81,6 +82,19 @@ func encodeDataHeader(e *writer, h *DataHeader) {
 // lands via temp-file + fsync + atomic rename (fsys nil means the real
 // filesystem), so readers never observe a torn data file under path.
 func WriteDataFile(fsys fault.WriteFS, path string, hdr DataHeader, buf *particle.Buffer) error {
+	return WriteDataFileOrdered(fsys, path, hdr, buf, nil)
+}
+
+// WriteDataFileOrdered is WriteDataFile for a buffer that is not yet in
+// LOD order: record i of the payload is particle order[i] of buf, so the
+// permuted payload streams out without the reorder ever being
+// materialized in memory. A nil order writes buf as-is. The bytes on
+// disk are identical to applying the permutation to buf and calling
+// WriteDataFile.
+func WriteDataFileOrdered(fsys fault.WriteFS, path string, hdr DataHeader, buf *particle.Buffer, order []int) error {
+	if order != nil && len(order) != buf.Len() {
+		return fmt.Errorf("format: order has %d indices, buffer has %d particles", len(order), buf.Len())
+	}
 	if hdr.Schema == nil {
 		hdr.Schema = buf.Schema()
 	}
@@ -115,29 +129,98 @@ func WriteDataFile(fsys fault.WriteFS, path string, hdr DataHeader, buf *particl
 	}
 
 	return writeFileAtomic(fsOrOS(fsys), path, func(w io.Writer) error {
-		return writeDataPayload(w, prefix.b, &hdr, buf)
+		return writeDataPayload(w, prefix.b, &hdr, buf, order)
 	})
 }
 
+// chunkRecords is the streaming granularity of the payload writers:
+// ~1MB of records per Write, large enough for bufio's direct-write path
+// and for a writeback kick per chunk.
+const chunkRecords = 8192
+
+// maxImageBytes bounds the materialized AoS image of the ordered fast
+// path below; payloads past it fall back to the bounded-memory per-chunk
+// gather so a huge file never doubles its buffer's footprint.
+const maxImageBytes = 64 << 20
+
+// scratchPool and imagePool recycle the payload writers' staging slices
+// across data-file writes (every byte of a staging slice is overwritten
+// before it is read, so stale pooled contents are harmless).
+var scratchPool, imagePool sync.Pool // *[]byte
+
+func fromPool(p *sync.Pool, n int) []byte {
+	if v, _ := p.Get().(*[]byte); v != nil && cap(*v) >= n {
+		return (*v)[:n]
+	}
+	return make([]byte, n)
+}
+
+func toPool(p *sync.Pool, b []byte) {
+	p.Put(&b)
+}
+
 // writeDataPayload streams the prefix and the particle records in
-// chunks to bound memory, checksumming along the way if requested.
-func writeDataPayload(w io.Writer, prefix []byte, hdr *DataHeader, buf *particle.Buffer) error {
+// ~1MB chunks, checksumming along the way if requested. A non-nil order
+// gathers records through it: payload record i is particle order[i].
+//
+// The ordered path copies whole rows through the permutation out of an
+// AoS image of the buffer: the random access the shuffle forces then
+// costs one bounded copy per record instead of one column read per
+// element. The image is the buffer's encoded mirror when the exchange
+// assembled one (free), otherwise a pooled sequential encode — whose
+// SoA -> AoS transpose runs at its sequential speed. Payloads larger
+// than maxImageBytes gather per chunk straight from the columns
+// instead, so a huge file never doubles its buffer's footprint.
+func writeDataPayload(w io.Writer, prefix []byte, hdr *DataHeader, buf *particle.Buffer, order []int) error {
 	if _, err := w.Write(prefix); err != nil {
 		return err
 	}
-	const chunk = 8192
+	stride := buf.Schema().Stride()
+	total := buf.Len() * stride
+	image := buf.EncodedMirror() // valid while buf is unmutated, which holds through this write
+	if image == nil && order != nil && total > 0 && total <= maxImageBytes {
+		img := fromPool(&imagePool, total)
+		defer toPool(&imagePool, img)
+		buf.EncodeRecordsInto(img, 0, buf.Len())
+		image = img
+	}
+	chunk := chunkRecords
+	if buf.Len() < chunk {
+		chunk = buf.Len()
+	}
 	var scratch []byte
+	if order != nil || image == nil {
+		scratch = fromPool(&scratchPool, chunk*stride)
+		defer toPool(&scratchPool, scratch)
+	}
 	var payloadCRC uint32
 	for lo := 0; lo < buf.Len(); lo += chunk {
 		hi := lo + chunk
 		if hi > buf.Len() {
 			hi = buf.Len()
 		}
-		scratch = buf.EncodeRecords(scratch[:0], lo, hi)
-		if hdr.PayloadCRC {
-			payloadCRC = crc32.Update(payloadCRC, crc32.IEEETable, scratch)
+		var p []byte
+		switch {
+		case order == nil && image != nil:
+			// Unordered with a mirror in hand: the payload bytes already
+			// exist, stream them out directly.
+			p = image[lo*stride : hi*stride]
+		case image != nil:
+			p = scratch[:(hi-lo)*stride]
+			for i, rec := range order[lo:hi] {
+				copy(p[i*stride:(i+1)*stride], image[rec*stride:(rec+1)*stride])
+			}
+		case order != nil:
+			p = scratch[:(hi-lo)*stride]
+			buf.EncodeRecordsGather(p, order[lo:hi])
+		default:
+			p = scratch[:(hi-lo)*stride]
+			buf.EncodeRecordsInto(p, lo, hi)
 		}
-		if _, err := w.Write(scratch); err != nil {
+		if hdr.PayloadCRC {
+			payloadCRC = crc32.Update(payloadCRC, crc32.IEEETable, p)
+		}
+		if _, err := w.Write(p); err != nil {
 			return err
 		}
 	}

@@ -1,0 +1,28 @@
+//go:build linux
+
+package format
+
+import (
+	"syscall"
+
+	"spio/internal/fault"
+)
+
+// syncFileRangeWrite is SYNC_FILE_RANGE_WRITE from the kernel ABI:
+// start writeback of the given dirty range without waiting for it.
+// The syscall package binds sync_file_range but not its flag values.
+const syncFileRangeWrite = 0x2
+
+// kickWriteback asks the kernel to start writing [off, off+n) of f to
+// disk in the background. It is purely advisory and never a substitute
+// for the fsync that precedes the publishing rename: it only moves disk
+// work earlier so that fsync finds most pages already clean instead of
+// flushing the whole file cold. Failures (unsupported filesystem,
+// non-file descriptor) are ignored — durability is carried by Sync.
+func kickWriteback(f fault.File, off, n int64) {
+	fd, ok := f.(interface{ Fd() uintptr })
+	if !ok {
+		return
+	}
+	_ = syscall.SyncFileRange(int(fd.Fd()), off, n, syncFileRangeWrite)
+}

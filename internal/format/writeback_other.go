@@ -1,0 +1,10 @@
+//go:build !linux
+
+package format
+
+import "spio/internal/fault"
+
+// kickWriteback is the no-op fallback where sync_file_range does not
+// exist; the fsync before rename still provides durability, the write
+// just loses the early-writeback overlap.
+func kickWriteback(fault.File, int64, int64) {}

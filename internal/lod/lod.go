@@ -146,14 +146,53 @@ func Reorder(b *particle.Buffer, h Heuristic, seed int64) {
 	}
 }
 
-// Shuffle applies a seeded Fisher–Yates shuffle to the buffer in place.
-// This is the paper's random reshuffling: the expected composition of any
-// prefix matches the global particle distribution.
-func Shuffle(b *particle.Buffer, seed int64) {
-	r := rand.New(rand.NewSource(seed))
-	for i := b.Len() - 1; i > 0; i-- {
-		b.Swap(i, r.Intn(i+1))
+// Permutation returns the reorder permutation of the chosen heuristic
+// without applying it: position i of the LOD order holds the particle
+// that is at perm[i] now, so Reorder(b, h, seed) is equivalent to
+// applying Permutation(b, h, seed). Streaming writers use it to fuse the
+// reorder into the file encode — the payload is gathered in permuted
+// order as it streams out, and the multi-megabyte permuted buffer is
+// never materialized. A nil result (buffers shorter than two particles)
+// means the order is already final.
+func Permutation(b *particle.Buffer, h Heuristic, seed int64) []int {
+	if b.Len() < 2 {
+		return nil
 	}
+	switch h {
+	case Random:
+		return shufflePerm(b.Len(), seed)
+	case DensityStratified:
+		return stratifyPerm(b, geom.I3(8, 8, 8), seed)
+	default:
+		panic(fmt.Sprintf("lod: unknown heuristic %d", h))
+	}
+}
+
+// Shuffle applies a seeded Fisher–Yates shuffle to the buffer. This is
+// the paper's random reshuffling: the expected composition of any prefix
+// matches the global particle distribution. The shuffle is run on an
+// index array and applied column-by-column (see ApplyPermutation); the
+// swap sequence is the same one an in-place element shuffle would use, so
+// results are bit-identical to shuffling the buffer directly.
+func Shuffle(b *particle.Buffer, seed int64) {
+	if b.Len() < 2 {
+		return
+	}
+	ApplyPermutation(b, shufflePerm(b.Len(), seed))
+}
+
+// shufflePerm is the Fisher–Yates index permutation behind Shuffle.
+func shufflePerm(n int, seed int64) []int {
+	r := rand.New(rand.NewSource(seed))
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		perm[i], perm[j] = perm[j], perm[i]
+	}
+	return perm
 }
 
 // Stratify reorders the buffer in place so that particles are emitted
@@ -162,10 +201,16 @@ func Shuffle(b *particle.Buffer, seed int64) {
 // the result cover every occupied cell before revisiting any, which for
 // highly clustered data yields more even low-level coverage than Random.
 func Stratify(b *particle.Buffer, dims geom.Idx3, seed int64) {
-	n := b.Len()
-	if n < 2 {
+	if b.Len() < 2 {
 		return
 	}
+	ApplyPermutation(b, stratifyPerm(b, dims, seed))
+}
+
+// stratifyPerm is the round-robin-over-bins index permutation behind
+// Stratify.
+func stratifyPerm(b *particle.Buffer, dims geom.Idx3, seed int64) []int {
+	n := b.Len()
 	bounds := b.Bounds()
 	// Inflate the upper face slightly so the max particle falls inside
 	// the half-open grid.
@@ -193,33 +238,15 @@ func Stratify(b *particle.Buffer, dims geom.Idx3, seed int64) {
 			}
 		}
 	}
-	ApplyPermutation(b, perm)
+	return perm
 }
 
-// ApplyPermutation reorders b in place so that the particle that was at
-// perm[i] ends up at position i. perm must be a permutation of
-// [0, b.Len()).
+// ApplyPermutation reorders b so that the particle that was at perm[i]
+// ends up at position i. perm must be a permutation of [0, b.Len()).
+// It is a thin wrapper over the particle.Buffer.Permute kernel: a
+// column-by-column gather, not a per-element Swap walk — Swap touches
+// every field of both particles per exchange, which for a wide schema
+// means a strided cache miss per field per swap.
 func ApplyPermutation(b *particle.Buffer, perm []int) {
-	n := b.Len()
-	if len(perm) != n {
-		panic(fmt.Sprintf("lod: permutation length %d != buffer length %d", len(perm), n))
-	}
-	// Cycle decomposition with Swap keeps the reorder in place, matching
-	// the paper's in-place reshuffle.
-	cur := make([]int, n) // cur[i]: original index of the particle now at slot i
-	pos := make([]int, n) // pos[o]: current slot of original particle o
-	for i := range cur {
-		cur[i] = i
-		pos[i] = i
-	}
-	for i := 0; i < n; i++ {
-		want := perm[i]
-		j := pos[want]
-		if j == i {
-			continue
-		}
-		b.Swap(i, j)
-		pos[cur[i]], pos[cur[j]] = j, i
-		cur[i], cur[j] = cur[j], cur[i]
-	}
+	b.Permute(perm)
 }

@@ -104,9 +104,7 @@ func (w *World) stampCollective(ns int, seq uint64, kind collKind, rank int) {
 func (w *World) abort(msg string) {
 	w.ab.set(msg)
 	for _, m := range w.mailboxes {
-		m.mu.Lock()
-		m.cond.Broadcast()
-		m.mu.Unlock()
+		m.wakeAll()
 	}
 	w.barrierMu.Lock()
 	bs := make([]*barrier, 0, len(w.barriers))

@@ -27,41 +27,91 @@ type message struct {
 // semantics a well-provisioned MPI eager protocol gives small and
 // mid-sized messages — which is what lets the paper's aggregation phase
 // post all sends before any receive completes.
+//
+// Blocked receivers park on per-waiter condition variables and put
+// delivers a matching message directly to the first matching waiter (in
+// posting order). The earlier design had one shared cond that put
+// Broadcast: with w waiters every delivery woke all of them, and each
+// loser rescanned the whole queue before sleeping again — O(w·q) work
+// per message once collectives pile up Irecv waiters. Direct handoff
+// wakes exactly one goroutine per message and never rescans.
 type mailbox struct {
-	mu    sync.Mutex
+	mu      sync.Mutex
+	ab      *abortState
+	queue   []message
+	waiters []*waiter
+}
+
+// waiter is one blocked take: its match criteria and a private cond
+// (sharing the mailbox mutex) that put signals on delivery.
+type waiter struct {
+	src   int
+	match func(wireTag int) bool
 	cond  *sync.Cond
-	ab    *abortState
-	queue []message
+	msg   message
+	ready bool
 }
 
 func newMailbox(ab *abortState) *mailbox {
-	m := &mailbox{ab: ab}
-	m.cond = sync.NewCond(&m.mu)
-	return m
+	return &mailbox{ab: ab}
 }
 
 func (m *mailbox) put(msg message) {
 	m.mu.Lock()
+	for _, w := range m.waiters {
+		if !w.ready && (w.src == AnySource || msg.src == w.src) && w.match(msg.tag) {
+			w.msg = msg
+			w.ready = true
+			w.cond.Signal()
+			m.mu.Unlock()
+			return
+		}
+	}
 	m.queue = append(m.queue, msg)
-	m.cond.Broadcast()
 	m.mu.Unlock()
 }
 
-// take blocks until a message matching the predicate is queued, removes
-// the first match in arrival order, and returns it.
+// take blocks until a message matching the predicate arrives, removes
+// the first match in arrival order, and returns it. When several takes
+// with overlapping criteria block concurrently (Irecv), messages are
+// handed out in the order the takes were posted.
 func (m *mailbox) take(src int, match func(wireTag int) bool) message {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	for {
-		for i, msg := range m.queue {
-			if (src == AnySource || msg.src == src) && match(msg.tag) {
-				m.queue = append(m.queue[:i], m.queue[i+1:]...)
-				return msg
+	for i, msg := range m.queue {
+		if (src == AnySource || msg.src == src) && match(msg.tag) {
+			m.queue = append(m.queue[:i], m.queue[i+1:]...)
+			return msg
+		}
+	}
+	m.ab.check()
+	w := &waiter{src: src, match: match, cond: sync.NewCond(&m.mu)}
+	m.waiters = append(m.waiters, w)
+	defer func() {
+		for i, x := range m.waiters {
+			if x == w {
+				m.waiters = append(m.waiters[:i], m.waiters[i+1:]...)
+				break
 			}
 		}
-		m.ab.check()
-		m.cond.Wait()
+	}()
+	for !w.ready {
+		w.cond.Wait()
+		if !w.ready {
+			// Spurious-looking wake: only wakeAll (world abort) does this.
+			m.ab.check()
+		}
 	}
+	return w.msg
+}
+
+// wakeAll wakes every parked waiter so it can observe a world abort.
+func (m *mailbox) wakeAll() {
+	m.mu.Lock()
+	for _, w := range m.waiters {
+		w.cond.Signal()
+	}
+	m.mu.Unlock()
 }
 
 // tagSpace is the per-namespace tag range: user tags must be below it,
@@ -132,14 +182,30 @@ func (c *Comm) Send(dst, tag int, data []byte) {
 }
 
 func (c *Comm) send(dst, tag int, data []byte) {
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	c.sendOwned(dst, tag, cp)
+}
+
+// SendOwned is Send for payloads the caller is done with: ownership of
+// data transfers to the receiver and the slice is enqueued without the
+// defensive copy Send makes. The caller must not read or write data
+// afterwards — use it for freshly encoded payloads that exist only to be
+// sent, where the copy would double the wire traffic's memory cost.
+func (c *Comm) SendOwned(dst, tag int, data []byte) {
+	c.sendOwned(dst, c.wireTag(tag), data)
+}
+
+func (c *Comm) sendOwned(dst, tag int, data []byte) {
 	if dst < 0 || dst >= c.world.size {
 		panic(fmt.Sprintf("mpi: send to invalid rank %d (world size %d)", dst, c.world.size))
 	}
-	cp := make([]byte, len(data))
-	copy(cp, data)
+	if fn := c.world.sendDelay; fn != nil {
+		fn(c.rank, dst, len(data))
+	}
 	c.world.msgCount.Add(1)
 	c.world.byteCount.Add(int64(len(data)))
-	c.world.mailboxes[dst].put(message{src: c.rank, tag: tag, data: cp})
+	c.world.mailboxes[dst].put(message{src: c.rank, tag: tag, data: data})
 }
 
 // Recv blocks until a message from src (or AnySource) with tag (or

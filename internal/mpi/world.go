@@ -39,6 +39,20 @@ type World struct {
 	collMu     sync.Mutex
 	collLedger map[collKey]*collEntry
 	ab         *abortState
+	// sendDelay, when set, runs in the sender's goroutine before each
+	// cross-rank message is enqueued (see SetSendDelay).
+	sendDelay func(src, dst int, bytes int)
+}
+
+// SetSendDelay installs a hook called synchronously in the sender's
+// goroutine before every cross-rank message is enqueued, with the source
+// rank, destination rank and payload size. A hook that sleeps delays
+// that one delivery without breaking per-pair FIFO order — the seam
+// adversarial tests use to scramble cross-pair arrival order and prove
+// that results do not depend on it. Install the hook before Run starts
+// the rank goroutines; it must be safe for concurrent calls.
+func (w *World) SetSendDelay(fn func(src, dst int, bytes int)) {
+	w.sendDelay = fn
 }
 
 // barrierFor returns (creating on demand) the barrier of one

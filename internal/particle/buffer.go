@@ -19,6 +19,10 @@ type Buffer struct {
 	f32    [][]float32 // one entry per Float32 field
 	// fieldSlot[i] indexes into f64 or f32 depending on the field's kind.
 	fieldSlot []int
+	// aos, when non-nil, is the cached AoS record encoding of the
+	// buffer's current contents (exactly n*Stride() bytes) — see
+	// SetEncodedMirror. Mutating methods drop it.
+	aos []byte
 }
 
 // NewBuffer returns an empty buffer with capacity hint cap particles.
@@ -58,6 +62,7 @@ func (b *Buffer) Position(i int) geom.Vec3 {
 
 // SetPosition overwrites the position of particle i.
 func (b *Buffer) SetPosition(i int, v geom.Vec3) {
+	b.dropMirror()
 	p := b.f64[b.fieldSlot[0]]
 	p[3*i], p[3*i+1], p[3*i+2] = v.X, v.Y, v.Z
 }
@@ -87,6 +92,7 @@ func (b *Buffer) Float32Field(field int) []float32 {
 // have one []float64 per field (Float32 fields are converted); each entry
 // must have exactly the field's component count.
 func (b *Buffer) Append(vals ...[]float64) {
+	b.dropMirror()
 	if len(vals) != b.schema.NumFields() {
 		panic(fmt.Sprintf("particle: Append got %d fields, schema has %d", len(vals), b.schema.NumFields()))
 	}
@@ -112,6 +118,7 @@ func (b *Buffer) Append(vals ...[]float64) {
 // AppendFrom copies particle i of src onto the end of b. Schemas must
 // match (same pointer or Equal).
 func (b *Buffer) AppendFrom(src *Buffer, i int) {
+	b.dropMirror()
 	if b.schema != src.schema && !b.schema.Equal(src.schema) {
 		panic("particle: AppendFrom across different schemas")
 	}
@@ -131,6 +138,7 @@ func (b *Buffer) AppendFrom(src *Buffer, i int) {
 
 // AppendBuffer copies all particles of src onto the end of b.
 func (b *Buffer) AppendBuffer(src *Buffer) {
+	b.dropMirror()
 	if b.schema != src.schema && !b.schema.Equal(src.schema) {
 		panic("particle: AppendBuffer across different schemas")
 	}
@@ -149,6 +157,7 @@ func (b *Buffer) AppendBuffer(src *Buffer) {
 // reshuffle is built on (paper Section 3.4: "the particles are reordered
 // in-place").
 func (b *Buffer) Swap(i, j int) {
+	b.dropMirror()
 	if i == j {
 		return
 	}
@@ -171,11 +180,21 @@ func (b *Buffer) Swap(i, j int) {
 }
 
 // Select returns a new buffer holding the particles at the given indices,
-// in order.
+// in order. The copy is columnar — one gather pass per field — rather
+// than a per-index AppendFrom walk, so the per-particle schema dispatch
+// is hoisted out of the loop.
 func (b *Buffer) Select(indices []int) *Buffer {
-	out := NewBuffer(b.schema, len(indices))
-	for _, i := range indices {
-		out.AppendFrom(b, i)
+	// Overwrite-allocated: the gathers below fill every component of
+	// every selected particle, so zeroed (or fresh) columns buy nothing.
+	out := NewBufferOverwrite(b.schema, len(indices))
+	for fi := 0; fi < b.schema.NumFields(); fi++ {
+		f := b.schema.Field(fi)
+		switch f.Kind {
+		case Float64:
+			gather64(out.f64[out.fieldSlot[fi]], b.f64[b.fieldSlot[fi]], indices, f.Components)
+		case Float32:
+			gather32(out.f32[out.fieldSlot[fi]], b.f32[b.fieldSlot[fi]], indices, f.Components)
+		}
 	}
 	return out
 }
@@ -205,14 +224,23 @@ func (b *Buffer) Slice(lo, hi int) *Buffer {
 // Bounds returns the closed bounding box of all particle positions, or an
 // empty box for an empty buffer. This implements the paper's note that
 // the I/O system "can easily compute this information by finding the
-// bounding box of the particles on the process".
+// bounding box of the particles on the process". The scan shares the
+// plain-comparison min/max kernel with FieldRanges, seeded with the
+// EmptyBox sentinels so results are bit-identical to folding Extend.
 func (b *Buffer) Bounds() geom.Box {
 	box := geom.EmptyBox()
 	p := b.f64[b.fieldSlot[0]]
+	lo := [3]float64{box.Lo.X, box.Lo.Y, box.Lo.Z}
+	hi := [3]float64{box.Hi.X, box.Hi.Y, box.Hi.Z}
 	for i := 0; i < b.n; i++ {
-		box = box.Extend(geom.Vec3{X: p[3*i], Y: p[3*i+1], Z: p[3*i+2]})
+		rangeScan(p[3*i], &lo[0], &hi[0])
+		rangeScan(p[3*i+1], &lo[1], &hi[1])
+		rangeScan(p[3*i+2], &lo[2], &hi[2])
 	}
-	return box
+	return geom.Box{
+		Lo: geom.Vec3{X: lo[0], Y: lo[1], Z: lo[2]},
+		Hi: geom.Vec3{X: hi[0], Y: hi[1], Z: hi[2]},
+	}
 }
 
 // CheckFinite returns an error naming the first particle whose position
@@ -241,35 +269,21 @@ func (b *Buffer) CheckInside(box geom.Box) error {
 
 // EncodeRecords appends the AoS record encoding of particles [lo, hi) to
 // dst and returns the extended slice. Records are the schema's fields in
-// order, components little-endian.
+// order, components little-endian. It is a thin wrapper over the
+// EncodeRecordsInto kernel.
 func (b *Buffer) EncodeRecords(dst []byte, lo, hi int) []byte {
 	if lo < 0 || hi > b.n || lo > hi {
 		panic(fmt.Sprintf("particle: EncodeRecords[%d:%d] of %d", lo, hi, b.n))
 	}
 	need := (hi - lo) * b.schema.Stride()
 	base := len(dst)
-	dst = append(dst, make([]byte, need)...)
-	off := base
-	for i := lo; i < hi; i++ {
-		for fi := 0; fi < b.schema.NumFields(); fi++ {
-			f := b.schema.Field(fi)
-			c := f.Components
-			switch f.Kind {
-			case Float64:
-				s := b.f64[b.fieldSlot[fi]]
-				for k := 0; k < c; k++ {
-					binary.LittleEndian.PutUint64(dst[off:], math.Float64bits(s[i*c+k]))
-					off += 8
-				}
-			case Float32:
-				s := b.f32[b.fieldSlot[fi]]
-				for k := 0; k < c; k++ {
-					binary.LittleEndian.PutUint32(dst[off:], math.Float32bits(s[i*c+k]))
-					off += 4
-				}
-			}
-		}
+	if cap(dst)-base < need {
+		grown := make([]byte, base, base+need)
+		copy(grown, dst)
+		dst = grown
 	}
+	dst = dst[:base+need]
+	b.EncodeRecordsInto(dst[base:], lo, hi)
 	return dst
 }
 
@@ -279,37 +293,17 @@ func (b *Buffer) Encode() []byte {
 }
 
 // DecodeRecords appends the particles encoded in data (which must be a
-// whole number of records) to the buffer.
+// whole number of records) to the buffer. It is a thin wrapper over the
+// DecodeRecordsAt kernel: extend the buffer once, decode in place.
 func (b *Buffer) DecodeRecords(data []byte) error {
+	b.dropMirror()
 	stride := b.schema.Stride()
 	if len(data)%stride != 0 {
 		return fmt.Errorf("particle: %d bytes is not a multiple of record size %d", len(data), stride)
 	}
-	count := len(data) / stride
-	off := 0
-	for i := 0; i < count; i++ {
-		for fi := 0; fi < b.schema.NumFields(); fi++ {
-			f := b.schema.Field(fi)
-			switch f.Kind {
-			case Float64:
-				s := b.f64[b.fieldSlot[fi]]
-				for k := 0; k < f.Components; k++ {
-					s = append(s, math.Float64frombits(binary.LittleEndian.Uint64(data[off:])))
-					off += 8
-				}
-				b.f64[b.fieldSlot[fi]] = s
-			case Float32:
-				s := b.f32[b.fieldSlot[fi]]
-				for k := 0; k < f.Components; k++ {
-					s = append(s, math.Float32frombits(binary.LittleEndian.Uint32(data[off:])))
-					off += 4
-				}
-				b.f32[b.fieldSlot[fi]] = s
-			}
-		}
-	}
-	b.n += count
-	return nil
+	at := b.n
+	b.SetLen(at + len(data)/stride)
+	return b.DecodeRecordsAt(data, at)
 }
 
 // appendFieldBytes decodes one field's little-endian component bytes

@@ -63,8 +63,9 @@ const PositionField = "position"
 // opaque payload by the I/O system (the aggregation algorithm only ever
 // inspects positions).
 type Schema struct {
-	fields []Field
-	stride int // encoded bytes per particle
+	fields  []Field
+	stride  int   // encoded bytes per particle
+	offsets []int // byte offset of each field within a record
 }
 
 // NewSchema validates and builds a schema. The first field must be
@@ -81,7 +82,9 @@ func NewSchema(fields []Field) (*Schema, error) {
 	}
 	seen := make(map[string]bool, len(fields))
 	stride := 0
-	for _, f := range fields {
+	offsets := make([]int, len(fields))
+	for i, f := range fields {
+		offsets[i] = stride
 		if f.Name == "" {
 			return nil, fmt.Errorf("particle: empty field name")
 		}
@@ -102,7 +105,7 @@ func NewSchema(fields []Field) (*Schema, error) {
 	}
 	cp := make([]Field, len(fields))
 	copy(cp, fields)
-	return &Schema{fields: cp, stride: stride}, nil
+	return &Schema{fields: cp, stride: stride, offsets: offsets}, nil
 }
 
 // MustSchema is NewSchema that panics on error, for statically-known
@@ -160,6 +163,11 @@ func (s *Schema) FieldIndex(name string) int {
 
 // Stride returns the encoded bytes per particle.
 func (s *Schema) Stride() int { return s.stride }
+
+// Offset returns the byte offset of field i within an encoded record.
+// Together with Stride it lets per-field kernels address field i of
+// record r at r*Stride()+Offset(i) without re-walking the schema.
+func (s *Schema) Offset(i int) int { return s.offsets[i] }
 
 // Equal reports whether two schemas have identical field lists.
 func (s *Schema) Equal(o *Schema) bool {

@@ -40,6 +40,13 @@ type Report struct {
 	// TotalParticles written, and the largest single file.
 	TotalParticles   int64
 	MaxFileParticles int64
+	// ExchangeBytes is the fleet-wide wire payload volume of the data
+	// phase (self-sends excluded); MaxDecodeConcurrency is the largest
+	// per-rank peak of concurrent payload decodes — together they show
+	// how much data moved and how much decode overlap the arrival-order
+	// path actually achieved.
+	ExchangeBytes        int64
+	MaxDecodeConcurrency int
 }
 
 // Collect gathers every rank's WriteResult on rank 0 and returns the
@@ -83,6 +90,10 @@ func Collect(c *mpi.Comm, res core.WriteResult) (*Report, error) {
 				rep.MaxFileParticles = r.FileParticles
 			}
 		}
+		rep.ExchangeBytes += r.Timing.ExchangeBytes
+		if r.Timing.DecodeConcurrency > rep.MaxDecodeConcurrency {
+			rep.MaxDecodeConcurrency = r.Timing.DecodeConcurrency
+		}
 	}
 	mk := func(i int) PhaseStats {
 		return PhaseStats{Min: mins[i], Max: maxs[i], Mean: sums[i] / time.Duration(c.Size())}
@@ -115,6 +126,8 @@ func (r *Report) Fprint(w io.Writer) error {
 	for _, row := range rows {
 		fmt.Fprintf(&b, "  %-18s %s\n", row.name, row.st)
 	}
+	fmt.Fprintf(&b, "  %-18s %d bytes (peak decode concurrency %d)\n",
+		"exchange volume", r.ExchangeBytes, r.MaxDecodeConcurrency)
 	_, err := io.WriteString(w, b.String())
 	return err
 }
@@ -130,9 +143,9 @@ func (r *Report) AggregationShare() float64 {
 	return agg / denom
 }
 
-// encodeResult packs a WriteResult into a fixed 8-word payload.
+// encodeResult packs a WriteResult into a fixed 10-word payload.
 func encodeResult(r core.WriteResult) []byte {
-	out := make([]byte, 8*8)
+	out := make([]byte, 10*8)
 	put := func(i int, v int64) { binary.LittleEndian.PutUint64(out[i*8:], uint64(v)) }
 	put(0, int64(r.Timing.MetadataExchange))
 	put(1, int64(r.Timing.ParticleExchange))
@@ -142,13 +155,15 @@ func encodeResult(r core.WriteResult) []byte {
 	put(5, int64(r.Timing.Abort))
 	put(6, int64(r.Partition))
 	put(7, r.FileParticles)
+	put(8, r.Timing.ExchangeBytes)
+	put(9, int64(r.Timing.DecodeConcurrency))
 	return out
 }
 
 func decodeResult(data []byte) (core.WriteResult, error) {
 	var r core.WriteResult
-	if len(data) != 8*8 {
-		return r, fmt.Errorf("payload has %d bytes, want %d", len(data), 8*8)
+	if len(data) != 10*8 {
+		return r, fmt.Errorf("payload has %d bytes, want %d", len(data), 10*8)
 	}
 	get := func(i int) int64 { return int64(binary.LittleEndian.Uint64(data[i*8:])) }
 	r.Timing.MetadataExchange = time.Duration(get(0))
@@ -159,5 +174,7 @@ func decodeResult(data []byte) (core.WriteResult, error) {
 	r.Timing.Abort = time.Duration(get(5))
 	r.Partition = int(get(6))
 	r.FileParticles = get(7)
+	r.Timing.ExchangeBytes = get(8)
+	r.Timing.DecodeConcurrency = int(get(9))
 	return r, nil
 }

@@ -1,0 +1,48 @@
+#!/bin/sh
+# Perf-trajectory snapshot for spio. Runs the write/exchange/LOD
+# benchmark set with a fixed -benchtime and emits a JSON snapshot
+# (default BENCH_PR4.json) with one entry per benchmark:
+#
+#	{"name": ..., "ns_per_op": ..., "mb_per_s": ..., "b_per_op": ..., "allocs_per_op": ...}
+#
+# Usage:
+#
+#	./scripts/bench.sh                  # writes BENCH_PR4.json
+#	OUT=/tmp/base.json ./scripts/bench.sh
+#	BENCHTIME=5s ./scripts/bench.sh
+#
+# Later PRs compare their snapshot against the committed one; a
+# regression on ns/op or allocs/op is a finding, not noise, because
+# the benchtime is pinned here rather than left to the go tool.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+OUT="${OUT:-BENCH_PR4.json}"
+BENCHTIME="${BENCHTIME:-2s}"
+
+PATTERN='^(BenchmarkLocalWrite16Ranks|BenchmarkAblationExchangeAligned|BenchmarkAblationExchangeScan|BenchmarkAblationPresizedBuffer|BenchmarkAblationUnsizedBuffer|BenchmarkReorder32K|BenchmarkAblationLODRandom|BenchmarkAblationLODDensity)$'
+
+raw=$(mktemp /tmp/spio-bench-XXXXXX.txt)
+go test -run '^$' -bench "$PATTERN" -benchtime "$BENCHTIME" -benchmem -count 1 . | tee "$raw"
+
+awk '
+/^Benchmark/ {
+	name = $1
+	sub(/-[0-9]+$/, "", name)
+	ns = "null"; mbs = "null"; bop = "null"; aop = "null"
+	for (i = 2; i <= NF; i++) {
+		if ($i == "ns/op") ns = $(i - 1)
+		if ($i == "MB/s") mbs = $(i - 1)
+		if ($i == "B/op") bop = $(i - 1)
+		if ($i == "allocs/op") aop = $(i - 1)
+	}
+	if (n++) printf ",\n"
+	printf "  {\"name\": \"%s\", \"ns_per_op\": %s, \"mb_per_s\": %s, \"b_per_op\": %s, \"allocs_per_op\": %s}", name, ns, mbs, bop, aop
+}
+BEGIN { printf "[\n" }
+END { printf "\n]\n" }
+' "$raw" >"$OUT"
+
+rm -f "$raw"
+echo "bench: wrote $OUT"
