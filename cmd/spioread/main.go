@@ -6,6 +6,11 @@
 //	spioread -dir out/t0000 -fields density,id          # projected read
 //	spioread -dir out/t0000 -knn 0.5,0.5,0.5 -k 8       # nearest neighbours
 //
+// The same queries run against a resident spiod daemon instead of the
+// local filesystem:
+//
+//	spioread -remote unix:/tmp/spiod.sock -dataset sim@latest -knn 0.5,0.5,0.5
+//
 // It prints what the paper's Fig. 7 argues about: how many files the
 // read had to open and how many bytes it moved.
 package main
@@ -23,29 +28,59 @@ import (
 
 func main() {
 	var (
-		dir     = flag.String("dir", "", "dataset directory (required)")
+		dir     = flag.String("dir", "", "dataset directory (local reads)")
+		remote  = flag.String("remote", "", "spiod address (unix:/path or tcp:host:port) to query instead of -dir")
+		dataset = flag.String("dataset", "", "dataset reference on the -remote server (name, name@N, name@latest)")
 		boxSpec = flag.String("box", "", "query box: x0,y0,z0,x1,y1,z1 (default: whole domain)")
 		levels  = flag.Int("levels", 0, "read only the first N LOD levels (0 = full resolution)")
 		readers = flag.Int("readers", 1, "reader count n in the LOD formula x(n,l)=n*P*S^l")
-		blind   = flag.Bool("blind", false, "ignore the spatial metadata (scan every file)")
+		blind   = flag.Bool("blind", false, "ignore the spatial metadata (scan every file; local only)")
 		fields  = flag.String("fields", "", "comma-separated fields to decode (projection)")
 		knnAt   = flag.String("knn", "", "query point x,y,z for a nearest-neighbour search")
 		k       = flag.Int("k", 8, "neighbour count for -knn")
 		sched   = flag.Bool("schedule", false, "print the LOD level schedule for -readers and exit")
 	)
 	flag.Parse()
-	if *dir == "" {
-		fmt.Fprintln(os.Stderr, "spioread: -dir is required")
+	if (*dir == "") == (*remote == "") {
+		fmt.Fprintln(os.Stderr, "spioread: exactly one of -dir and -remote is required")
 		flag.Usage()
 		os.Exit(2)
 	}
-
-	ds, err := spio.Open(*dir)
-	if err != nil {
-		fatal(err)
+	if *remote != "" && *dataset == "" {
+		fmt.Fprintln(os.Stderr, "spioread: -remote needs -dataset")
+		os.Exit(2)
 	}
+	if *remote != "" && *blind {
+		fmt.Fprintln(os.Stderr, "spioread: -blind scans the local filesystem; it cannot run against -remote")
+		os.Exit(2)
+	}
+
+	// Both backends serve the same Queryable surface; KNN differs only
+	// in where the search runs.
+	var (
+		ds  spio.Queryable
+		knn func(p spio.Vec3, k int) (*spio.Buffer, []float64, spio.ReadStats, error)
+	)
+	if *remote != "" {
+		rds, err := spio.Dial(*remote, *dataset)
+		if err != nil {
+			fatal(err)
+		}
+		ds, knn = rds, rds.KNN
+	} else {
+		lds, err := spio.Open(*dir)
+		if err != nil {
+			fatal(err)
+		}
+		ds = lds
+		knn = func(p spio.Vec3, k int) (*spio.Buffer, []float64, spio.ReadStats, error) {
+			return spio.KNN(lds, p, k)
+		}
+	}
+	defer ds.Close()
+
 	if *knnAt != "" {
-		runKNN(ds, *knnAt, *k)
+		runKNN(knn, *knnAt, *k)
 		return
 	}
 	if *sched {
@@ -54,6 +89,7 @@ func main() {
 	}
 
 	q := ds.Meta().Domain
+	var err error
 	if *boxSpec != "" {
 		q, err = parseBox(*boxSpec)
 		if err != nil {
@@ -89,6 +125,9 @@ func main() {
 	if *blind {
 		fmt.Printf(" [blind: no spatial metadata]")
 	}
+	if *remote != "" {
+		fmt.Printf(" [remote: %s %s]", *remote, *dataset)
+	}
 	fmt.Println()
 	fmt.Printf("result:  %d particles kept of %d read; %d files opened; %.2f MB moved; %v\n",
 		buf.Len(), st.ParticlesRead, st.FilesOpened, float64(st.BytesRead)/1e6, elapsed.Round(time.Microsecond))
@@ -103,7 +142,7 @@ func main() {
 
 // printSchedule shows the x(n,l) = n·P·S^l level table of Section 3.4
 // for the dataset as seen by n readers.
-func printSchedule(ds *spio.Dataset, readers int) {
+func printSchedule(ds spio.Queryable, readers int) {
 	if readers <= 0 {
 		readers = 1
 	}
@@ -120,7 +159,7 @@ func printSchedule(ds *spio.Dataset, readers int) {
 	}
 }
 
-func runKNN(ds *spio.Dataset, at string, k int) {
+func runKNN(knn func(p spio.Vec3, k int) (*spio.Buffer, []float64, spio.ReadStats, error), at string, k int) {
 	parts := strings.Split(at, ",")
 	if len(parts) != 3 {
 		fatal(fmt.Errorf("knn point %q: want x,y,z", at))
@@ -135,7 +174,7 @@ func runKNN(ds *spio.Dataset, at string, k int) {
 	}
 	point := spio.V3(v[0], v[1], v[2])
 	start := time.Now()
-	nn, dists, st, err := spio.KNN(ds, point, k)
+	nn, dists, st, err := knn(point, k)
 	if err != nil {
 		fatal(err)
 	}

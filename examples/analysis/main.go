@@ -111,6 +111,7 @@ func main() {
 	fmt.Printf("projected read: %d particles decoded at %d B/particle (full record is %d B); %d match the range\n",
 		proj.Len(), proj.Schema().Stride(), ds.Meta().Schema.Stride(), matches)
 
-	hits2, misses := ds.CacheStats()
-	fmt.Printf("\nfile cache: %d hits, %d misses across all queries\n", hits2, misses)
+	cs := ds.CacheStats()
+	fmt.Printf("\nfile cache: %d hits, %d misses, %d evictions, %.2f MB served from cache across all queries\n",
+		cs.Hits, cs.Misses, cs.Evictions, float64(cs.BytesFromCache)/1e6)
 }

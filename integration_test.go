@@ -232,8 +232,11 @@ func TestEndToEndCampaign(t *testing.T) {
 	}
 
 	// Cache effectiveness across all those reads.
-	hits, misses := ds.CacheStats()
-	if hits == 0 || misses == 0 || misses > int64(len(ds.Meta().Files)) {
-		t.Errorf("cache stats: %d hits, %d misses", hits, misses)
+	cs := ds.CacheStats()
+	if cs.Hits == 0 || cs.Misses == 0 || cs.Misses > int64(len(ds.Meta().Files)) {
+		t.Errorf("cache stats: %d hits, %d misses", cs.Hits, cs.Misses)
+	}
+	if cs.BytesFromCache == 0 {
+		t.Errorf("cache stats: %d hits but no bytes served from cache", cs.Hits)
 	}
 }

@@ -246,10 +246,22 @@ func (h *headerBuf) Write(p []byte) (int, error) {
 // record-range reads (the primitive behind LOD prefix reads).
 type DataFile struct {
 	f          *os.File
+	ra         io.ReaderAt // payload read seam; defaults to f
 	Header     DataHeader
 	payloadOff int64
 	path       string
 }
+
+// ReaderAt returns the io.ReaderAt payload reads currently go through
+// (the underlying file unless SetReaderAt replaced it).
+func (df *DataFile) ReaderAt() io.ReaderAt { return df.ra }
+
+// SetReaderAt reroutes every payload read (ReadRange, projections,
+// VerifyPayload) through ra — the seam a serving layer uses to slide a
+// shared block cache under the record reads. ra must serve the exact
+// bytes of the underlying file. Not safe to call concurrently with
+// reads; install it right after open.
+func (df *DataFile) SetReaderAt(ra io.ReaderAt) { df.ra = ra }
 
 // OpenDataFile opens and validates a data file.
 func OpenDataFile(path string) (*DataFile, error) {
@@ -328,7 +340,7 @@ func readDataFileHeader(f *os.File, path string) (*DataFile, error) {
 	if st.Size() != want {
 		return nil, fmt.Errorf("format: %s: size %d, want %d (%d records): %w", path, st.Size(), want, h.Count, ErrTruncated)
 	}
-	return &DataFile{f: f, Header: h, payloadOff: payloadOff, path: path}, nil
+	return &DataFile{f: f, ra: f, Header: h, payloadOff: payloadOff, path: path}, nil
 }
 
 // classifyHeaderErr tags header reads that ran off the end of the file
@@ -353,7 +365,7 @@ func (df *DataFile) ReadRange(lo, hi int64) (*particle.Buffer, error) {
 	}
 	stride := int64(df.Header.Schema.Stride())
 	data := make([]byte, (hi-lo)*stride)
-	if _, err := df.f.ReadAt(data, df.payloadOff+lo*stride); err != nil {
+	if _, err := df.ra.ReadAt(data, df.payloadOff+lo*stride); err != nil {
 		return nil, fmt.Errorf("format: %s: %w", df.path, err)
 	}
 	return particle.Decode(df.Header.Schema, data)
@@ -397,7 +409,7 @@ func (df *DataFile) ReadRangeProjected(lo, hi int64, p *particle.Projection) (*p
 	}
 	stride := int64(df.Header.Schema.Stride())
 	data := make([]byte, (hi-lo)*stride)
-	if _, err := df.f.ReadAt(data, df.payloadOff+lo*stride); err != nil {
+	if _, err := df.ra.ReadAt(data, df.payloadOff+lo*stride); err != nil {
 		return nil, fmt.Errorf("format: %s: %w", df.path, err)
 	}
 	out := particle.NewBuffer(p.Schema(), int(hi-lo))
@@ -422,14 +434,14 @@ func (df *DataFile) VerifyPayload() error {
 		if off+n > payloadLen {
 			n = payloadLen - off
 		}
-		if _, err := df.f.ReadAt(buf[:n], df.payloadOff+off); err != nil {
+		if _, err := df.ra.ReadAt(buf[:n], df.payloadOff+off); err != nil {
 			return fmt.Errorf("format: %s: %w", df.path, err)
 		}
 		crc = crc32.Update(crc, crc32.IEEETable, buf[:n])
 		off += n
 	}
 	var tail [4]byte
-	if _, err := df.f.ReadAt(tail[:], df.payloadOff+payloadLen); err != nil {
+	if _, err := df.ra.ReadAt(tail[:], df.payloadOff+payloadLen); err != nil {
 		return fmt.Errorf("format: %s: %w", df.path, err)
 	}
 	if want := binary.LittleEndian.Uint32(tail[:]); crc != want {

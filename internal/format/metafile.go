@@ -162,6 +162,23 @@ func (m *Meta) FilesIntersecting(q geom.Box) []*FileEntry {
 // Since the metadata is the dataset's commit record, this makes the
 // whole write pipeline fail-stop: no meta.spmd, no dataset.
 func WriteMeta(fsys fault.WriteFS, dir string, m *Meta) error {
+	// The metadata is small: pre-encode the complete file so each
+	// atomic-write attempt just replays the bytes.
+	var full headerBuf
+	if err := EncodeMeta(&full, m); err != nil {
+		return err
+	}
+	return writeFileAtomic(fsOrOS(fsys), filepath.Join(dir, MetaFileName), func(w io.Writer) error {
+		_, err := w.Write(full.b)
+		return err
+	})
+}
+
+// EncodeMeta serializes the complete metadata file image — magic,
+// version, checksum, body — to w. It is the wire twin of WriteMeta: a
+// dataset-serving daemon ships exactly these bytes to remote clients,
+// so the remote and on-disk representations cannot drift.
+func EncodeMeta(w io.Writer, m *Meta) error {
 	if err := m.Validate(); err != nil {
 		return err
 	}
@@ -199,21 +216,12 @@ func WriteMeta(fsys fault.WriteFS, dir string, m *Meta) error {
 		return e.err
 	}
 
-	// The metadata is small: pre-encode the complete file so each
-	// atomic-write attempt just replays the bytes.
-	var full headerBuf
-	out := newWriter(&full)
+	out := newWriter(w)
 	out.bytes([]byte(metaMagic))
 	out.u32(metaVersion)
 	out.u32(crc32.ChecksumIEEE(body.b))
 	out.bytes(body.b)
-	if out.err != nil {
-		return out.err
-	}
-	return writeFileAtomic(fsOrOS(fsys), filepath.Join(dir, MetaFileName), func(w io.Writer) error {
-		_, err := w.Write(full.b)
-		return err
-	})
+	return out.err
 }
 
 // ReadMeta reads and validates the metadata file in dir.
@@ -224,8 +232,20 @@ func ReadMeta(dir string) (*Meta, error) {
 		return nil, err
 	}
 	defer f.Close()
+	return decodeMeta(bufio.NewReader(f), path)
+}
 
-	d := newReader(bufio.NewReader(f))
+// DecodeMeta decodes a metadata file image produced by EncodeMeta (or
+// read from disk) from r.
+func DecodeMeta(r io.Reader) (*Meta, error) {
+	return decodeMeta(r, "metadata")
+}
+
+// decodeMeta decodes and validates one metadata image; path labels
+// errors.
+func decodeMeta(r io.Reader, path string) (*Meta, error) {
+	var err error
+	d := newReader(r)
 	magic := make([]byte, len(metaMagic))
 	d.bytes(magic)
 	if d.err == nil && string(magic) != metaMagic {

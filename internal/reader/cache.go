@@ -2,7 +2,6 @@ package reader
 
 import (
 	"container/list"
-	"path/filepath"
 	"sync"
 
 	"spio/internal/format"
@@ -16,12 +15,15 @@ import (
 // Entries are reference-counted: eviction closes a handle only once no
 // read is using it, so concurrent queries on one Dataset are safe.
 type fileCache struct {
-	mu       sync.Mutex
-	capacity int
-	entries  map[string]*cacheEntry
-	lru      *list.List // front = most recently used; element value: string (name)
-	hits     int64
-	misses   int64
+	mu        sync.Mutex
+	capacity  int
+	entries   map[string]*cacheEntry
+	lru       *list.List // front = most recently used; element value: string (name)
+	hits      int64
+	misses    int64
+	evictions int64
+	// bytesFromCache counts payload bytes read through hit handles.
+	bytesFromCache int64
 }
 
 type cacheEntry struct {
@@ -41,7 +43,7 @@ func newFileCache(capacity int) *fileCache {
 
 // acquire returns an open handle for name, opening it on a miss, and
 // pins it until release. opened reports whether a real open happened.
-func (fc *fileCache) acquire(dir, name string) (df *format.DataFile, opened bool, err error) {
+func (fc *fileCache) acquire(d *Dataset, name string) (df *format.DataFile, opened bool, err error) {
 	fc.mu.Lock()
 	if e, ok := fc.entries[name]; ok && !e.evicted {
 		e.refs++
@@ -55,7 +57,7 @@ func (fc *fileCache) acquire(dir, name string) (df *format.DataFile, opened bool
 
 	// Open outside the lock; a racing open of the same file just wastes
 	// one descriptor briefly.
-	df, err = format.OpenDataFile(filepath.Join(dir, name))
+	df, err = d.openDataFile(name)
 	if err != nil {
 		return nil, true, err
 	}
@@ -108,6 +110,7 @@ func (fc *fileCache) evictLocked() {
 		}
 		e.evicted = true
 		e.elem = nil
+		fc.evictions++
 		if e.refs <= 0 {
 			delete(fc.entries, name)
 			_ = e.df.Close() // read-only handle evicted from the cache
@@ -155,15 +158,38 @@ func (d *Dataset) SetFileCache(n int) error {
 	return nil
 }
 
-// CacheStats reports the cache's hit/miss counters (zeros when the
+// noteBytes credits payload bytes read through a cached (hit) handle.
+func (fc *fileCache) noteBytes(n int64) {
+	fc.mu.Lock()
+	fc.bytesFromCache += n
+	fc.mu.Unlock()
+}
+
+// CacheStats is the open-file cache's counter snapshot.
+type CacheStats struct {
+	// Hits and Misses count acquire outcomes.
+	Hits, Misses int64
+	// Evictions counts handles pushed out by the capacity bound
+	// (explicit disable/Close teardown is not an eviction).
+	Evictions int64
+	// BytesFromCache counts payload bytes served through hit handles.
+	BytesFromCache int64
+}
+
+// CacheStats reports the open-file cache's counters (zeros when the
 // cache is disabled).
-func (d *Dataset) CacheStats() (hits, misses int64) {
+func (d *Dataset) CacheStats() CacheStats {
 	if d.cache == nil {
-		return 0, 0
+		return CacheStats{}
 	}
 	d.cache.mu.Lock()
 	defer d.cache.mu.Unlock()
-	return d.cache.hits, d.cache.misses
+	return CacheStats{
+		Hits:           d.cache.hits,
+		Misses:         d.cache.misses,
+		Evictions:      d.cache.evictions,
+		BytesFromCache: d.cache.bytesFromCache,
+	}
 }
 
 // Close releases any cached file handles. The Dataset remains usable

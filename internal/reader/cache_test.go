@@ -38,9 +38,15 @@ func TestFileCacheAvoidsReopens(t *testing.T) {
 			t.Fatalf("repeat query %d opened %d files", i, st.FilesOpened)
 		}
 	}
-	hits, misses := ds.CacheStats()
-	if misses != 4 || hits != 20 {
-		t.Errorf("cache stats: %d hits, %d misses", hits, misses)
+	cs := ds.CacheStats()
+	if cs.Misses != 4 || cs.Hits != 20 {
+		t.Errorf("cache stats: %d hits, %d misses", cs.Hits, cs.Misses)
+	}
+	if cs.BytesFromCache == 0 {
+		t.Errorf("cache hits served no bytes")
+	}
+	if cs.Evictions != 0 {
+		t.Errorf("capacity 8 over 4 files evicted %d handles", cs.Evictions)
 	}
 }
 
@@ -67,6 +73,9 @@ func TestFileCacheEviction(t *testing.T) {
 	}
 	if ds.cache.lru.Len() > 2 || len(ds.cache.entries) > 2 {
 		t.Errorf("cache overgrew: %d entries", len(ds.cache.entries))
+	}
+	if cs := ds.CacheStats(); cs.Evictions == 0 {
+		t.Errorf("3 sweeps of 16 files through a 2-slot cache recorded no evictions")
 	}
 }
 

@@ -2,7 +2,6 @@ package reader
 
 import (
 	"fmt"
-	"path/filepath"
 
 	"spio/internal/format"
 	"spio/internal/lod"
@@ -39,7 +38,7 @@ func (d *Dataset) Progressive(entries []*format.FileEntry, readers int) (*Progre
 		base:     perFileBase(d.meta, readers),
 	}
 	for _, e := range entries {
-		df, err := format.OpenDataFile(filepath.Join(d.dir, e.Name))
+		df, err := d.openDataFile(e.Name)
 		if err != nil {
 			_ = p.Close() // unwinding: the open error is the one to report
 			return nil, err

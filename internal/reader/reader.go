@@ -35,6 +35,12 @@ type Stats struct {
 	BytesRead     int64
 	// ParticlesKept counts particles surviving the box filter.
 	ParticlesKept int64
+	// CacheHits counts file-cache hits the read scored (files touched
+	// without a real open).
+	CacheHits int64
+	// BytesFromCache counts payload bytes read through an
+	// already-cached file handle.
+	BytesFromCache int64
 }
 
 // Add accumulates other into s.
@@ -43,13 +49,36 @@ func (s *Stats) Add(other Stats) {
 	s.ParticlesRead += other.ParticlesRead
 	s.BytesRead += other.BytesRead
 	s.ParticlesKept += other.ParticlesKept
+	s.CacheHits += other.CacheHits
+	s.BytesFromCache += other.BytesFromCache
 }
 
 // Dataset is an open spio dataset directory.
 type Dataset struct {
-	dir   string
-	meta  *format.Meta
-	cache *fileCache // nil unless SetFileCache enabled it
+	dir      string
+	meta     *format.Meta
+	cache    *fileCache             // nil unless SetFileCache enabled it
+	openHook func(*format.DataFile) // nil unless SetOpenHook installed one
+}
+
+// SetOpenHook registers fn to run on every data-file handle this
+// Dataset opens (cache misses and cache-bypassing progressive streams
+// included), before any payload read goes through it. The serving
+// layer uses the hook to reroute payload reads through a shared block
+// cache via DataFile.SetReaderAt. Install it before issuing reads; it
+// is not safe to change concurrently with queries.
+func (d *Dataset) SetOpenHook(fn func(*format.DataFile)) { d.openHook = fn }
+
+// openDataFile opens one data file, applying the open hook.
+func (d *Dataset) openDataFile(name string) (*format.DataFile, error) {
+	df, err := format.OpenDataFile(filepath.Join(d.dir, name))
+	if err != nil {
+		return nil, err
+	}
+	if d.openHook != nil {
+		d.openHook(df)
+	}
+	return df, nil
 }
 
 // Open reads and validates the dataset's spatial metadata file.
@@ -169,8 +198,9 @@ func (d *Dataset) readEntries(entries []*format.FileEntry, q geom.Box, opts Opti
 func (d *Dataset) readOne(e *format.FileEntry, base int64, opts Options, proj *particle.Projection) (*particle.Buffer, Stats, error) {
 	var st Stats
 	var df *format.DataFile
+	fromCache := false
 	if d.cache != nil {
-		cached, opened, err := d.cache.acquire(d.dir, e.Name)
+		cached, opened, err := d.cache.acquire(d, e.Name)
 		if err != nil {
 			return nil, st, err
 		}
@@ -178,9 +208,12 @@ func (d *Dataset) readOne(e *format.FileEntry, base int64, opts Options, proj *p
 		df = cached
 		if opened {
 			st.FilesOpened = 1
+		} else {
+			fromCache = true
+			st.CacheHits = 1
 		}
 	} else {
-		opened, err := format.OpenDataFile(filepath.Join(d.dir, e.Name))
+		opened, err := d.openDataFile(e.Name)
 		if err != nil {
 			return nil, st, err
 		}
@@ -206,6 +239,10 @@ func (d *Dataset) readOne(e *format.FileEntry, base int64, opts Options, proj *p
 	st.ParticlesRead = int64(buf.Len())
 	// Bytes stream in whole records regardless of projection.
 	st.BytesRead = int64(buf.Len()) * int64(d.meta.Schema.Stride())
+	if fromCache {
+		st.BytesFromCache = st.BytesRead
+		d.cache.noteBytes(st.BytesRead)
+	}
 	return buf, st, nil
 }
 

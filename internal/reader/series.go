@@ -1,0 +1,84 @@
+package reader
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// Time-series conventions: a simulation writes one dataset directory
+// per checkpoint under a common base directory, named t000000,
+// t000001, …. These helpers manage such a series; the root package
+// re-exports them, and the serving daemon resolves "newest checkpoint"
+// references through LatestStep.
+
+// StepDir returns the dataset directory for one timestep.
+func StepDir(base string, step int) string {
+	return filepath.Join(base, fmt.Sprintf("t%06d", step))
+}
+
+// Steps lists the timesteps present under base (directories matching
+// the StepDir convention that contain a readable metadata file),
+// sorted. Directories with malformed names, and step directories whose
+// metadata is missing or unreadable (an in-flight or torn write), are
+// skipped.
+func Steps(base string) ([]int, error) {
+	entries, err := os.ReadDir(base)
+	if err != nil {
+		return nil, err
+	}
+	var steps []int
+	for _, e := range entries {
+		step, ok := parseStepName(e)
+		if !ok {
+			continue
+		}
+		if _, err := Open(filepath.Join(base, e.Name())); err != nil {
+			continue
+		}
+		steps = append(steps, step)
+	}
+	sort.Ints(steps)
+	return steps, nil
+}
+
+// LatestStep returns the newest readable timestep under base. ok is
+// false when base holds no complete checkpoint (the series may have
+// gaps or in-flight writes; only steps with valid metadata count).
+func LatestStep(base string) (step int, ok bool, err error) {
+	entries, err := os.ReadDir(base)
+	if err != nil {
+		return 0, false, err
+	}
+	// Scan newest-first so one Open usually suffices.
+	var steps []int
+	for _, e := range entries {
+		if s, okName := parseStepName(e); okName {
+			steps = append(steps, s)
+		}
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(steps)))
+	for _, s := range steps {
+		if _, err := Open(StepDir(base, s)); err == nil {
+			return s, true, nil
+		}
+	}
+	return 0, false, nil
+}
+
+// parseStepName reports whether a directory entry follows the
+// zero-padded tNNNNNN convention exactly.
+func parseStepName(e os.DirEntry) (int, bool) {
+	if !e.IsDir() {
+		return 0, false
+	}
+	var step int
+	if _, err := fmt.Sscanf(e.Name(), "t%06d", &step); err != nil {
+		return 0, false
+	}
+	if step < 0 || e.Name() != fmt.Sprintf("t%06d", step) {
+		return 0, false
+	}
+	return step, true
+}

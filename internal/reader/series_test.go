@@ -1,0 +1,106 @@
+package reader
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"spio/internal/agg"
+	"spio/internal/core"
+	"spio/internal/geom"
+	"spio/internal/mpi"
+	"spio/internal/particle"
+)
+
+// writeStep writes a minimal valid dataset into dir (creating it).
+func writeStep(t *testing.T, dir string) {
+	t.Helper()
+	cfg := core.WriteConfig{
+		Agg:  agg.Config{Domain: geom.UnitBox(), SimDims: geom.I3(2, 1, 1), Factor: geom.I3(1, 1, 1)},
+		Seed: 21,
+	}
+	grid := geom.NewGrid(cfg.Agg.Domain, geom.I3(2, 1, 1))
+	err := mpi.Run(2, func(c *mpi.Comm) error {
+		local := particle.Uniform(particle.Uintah(), grid.CellBox(geom.Unlinear(c.Rank(), geom.I3(2, 1, 1))), 20, 13, c.Rank())
+		_, err := core.Write(c, dir, cfg, local)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStepDirConvention(t *testing.T) {
+	if got := StepDir("/data/run", 7); got != filepath.Join("/data/run", "t000007") {
+		t.Errorf("StepDir = %q", got)
+	}
+	if got := StepDir("base", 1234567); got != filepath.Join("base", "t1234567") {
+		t.Errorf("wide step: %q", got)
+	}
+}
+
+func TestStepsSkipsMalformedAndIncomplete(t *testing.T) {
+	base := t.TempDir()
+	writeStep(t, filepath.Join(base, "t000000"))
+	writeStep(t, filepath.Join(base, "t000004")) // gap: 1..3 absent
+
+	// Noise the scanner must ignore:
+	for _, name := range []string{
+		"t2",       // not zero-padded
+		"t-00001",  // negative
+		"txyzabc",  // not a number
+		"t0000005", // wrong width (7 digits, value fits 6)
+		"notes",    // unrelated dir
+	} {
+		if err := os.Mkdir(filepath.Join(base, name), 0o755); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A plain file matching the name pattern is not a step.
+	if err := os.WriteFile(filepath.Join(base, "t000001"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// A well-named directory without metadata (in-flight write) is skipped.
+	if err := os.Mkdir(filepath.Join(base, "t000002"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+
+	steps, err := Steps(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(steps) != 2 || steps[0] != 0 || steps[1] != 4 {
+		t.Errorf("Steps = %v, want [0 4]", steps)
+	}
+}
+
+func TestLatestStepSkipsUnreadableNewest(t *testing.T) {
+	base := t.TempDir()
+	writeStep(t, filepath.Join(base, "t000000"))
+	writeStep(t, filepath.Join(base, "t000003"))
+	// The newest directory exists but its checkpoint never completed.
+	if err := os.Mkdir(filepath.Join(base, "t000007"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+
+	step, ok, err := LatestStep(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok || step != 3 {
+		t.Errorf("LatestStep = %d ok=%v, want 3 true", step, ok)
+	}
+}
+
+func TestLatestStepEmptyBase(t *testing.T) {
+	base := t.TempDir()
+	if _, ok, err := LatestStep(base); err != nil || ok {
+		t.Errorf("empty base: ok=%v err=%v", ok, err)
+	}
+	if steps, err := Steps(base); err != nil || len(steps) != 0 {
+		t.Errorf("empty base Steps = %v, %v", steps, err)
+	}
+	if _, _, err := LatestStep(filepath.Join(base, "missing")); err == nil {
+		t.Error("missing base dir produced no error")
+	}
+}

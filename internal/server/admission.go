@@ -1,0 +1,67 @@
+package server
+
+import (
+	"errors"
+	"sync/atomic"
+	"time"
+)
+
+// ErrOverloaded is returned — and carried on the wire as a distinct
+// status code — when the server's request queue is full. Clients should
+// back off and retry; the fast-fail is the admission controller
+// shedding load instead of queueing unboundedly.
+var ErrOverloaded = errors.New("spiod: overloaded: request queue is full")
+
+// errDraining marks a request refused because the server is shutting
+// down (SIGTERM drain): in-flight work completes, new work is turned
+// away.
+var errDraining = errors.New("spiod: draining: server is shutting down")
+
+// admission is the bounded worker pool in front of request execution:
+// at most `workers` requests run at once, at most `queueDepth` wait,
+// and everything beyond that fails fast with ErrOverloaded.
+type admission struct {
+	slots    chan struct{}
+	maxQueue int32
+	waiting  atomic.Int32
+}
+
+func newAdmission(workers, queueDepth int) *admission {
+	if workers <= 0 {
+		workers = 1
+	}
+	if queueDepth < 0 {
+		queueDepth = 0
+	}
+	return &admission{
+		slots:    make(chan struct{}, workers),
+		maxQueue: int32(queueDepth),
+	}
+}
+
+// acquire claims a worker slot, reporting the time spent queued. It
+// fails immediately with ErrOverloaded when queueDepth requests are
+// already waiting, and with errDraining when stop closes first.
+func (a *admission) acquire(stop <-chan struct{}) (time.Duration, error) {
+	select {
+	case a.slots <- struct{}{}:
+		return 0, nil
+	default:
+	}
+	if a.waiting.Add(1) > a.maxQueue {
+		a.waiting.Add(-1)
+		return 0, ErrOverloaded
+	}
+	start := time.Now()
+	select {
+	case a.slots <- struct{}{}:
+		a.waiting.Add(-1)
+		return time.Since(start), nil
+	case <-stop:
+		a.waiting.Add(-1)
+		return time.Since(start), errDraining
+	}
+}
+
+// release returns a slot claimed by acquire.
+func (a *admission) release() { <-a.slots }

@@ -1,0 +1,79 @@
+package server
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestAdmissionBoundsConcurrencyAndQueue(t *testing.T) {
+	a := newAdmission(2, 1)
+	stop := make(chan struct{})
+
+	// Fill both worker slots.
+	for i := 0; i < 2; i++ {
+		if _, err := a.acquire(stop); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// One waiter fits in the queue; it blocks until a release.
+	var queuedDone atomic.Bool
+	var wg sync.WaitGroup
+	wg.Add(1)
+	queued := make(chan struct{})
+	go func() {
+		defer wg.Done()
+		close(queued)
+		wait, err := a.acquire(stop)
+		if err != nil {
+			t.Errorf("queued acquire: %v", err)
+		}
+		if wait <= 0 {
+			t.Errorf("queued acquire reported no wait")
+		}
+		queuedDone.Store(true)
+	}()
+	<-queued
+	// Let the goroutine reach its blocking select.
+	time.Sleep(20 * time.Millisecond)
+
+	// Queue is full: the next acquire fails fast.
+	if _, err := a.acquire(stop); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("over-queue acquire: %v, want ErrOverloaded", err)
+	}
+	if queuedDone.Load() {
+		t.Fatal("queued acquire ran before any release")
+	}
+
+	a.release()
+	wg.Wait()
+	if !queuedDone.Load() {
+		t.Fatal("queued acquire never completed")
+	}
+}
+
+func TestAdmissionDrainFailsQueuedAcquires(t *testing.T) {
+	a := newAdmission(1, 4)
+	stop := make(chan struct{})
+	if _, err := a.acquire(stop); err != nil {
+		t.Fatal(err)
+	}
+	errc := make(chan error, 1)
+	go func() {
+		_, err := a.acquire(stop)
+		errc <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	close(stop)
+	select {
+	case err := <-errc:
+		if !errors.Is(err, errDraining) {
+			t.Fatalf("drained acquire: %v, want errDraining", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("queued acquire did not observe drain")
+	}
+}

@@ -1,0 +1,117 @@
+package server
+
+import (
+	"sync"
+	"testing"
+
+	"spio/internal/geom"
+	"spio/internal/particle"
+	rdr "spio/internal/reader"
+)
+
+// benchRemote drives b.N operations through `clients` concurrent
+// connections against a freshly served dataset and reports bytes/op
+// from a calibration run of the same operation.
+func benchRemote(b *testing.B, clients int, op func(ds *RemoteDataset) (*particle.Buffer, error)) {
+	dir := b.TempDir()
+	writeDataset(b, dir, geom.I3(4, 4, 1), geom.I3(2, 2, 1), 500) // ~1 MB dataset
+	s := New(Config{Workers: clients})
+	if err := s.Mount("sim", dir); err != nil {
+		b.Fatal(err)
+	}
+	addr := startServer(b, s)
+
+	conns := make([]*RemoteDataset, clients)
+	for i := range conns {
+		ds, err := OpenRemote(addr, "sim")
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer ds.Close()
+		conns[i] = ds
+	}
+	// Calibrate bytes/op (and warm the block cache) off the clock.
+	buf, err := op(conns[0])
+	if err != nil {
+		b.Fatal(err)
+	}
+	if buf != nil {
+		b.SetBytes(int64(len(buf.Encode())))
+	}
+
+	work := make(chan struct{})
+	b.ResetTimer()
+	go func() {
+		for i := 0; i < b.N; i++ {
+			work <- struct{}{}
+		}
+		close(work)
+	}()
+	var wg sync.WaitGroup
+	errc := make(chan error, clients)
+	for _, ds := range conns {
+		wg.Add(1)
+		go func(ds *RemoteDataset) {
+			defer wg.Done()
+			for range work {
+				if _, err := op(ds); err != nil {
+					errc <- err
+					return
+				}
+			}
+		}(ds)
+	}
+	wg.Wait()
+	b.StopTimer()
+	close(errc)
+	for err := range errc {
+		b.Fatal(err)
+	}
+}
+
+func octant() geom.Box { return geom.NewBox(geom.V3(0, 0, 0), geom.V3(0.5, 0.5, 1)) }
+
+func BenchmarkServerQueryBox1Client(b *testing.B) {
+	benchRemote(b, 1, func(ds *RemoteDataset) (*particle.Buffer, error) {
+		buf, _, err := ds.QueryBox(octant(), rdr.Options{})
+		return buf, err
+	})
+}
+
+func BenchmarkServerQueryBox8Clients(b *testing.B) {
+	benchRemote(b, 8, func(ds *RemoteDataset) (*particle.Buffer, error) {
+		buf, _, err := ds.QueryBox(octant(), rdr.Options{})
+		return buf, err
+	})
+}
+
+func BenchmarkServerKNN8Clients(b *testing.B) {
+	benchRemote(b, 8, func(ds *RemoteDataset) (*particle.Buffer, error) {
+		buf, _, _, err := ds.KNN(geom.V3(0.4, 0.6, 0.5), 16)
+		return buf, err
+	})
+}
+
+func BenchmarkServerStream8Clients(b *testing.B) {
+	benchRemote(b, 8, func(ds *RemoteDataset) (*particle.Buffer, error) {
+		st, err := ds.ProgressiveBox(ds.Meta().Domain, 0, 2)
+		if err != nil {
+			return nil, err
+		}
+		total := particle.NewBuffer(ds.Meta().Schema, 0)
+		for {
+			buf, ok, err := st.NextLevel()
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				break
+			}
+			total.AppendBuffer(buf)
+			if st.Done() {
+				break
+			}
+		}
+		return total, nil
+	})
+}

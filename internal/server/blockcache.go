@@ -1,0 +1,236 @@
+// Package server is spio's resident dataset-serving subsystem: a
+// long-lived daemon (cmd/spiod) that mounts dataset directories and
+// serves the existing query surface — box reads, KNN, halos, density
+// grids, progressive LOD streams — to many concurrent clients over a
+// compact length-prefixed binary protocol on TCP or Unix sockets.
+//
+// The subsystem owns what the in-process read path cannot provide to a
+// fleet of independent clients:
+//
+//   - a shared, size-bounded block cache layered under each dataset's
+//     open-file cache, with singleflight loads so concurrent queries
+//     for the same file region do one disk read (blockcache.go);
+//   - an admission controller — bounded worker pool, queue-depth limit
+//     with fast-fail (ErrOverloaded), per-request response byte
+//     budgets, graceful drain on shutdown (admission.go, server.go);
+//   - level-by-level progressive streaming with explicit client
+//     backpressure, reusing the reader's LOD prefix machinery
+//     (server.go, client.go);
+//   - an observability surface: per-request counters aggregated into a
+//     JSON /metrics snapshot (metrics.go).
+//
+// The wire format is a thin, symmetric reuse of the internal/format
+// encoding idiom (wire.go), so `spiolint wiresym` checks every
+// request/response pair statically.
+package server
+
+import (
+	"container/list"
+	"io"
+	"sync"
+)
+
+// BlockCacheStats is the shared block cache's counter snapshot.
+type BlockCacheStats struct {
+	// Hits counts block lookups served from memory (including waits on
+	// another request's in-flight load).
+	Hits int64 `json:"hits"`
+	// Misses counts block loads that went to disk.
+	Misses int64 `json:"misses"`
+	// Evictions counts blocks pushed out by the capacity bound.
+	Evictions int64 `json:"evictions"`
+	// BytesFromCache and BytesFromDisk split served block bytes by
+	// origin.
+	BytesFromCache int64 `json:"bytes_from_cache"`
+	BytesFromDisk  int64 `json:"bytes_from_disk"`
+	// Used and Blocks describe current occupancy.
+	Used   int64 `json:"used_bytes"`
+	Blocks int   `json:"blocks"`
+}
+
+// BlockCache is a shared, size-bounded cache of fixed-size file blocks,
+// layered under the per-dataset open-file caches: every payload read of
+// every mounted dataset goes through it, so concurrent clients querying
+// overlapping regions hit memory instead of multiplying disk reads.
+// Loads are singleflighted per block — N queries racing on a cold block
+// do one disk read and share the bytes.
+//
+// Cached blocks are immutable once inserted; the cache assumes data
+// files are immutable once published (spio writes them via atomic
+// rename and never mutates them in place).
+type BlockCache struct {
+	blockSize int64
+	capacity  int64
+
+	mu       sync.Mutex
+	used     int64
+	lru      *list.List // front = most recently used; values *cacheBlock
+	blocks   map[blockKey]*list.Element
+	inflight map[blockKey]*blockFlight
+	stats    BlockCacheStats
+}
+
+type blockKey struct {
+	file string
+	idx  int64
+}
+
+type cacheBlock struct {
+	key  blockKey
+	data []byte // immutable after insert
+}
+
+// blockFlight is one in-progress singleflighted block load.
+type blockFlight struct {
+	done chan struct{}
+	data []byte
+	err  error
+}
+
+// DefaultBlockSize is the block granularity when none is configured.
+const DefaultBlockSize = 256 << 10
+
+// NewBlockCache returns a cache bounded to capacityBytes of block data,
+// loading blockSize-aligned blocks (0 means DefaultBlockSize).
+func NewBlockCache(capacityBytes int64, blockSize int) *BlockCache {
+	if blockSize <= 0 {
+		blockSize = DefaultBlockSize
+	}
+	if capacityBytes < int64(blockSize) {
+		capacityBytes = int64(blockSize)
+	}
+	return &BlockCache{
+		blockSize: int64(blockSize),
+		capacity:  capacityBytes,
+		lru:       list.New(),
+		blocks:    make(map[blockKey]*list.Element),
+		inflight:  make(map[blockKey]*blockFlight),
+	}
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *BlockCache) Stats() BlockCacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := c.stats
+	st.Used = c.used
+	st.Blocks = c.lru.Len()
+	return st
+}
+
+// ReaderFor returns an io.ReaderAt serving key's bytes from the cache,
+// falling back to base block-by-block on misses. key must uniquely
+// identify base's content (spiod uses the data file's path).
+func (c *BlockCache) ReaderFor(key string, base io.ReaderAt) io.ReaderAt {
+	return &cachedReaderAt{c: c, key: key, base: base}
+}
+
+type cachedReaderAt struct {
+	c    *BlockCache
+	key  string
+	base io.ReaderAt
+}
+
+// ReadAt implements io.ReaderAt over the cached blocks. A read past the
+// end of the underlying file returns io.EOF with the bytes that exist,
+// per the io.ReaderAt contract.
+func (r *cachedReaderAt) ReadAt(p []byte, off int64) (int, error) {
+	if off < 0 {
+		return 0, io.ErrUnexpectedEOF
+	}
+	bs := r.c.blockSize
+	n := 0
+	for len(p) > 0 {
+		data, err := r.c.blockFor(r.key, off/bs, r.base)
+		if err != nil {
+			return n, err
+		}
+		bo := off % bs
+		if int64(len(data)) <= bo {
+			return n, io.EOF
+		}
+		m := copy(p, data[bo:])
+		n += m
+		off += int64(m)
+		p = p[m:]
+		if len(p) > 0 && int64(len(data)) < bs {
+			// Short (tail) block with bytes still wanted: end of file.
+			return n, io.EOF
+		}
+	}
+	return n, nil
+}
+
+// blockFor returns block idx of file, loading it through base on a miss.
+// Concurrent callers for the same cold block share one disk read.
+func (c *BlockCache) blockFor(file string, idx int64, base io.ReaderAt) ([]byte, error) {
+	k := blockKey{file: file, idx: idx}
+	c.mu.Lock()
+	if el, ok := c.blocks[k]; ok {
+		b := el.Value.(*cacheBlock)
+		c.lru.MoveToFront(el)
+		c.stats.Hits++
+		c.stats.BytesFromCache += int64(len(b.data))
+		c.mu.Unlock()
+		return b.data, nil
+	}
+	if f, ok := c.inflight[k]; ok {
+		c.mu.Unlock()
+		<-f.done
+		if f.err != nil {
+			return nil, f.err
+		}
+		c.mu.Lock()
+		c.stats.Hits++
+		c.stats.BytesFromCache += int64(len(f.data))
+		c.mu.Unlock()
+		return f.data, nil
+	}
+	f := &blockFlight{done: make(chan struct{})}
+	c.inflight[k] = f
+	c.stats.Misses++
+	c.mu.Unlock()
+
+	buf := make([]byte, c.blockSize)
+	n, err := base.ReadAt(buf, idx*c.blockSize)
+	if err == io.EOF {
+		err = nil // a short tail block is a valid block
+	}
+	if err != nil {
+		f.err = err
+		c.mu.Lock()
+		delete(c.inflight, k)
+		c.mu.Unlock()
+		close(f.done)
+		return nil, err
+	}
+	f.data = buf[:n:n]
+
+	c.mu.Lock()
+	delete(c.inflight, k)
+	el := c.lru.PushFront(&cacheBlock{key: k, data: f.data})
+	c.blocks[k] = el
+	c.used += int64(n)
+	c.stats.BytesFromDisk += int64(n)
+	c.evictLocked()
+	c.mu.Unlock()
+	close(f.done)
+	return f.data, nil
+}
+
+// evictLocked shrinks the cache to capacity. Evicted blocks stay valid
+// for readers already holding their slices (slices are immutable; the
+// cache only forgets them).
+func (c *BlockCache) evictLocked() {
+	for c.used > c.capacity {
+		back := c.lru.Back()
+		if back == nil {
+			return
+		}
+		b := back.Value.(*cacheBlock)
+		c.lru.Remove(back)
+		delete(c.blocks, b.key)
+		c.used -= int64(len(b.data))
+		c.stats.Evictions++
+	}
+}

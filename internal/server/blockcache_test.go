@@ -1,0 +1,176 @@
+package server
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// countingReaderAt counts ReadAt calls into an in-memory byte slice.
+type countingReaderAt struct {
+	data  []byte
+	reads atomic.Int64
+}
+
+func (c *countingReaderAt) ReadAt(p []byte, off int64) (int, error) {
+	c.reads.Add(1)
+	if off >= int64(len(c.data)) {
+		return 0, io.EOF
+	}
+	n := copy(p, c.data[off:])
+	if n < len(p) {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+func randomBytes(n int, seed int64) []byte {
+	r := rand.New(rand.NewSource(seed))
+	b := make([]byte, n)
+	r.Read(b)
+	return b
+}
+
+func TestBlockCacheReadAtMatchesBase(t *testing.T) {
+	data := randomBytes(10_000, 1)
+	base := &countingReaderAt{data: data}
+	c := NewBlockCache(1<<20, 512)
+	ra := c.ReaderFor("f", base)
+	r := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 200; trial++ {
+		off := r.Int63n(int64(len(data) + 100))
+		n := r.Intn(2000)
+		got := make([]byte, n)
+		want := make([]byte, n)
+		gn, gerr := ra.ReadAt(got, off)
+		wn, werr := base.ReadAt(want, off)
+		if gn != wn || (gerr == nil) != (werr == nil) {
+			t.Fatalf("off=%d n=%d: cache (%d, %v) vs base (%d, %v)", off, n, gn, gerr, wn, werr)
+		}
+		if !bytes.Equal(got[:gn], want[:wn]) {
+			t.Fatalf("off=%d n=%d: content mismatch", off, n)
+		}
+	}
+}
+
+func TestBlockCacheHitsAvoidBaseReads(t *testing.T) {
+	data := randomBytes(8192, 3)
+	base := &countingReaderAt{data: data}
+	c := NewBlockCache(1<<20, 1024)
+	ra := c.ReaderFor("f", base)
+	buf := make([]byte, len(data))
+	for i := 0; i < 5; i++ {
+		if _, err := ra.ReadAt(buf, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := base.reads.Load(); got != 8 {
+		t.Errorf("base read %d times, want 8 (one per block)", got)
+	}
+	st := c.Stats()
+	if st.Misses != 8 || st.Hits != 32 {
+		t.Errorf("stats: %+v", st)
+	}
+	if st.BytesFromDisk != 8192 || st.BytesFromCache != 4*8192 {
+		t.Errorf("byte split: %+v", st)
+	}
+}
+
+func TestBlockCacheEviction(t *testing.T) {
+	data := randomBytes(64*1024, 4)
+	base := &countingReaderAt{data: data}
+	// Capacity of 4 blocks over a 64-block file: sweeps must evict.
+	c := NewBlockCache(4*1024, 1024)
+	ra := c.ReaderFor("f", base)
+	buf := make([]byte, len(data))
+	for i := 0; i < 3; i++ {
+		if _, err := ra.ReadAt(buf, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := c.Stats()
+	if st.Evictions == 0 {
+		t.Error("no evictions under capacity pressure")
+	}
+	if st.Used > 4*1024 {
+		t.Errorf("cache overgrew: %d bytes", st.Used)
+	}
+	if st.Blocks > 4 {
+		t.Errorf("cache holds %d blocks, capacity 4", st.Blocks)
+	}
+}
+
+func TestBlockCacheSingleflight(t *testing.T) {
+	// A base that blocks until all readers arrive would deadlock; instead
+	// verify the invariant post-hoc: N concurrent cold reads of the same
+	// block perform exactly one base read.
+	data := randomBytes(4096, 5)
+	base := &countingReaderAt{data: data}
+	c := NewBlockCache(1<<20, 4096)
+	ra := c.ReaderFor("f", base)
+	var wg sync.WaitGroup
+	errs := make(chan error, 32)
+	for g := 0; g < 32; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			buf := make([]byte, 4096)
+			if _, err := ra.ReadAt(buf, 0); err != nil {
+				errs <- err
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if got := base.reads.Load(); got != 1 {
+		t.Errorf("%d base reads for one block under 32 concurrent readers", got)
+	}
+	st := c.Stats()
+	if st.Misses != 1 || st.Hits != 31 {
+		t.Errorf("stats: %+v", st)
+	}
+}
+
+func TestBlockCacheTailEOF(t *testing.T) {
+	data := randomBytes(1000, 6) // not block-aligned
+	c := NewBlockCache(1<<20, 512)
+	ra := c.ReaderFor("f", &countingReaderAt{data: data})
+	// Read exactly to the end: full read, nil or EOF per contract.
+	buf := make([]byte, 1000)
+	if n, err := ra.ReadAt(buf, 0); n != 1000 || (err != nil && err != io.EOF) {
+		t.Fatalf("full read: %d, %v", n, err)
+	}
+	// Read past the end: short count with EOF.
+	if n, err := ra.ReadAt(buf, 600); n != 400 || err != io.EOF {
+		t.Fatalf("tail read: %d, %v", n, err)
+	}
+	// Read entirely past the end.
+	if n, err := ra.ReadAt(buf, 5000); n != 0 || err != io.EOF {
+		t.Fatalf("past-end read: %d, %v", n, err)
+	}
+}
+
+func TestBlockCacheKeysAreIsolated(t *testing.T) {
+	a := &countingReaderAt{data: bytes.Repeat([]byte{0xAA}, 1024)}
+	b := &countingReaderAt{data: bytes.Repeat([]byte{0xBB}, 1024)}
+	c := NewBlockCache(1<<20, 512)
+	ra := c.ReaderFor("a", a)
+	rb := c.ReaderFor("b", b)
+	bufA := make([]byte, 1024)
+	bufB := make([]byte, 1024)
+	if _, err := ra.ReadAt(bufA, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rb.ReadAt(bufB, 0); err != nil {
+		t.Fatal(err)
+	}
+	if bufA[0] != 0xAA || bufB[0] != 0xBB {
+		t.Fatal("cache mixed content across keys")
+	}
+}

@@ -1,0 +1,424 @@
+package server
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+
+	"spio/internal/format"
+	"spio/internal/geom"
+	"spio/internal/lod"
+	"spio/internal/particle"
+	rdr "spio/internal/reader"
+)
+
+// ErrDraining is returned by client calls refused because the server is
+// shutting down; redial (or retry elsewhere) later.
+var ErrDraining = errors.New("spiod: server is draining")
+
+// ErrBudget is returned when a query's response would exceed the
+// server's per-request byte budget; narrow the box or read fewer
+// levels.
+var ErrBudget = errors.New("spiod: response exceeds the server's byte budget")
+
+// clientMaxFrame bounds frames a client accepts; response size is
+// governed server-side by the byte budget, this only guards against a
+// garbage length prefix.
+const clientMaxFrame = 1<<31 - 1
+
+// ParseAddr splits a dial/listen address into (network, address):
+// "unix:/path" and "tcp:host:port" are explicit; anything containing a
+// path separator dials unix, the rest tcp.
+func ParseAddr(addr string) (network, address string, err error) {
+	switch {
+	case strings.HasPrefix(addr, "unix:"):
+		return "unix", addr[len("unix:"):], nil
+	case strings.HasPrefix(addr, "tcp:"):
+		return "tcp", addr[len("tcp:"):], nil
+	case strings.ContainsAny(addr, "/\\"):
+		return "unix", addr, nil
+	case addr == "":
+		return "", "", fmt.Errorf("spiod: empty address")
+	default:
+		return "tcp", addr, nil
+	}
+}
+
+// Client is one connection to a spiod server. Calls are serialized per
+// client (the protocol is sequential); open one client per concurrent
+// consumer.
+type Client struct {
+	mu   sync.Mutex // serializes request/response exchanges
+	conn net.Conn
+}
+
+// Dial connects to a spiod server ("unix:/path", "tcp:host:port", or a
+// bare socket path / host:port) and performs the protocol handshake.
+func Dial(addr string) (*Client, error) {
+	network, address, err := ParseAddr(addr)
+	if err != nil {
+		return nil, err
+	}
+	conn, err := net.Dial(network, address)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{conn: conn}
+	var fb frameBuf
+	e := newWriter(&fb)
+	encodeHello(e, &hello{Version: protoVersion})
+	if e.err == nil {
+		err = writeFrame(conn, fb.b)
+	} else {
+		err = e.err
+	}
+	if err == nil {
+		_, _, err = c.readResp()
+	}
+	if err != nil {
+		_ = conn.Close() // handshake failed; the handshake error is the one to report
+		return nil, err
+	}
+	return c, nil
+}
+
+// Close tears the connection down.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// sendRequest writes one request frame.
+func (c *Client) sendRequest(req *request) error {
+	var fb frameBuf
+	e := newWriter(&fb)
+	encodeRequest(e, req)
+	if e.err != nil {
+		return e.err
+	}
+	return writeFrame(c.conn, fb.b)
+}
+
+// readResp reads one response frame and maps its status to an error;
+// the returned decoder is positioned at the payload.
+func (c *Client) readResp() (*respHeader, *reader, error) {
+	body, err := readFrame(c.conn, clientMaxFrame)
+	if err != nil {
+		return nil, nil, err
+	}
+	d := newReader(bytes.NewReader(body))
+	h, err := decodeRespHeader(d)
+	if err != nil {
+		return nil, nil, err
+	}
+	switch h.Status {
+	case statusOK:
+		return h, d, nil
+	case statusOverloaded:
+		return h, nil, fmt.Errorf("%w (%s)", ErrOverloaded, h.Msg)
+	case statusDraining:
+		return h, nil, fmt.Errorf("%w (%s)", ErrDraining, h.Msg)
+	case statusBudget:
+		return h, nil, fmt.Errorf("%w (%s)", ErrBudget, h.Msg)
+	default:
+		return h, nil, errors.New(h.Msg)
+	}
+}
+
+// call performs one request/response exchange under the client lock.
+func (c *Client) call(req *request) (*reader, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.sendRequest(req); err != nil {
+		return nil, err
+	}
+	_, d, err := c.readResp()
+	return d, err
+}
+
+// List returns the dataset references the server is currently willing
+// to serve.
+func (c *Client) List() ([]string, error) {
+	d, err := c.call(&request{Op: opList})
+	if err != nil {
+		return nil, err
+	}
+	return decodeNames(d)
+}
+
+// Stats fetches the server's metrics snapshot as JSON.
+func (c *Client) Stats() ([]byte, error) {
+	d, err := c.call(&request{Op: opStats})
+	if err != nil {
+		return nil, err
+	}
+	return decodeBlob(d, clientMaxFrame)
+}
+
+// Open resolves a dataset reference ("name", "name@N", "name@latest")
+// into a RemoteDataset mirroring the local Dataset query surface.
+func (c *Client) Open(ref string) (*RemoteDataset, error) {
+	d, err := c.call(&request{Op: opMeta, Dataset: ref})
+	if err != nil {
+		return nil, err
+	}
+	blob, err := decodeBlob(d, clientMaxFrame)
+	if err != nil {
+		return nil, err
+	}
+	// The blob is the exact EncodeMeta image the daemon read from disk:
+	// the remote and local views of the dataset cannot drift.
+	meta, err := format.DecodeMeta(bytes.NewReader(blob))
+	if err != nil {
+		return nil, err
+	}
+	return &RemoteDataset{c: c, ref: ref, meta: meta}, nil
+}
+
+// RemoteDataset is a dataset served by a remote spiod, implementing the
+// same query surface as the local rdr.Dataset.
+type RemoteDataset struct {
+	c    *Client
+	ref  string
+	meta *format.Meta
+	// ownsConn marks datasets opened via the package-level convenience
+	// dial: their Close also closes the client connection.
+	ownsConn bool
+}
+
+// OpenRemote dials addr and opens one dataset in a single step; Close
+// on the result closes the connection.
+func OpenRemote(addr, ref string) (*RemoteDataset, error) {
+	c, err := Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	ds, err := c.Open(ref)
+	if err != nil {
+		_ = c.Close() // open failed; the open error is the one to report
+		return nil, err
+	}
+	ds.ownsConn = true
+	return ds, nil
+}
+
+// Meta exposes the dataset's spatial metadata (decoded from the exact
+// on-disk bytes).
+func (r *RemoteDataset) Meta() *format.Meta { return r.meta }
+
+// Ref returns the dataset reference this handle resolves on the server.
+func (r *RemoteDataset) Ref() string { return r.ref }
+
+// Close releases the handle (and the connection, for OpenRemote
+// handles).
+func (r *RemoteDataset) Close() error {
+	if r.ownsConn {
+		return r.c.Close()
+	}
+	return nil
+}
+
+// LevelCount mirrors rdr.Dataset.LevelCount from the fetched
+// metadata.
+func (r *RemoteDataset) LevelCount(nReaders int) int {
+	if nReaders <= 0 {
+		nReaders = 1
+	}
+	base := int64(nReaders) * int64(r.meta.LOD.BasePerReader)
+	return lod.NumLevels(r.meta.Total, base, r.meta.LOD.Scale)
+}
+
+func (r *RemoteDataset) req(op uint8) *request {
+	return &request{Op: op, Dataset: r.ref}
+}
+
+func fillOpts(req *request, opts rdr.Options) {
+	req.Levels = opts.Levels
+	req.Readers = opts.Readers
+	req.NoFilter = opts.NoFilter
+	req.Fields = opts.Fields
+}
+
+// QueryBox reads the particles intersecting q, server-side.
+func (r *RemoteDataset) QueryBox(q geom.Box, opts rdr.Options) (*particle.Buffer, rdr.Stats, error) {
+	req := r.req(opQueryBox)
+	req.Box = q
+	fillOpts(req, opts)
+	d, err := r.c.call(req)
+	if err != nil {
+		return nil, rdr.Stats{}, err
+	}
+	resp, err := decodeQueryResp(d, clientMaxFrame)
+	if err != nil {
+		return nil, rdr.Stats{}, err
+	}
+	return resp.Buf, resp.Stats.Read, nil
+}
+
+// ReadAll reads the whole dataset (optionally only some LOD levels).
+func (r *RemoteDataset) ReadAll(opts rdr.Options) (*particle.Buffer, rdr.Stats, error) {
+	opts.NoFilter = true
+	return r.QueryBox(r.meta.Domain, opts)
+}
+
+// KNN returns the k particles nearest p and their distances.
+func (r *RemoteDataset) KNN(p geom.Vec3, k int) (*particle.Buffer, []float64, rdr.Stats, error) {
+	req := r.req(opKNN)
+	req.Point = p
+	req.K = k
+	d, err := r.c.call(req)
+	if err != nil {
+		return nil, nil, rdr.Stats{}, err
+	}
+	resp, err := decodeKNNResp(d, clientMaxFrame)
+	if err != nil {
+		return nil, nil, rdr.Stats{}, err
+	}
+	return resp.Buf, resp.Dists, resp.Stats.Read, nil
+}
+
+// Halo reads a patch's particles plus the ghost layer within halo of
+// it, separately.
+func (r *RemoteDataset) Halo(patch geom.Box, halo float64, opts rdr.Options) (own, ghost *particle.Buffer, st rdr.Stats, err error) {
+	req := r.req(opHalo)
+	req.Box = patch
+	req.Halo = halo
+	fillOpts(req, opts)
+	d, err := r.c.call(req)
+	if err != nil {
+		return nil, nil, rdr.Stats{}, err
+	}
+	resp, err := decodeHaloResp(d, clientMaxFrame)
+	if err != nil {
+		return nil, nil, rdr.Stats{}, err
+	}
+	return resp.Own, resp.Ghost, resp.Stats.Read, nil
+}
+
+// DensityGrid estimates per-cell particle counts over the domain from
+// the first levels LOD levels; the sampling fraction is also returned.
+func (r *RemoteDataset) DensityGrid(dims geom.Idx3, levels, readers int) ([]float64, float64, rdr.Stats, error) {
+	req := r.req(opDensityGrid)
+	req.Dims = dims
+	req.Levels = levels
+	req.Readers = readers
+	d, err := r.c.call(req)
+	if err != nil {
+		return nil, 0, rdr.Stats{}, err
+	}
+	resp, err := decodeDensityResp(d, clientMaxFrame)
+	if err != nil {
+		return nil, 0, rdr.Stats{}, err
+	}
+	return resp.Counts, resp.Fraction, resp.Stats.Read, nil
+}
+
+// RemoteStream is a progressive LOD stream served level-by-level; each
+// NextLevel call acks the previous level (backpressure) and receives
+// the next increment. Cancel (or Close) after any prefix to stop the
+// server from reading further levels.
+type RemoteStream struct {
+	c        *Client
+	done     bool
+	released bool
+	level    int
+	stats    rdr.Stats
+}
+
+// ProgressiveBox opens a progressive stream over the files intersecting
+// q. levels > 0 bounds the stream; readers is n in the LOD formula. The
+// client connection is dedicated to the stream until it finishes or is
+// cancelled.
+func (r *RemoteDataset) ProgressiveBox(q geom.Box, levels, readers int) (*RemoteStream, error) {
+	req := r.req(opProgressive)
+	req.Box = q
+	req.Levels = levels
+	req.Readers = readers
+	r.c.mu.Lock()
+	if err := r.c.sendRequest(req); err != nil {
+		r.c.mu.Unlock()
+		return nil, err
+	}
+	if _, _, err := r.c.readResp(); err != nil {
+		r.c.mu.Unlock()
+		return nil, err
+	}
+	// The lock stays held: the connection speaks this stream until done.
+	return &RemoteStream{c: r.c}, nil
+}
+
+// Level returns the number of levels already delivered.
+func (st *RemoteStream) Level() int { return st.level }
+
+// Done reports whether the stream has ended.
+func (st *RemoteStream) Done() bool { return st.done }
+
+// Stats returns the cumulative server-side read telemetry received so
+// far.
+func (st *RemoteStream) Stats() rdr.Stats { return st.stats }
+
+// NextLevel acks and receives the next level increment; ok is false
+// once the stream is exhausted.
+func (st *RemoteStream) NextLevel() (*particle.Buffer, bool, error) {
+	if st.done {
+		return nil, false, nil
+	}
+	f, err := st.exchange(ackNext)
+	if err != nil {
+		st.release()
+		return nil, false, err
+	}
+	st.level = f.Level + 1
+	st.stats = f.Stats.Read
+	if f.Done {
+		st.done = true
+		st.release()
+	}
+	return f.Buf, true, nil
+}
+
+// Cancel stops the stream after the levels already received; the server
+// abandons the remaining levels. Safe to call at any point; Close
+// implies it.
+func (st *RemoteStream) Cancel() error {
+	if st.done {
+		return nil
+	}
+	f, err := st.exchange(ackCancel)
+	st.done = true
+	st.release()
+	if err != nil {
+		return err
+	}
+	st.stats = f.Stats.Read
+	return nil
+}
+
+// Close ends the stream (cancelling it if still running).
+func (st *RemoteStream) Close() error { return st.Cancel() }
+
+// exchange sends one ack and reads one level frame.
+func (st *RemoteStream) exchange(ack uint8) (*streamFrame, error) {
+	var fb frameBuf
+	e := newWriter(&fb)
+	encodeAck(e, ack)
+	if e.err != nil {
+		return nil, e.err
+	}
+	if err := writeFrame(st.c.conn, fb.b); err != nil {
+		return nil, err
+	}
+	_, d, err := st.c.readResp()
+	if err != nil {
+		return nil, err
+	}
+	return decodeStreamFrame(d, clientMaxFrame)
+}
+
+// release returns the connection to request/response use.
+func (st *RemoteStream) release() {
+	if !st.released {
+		st.released = true
+		st.c.mu.Unlock()
+	}
+}

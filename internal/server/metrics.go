@@ -1,0 +1,150 @@
+package server
+
+import (
+	"encoding/json"
+	"sync/atomic"
+	"time"
+
+	rdr "spio/internal/reader"
+)
+
+// metrics is the server's live counter set, updated per request with
+// atomics (many worker goroutines, no lock).
+type metrics struct {
+	startNano int64
+
+	requests   atomic.Int64
+	errors     atomic.Int64
+	overloaded atomic.Int64
+	drained    atomic.Int64
+
+	bytesServed atomic.Int64
+
+	filesOpened    atomic.Int64
+	particlesRead  atomic.Int64
+	bytesRead      atomic.Int64
+	cacheHits      atomic.Int64
+	bytesFromCache atomic.Int64
+
+	queueWaitNs atomic.Int64
+	serviceNs   atomic.Int64
+
+	streams       atomic.Int64
+	streamLevels  atomic.Int64
+	streamCancels atomic.Int64
+
+	activeConns atomic.Int64
+}
+
+// note records one completed request's telemetry.
+func (m *metrics) note(st *wireStats) {
+	m.requests.Add(1)
+	m.filesOpened.Add(int64(st.Read.FilesOpened))
+	m.particlesRead.Add(st.Read.ParticlesRead)
+	m.bytesRead.Add(st.Read.BytesRead)
+	m.cacheHits.Add(st.Read.CacheHits)
+	m.bytesFromCache.Add(st.Read.BytesFromCache)
+	m.queueWaitNs.Add(st.QueueWait)
+	m.serviceNs.Add(st.Service)
+}
+
+// DatasetMetrics is one mounted dataset's slice of the metrics snapshot.
+type DatasetMetrics struct {
+	// Dir is the dataset directory being served.
+	Dir string `json:"dir"`
+	// Particles and Files describe the dataset's size.
+	Particles int64 `json:"particles"`
+	Files     int   `json:"files"`
+	// FileCache is the dataset's open-file cache counters, including
+	// the eviction and bytes-from-cache satellites.
+	FileCache rdr.CacheStats `json:"file_cache"`
+}
+
+// MetricsSnapshot is the JSON image served on /metrics, by `spiod
+// stats`, and published to expvar — the Darshan-style aggregate view of
+// what the daemon's I/O has been doing.
+type MetricsSnapshot struct {
+	UptimeSeconds float64 `json:"uptime_seconds"`
+
+	Requests   int64 `json:"requests"`
+	Errors     int64 `json:"errors"`
+	Overloaded int64 `json:"overloaded"`
+	Drained    int64 `json:"drained"`
+
+	BytesServed int64 `json:"bytes_served"`
+
+	FilesOpened    int64 `json:"files_opened"`
+	ParticlesRead  int64 `json:"particles_read"`
+	BytesRead      int64 `json:"bytes_read"`
+	CacheHits      int64 `json:"cache_hits"`
+	BytesFromCache int64 `json:"bytes_from_cache"`
+
+	QueueWaitNs int64 `json:"queue_wait_ns"`
+	ServiceNs   int64 `json:"service_ns"`
+
+	Streams       int64 `json:"streams"`
+	StreamLevels  int64 `json:"stream_levels"`
+	StreamCancels int64 `json:"stream_cancels"`
+
+	ActiveConns int64 `json:"active_conns"`
+
+	BlockCache BlockCacheStats           `json:"block_cache"`
+	Datasets   map[string]DatasetMetrics `json:"datasets"`
+}
+
+// Snapshot assembles the current metrics image: request counters, the
+// shared block cache, and every mounted dataset's file-cache counters.
+func (s *Server) Snapshot() MetricsSnapshot {
+	m := &s.metrics
+	snap := MetricsSnapshot{
+		UptimeSeconds:  time.Duration(time.Now().UnixNano() - m.startNano).Seconds(),
+		Requests:       m.requests.Load(),
+		Errors:         m.errors.Load(),
+		Overloaded:     m.overloaded.Load(),
+		Drained:        m.drained.Load(),
+		BytesServed:    m.bytesServed.Load(),
+		FilesOpened:    m.filesOpened.Load(),
+		ParticlesRead:  m.particlesRead.Load(),
+		BytesRead:      m.bytesRead.Load(),
+		CacheHits:      m.cacheHits.Load(),
+		BytesFromCache: m.bytesFromCache.Load(),
+		QueueWaitNs:    m.queueWaitNs.Load(),
+		ServiceNs:      m.serviceNs.Load(),
+		Streams:        m.streams.Load(),
+		StreamLevels:   m.streamLevels.Load(),
+		StreamCancels:  m.streamCancels.Load(),
+		ActiveConns:    m.activeConns.Load(),
+		BlockCache:     s.cache.Stats(),
+		Datasets:       map[string]DatasetMetrics{},
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for name, mt := range s.mounts {
+		mt.mu.Lock()
+		for ref, ds := range mt.open {
+			key := name
+			if mt.series {
+				key = name + "@" + ref
+			}
+			snap.Datasets[key] = DatasetMetrics{
+				Dir:       ds.Dir(),
+				Particles: ds.Meta().Total,
+				Files:     len(ds.Meta().Files),
+				FileCache: ds.CacheStats(),
+			}
+		}
+		mt.mu.Unlock()
+	}
+	return snap
+}
+
+// snapshotJSON is the /metrics and opStats body.
+func (s *Server) snapshotJSON() []byte {
+	b, err := json.MarshalIndent(s.Snapshot(), "", "  ")
+	if err != nil {
+		// The snapshot is plain counters; marshaling cannot fail. Keep the
+		// wire alive anyway.
+		return []byte("{}")
+	}
+	return append(b, '\n')
+}

@@ -1,0 +1,682 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"spio/internal/format"
+	"spio/internal/particle"
+	"spio/internal/query"
+	rdr "spio/internal/reader"
+)
+
+// Fsck policies for Mount (Config.Fsck).
+const (
+	// FsckRefuse (the default) fails Mount/resolution for datasets with
+	// integrity problems — leftover .spio-tmp files, torn data files,
+	// metadata mismatches.
+	FsckRefuse = "refuse"
+	// FsckWarn logs the problems and serves the dataset anyway.
+	FsckWarn = "warn"
+	// FsckOff skips the mount-time check entirely.
+	FsckOff = "off"
+)
+
+// Config tunes a Server. The zero value serves with sane defaults.
+type Config struct {
+	// Workers bounds concurrently executing requests (default 2×CPU via
+	// nothing fancy: 8).
+	Workers int
+	// QueueDepth bounds requests waiting for a worker; one more fails
+	// fast with ErrOverloaded (default 4×Workers).
+	QueueDepth int
+	// MaxRespBytes is the per-request response byte budget: a query
+	// whose particle payload exceeds it fails with a budget status
+	// instead of materializing (default 1 GiB). Progressive streams end
+	// early (Done) at the budget — a coarse prefix is a valid result.
+	MaxRespBytes int64
+	// MaxReqBytes bounds one request frame (default 1 MiB).
+	MaxReqBytes int64
+	// CacheBytes bounds the shared block cache (default 256 MiB).
+	CacheBytes int64
+	// BlockBytes is the block cache granularity (default DefaultBlockSize).
+	BlockBytes int
+	// FileCacheSlots is each mounted dataset's open-file cache capacity
+	// (default 64).
+	FileCacheSlots int
+	// Fsck selects the mount-time integrity policy: FsckRefuse (default),
+	// FsckWarn, or FsckOff.
+	Fsck string
+	// Logf, when non-nil, receives server log lines (log.Printf shaped).
+	Logf func(format string, args ...any)
+}
+
+func (c *Config) workers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return 8
+}
+
+func (c *Config) queueDepth() int {
+	if c.QueueDepth > 0 {
+		return c.QueueDepth
+	}
+	return 4 * c.workers()
+}
+
+func (c *Config) maxRespBytes() int64 {
+	if c.MaxRespBytes > 0 {
+		return c.MaxRespBytes
+	}
+	return 1 << 30
+}
+
+func (c *Config) maxReqBytes() uint32 {
+	if c.MaxReqBytes > 0 {
+		return uint32(c.MaxReqBytes)
+	}
+	return 1 << 20
+}
+
+func (c *Config) cacheBytes() int64 {
+	if c.CacheBytes > 0 {
+		return c.CacheBytes
+	}
+	return 256 << 20
+}
+
+func (c *Config) fileCacheSlots() int {
+	if c.FileCacheSlots > 0 {
+		return c.FileCacheSlots
+	}
+	return 64
+}
+
+// mount is one served name: either a plain dataset directory or a
+// time-series base (StepDir convention), resolved per request.
+type mount struct {
+	name   string
+	dir    string
+	series bool
+
+	mu sync.Mutex
+	// open caches opened datasets: key "" for a plain mount, the decimal
+	// step for a series mount.
+	open map[string]*rdr.Dataset
+}
+
+// Server is the resident serving state: mounted datasets over a shared
+// block cache, behind an admission controller.
+type Server struct {
+	cfg   Config
+	cache *BlockCache
+	adm   *admission
+
+	mu        sync.Mutex
+	mounts    map[string]*mount
+	listeners []net.Listener
+	conns     map[net.Conn]struct{}
+
+	stop     chan struct{}
+	draining atomic.Bool
+	reqWG    sync.WaitGroup // in-flight requests and streams
+	connWG   sync.WaitGroup // connection handlers
+	acceptWG sync.WaitGroup // accept loops
+
+	metrics metrics
+
+	// requestDelay artificially lengthens request service (tests: holds
+	// workers busy to provoke queueing and overload).
+	requestDelay time.Duration
+}
+
+// New builds a Server; Mount datasets, then Serve listeners.
+func New(cfg Config) *Server {
+	return &Server{
+		cfg:    cfg,
+		cache:  NewBlockCache(cfg.cacheBytes(), cfg.BlockBytes),
+		adm:    newAdmission(cfg.workers(), cfg.queueDepth()),
+		mounts: map[string]*mount{},
+		conns:  map[net.Conn]struct{}{},
+		stop:   make(chan struct{}),
+		metrics: metrics{
+			startNano: time.Now().UnixNano(),
+		},
+	}
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// Mount serves dir under name. A directory holding meta.spmd mounts as
+// a plain dataset; a directory holding t000000-style step directories
+// mounts as a series whose steps resolve as "name@N" ("name" and
+// "name@latest" follow the newest readable step). The mount-time fsck
+// policy (Config.Fsck) applies to the dataset — for a series, to its
+// newest step now and to every step when first served.
+func (s *Server) Mount(name, dir string) error {
+	if name == "" || strings.ContainsAny(name, "@ \t\n") {
+		return fmt.Errorf("spiod: invalid mount name %q", name)
+	}
+	m := &mount{name: name, dir: dir, open: map[string]*rdr.Dataset{}}
+	if _, err := os.Stat(filepath.Join(dir, format.MetaFileName)); err == nil {
+		if _, err := s.openLocked(m, ""); err != nil {
+			return err
+		}
+	} else {
+		steps, err := rdr.Steps(dir)
+		if err != nil {
+			return fmt.Errorf("spiod: mount %s: %w", name, err)
+		}
+		if len(steps) == 0 {
+			return fmt.Errorf("spiod: mount %s: %s is neither a dataset nor a step series", name, dir)
+		}
+		m.series = true
+		// Sanity-check the newest step now so a broken series fails at
+		// mount, not at first query.
+		if _, err := s.openLocked(m, strconv.Itoa(steps[len(steps)-1])); err != nil {
+			return err
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.mounts[name]; dup {
+		return fmt.Errorf("spiod: mount %s: name already in use", name)
+	}
+	s.mounts[name] = m
+	s.logf("spiod: mounted %s -> %s (series=%v)", name, dir, m.series)
+	return nil
+}
+
+// openLocked opens (or returns the cached) dataset for one mount key,
+// applying the fsck policy and wiring the caches. Callers need not hold
+// s.mu; m.mu serializes per-mount opens.
+func (s *Server) openLocked(m *mount, key string) (*rdr.Dataset, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if ds, ok := m.open[key]; ok {
+		return ds, nil
+	}
+	dir := m.dir
+	if m.series {
+		step, err := strconv.Atoi(key)
+		if err != nil {
+			return nil, fmt.Errorf("spiod: %s@%s: bad step reference", m.name, key)
+		}
+		dir = rdr.StepDir(m.dir, step)
+	}
+	ds, err := rdr.Open(dir)
+	if err != nil {
+		return nil, fmt.Errorf("spiod: %s: %w", m.name, err)
+	}
+	if err := s.checkDataset(m.name, ds); err != nil {
+		_ = ds.Close() // refusing to serve; the fsck error is the one to report
+		return nil, err
+	}
+	if err := ds.SetFileCache(s.cfg.fileCacheSlots()); err != nil {
+		_ = ds.Close() // unwinding a failed mount
+		return nil, err
+	}
+	// Layer the shared block cache under the file cache: every data-file
+	// handle the dataset opens reroutes payload reads through it.
+	ds.SetOpenHook(func(df *format.DataFile) {
+		df.SetReaderAt(s.cache.ReaderFor(df.Path(), df.ReaderAt()))
+	})
+	m.open[key] = ds
+	return ds, nil
+}
+
+// checkDataset applies the mount-time fsck policy.
+func (s *Server) checkDataset(name string, ds *rdr.Dataset) error {
+	mode := s.cfg.Fsck
+	if mode == "" {
+		mode = FsckRefuse
+	}
+	if mode == FsckOff {
+		return nil
+	}
+	problems := ds.Fsck(rdr.FsckOptions{})
+	if len(problems) == 0 {
+		return nil
+	}
+	for _, p := range problems {
+		s.logf("spiod: fsck %s (%s): %s", name, ds.Dir(), p.String())
+	}
+	if mode == FsckWarn {
+		return nil
+	}
+	return fmt.Errorf("spiod: refusing to serve %s: %d fsck problem(s), first: %s (use -fsck=warn to serve anyway)",
+		name, len(problems), problems[0].String())
+}
+
+// resolve maps a dataset reference — "name", "name@N", "name@latest" —
+// to an open dataset.
+func (s *Server) resolve(ref string) (*rdr.Dataset, error) {
+	name, sel := ref, ""
+	if i := strings.IndexByte(ref, '@'); i >= 0 {
+		name, sel = ref[:i], ref[i+1:]
+	}
+	s.mu.Lock()
+	m, ok := s.mounts[name]
+	s.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("spiod: no dataset mounted as %q", name)
+	}
+	if !m.series {
+		if sel != "" {
+			return nil, fmt.Errorf("spiod: %s is not a series (reference %q)", name, ref)
+		}
+		return s.openLocked(m, "")
+	}
+	switch sel {
+	case "", "latest":
+		step, ok, err := rdr.LatestStep(m.dir)
+		if err != nil {
+			return nil, fmt.Errorf("spiod: %s: %w", name, err)
+		}
+		if !ok {
+			return nil, fmt.Errorf("spiod: %s: no readable steps", name)
+		}
+		return s.openLocked(m, strconv.Itoa(step))
+	default:
+		step, err := strconv.Atoi(sel)
+		if err != nil || step < 0 {
+			return nil, fmt.Errorf("spiod: %s: bad step reference %q", name, sel)
+		}
+		return s.openLocked(m, strconv.Itoa(step))
+	}
+}
+
+// list returns the currently servable dataset references.
+func (s *Server) list() []string {
+	s.mu.Lock()
+	mounts := make([]*mount, 0, len(s.mounts))
+	for _, m := range s.mounts {
+		mounts = append(mounts, m)
+	}
+	s.mu.Unlock()
+	var refs []string
+	for _, m := range mounts {
+		if !m.series {
+			refs = append(refs, m.name)
+			continue
+		}
+		steps, err := rdr.Steps(m.dir)
+		if err != nil {
+			continue
+		}
+		for _, st := range steps {
+			refs = append(refs, fmt.Sprintf("%s@%d", m.name, st))
+		}
+	}
+	sort.Strings(refs)
+	return refs
+}
+
+// Serve accepts connections on l until Shutdown. It returns nil on
+// drain-triggered listener close.
+func (s *Server) Serve(l net.Listener) error {
+	s.mu.Lock()
+	if s.draining.Load() {
+		s.mu.Unlock()
+		return errDraining
+	}
+	s.listeners = append(s.listeners, l)
+	s.mu.Unlock()
+	s.acceptWG.Add(1)
+	defer s.acceptWG.Done()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			if s.draining.Load() {
+				return nil
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.draining.Load() {
+			s.mu.Unlock()
+			_ = conn.Close() // drain raced the accept: turn the client away
+			return nil
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.connWG.Add(1)
+		go func() {
+			defer s.connWG.Done()
+			s.handleConn(conn)
+		}()
+	}
+}
+
+// Shutdown drains the server: stop accepting, fail queued admissions,
+// let in-flight requests and streams finish, then close connections.
+// The context bounds the wait.
+func (s *Server) Shutdown(ctx context.Context) error {
+	if !s.draining.CompareAndSwap(false, true) {
+		return nil
+	}
+	close(s.stop)
+	s.mu.Lock()
+	for _, l := range s.listeners {
+		_ = l.Close() // unblocks Accept; drain is the reported outcome
+	}
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.reqWG.Wait() // every admitted request/stream completes
+		s.mu.Lock()
+		for c := range s.conns {
+			_ = c.Close() // idle connections blocked in read
+		}
+		s.mu.Unlock()
+		s.connWG.Wait()
+		s.acceptWG.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// handleConn speaks the protocol on one connection: hello, then a
+// request loop.
+func (s *Server) handleConn(conn net.Conn) {
+	s.metrics.activeConns.Add(1)
+	defer s.metrics.activeConns.Add(-1)
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		_ = conn.Close() // second close after drain is harmless
+	}()
+
+	body, err := readFrame(conn, 64)
+	if err != nil {
+		return
+	}
+	h, err := decodeHello(newReader(bytes.NewReader(body)))
+	if err != nil {
+		_ = s.sendStatus(conn, statusError, err.Error())
+		return
+	}
+	if h.Version != protoVersion {
+		_ = s.sendStatus(conn, statusError,
+			fmt.Sprintf("spiod: protocol version %d not supported (want %d)", h.Version, protoVersion))
+		return
+	}
+	if err := s.sendStatus(conn, statusOK, ""); err != nil {
+		return
+	}
+
+	for {
+		body, err := readFrame(conn, s.cfg.maxReqBytes())
+		if err != nil {
+			return // client closed (or drain closed us)
+		}
+		req, err := decodeRequest(newReader(bytes.NewReader(body)))
+		if err != nil {
+			_ = s.sendStatus(conn, statusError, err.Error())
+			return
+		}
+		if err := s.handleRequest(conn, req); err != nil {
+			return
+		}
+	}
+}
+
+// sendStatus writes a header-only response frame.
+func (s *Server) sendStatus(conn net.Conn, status uint8, msg string) error {
+	return s.send(conn, status, msg, nil)
+}
+
+// send writes one response frame: header, then the payload encoded by
+// body (which must leave the writer clean on success).
+func (s *Server) send(conn net.Conn, status uint8, msg string, body func(e *writer)) error {
+	var fb frameBuf
+	e := newWriter(&fb)
+	encodeRespHeader(e, &respHeader{Status: status, Msg: msg})
+	if body != nil {
+		body(e)
+	}
+	if e.err != nil {
+		return e.err
+	}
+	s.metrics.bytesServed.Add(int64(len(fb.b)) + 4)
+	return writeFrame(conn, fb.b)
+}
+
+// handleRequest admits and executes one request. A non-nil return tears
+// the connection down (wire-level failure); request-level errors travel
+// back as status frames.
+func (s *Server) handleRequest(conn net.Conn, req *request) error {
+	s.reqWG.Add(1)
+	defer s.reqWG.Done()
+	// Recheck after Add: Shutdown flips draining before waiting, so a
+	// request that saw draining==false here is inside the wait.
+	if s.draining.Load() {
+		s.metrics.drained.Add(1)
+		return s.sendStatus(conn, statusDraining, errDraining.Error())
+	}
+	wait, err := s.adm.acquire(s.stop)
+	switch {
+	case errors.Is(err, ErrOverloaded):
+		s.metrics.overloaded.Add(1)
+		return s.sendStatus(conn, statusOverloaded, err.Error())
+	case errors.Is(err, errDraining):
+		s.metrics.drained.Add(1)
+		return s.sendStatus(conn, statusDraining, err.Error())
+	case err != nil:
+		return s.sendStatus(conn, statusError, err.Error())
+	}
+	defer s.adm.release()
+	if s.requestDelay > 0 {
+		time.Sleep(s.requestDelay)
+	}
+	start := time.Now()
+	werr := s.execute(conn, req, wait, start)
+	if werr != nil {
+		s.metrics.errors.Add(1)
+	}
+	return werr
+}
+
+// execute dispatches an admitted request.
+func (s *Server) execute(conn net.Conn, req *request, wait time.Duration, start time.Time) error {
+	// Ops that need no dataset first.
+	switch req.Op {
+	case opStats:
+		blob := s.snapshotJSON()
+		s.metrics.requests.Add(1)
+		return s.send(conn, statusOK, "", func(e *writer) { encodeBlob(e, blob) })
+	case opList:
+		names := s.list()
+		s.metrics.requests.Add(1)
+		return s.send(conn, statusOK, "", func(e *writer) { encodeNames(e, names) })
+	}
+
+	ds, err := s.resolve(req.Dataset)
+	if err != nil {
+		s.metrics.errors.Add(1)
+		return s.sendStatus(conn, statusError, err.Error())
+	}
+	opts := rdr.Options{
+		Levels:   req.Levels,
+		Readers:  req.Readers,
+		NoFilter: req.NoFilter,
+		Fields:   req.Fields,
+	}
+
+	finish := func(st rdr.Stats) wireStats {
+		ws := wireStats{Read: st, QueueWait: int64(wait), Service: int64(time.Since(start))}
+		s.metrics.note(&ws)
+		return ws
+	}
+
+	switch req.Op {
+	case opMeta:
+		var mb bytes.Buffer
+		if err := format.EncodeMeta(&mb, ds.Meta()); err != nil {
+			s.metrics.errors.Add(1)
+			return s.sendStatus(conn, statusError, err.Error())
+		}
+		s.metrics.requests.Add(1)
+		return s.send(conn, statusOK, "", func(e *writer) { encodeBlob(e, mb.Bytes()) })
+
+	case opQueryBox:
+		buf, st, err := ds.QueryBox(req.Box, opts)
+		if err != nil {
+			s.metrics.errors.Add(1)
+			return s.sendStatus(conn, statusError, err.Error())
+		}
+		if buf.Bytes() > s.cfg.maxRespBytes() {
+			s.metrics.errors.Add(1)
+			return s.sendStatus(conn, statusBudget, budgetMsg(buf.Bytes(), s.cfg.maxRespBytes()))
+		}
+		resp := &queryResp{Stats: finish(st), Buf: buf}
+		return s.send(conn, statusOK, "", func(e *writer) { encodeQueryResp(e, resp) })
+
+	case opKNN:
+		buf, dists, st, err := query.KNN(ds, req.Point, req.K)
+		if err != nil {
+			s.metrics.errors.Add(1)
+			return s.sendStatus(conn, statusError, err.Error())
+		}
+		resp := &knnResp{Stats: finish(st), Buf: buf, Dists: dists}
+		return s.send(conn, statusOK, "", func(e *writer) { encodeKNNResp(e, resp) })
+
+	case opHalo:
+		own, ghost, st, err := query.Halo(ds, req.Box, req.Halo, opts)
+		if err != nil {
+			s.metrics.errors.Add(1)
+			return s.sendStatus(conn, statusError, err.Error())
+		}
+		if own.Bytes()+ghost.Bytes() > s.cfg.maxRespBytes() {
+			s.metrics.errors.Add(1)
+			return s.sendStatus(conn, statusBudget, budgetMsg(own.Bytes()+ghost.Bytes(), s.cfg.maxRespBytes()))
+		}
+		resp := &haloResp{Stats: finish(st), Own: own, Ghost: ghost}
+		return s.send(conn, statusOK, "", func(e *writer) { encodeHaloResp(e, resp) })
+
+	case opDensityGrid:
+		counts, frac, st, err := query.DensityGrid(ds, req.Dims, req.Levels, req.Readers)
+		if err != nil {
+			s.metrics.errors.Add(1)
+			return s.sendStatus(conn, statusError, err.Error())
+		}
+		resp := &densityResp{Stats: finish(st), Counts: counts, Fraction: frac}
+		return s.send(conn, statusOK, "", func(e *writer) { encodeDensityResp(e, resp) })
+
+	case opProgressive:
+		return s.executeStream(conn, req, ds, wait, start)
+
+	default:
+		s.metrics.errors.Add(1)
+		return s.sendStatus(conn, statusError, fmt.Sprintf("spiod: unknown op %d", req.Op))
+	}
+}
+
+func budgetMsg(got, budget int64) string {
+	return fmt.Sprintf("spiod: response of %d bytes exceeds the per-request budget of %d", got, budget)
+}
+
+// executeStream serves a progressive LOD stream: one level increment
+// per client ack, so the client's consumption rate is the server's send
+// rate (backpressure), and an ackCancel stops after any prefix. The
+// worker slot is held for the stream's whole duration.
+func (s *Server) executeStream(conn net.Conn, req *request, ds *rdr.Dataset, wait time.Duration, start time.Time) error {
+	var entries []*format.FileEntry
+	if req.NoFilter {
+		m := ds.Meta()
+		for i := range m.Files {
+			entries = append(entries, &m.Files[i])
+		}
+	} else {
+		entries = ds.Meta().FilesIntersecting(req.Box)
+	}
+	if len(entries) == 0 {
+		s.metrics.errors.Add(1)
+		return s.sendStatus(conn, statusError, "spiod: no files intersect the requested box")
+	}
+	p, err := ds.Progressive(entries, req.Readers)
+	if err != nil {
+		s.metrics.errors.Add(1)
+		return s.sendStatus(conn, statusError, err.Error())
+	}
+	defer func() {
+		_ = p.Close() // stream already answered; close is best-effort
+	}()
+	if err := s.sendStatus(conn, statusOK, ""); err != nil {
+		return err
+	}
+	s.metrics.streams.Add(1)
+
+	var cum wireStats
+	cum.Read.FilesOpened = len(entries)
+	var sent int64
+	budget := s.cfg.maxRespBytes()
+	for {
+		ab, err := readFrame(conn, 16)
+		if err != nil {
+			return err
+		}
+		ack, err := decodeAck(newReader(bytes.NewReader(ab)))
+		if err != nil {
+			return s.sendStatus(conn, statusError, err.Error())
+		}
+		if ack == ackCancel {
+			s.metrics.streamCancels.Add(1)
+			s.metrics.note(&cum)
+			f := &streamFrame{Level: p.Level(), Done: true, Stats: cum,
+				Buf: particle.NewBuffer(ds.Meta().Schema, 0)}
+			return s.send(conn, statusOK, "", func(e *writer) { encodeStreamFrame(e, f) })
+		}
+		buf, ok, err := p.NextLevel()
+		if err != nil {
+			return s.sendStatus(conn, statusError, err.Error())
+		}
+		if !ok {
+			// Client acked past the end; close the stream cleanly.
+			f := &streamFrame{Level: p.Level(), Done: true, Stats: cum,
+				Buf: particle.NewBuffer(ds.Meta().Schema, 0)}
+			return s.send(conn, statusOK, "", func(e *writer) { encodeStreamFrame(e, f) })
+		}
+		sent += buf.Bytes()
+		cum.Read.ParticlesRead += int64(buf.Len())
+		cum.Read.ParticlesKept += int64(buf.Len())
+		cum.Read.BytesRead += buf.Bytes()
+		cum.QueueWait = int64(wait)
+		cum.Service = int64(time.Since(start))
+		done := p.Done() ||
+			(req.Levels > 0 && p.Level() >= req.Levels) ||
+			sent >= budget // LOD semantics: any prefix is a valid subset
+		f := &streamFrame{Level: p.Level() - 1, Done: done, Stats: cum, Buf: buf}
+		if err := s.send(conn, statusOK, "", func(e *writer) { encodeStreamFrame(e, f) }); err != nil {
+			return err
+		}
+		s.metrics.streamLevels.Add(1)
+		if done {
+			s.metrics.note(&cum)
+			return nil
+		}
+	}
+}

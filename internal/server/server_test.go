@@ -1,0 +1,630 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"spio/internal/agg"
+	"spio/internal/core"
+	"spio/internal/fault"
+	"spio/internal/geom"
+	"spio/internal/mpi"
+	"spio/internal/particle"
+	"spio/internal/query"
+	rdr "spio/internal/reader"
+)
+
+// TestRemoteMatchesLocalConcurrent is the tentpole acceptance test: 8
+// concurrent clients against a daemon whose block cache is smaller than
+// the working set must all receive byte-identical answers to the same
+// queries via the local Dataset.
+func TestRemoteMatchesLocalConcurrent(t *testing.T) {
+	dir := t.TempDir()
+	writeDataset(t, dir, geom.I3(4, 4, 1), geom.I3(2, 2, 1), 200) // ~397 KB working set
+
+	s := New(Config{
+		Workers:    4,
+		CacheBytes: 32 << 10, // far smaller than the working set: eviction under load
+		BlockBytes: 4 << 10,
+	})
+	if err := s.Mount("sim", dir); err != nil {
+		t.Fatal(err)
+	}
+	addr := startServer(t, s)
+
+	local, err := rdr.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	domain := local.Meta().Domain
+
+	type check struct {
+		name string
+		q    geom.Box
+	}
+	boxes := []check{
+		{"octant", geom.NewBox(geom.V3(0, 0, 0), geom.V3(0.5, 0.5, 1))},
+		{"center", geom.NewBox(geom.V3(0.3, 0.3, 0), geom.V3(0.7, 0.7, 1))},
+		{"all", domain},
+	}
+
+	const clients = 8
+	var wg sync.WaitGroup
+	errc := make(chan error, clients)
+	for g := 0; g < clients; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			ds, err := OpenRemote(addr, "sim")
+			if err != nil {
+				errc <- err
+				return
+			}
+			defer ds.Close()
+			for round := 0; round < 3; round++ {
+				c := boxes[(g+round)%len(boxes)]
+				wantBuf, _, err := local.QueryBox(c.q, rdr.Options{})
+				if err != nil {
+					errc <- err
+					return
+				}
+				gotBuf, st, err := ds.QueryBox(c.q, rdr.Options{})
+				if err != nil {
+					errc <- err
+					return
+				}
+				if !bytes.Equal(gotBuf.Encode(), wantBuf.Encode()) {
+					errc <- errors.New(c.name + ": remote result not byte-identical to local")
+					return
+				}
+				if st.FilesOpened == 0 && st.CacheHits == 0 {
+					errc <- errors.New(c.name + ": remote stats empty")
+					return
+				}
+
+				p := geom.V3(0.2+0.1*float64(g%4), 0.6, 0.5)
+				wantNN, wantD, _, err := query.KNN(local, p, 8)
+				if err != nil {
+					errc <- err
+					return
+				}
+				gotNN, gotD, _, err := ds.KNN(p, 8)
+				if err != nil {
+					errc <- err
+					return
+				}
+				if !bytes.Equal(gotNN.Encode(), wantNN.Encode()) {
+					errc <- errors.New("KNN: remote neighbours not byte-identical")
+					return
+				}
+				for i := range wantD {
+					if gotD[i] != wantD[i] {
+						errc <- errors.New("KNN: distances differ")
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+
+	// The block cache saw real pressure. With the working set an order
+	// of magnitude over capacity, eight concurrent full sweeps thrash, so
+	// hits are not guaranteed here — misses, evictions, and the capacity
+	// bound are.
+	cs := s.cache.Stats()
+	if cs.Misses == 0 {
+		t.Errorf("block cache uninvolved: %+v", cs)
+	}
+	if cs.Evictions == 0 {
+		t.Errorf("no evictions with a 32 KiB cache over a ~400 KB working set: %+v", cs)
+	}
+	if cs.Used > 32<<10 {
+		t.Errorf("block cache exceeded capacity: %+v", cs)
+	}
+
+	// Back-to-back reads of a region that fits in the cache do hit.
+	ds, err := OpenRemote(addr, "sim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ds.Close()
+	// A coarse (level-1) read touches only each file's LOD prefix — a
+	// footprint that fits the cache, unlike a full sweep.
+	tiny := geom.NewBox(geom.V3(0, 0, 0), geom.V3(0.2, 0.2, 1))
+	before := s.cache.Stats().Hits
+	for i := 0; i < 2; i++ {
+		if _, _, err := ds.QueryBox(tiny, rdr.Options{Levels: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if after := s.cache.Stats().Hits; after <= before {
+		t.Errorf("repeat query produced no block-cache hits (%d -> %d)", before, after)
+	}
+}
+
+func TestRemoteHaloAndDensityMatchLocal(t *testing.T) {
+	dir := t.TempDir()
+	writeDataset(t, dir, geom.I3(2, 2, 1), geom.I3(1, 1, 1), 150)
+	s := New(Config{})
+	if err := s.Mount("sim", dir); err != nil {
+		t.Fatal(err)
+	}
+	addr := startServer(t, s)
+	local, err := rdr.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := OpenRemote(addr, "sim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ds.Close()
+
+	patch := geom.NewBox(geom.V3(0.25, 0.25, 0), geom.V3(0.75, 0.75, 1))
+	wantOwn, wantGhost, _, err := query.Halo(local, patch, 0.1, rdr.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotOwn, gotGhost, _, err := ds.Halo(patch, 0.1, rdr.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gotOwn.Encode(), wantOwn.Encode()) || !bytes.Equal(gotGhost.Encode(), wantGhost.Encode()) {
+		t.Fatal("halo results differ from local")
+	}
+
+	wantCounts, wantFrac, _, err := query.DensityGrid(local, geom.I3(4, 4, 1), 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotCounts, gotFrac, _, err := ds.DensityGrid(geom.I3(4, 4, 1), 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotFrac != wantFrac || len(gotCounts) != len(wantCounts) {
+		t.Fatalf("density shape: frac %v vs %v", gotFrac, wantFrac)
+	}
+	for i := range wantCounts {
+		if gotCounts[i] != wantCounts[i] {
+			t.Fatal("density counts differ from local")
+		}
+	}
+
+	// The served metadata is the exact on-disk image.
+	if ds.Meta().Total != local.Meta().Total || len(ds.Meta().Files) != len(local.Meta().Files) {
+		t.Fatal("remote meta differs from local")
+	}
+	if ds.LevelCount(4) != local.LevelCount(4) {
+		t.Fatal("remote LevelCount differs from local")
+	}
+}
+
+// TestProgressiveStreamMatchesLocal streams level-by-level and checks
+// each increment and the reassembled whole against the local
+// progressive reader, then exercises cancel-after-coarse-prefix.
+func TestProgressiveStreamMatchesLocal(t *testing.T) {
+	dir := t.TempDir()
+	writeDataset(t, dir, geom.I3(2, 2, 1), geom.I3(1, 1, 1), 300)
+	s := New(Config{})
+	if err := s.Mount("sim", dir); err != nil {
+		t.Fatal(err)
+	}
+	addr := startServer(t, s)
+	local, err := rdr.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := OpenRemote(addr, "sim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ds.Close()
+
+	q := local.Meta().Domain
+	entries := local.Meta().FilesIntersecting(q)
+	lp, err := local.Progressive(entries, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lp.Close()
+	st, err := ds.ProgressiveBox(q, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	levels := 0
+	for {
+		wantBuf, wantOK, err := lp.NextLevel()
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotBuf, gotOK, err := st.NextLevel()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !wantOK {
+			if gotOK && gotBuf.Len() > 0 {
+				t.Fatal("remote stream longer than local")
+			}
+			break
+		}
+		if !gotOK {
+			t.Fatalf("remote stream ended at level %d, local continues", levels)
+		}
+		if !bytes.Equal(gotBuf.Encode(), wantBuf.Encode()) {
+			t.Fatalf("level %d increment not byte-identical", levels)
+		}
+		levels++
+		if st.Done() && lp.Done() {
+			break
+		}
+	}
+	if levels < 2 {
+		t.Fatalf("stream delivered only %d levels", levels)
+	}
+	if st.Stats().ParticlesRead == 0 {
+		t.Error("stream reported no read telemetry")
+	}
+
+	// Cancel after the coarse prefix: the server abandons the remaining
+	// levels and the connection stays usable.
+	st2, err := ds.ProgressiveBox(q, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coarse, ok, err := st2.NextLevel()
+	if err != nil || !ok || coarse.Len() == 0 {
+		t.Fatalf("coarse prefix: %v ok=%v", err, ok)
+	}
+	if err := st2.Cancel(); err != nil {
+		t.Fatal(err)
+	}
+	if s.metrics.streamCancels.Load() != 1 {
+		t.Errorf("cancel not recorded: %d", s.metrics.streamCancels.Load())
+	}
+	// The connection serves plain requests again after the cancel.
+	if _, _, err := ds.QueryBox(q, rdr.Options{Levels: 1}); err != nil {
+		t.Fatalf("query after cancel: %v", err)
+	}
+}
+
+// TestOverloadFastFail drives more concurrency than workers+queue can
+// hold and expects immediate ErrOverloaded rejections instead of
+// unbounded queueing.
+func TestOverloadFastFail(t *testing.T) {
+	dir := t.TempDir()
+	writeDataset(t, dir, geom.I3(2, 1, 1), geom.I3(1, 1, 1), 50)
+	s := New(Config{Workers: 1, QueueDepth: 1})
+	s.requestDelay = 150 * time.Millisecond // hold the single worker busy
+	if err := s.Mount("sim", dir); err != nil {
+		t.Fatal(err)
+	}
+	addr := startServer(t, s)
+
+	const clients = 8
+	var ok, overloaded, other atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < clients; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ds, err := OpenRemote(addr, "sim") // opMeta occupies the worker briefly too
+			if err != nil {
+				if errors.Is(err, ErrOverloaded) {
+					overloaded.Add(1)
+				} else {
+					other.Add(1)
+				}
+				return
+			}
+			defer ds.Close()
+			_, _, err = ds.QueryBox(ds.Meta().Domain, rdr.Options{})
+			switch {
+			case err == nil:
+				ok.Add(1)
+			case errors.Is(err, ErrOverloaded):
+				overloaded.Add(1)
+			default:
+				other.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if other.Load() != 0 {
+		t.Fatalf("unexpected errors: ok=%d overloaded=%d other=%d", ok.Load(), overloaded.Load(), other.Load())
+	}
+	if ok.Load() == 0 || overloaded.Load() == 0 {
+		t.Fatalf("want both successes and fast-fails: ok=%d overloaded=%d", ok.Load(), overloaded.Load())
+	}
+	if s.metrics.overloaded.Load() != overloaded.Load() {
+		t.Errorf("metrics disagree: %d vs %d", s.metrics.overloaded.Load(), overloaded.Load())
+	}
+}
+
+// TestGracefulDrainCompletesStream starts a progressive stream, begins
+// a drain mid-stream, and verifies (a) the stream runs to completion,
+// (b) new requests are refused with ErrDraining, (c) Shutdown returns
+// only after the stream finished.
+func TestGracefulDrainCompletesStream(t *testing.T) {
+	dir := t.TempDir()
+	writeDataset(t, dir, geom.I3(2, 2, 1), geom.I3(1, 1, 1), 300)
+	s := New(Config{Workers: 2})
+	if err := s.Mount("sim", dir); err != nil {
+		t.Fatal(err)
+	}
+	addr := startServer(t, s)
+
+	ds, err := OpenRemote(addr, "sim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ds.Close()
+	bystander, err := OpenRemote(addr, "sim") // dialed before the drain begins
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bystander.Close()
+
+	st, err := ds.ProgressiveBox(ds.Meta().Domain, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, ok, err := st.NextLevel()
+	if err != nil || !ok {
+		t.Fatalf("first level: %v ok=%v", err, ok)
+	}
+	total := first.Len()
+
+	drained := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		drained <- s.Shutdown(ctx)
+	}()
+	// Wait until the drain is visible.
+	for !s.draining.Load() {
+		time.Sleep(time.Millisecond)
+	}
+
+	// New work is refused while the stream is still open.
+	if _, _, err := bystander.QueryBox(bystander.Meta().Domain, rdr.Options{}); !errors.Is(err, ErrDraining) {
+		t.Fatalf("request during drain: %v, want ErrDraining", err)
+	}
+	select {
+	case err := <-drained:
+		t.Fatalf("Shutdown returned with the stream still open: %v", err)
+	default:
+	}
+
+	// The in-flight stream completes through the drain.
+	for !st.Done() {
+		buf, ok, err := st.NextLevel()
+		if err != nil {
+			t.Fatalf("stream during drain: %v", err)
+		}
+		if !ok {
+			break
+		}
+		total += buf.Len()
+	}
+	local, err := rdr.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(total) != local.Meta().Total {
+		t.Fatalf("drained stream delivered %d of %d particles", total, local.Meta().Total)
+	}
+	if err := <-drained; err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+}
+
+// TestFsckMountPolicy leaves a crash artifact via fault injection (a
+// failed atomic rename whose cleanup also fails, stranding a .spio-tmp
+// file) and checks the refuse/warn/off policies.
+func TestFsckMountPolicy(t *testing.T) {
+	dir := t.TempDir()
+	writeDataset(t, dir, geom.I3(2, 1, 1), geom.I3(1, 1, 1), 60)
+
+	// Re-checkpoint into the same directory with an injected crash: the
+	// data file's rename fails and so does the temp cleanup, modelling a
+	// writer that died mid-publish.
+	in := fault.NewInjector()
+	in.Add(fault.AllRanks, fault.Fault{Op: fault.OpRename, Path: ".spd"})
+	// Model a hard crash: once the publish fails, no cleanup runs either,
+	// so the abort path can neither reap the temp nor unpublish the old
+	// (still consistent) dataset.
+	in.Add(fault.AllRanks, fault.Fault{Op: fault.OpRemove})
+	cfg := core.WriteConfig{
+		Agg:  agg.Config{Domain: geom.UnitBox(), SimDims: geom.I3(2, 1, 1), Factor: geom.I3(1, 1, 1)},
+		Seed: 21,
+	}
+	grid := geom.NewGrid(cfg.Agg.Domain, geom.I3(2, 1, 1))
+	err := mpi.Run(2, func(c *mpi.Comm) error {
+		cfg := cfg
+		cfg.FS = in.FS(c.Rank())
+		local := particle.Uniform(particle.Uintah(), grid.CellBox(geom.Unlinear(c.Rank(), geom.I3(2, 1, 1))), 60, 13, c.Rank())
+		_, err := core.Write(c, dir, cfg, local)
+		return err
+	})
+	if err == nil {
+		t.Fatal("injected write unexpectedly succeeded")
+	}
+	leftovers, err := filepath.Glob(filepath.Join(dir, "*.spio-tmp"))
+	if err != nil || len(leftovers) == 0 {
+		t.Fatalf("no leftover temp file after injected crash (%v)", err)
+	}
+
+	// Default policy refuses the dataset.
+	if err := New(Config{}).Mount("sim", dir); err == nil {
+		t.Fatal("mount of a dirty dataset succeeded under the refuse policy")
+	}
+
+	// Warn serves it (the canonical files are still consistent).
+	var warned atomic.Int64
+	s := New(Config{Fsck: FsckWarn, Logf: func(string, ...any) { warned.Add(1) }})
+	if err := s.Mount("sim", dir); err != nil {
+		t.Fatalf("warn-policy mount: %v", err)
+	}
+	if warned.Load() == 0 {
+		t.Error("warn policy logged nothing")
+	}
+	addr := startServer(t, s)
+	ds, err := OpenRemote(addr, "sim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ds.Close()
+	if _, _, err := ds.QueryBox(ds.Meta().Domain, rdr.Options{}); err != nil {
+		t.Fatalf("query against warn-mounted dataset: %v", err)
+	}
+
+	// Off skips the check entirely.
+	if err := New(Config{Fsck: FsckOff}).Mount("sim", dir); err != nil {
+		t.Fatalf("off-policy mount: %v", err)
+	}
+}
+
+// TestSeriesMountAndLatest mounts a step-series base and resolves
+// name, name@N, and name@latest.
+func TestSeriesMountAndLatest(t *testing.T) {
+	base := t.TempDir()
+	writeDataset(t, base+"/t000000", geom.I3(2, 1, 1), geom.I3(1, 1, 1), 40)
+	writeDataset(t, base+"/t000003", geom.I3(2, 1, 1), geom.I3(1, 1, 1), 70) // gap: steps 1, 2 absent
+
+	s := New(Config{})
+	if err := s.Mount("sim", base); err != nil {
+		t.Fatal(err)
+	}
+	addr := startServer(t, s)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	oldest, err := c.Open("sim@0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	latest, err := c.Open("sim@latest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bare, err := c.Open("sim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if oldest.Meta().Total != 80 {
+		t.Errorf("sim@0 holds %d particles, want 80", oldest.Meta().Total)
+	}
+	if latest.Meta().Total != 140 || bare.Meta().Total != 140 {
+		t.Errorf("latest resolution: %d / %d particles, want 140", latest.Meta().Total, bare.Meta().Total)
+	}
+	if _, err := c.Open("sim@1"); err == nil {
+		t.Error("gap step sim@1 resolved")
+	}
+	refs, err := c.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(refs) != 2 || refs[0] != "sim@0" || refs[1] != "sim@3" {
+		t.Errorf("List = %v", refs)
+	}
+}
+
+// TestBudgetFastFail: a query whose response exceeds the per-request
+// byte budget is refused without materializing on the wire.
+func TestBudgetFastFail(t *testing.T) {
+	dir := t.TempDir()
+	writeDataset(t, dir, geom.I3(2, 1, 1), geom.I3(1, 1, 1), 200)
+	s := New(Config{MaxRespBytes: 4096})
+	if err := s.Mount("sim", dir); err != nil {
+		t.Fatal(err)
+	}
+	addr := startServer(t, s)
+	ds, err := OpenRemote(addr, "sim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ds.Close()
+	if _, _, err := ds.QueryBox(ds.Meta().Domain, rdr.Options{}); !errors.Is(err, ErrBudget) {
+		t.Fatalf("oversized query: %v, want ErrBudget", err)
+	}
+	// A level-limited read fits.
+	if _, _, err := ds.QueryBox(ds.Meta().Domain, rdr.Options{Levels: 1}); err != nil {
+		t.Fatalf("level-limited query: %v", err)
+	}
+}
+
+// TestStatsSurface checks the metrics snapshot over the wire: request
+// counters, block cache counters, and the per-dataset file-cache
+// counters (the satellite eviction / bytes-from-cache extensions).
+func TestStatsSurface(t *testing.T) {
+	dir := t.TempDir()
+	writeDataset(t, dir, geom.I3(2, 2, 1), geom.I3(2, 2, 1), 100)
+	s := New(Config{})
+	if err := s.Mount("sim", dir); err != nil {
+		t.Fatal(err)
+	}
+	addr := startServer(t, s)
+	ds, err := OpenRemote(addr, "sim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ds.Close()
+	for i := 0; i < 3; i++ {
+		if _, _, err := ds.QueryBox(ds.Meta().Domain, rdr.Options{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Per-request stats show the server-side file cache working.
+	_, st, err := ds.QueryBox(ds.Meta().Domain, rdr.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.CacheHits == 0 || st.BytesFromCache == 0 {
+		t.Errorf("repeat remote query reported no cache reuse: %+v", st)
+	}
+
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	blob, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap MetricsSnapshot
+	if err := json.Unmarshal(blob, &snap); err != nil {
+		t.Fatalf("stats JSON: %v\n%s", err, blob)
+	}
+	if snap.Requests < 4 {
+		t.Errorf("snapshot requests = %d", snap.Requests)
+	}
+	if snap.BlockCache.Misses == 0 {
+		t.Errorf("block cache uninvolved: %+v", snap.BlockCache)
+	}
+	dm, ok := snap.Datasets["sim"]
+	if !ok {
+		t.Fatalf("snapshot lacks dataset entry: %v", snap.Datasets)
+	}
+	if dm.FileCache.Hits == 0 || dm.FileCache.BytesFromCache == 0 {
+		t.Errorf("dataset file-cache counters empty: %+v", dm.FileCache)
+	}
+	if snap.QueueWaitNs < 0 || snap.ServiceNs == 0 {
+		t.Errorf("timing counters: wait=%d service=%d", snap.QueueWaitNs, snap.ServiceNs)
+	}
+}

@@ -1,0 +1,702 @@
+package server
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"spio/internal/geom"
+	"spio/internal/particle"
+	rdr "spio/internal/reader"
+)
+
+// Wire protocol. Every message travels in a length-prefixed frame:
+//
+//	frame length u32 | body
+//
+// The connection opens with a hello (magic + protocol version) from the
+// client, acknowledged by a response header; after that the client
+// sends one request frame at a time and reads the response frame(s).
+// Progressive streams interleave server level-frames with client ack
+// frames — the explicit backpressure that lets a renderer cancel after
+// a coarse prefix.
+//
+// Bodies are encoded with the same sticky-error writer/reader idiom as
+// internal/format's binio (little-endian, uvarint lengths), kept in
+// deliberately name-paired encode/decode functions so the spiolint
+// wiresym analyzer statically checks every pair for width/order/count
+// symmetry — the scda position: the wire format is a checkable
+// writer/reader pact, not two hand-maintained halves.
+
+const (
+	protoMagic   = "SPIOSRV1"
+	protoVersion = 1
+)
+
+// Request op codes.
+const (
+	opMeta        = 1 // resolve a dataset reference, return its metadata image
+	opQueryBox    = 2 // box query (QueryBox / ReadAll via NoFilter)
+	opKNN         = 3 // k-nearest-neighbour search
+	opHalo        = 4 // patch + ghost-margin read
+	opDensityGrid = 5 // approximate density field from a LOD prefix
+	opProgressive = 6 // level-by-level stream with per-level acks
+	opStats       = 7 // server metrics snapshot (JSON)
+	opList        = 8 // list mounted dataset references
+)
+
+// Response status codes.
+const (
+	statusOK         = 0
+	statusError      = 1 // generic failure; message carries the error
+	statusOverloaded = 2 // admission queue full: back off and retry
+	statusDraining   = 3 // server shutting down: redial later
+	statusBudget     = 4 // response exceeds the per-request byte budget
+)
+
+// Progressive stream acks (client -> server between level frames).
+const (
+	ackNext   = 1
+	ackCancel = 2
+)
+
+// Decode-side sanity bounds (the frame length bounds total size; these
+// bound individual allocations before their bytes arrive).
+const (
+	maxWireString = 4096
+	maxWireFields = 256
+	maxWireNames  = 1 << 16
+)
+
+// writer is a sticky-error little-endian encoder, the wire twin of
+// internal/format's binio writer.
+type writer struct {
+	w   io.Writer
+	err error
+}
+
+func newWriter(w io.Writer) *writer { return &writer{w: w} }
+
+func (e *writer) bytes(p []byte) {
+	if e.err != nil {
+		return
+	}
+	_, e.err = e.w.Write(p)
+}
+
+func (e *writer) u8(v uint8) { e.bytes([]byte{v}) }
+
+func (e *writer) u32(v uint32) {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	e.bytes(b[:])
+}
+
+func (e *writer) u64(v uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	e.bytes(b[:])
+}
+
+func (e *writer) i64(v int64) { e.u64(uint64(v)) }
+
+func (e *writer) uvarint(v uint64) {
+	var b [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(b[:], v)
+	e.bytes(b[:n])
+}
+
+func (e *writer) f64(v float64) { e.u64(math.Float64bits(v)) }
+
+func (e *writer) str(s string) {
+	e.uvarint(uint64(len(s)))
+	e.bytes([]byte(s))
+}
+
+func (e *writer) vec3(v geom.Vec3) {
+	e.f64(v.X)
+	e.f64(v.Y)
+	e.f64(v.Z)
+}
+
+func (e *writer) box(b geom.Box) {
+	e.vec3(b.Lo)
+	e.vec3(b.Hi)
+}
+
+func (e *writer) idx3(i geom.Idx3) {
+	e.uvarint(uint64(i.X))
+	e.uvarint(uint64(i.Y))
+	e.uvarint(uint64(i.Z))
+}
+
+// reader is the sticky-error decoding counterpart of writer.
+type reader struct {
+	r   io.Reader
+	n   int64
+	err error
+}
+
+func newReader(r io.Reader) *reader { return &reader{r: r} }
+
+func (d *reader) fail(err error) {
+	if d.err == nil {
+		d.err = err
+	}
+}
+
+func (d *reader) bytes(p []byte) {
+	if d.err != nil {
+		return
+	}
+	if _, err := io.ReadFull(d.r, p); err != nil {
+		d.err = fmt.Errorf("spiod: short read at offset %d: %w", d.n, err)
+		return
+	}
+	d.n += int64(len(p))
+}
+
+func (d *reader) u8() uint8 {
+	var b [1]byte
+	d.bytes(b[:])
+	return b[0]
+}
+
+func (d *reader) u32() uint32 {
+	var b [4]byte
+	d.bytes(b[:])
+	return binary.LittleEndian.Uint32(b[:])
+}
+
+func (d *reader) u64() uint64 {
+	var b [8]byte
+	d.bytes(b[:])
+	return binary.LittleEndian.Uint64(b[:])
+}
+
+func (d *reader) i64() int64 { return int64(d.u64()) }
+
+func (d *reader) uvarint() uint64 {
+	v, err := binary.ReadUvarint(wireByteReader{d})
+	if err != nil && d.err == nil {
+		d.err = fmt.Errorf("spiod: bad varint at offset %d: %w", d.n, err)
+	}
+	return v
+}
+
+func (d *reader) f64() float64 { return math.Float64frombits(d.u64()) }
+
+func (d *reader) str(maxLen uint64) string {
+	n := d.uvarint()
+	if n > maxLen {
+		d.fail(fmt.Errorf("spiod: string length %d exceeds limit %d", n, maxLen))
+		return ""
+	}
+	b := make([]byte, n)
+	d.bytes(b)
+	return string(b)
+}
+
+func (d *reader) vec3() geom.Vec3 {
+	return geom.Vec3{X: d.f64(), Y: d.f64(), Z: d.f64()}
+}
+
+func (d *reader) boxv() geom.Box {
+	return geom.Box{Lo: d.vec3(), Hi: d.vec3()}
+}
+
+func (d *reader) idx3() geom.Idx3 {
+	return geom.Idx3{X: int(d.uvarint()), Y: int(d.uvarint()), Z: int(d.uvarint())}
+}
+
+// wireByteReader adapts reader for binary.ReadUvarint.
+type wireByteReader struct{ d *reader }
+
+func (b wireByteReader) ReadByte() (byte, error) {
+	var buf [1]byte
+	b.d.bytes(buf[:])
+	if b.d.err != nil {
+		return 0, b.d.err
+	}
+	return buf[0], nil
+}
+
+// frameBuf accumulates one frame body in memory.
+type frameBuf struct{ b []byte }
+
+func (f *frameBuf) Write(p []byte) (int, error) {
+	f.b = append(f.b, p...)
+	return len(p), nil
+}
+
+// writeFrame sends one length-prefixed frame.
+func writeFrame(w io.Writer, body []byte) error {
+	e := newWriter(w)
+	e.u32(uint32(len(body)))
+	e.bytes(body)
+	return e.err
+}
+
+// readFrame receives one length-prefixed frame, refusing bodies larger
+// than max.
+func readFrame(r io.Reader, max uint32) ([]byte, error) {
+	d := newReader(r)
+	n := d.u32()
+	if d.err != nil {
+		return nil, d.err
+	}
+	if n > max {
+		return nil, fmt.Errorf("spiod: frame of %d bytes exceeds limit %d", n, max)
+	}
+	body := make([]byte, n)
+	d.bytes(body)
+	if d.err != nil {
+		return nil, d.err
+	}
+	return body, nil
+}
+
+// hello opens every connection.
+type hello struct {
+	Version uint32
+}
+
+func encodeHello(e *writer, h *hello) {
+	e.bytes([]byte(protoMagic))
+	e.u32(h.Version)
+}
+
+func decodeHello(d *reader) (*hello, error) {
+	magic := make([]byte, len(protoMagic))
+	d.bytes(magic)
+	if d.err == nil && string(magic) != protoMagic {
+		return nil, fmt.Errorf("spiod: not a spio serving connection (magic %q)", magic)
+	}
+	var h hello
+	h.Version = d.u32()
+	if d.err != nil {
+		return nil, d.err
+	}
+	return &h, nil
+}
+
+// request is the flat request record: one op code plus the union of
+// every op's parameters, always encoded in full so the stream shape is
+// identical for all ops.
+type request struct {
+	Op      uint8
+	Dataset string // dataset reference: name, name@N, name@latest
+	Box     geom.Box
+	Point   geom.Vec3
+	K       int
+	Halo    float64
+	Dims    geom.Idx3
+	Levels  int
+	Readers int
+	// NoFilter returns whole files without box filtering (ReadAll).
+	NoFilter bool
+	// Fields projects the result onto the named fields.
+	Fields []string
+}
+
+func encodeRequest(e *writer, r *request) {
+	e.u8(r.Op)
+	e.str(r.Dataset)
+	e.box(r.Box)
+	e.vec3(r.Point)
+	e.uvarint(uint64(r.K))
+	e.f64(r.Halo)
+	e.idx3(r.Dims)
+	e.uvarint(uint64(r.Levels))
+	e.uvarint(uint64(r.Readers))
+	var nf uint8
+	if r.NoFilter {
+		nf = 1
+	}
+	e.u8(nf)
+	e.uvarint(uint64(len(r.Fields)))
+	for _, f := range r.Fields {
+		e.str(f)
+	}
+}
+
+func decodeRequest(d *reader) (*request, error) {
+	var r request
+	r.Op = d.u8()
+	r.Dataset = d.str(maxWireString)
+	r.Box = d.boxv()
+	r.Point = d.vec3()
+	r.K = int(d.uvarint())
+	r.Halo = d.f64()
+	r.Dims = d.idx3()
+	r.Levels = int(d.uvarint())
+	r.Readers = int(d.uvarint())
+	r.NoFilter = d.u8() != 0
+	n := d.uvarint()
+	if n > maxWireFields {
+		d.fail(fmt.Errorf("spiod: %d projected fields exceeds limit %d", n, maxWireFields))
+	}
+	for i := uint64(0); i < n && d.err == nil; i++ {
+		r.Fields = append(r.Fields, d.str(maxWireString))
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	return &r, nil
+}
+
+// respHeader opens every response.
+type respHeader struct {
+	Status uint8
+	Msg    string // error text when Status != statusOK
+}
+
+func encodeRespHeader(e *writer, h *respHeader) {
+	e.u8(h.Status)
+	e.str(h.Msg)
+}
+
+func decodeRespHeader(d *reader) (*respHeader, error) {
+	var h respHeader
+	h.Status = d.u8()
+	h.Msg = d.str(1 << 20)
+	if d.err != nil {
+		return nil, d.err
+	}
+	return &h, nil
+}
+
+// wireStats is the per-request I/O telemetry attached to responses.
+type wireStats struct {
+	Read      rdr.Stats
+	QueueWait int64 // nanoseconds spent queued before a worker slot freed
+	Service   int64 // nanoseconds of execution on the worker
+}
+
+func encodeStats(e *writer, st *wireStats) {
+	e.i64(int64(st.Read.FilesOpened))
+	e.i64(st.Read.ParticlesRead)
+	e.i64(st.Read.BytesRead)
+	e.i64(st.Read.ParticlesKept)
+	e.i64(st.Read.CacheHits)
+	e.i64(st.Read.BytesFromCache)
+	e.i64(st.QueueWait)
+	e.i64(st.Service)
+}
+
+func decodeStats(d *reader) (*wireStats, error) {
+	var st wireStats
+	st.Read.FilesOpened = int(d.i64())
+	st.Read.ParticlesRead = d.i64()
+	st.Read.BytesRead = d.i64()
+	st.Read.ParticlesKept = d.i64()
+	st.Read.CacheHits = d.i64()
+	st.Read.BytesFromCache = d.i64()
+	st.QueueWait = d.i64()
+	st.Service = d.i64()
+	if d.err != nil {
+		return nil, d.err
+	}
+	return &st, nil
+}
+
+// Schema on the wire: field count, then (name, kind, components) per
+// field.
+func encodeWireSchema(e *writer, s *particle.Schema) {
+	e.uvarint(uint64(s.NumFields()))
+	for i := 0; i < s.NumFields(); i++ {
+		f := s.Field(i)
+		e.str(f.Name)
+		e.u8(uint8(f.Kind))
+		e.uvarint(uint64(f.Components))
+	}
+}
+
+func decodeWireSchema(d *reader) (*particle.Schema, error) {
+	n := d.uvarint()
+	if n > maxWireFields {
+		d.fail(fmt.Errorf("spiod: schema with %d fields exceeds limit %d", n, maxWireFields))
+	}
+	var fields []particle.Field
+	for i := uint64(0); i < n && d.err == nil; i++ {
+		var f particle.Field
+		f.Name = d.str(maxWireString)
+		f.Kind = particle.Kind(d.u8())
+		f.Components = int(d.uvarint())
+		if d.err == nil && f.Kind.Size() == 0 {
+			d.fail(fmt.Errorf("spiod: unknown field kind %d", f.Kind))
+		}
+		fields = append(fields, f)
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	return particle.NewSchema(fields)
+}
+
+// Buffer on the wire: schema, record count, then the raw AoS record
+// image — exactly the data-file payload encoding, so a streamed level
+// is bit-identical to the file prefix it came from.
+func encodeBuffer(e *writer, buf *particle.Buffer) {
+	encodeWireSchema(e, buf.Schema())
+	e.u64(uint64(buf.Len()))
+	data := make([]byte, buf.Len()*buf.Schema().Stride())
+	buf.EncodeRecordsInto(data, 0, buf.Len())
+	e.bytes(data)
+}
+
+// decodeBuffer decodes a buffer, refusing payloads larger than limit
+// bytes (the caller's frame bound; the frame is already in memory, the
+// limit guards the record-count allocation).
+func decodeBuffer(d *reader, limit int64) (*particle.Buffer, error) {
+	schema, err := decodeWireSchema(d)
+	if err != nil {
+		return nil, err
+	}
+	n := d.u64()
+	size := n * uint64(schema.Stride())
+	if size > uint64(limit) {
+		d.fail(fmt.Errorf("spiod: buffer payload of %d bytes exceeds limit %d", size, limit))
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	data := make([]byte, size)
+	d.bytes(data)
+	if d.err != nil {
+		return nil, d.err
+	}
+	return particle.Decode(schema, data)
+}
+
+// Float slices (KNN distances, density grids).
+func encodeFloats(e *writer, v []float64) {
+	e.uvarint(uint64(len(v)))
+	for _, x := range v {
+		e.f64(x)
+	}
+}
+
+func decodeFloats(d *reader, limit int) ([]float64, error) {
+	n := d.uvarint()
+	if n > uint64(limit) {
+		d.fail(fmt.Errorf("spiod: float slice of %d exceeds limit %d", n, limit))
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	v := make([]float64, 0, n)
+	for i := uint64(0); i < n && d.err == nil; i++ {
+		v = append(v, d.f64())
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	return v, nil
+}
+
+// Opaque byte payloads (metadata images, JSON snapshots).
+func encodeBlob(e *writer, b []byte) {
+	e.uvarint(uint64(len(b)))
+	e.bytes(b)
+}
+
+func decodeBlob(d *reader, limit uint64) ([]byte, error) {
+	n := d.uvarint()
+	if n > limit {
+		d.fail(fmt.Errorf("spiod: blob of %d bytes exceeds limit %d", n, limit))
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	b := make([]byte, n)
+	d.bytes(b)
+	if d.err != nil {
+		return nil, d.err
+	}
+	return b, nil
+}
+
+// Name lists (opList).
+func encodeNames(e *writer, names []string) {
+	e.uvarint(uint64(len(names)))
+	for _, n := range names {
+		e.str(n)
+	}
+}
+
+func decodeNames(d *reader) ([]string, error) {
+	n := d.uvarint()
+	if n > maxWireNames {
+		d.fail(fmt.Errorf("spiod: %d names exceeds limit %d", n, maxWireNames))
+	}
+	var names []string
+	for i := uint64(0); i < n && d.err == nil; i++ {
+		names = append(names, d.str(maxWireString))
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	return names, nil
+}
+
+// queryResp answers opQueryBox.
+type queryResp struct {
+	Stats wireStats
+	Buf   *particle.Buffer
+}
+
+func encodeQueryResp(e *writer, r *queryResp) {
+	encodeStats(e, &r.Stats)
+	encodeBuffer(e, r.Buf)
+}
+
+func decodeQueryResp(d *reader, limit int64) (*queryResp, error) {
+	st, err := decodeStats(d)
+	if err != nil {
+		return nil, err
+	}
+	buf, err := decodeBuffer(d, limit)
+	if err != nil {
+		return nil, err
+	}
+	return &queryResp{Stats: *st, Buf: buf}, nil
+}
+
+// knnResp answers opKNN.
+type knnResp struct {
+	Stats wireStats
+	Buf   *particle.Buffer
+	Dists []float64
+}
+
+func encodeKNNResp(e *writer, r *knnResp) {
+	encodeStats(e, &r.Stats)
+	encodeBuffer(e, r.Buf)
+	encodeFloats(e, r.Dists)
+}
+
+func decodeKNNResp(d *reader, limit int64) (*knnResp, error) {
+	st, err := decodeStats(d)
+	if err != nil {
+		return nil, err
+	}
+	buf, err := decodeBuffer(d, limit)
+	if err != nil {
+		return nil, err
+	}
+	dists, err := decodeFloats(d, int(limit/8)+1)
+	if err != nil {
+		return nil, err
+	}
+	return &knnResp{Stats: *st, Buf: buf, Dists: dists}, nil
+}
+
+// haloResp answers opHalo: the owned and ghost particles separately.
+type haloResp struct {
+	Stats wireStats
+	Own   *particle.Buffer
+	Ghost *particle.Buffer
+}
+
+func encodeHaloResp(e *writer, r *haloResp) {
+	encodeStats(e, &r.Stats)
+	encodeBuffer(e, r.Own)
+	encodeBuffer(e, r.Ghost)
+}
+
+func decodeHaloResp(d *reader, limit int64) (*haloResp, error) {
+	st, err := decodeStats(d)
+	if err != nil {
+		return nil, err
+	}
+	own, err := decodeBuffer(d, limit)
+	if err != nil {
+		return nil, err
+	}
+	ghost, err := decodeBuffer(d, limit)
+	if err != nil {
+		return nil, err
+	}
+	return &haloResp{Stats: *st, Own: own, Ghost: ghost}, nil
+}
+
+// densityResp answers opDensityGrid.
+type densityResp struct {
+	Stats    wireStats
+	Counts   []float64
+	Fraction float64
+}
+
+func encodeDensityResp(e *writer, r *densityResp) {
+	encodeStats(e, &r.Stats)
+	encodeFloats(e, r.Counts)
+	e.f64(r.Fraction)
+}
+
+func decodeDensityResp(d *reader, limit int64) (*densityResp, error) {
+	st, err := decodeStats(d)
+	if err != nil {
+		return nil, err
+	}
+	counts, err := decodeFloats(d, int(limit/8)+1)
+	if err != nil {
+		return nil, err
+	}
+	frac := d.f64()
+	if d.err != nil {
+		return nil, d.err
+	}
+	return &densityResp{Stats: *st, Counts: counts, Fraction: frac}, nil
+}
+
+// streamFrame is one level increment of a progressive stream. Done
+// marks the final frame; its buffer may be empty.
+type streamFrame struct {
+	Level int
+	Done  bool
+	Stats wireStats // cumulative over the stream so far
+	Buf   *particle.Buffer
+}
+
+func encodeStreamFrame(e *writer, f *streamFrame) {
+	e.uvarint(uint64(f.Level))
+	var done uint8
+	if f.Done {
+		done = 1
+	}
+	e.u8(done)
+	encodeStats(e, &f.Stats)
+	encodeBuffer(e, f.Buf)
+}
+
+func decodeStreamFrame(d *reader, limit int64) (*streamFrame, error) {
+	var f streamFrame
+	f.Level = int(d.uvarint())
+	f.Done = d.u8() != 0
+	st, err := decodeStats(d)
+	if err != nil {
+		return nil, err
+	}
+	f.Stats = *st
+	buf, err := decodeBuffer(d, limit)
+	if err != nil {
+		return nil, err
+	}
+	f.Buf = buf
+	return &f, nil
+}
+
+// Stream acks (client -> server between level frames).
+func encodeAck(e *writer, ack uint8) {
+	e.u8(ack)
+}
+
+func decodeAck(d *reader) (uint8, error) {
+	ack := d.u8()
+	if d.err != nil {
+		return 0, d.err
+	}
+	return ack, nil
+}

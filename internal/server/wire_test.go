@@ -1,0 +1,180 @@
+package server
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"spio/internal/geom"
+	"spio/internal/particle"
+	rdr "spio/internal/reader"
+)
+
+func roundTrip(t *testing.T, enc func(e *writer)) *reader {
+	t.Helper()
+	var fb frameBuf
+	e := newWriter(&fb)
+	enc(e)
+	if e.err != nil {
+		t.Fatalf("encode: %v", e.err)
+	}
+	return newReader(bytes.NewReader(fb.b))
+}
+
+func TestRequestRoundTrip(t *testing.T) {
+	want := &request{
+		Op:       opHalo,
+		Dataset:  "sim@42",
+		Box:      geom.NewBox(geom.V3(0.1, 0.2, 0.3), geom.V3(0.9, 0.8, 0.7)),
+		Point:    geom.V3(0.5, math.Inf(1), -0.5),
+		K:        17,
+		Halo:     0.0625,
+		Dims:     geom.I3(8, 4, 2),
+		Levels:   3,
+		Readers:  4,
+		NoFilter: true,
+		Fields:   []string{"id", "density"},
+	}
+	d := roundTrip(t, func(e *writer) { encodeRequest(e, want) })
+	got, err := decodeRequest(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Op != want.Op || got.Dataset != want.Dataset || got.Box != want.Box ||
+		got.Point != want.Point || got.K != want.K || got.Halo != want.Halo ||
+		got.Dims != want.Dims || got.Levels != want.Levels || got.Readers != want.Readers ||
+		got.NoFilter != want.NoFilter || len(got.Fields) != 2 ||
+		got.Fields[0] != "id" || got.Fields[1] != "density" {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestHelloRoundTripAndBadMagic(t *testing.T) {
+	d := roundTrip(t, func(e *writer) { encodeHello(e, &hello{Version: protoVersion}) })
+	h, err := decodeHello(d)
+	if err != nil || h.Version != protoVersion {
+		t.Fatalf("hello: %v %+v", err, h)
+	}
+	bad := newReader(bytes.NewReader([]byte("HTTP/1.1 GET /")))
+	if _, err := decodeHello(bad); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}
+
+func TestStatsRoundTrip(t *testing.T) {
+	want := &wireStats{
+		Read: rdr.Stats{
+			FilesOpened: 3, ParticlesRead: 1000, BytesRead: 124000,
+			ParticlesKept: 900, CacheHits: 2, BytesFromCache: 4096,
+		},
+		QueueWait: 12345, Service: 67890,
+	}
+	d := roundTrip(t, func(e *writer) { encodeStats(e, want) })
+	got, err := decodeStats(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *got != *want {
+		t.Fatalf("got %+v want %+v", got, want)
+	}
+}
+
+func TestBufferRoundTripBitExact(t *testing.T) {
+	buf := particle.Uniform(particle.Uintah(), geom.UnitBox(), 257, 7, 0)
+	d := roundTrip(t, func(e *writer) { encodeBuffer(e, buf) })
+	got, err := decodeBuffer(d, 1<<26)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(buf) {
+		t.Fatal("decoded buffer differs")
+	}
+	if !bytes.Equal(got.Encode(), buf.Encode()) {
+		t.Fatal("decoded buffer is not byte-identical")
+	}
+}
+
+func TestBufferDecodeRespectsLimit(t *testing.T) {
+	buf := particle.Uniform(particle.Uintah(), geom.UnitBox(), 64, 7, 0)
+	d := roundTrip(t, func(e *writer) { encodeBuffer(e, buf) })
+	if _, err := decodeBuffer(d, 16); err == nil {
+		t.Fatal("oversized buffer accepted")
+	}
+}
+
+func TestSchemaRoundTrip(t *testing.T) {
+	for _, s := range []*particle.Schema{particle.Uintah(), particle.PositionOnly()} {
+		d := roundTrip(t, func(e *writer) { encodeWireSchema(e, s) })
+		got, err := decodeWireSchema(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Equal(s) {
+			t.Fatalf("schema %v decoded as %v", s, got)
+		}
+	}
+}
+
+func TestStreamFrameRoundTrip(t *testing.T) {
+	buf := particle.Uniform(particle.PositionOnly(), geom.UnitBox(), 33, 3, 1)
+	want := &streamFrame{
+		Level: 2, Done: true,
+		Stats: wireStats{Read: rdr.Stats{ParticlesRead: 33, BytesRead: 33 * 24}},
+		Buf:   buf,
+	}
+	d := roundTrip(t, func(e *writer) { encodeStreamFrame(e, want) })
+	got, err := decodeStreamFrame(d, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Level != want.Level || got.Done != want.Done || got.Stats != want.Stats || !got.Buf.Equal(buf) {
+		t.Fatalf("stream frame mismatch: %+v", got)
+	}
+}
+
+func TestFloatsBlobNamesRoundTrip(t *testing.T) {
+	d := roundTrip(t, func(e *writer) { encodeFloats(e, []float64{1, math.NaN(), math.Copysign(0, -1)}) })
+	fs, err := decodeFloats(d, 10)
+	if err != nil || len(fs) != 3 || fs[0] != 1 || !math.IsNaN(fs[1]) || math.Signbit(fs[2]) == false {
+		t.Fatalf("floats: %v %v", fs, err)
+	}
+	d = roundTrip(t, func(e *writer) { encodeBlob(e, []byte("json-ish")) })
+	b, err := decodeBlob(d, 100)
+	if err != nil || string(b) != "json-ish" {
+		t.Fatalf("blob: %q %v", b, err)
+	}
+	d = roundTrip(t, func(e *writer) { encodeNames(e, []string{"a", "b@3"}) })
+	ns, err := decodeNames(d)
+	if err != nil || len(ns) != 2 || ns[1] != "b@3" {
+		t.Fatalf("names: %v %v", ns, err)
+	}
+}
+
+func TestFrameLimit(t *testing.T) {
+	var out bytes.Buffer
+	if err := writeFrame(&out, make([]byte, 100)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := readFrame(bytes.NewReader(out.Bytes()), 50); err == nil {
+		t.Fatal("oversized frame accepted")
+	}
+	body, err := readFrame(bytes.NewReader(out.Bytes()), 100)
+	if err != nil || len(body) != 100 {
+		t.Fatalf("frame: %d bytes, %v", len(body), err)
+	}
+}
+
+func TestTruncatedDecodeFailsCleanly(t *testing.T) {
+	var fb frameBuf
+	e := newWriter(&fb)
+	encodeRequest(e, &request{Op: opQueryBox, Dataset: "x"})
+	if e.err != nil {
+		t.Fatal(e.err)
+	}
+	for cut := 0; cut < len(fb.b); cut += 7 {
+		d := newReader(bytes.NewReader(fb.b[:cut]))
+		if _, err := decodeRequest(d); err == nil {
+			t.Fatalf("truncation at %d of %d decoded without error", cut, len(fb.b))
+		}
+	}
+}

@@ -1,0 +1,76 @@
+package spio
+
+import (
+	"spio/internal/server"
+)
+
+// Remote serving (cmd/spiod): the same query surface as the local
+// Dataset, served by a resident daemon over TCP or Unix sockets, with a
+// shared block cache and admission control behind it.
+
+type (
+	// RemoteDataset is a dataset served by a spiod daemon; it mirrors
+	// the local Dataset's query methods (QueryBox, ReadAll, KNN, Halo,
+	// DensityGrid, progressive streams).
+	RemoteDataset = server.RemoteDataset
+	// ServerClient is one connection to a spiod daemon (List, Stats,
+	// Open of multiple datasets over a single connection).
+	ServerClient = server.Client
+	// RemoteStream is a progressive LOD stream with client-side
+	// backpressure; cancel after any prefix.
+	RemoteStream = server.RemoteStream
+	// ServerConfig tunes an embedded Server.
+	ServerConfig = server.Config
+	// Server is an embeddable spiod: mount datasets, serve listeners.
+	Server = server.Server
+	// ServerMetrics is the daemon's JSON metrics snapshot.
+	ServerMetrics = server.MetricsSnapshot
+)
+
+// Serving errors a client should branch on.
+var (
+	// ErrOverloaded marks a request shed by the daemon's admission
+	// controller (queue full): back off and retry.
+	ErrOverloaded = server.ErrOverloaded
+	// ErrDraining marks a request refused because the daemon is shutting
+	// down.
+	ErrDraining = server.ErrDraining
+	// ErrBudget marks a response that would exceed the daemon's
+	// per-request byte budget.
+	ErrBudget = server.ErrBudget
+)
+
+// Dial connects to a spiod daemon ("unix:/path", "tcp:host:port", or a
+// bare socket path / host:port) and opens one dataset reference
+// ("name", "name@N", "name@latest"). Closing the RemoteDataset closes
+// the connection.
+func Dial(addr, dataset string) (*RemoteDataset, error) {
+	return server.OpenRemote(addr, dataset)
+}
+
+// DialServer connects without opening a dataset — for List, Stats, or
+// multiple Opens over one connection.
+func DialServer(addr string) (*ServerClient, error) {
+	return server.Dial(addr)
+}
+
+// NewServer builds an embeddable serving daemon (the library form of
+// cmd/spiod).
+func NewServer(cfg ServerConfig) *Server { return server.New(cfg) }
+
+// Queryable is the query surface shared by the local Dataset and the
+// remote RemoteDataset, letting analysis tools run unchanged against
+// either backend.
+type Queryable interface {
+	Meta() *Meta
+	QueryBox(q Box, opts QueryOptions) (*Buffer, ReadStats, error)
+	ReadAll(opts QueryOptions) (*Buffer, ReadStats, error)
+	LevelCount(nReaders int) int
+	Close() error
+}
+
+// Compile-time check: both backends satisfy Queryable.
+var (
+	_ Queryable = (*Dataset)(nil)
+	_ Queryable = (*RemoteDataset)(nil)
+)

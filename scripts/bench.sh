@@ -1,13 +1,19 @@
 #!/bin/sh
-# Perf-trajectory snapshot for spio. Runs the write/exchange/LOD
-# benchmark set with a fixed -benchtime and emits a JSON snapshot
-# (default BENCH_PR4.json) with one entry per benchmark:
+# Perf-trajectory snapshot for spio. Runs the pinned benchmark sets
+# with a fixed -benchtime and emits JSON snapshots with one entry per
+# benchmark:
 #
 #	{"name": ..., "ns_per_op": ..., "mb_per_s": ..., "b_per_op": ..., "allocs_per_op": ...}
 #
+# Two snapshots are produced:
+#
+#	BENCH_PR4.json  write/exchange/LOD kernels (root package)
+#	BENCH_PR5.json  spiod serving throughput under concurrent clients
+#	                (internal/server)
+#
 # Usage:
 #
-#	./scripts/bench.sh                  # writes BENCH_PR4.json
+#	./scripts/bench.sh                  # writes both snapshots
 #	OUT=/tmp/base.json ./scripts/bench.sh
 #	BENCHTIME=5s ./scripts/bench.sh
 #
@@ -19,30 +25,41 @@ set -eu
 cd "$(dirname "$0")/.."
 
 OUT="${OUT:-BENCH_PR4.json}"
+OUT5="${OUT5:-BENCH_PR5.json}"
 BENCHTIME="${BENCHTIME:-2s}"
 
+# to_json <raw go test -bench output> <out.json>
+to_json() {
+	awk '
+	/^Benchmark/ {
+		name = $1
+		sub(/-[0-9]+$/, "", name)
+		ns = "null"; mbs = "null"; bop = "null"; aop = "null"
+		for (i = 2; i <= NF; i++) {
+			if ($i == "ns/op") ns = $(i - 1)
+			if ($i == "MB/s") mbs = $(i - 1)
+			if ($i == "B/op") bop = $(i - 1)
+			if ($i == "allocs/op") aop = $(i - 1)
+		}
+		if (n++) printf ",\n"
+		printf "  {\"name\": \"%s\", \"ns_per_op\": %s, \"mb_per_s\": %s, \"b_per_op\": %s, \"allocs_per_op\": %s}", name, ns, mbs, bop, aop
+	}
+	BEGIN { printf "[\n" }
+	END { printf "\n]\n" }
+	' "$1" >"$2"
+}
+
 PATTERN='^(BenchmarkLocalWrite16Ranks|BenchmarkAblationExchangeAligned|BenchmarkAblationExchangeScan|BenchmarkAblationPresizedBuffer|BenchmarkAblationUnsizedBuffer|BenchmarkReorder32K|BenchmarkAblationLODRandom|BenchmarkAblationLODDensity)$'
+PATTERN5='^(BenchmarkServerQueryBox1Client|BenchmarkServerQueryBox8Clients|BenchmarkServerKNN8Clients|BenchmarkServerStream8Clients)$'
 
 raw=$(mktemp /tmp/spio-bench-XXXXXX.txt)
 go test -run '^$' -bench "$PATTERN" -benchtime "$BENCHTIME" -benchmem -count 1 . | tee "$raw"
-
-awk '
-/^Benchmark/ {
-	name = $1
-	sub(/-[0-9]+$/, "", name)
-	ns = "null"; mbs = "null"; bop = "null"; aop = "null"
-	for (i = 2; i <= NF; i++) {
-		if ($i == "ns/op") ns = $(i - 1)
-		if ($i == "MB/s") mbs = $(i - 1)
-		if ($i == "B/op") bop = $(i - 1)
-		if ($i == "allocs/op") aop = $(i - 1)
-	}
-	if (n++) printf ",\n"
-	printf "  {\"name\": \"%s\", \"ns_per_op\": %s, \"mb_per_s\": %s, \"b_per_op\": %s, \"allocs_per_op\": %s}", name, ns, mbs, bop, aop
-}
-BEGIN { printf "[\n" }
-END { printf "\n]\n" }
-' "$raw" >"$OUT"
-
+to_json "$raw" "$OUT"
 rm -f "$raw"
 echo "bench: wrote $OUT"
+
+raw5=$(mktemp /tmp/spio-bench-XXXXXX.txt)
+go test -run '^$' -bench "$PATTERN5" -benchtime "$BENCHTIME" -count 1 ./internal/server | tee "$raw5"
+to_json "$raw5" "$OUT5"
+rm -f "$raw5"
+echo "bench: wrote $OUT5"

@@ -41,8 +41,42 @@ echo "== fault-injection tests =="
 go test ./internal/fault
 go test -run 'TestFault|TestFsck|TestWrite(File|Meta)' ./internal/core ./internal/format
 
-echo "== go test -race (mpi, core, fault, format, reader) =="
-go test -race ./internal/mpi ./internal/core ./internal/fault ./internal/format ./internal/reader
+echo "== go test -race (mpi, core, fault, format, reader, server) =="
+go test -race ./internal/mpi ./internal/core ./internal/fault ./internal/format ./internal/reader ./internal/server
+
+echo "== spiod e2e smoke =="
+# Serve a freshly written dataset from a real spiod process on a unix
+# socket and prove a remote KNN answers byte-for-byte like the local
+# reader, under 8 concurrent clients; then drain it with SIGTERM.
+smoke=$(mktemp -d /tmp/spio-smoke-XXXXXX)
+trap 'rm -rf "$smoke"' EXIT
+go build -o "$smoke/" ./cmd/spiod ./cmd/spiowrite ./cmd/spioread
+"$smoke/spiowrite" -dir "$smoke/data" -dims 2x2x1 -particles 2000 >/dev/null
+"$smoke/spiod" -mount sim="$smoke/data" -listen "unix:$smoke/s.sock" &
+spiod_pid=$!
+for _ in $(seq 1 50); do
+	[ -S "$smoke/s.sock" ] && break
+	sleep 0.1
+done
+[ -S "$smoke/s.sock" ]
+"$smoke/spioread" -dir "$smoke/data" -knn 0.5,0.5,0.5 -k 16 | grep distance >"$smoke/local.txt"
+[ -s "$smoke/local.txt" ]
+client_pids=""
+for i in 1 2 3 4 5 6 7 8; do
+	"$smoke/spioread" -remote "unix:$smoke/s.sock" -dataset sim -knn 0.5,0.5,0.5 -k 16 \
+		| grep distance >"$smoke/remote$i.txt" &
+	client_pids="$client_pids $!"
+done
+for p in $client_pids; do
+	wait "$p"
+done
+for i in 1 2 3 4 5 6 7 8; do
+	cmp "$smoke/local.txt" "$smoke/remote$i.txt"
+done
+"$smoke/spiod" stats -addr "unix:$smoke/s.sock" | grep -q '"requests"'
+kill -TERM "$spiod_pid"
+wait "$spiod_pid"
+echo "spiod smoke: remote KNN byte-identical to local under 8 clients; clean drain"
 
 echo "== spiolint =="
 go run ./cmd/spiolint -summary ./...

@@ -1,11 +1,6 @@
 package spio
 
 import (
-	"fmt"
-	"os"
-	"path/filepath"
-	"sort"
-
 	"spio/internal/core"
 	"spio/internal/reader"
 )
@@ -15,36 +10,17 @@ import (
 // These helpers manage such a series.
 
 // StepDir returns the dataset directory for one timestep.
-func StepDir(base string, step int) string {
-	return filepath.Join(base, fmt.Sprintf("t%06d", step))
-}
+func StepDir(base string, step int) string { return reader.StepDir(base, step) }
 
 // Steps lists the timesteps present under base (directories matching the
 // StepDir convention that contain a readable metadata file), sorted.
-func Steps(base string) ([]int, error) {
-	entries, err := os.ReadDir(base)
-	if err != nil {
-		return nil, err
-	}
-	var steps []int
-	for _, e := range entries {
-		if !e.IsDir() {
-			continue
-		}
-		var step int
-		if _, err := fmt.Sscanf(e.Name(), "t%06d", &step); err != nil {
-			continue
-		}
-		if e.Name() != fmt.Sprintf("t%06d", step) {
-			continue
-		}
-		if _, err := reader.Open(filepath.Join(base, e.Name())); err != nil {
-			continue
-		}
-		steps = append(steps, step)
-	}
-	sort.Ints(steps)
-	return steps, nil
+func Steps(base string) ([]int, error) { return reader.Steps(base) }
+
+// LatestStep returns the newest readable timestep under base — the
+// checkpoint a "serve newest" consumer (spiod's name@latest references)
+// should open. ok is false when no complete checkpoint exists.
+func LatestStep(base string) (step int, ok bool, err error) {
+	return reader.LatestStep(base)
 }
 
 // WriteStep writes one timestep of a series (Write into StepDir).

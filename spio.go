@@ -254,6 +254,9 @@ type (
 	QueryOptions = reader.Options
 	// ReadStats counts the file work a read performed.
 	ReadStats = reader.Stats
+	// CacheStats is the open-file cache's counter snapshot
+	// (Dataset.CacheStats).
+	CacheStats = reader.CacheStats
 	// Meta is the decoded spatial metadata file.
 	Meta = format.Meta
 	// FileEntry is one data file's metadata row.
