@@ -15,6 +15,7 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"expvar"
 	"flag"
 	"fmt"
@@ -143,6 +144,12 @@ func runServe(args []string) {
 		go func() { errc <- s.Serve(l) }()
 	}
 
+	// The metrics server owns an explicit listener and signals its exit
+	// on a channel, so the drain path can close it and wait: the
+	// goroutine can be both cancelled (listener close) and awaited
+	// (channel receive) instead of leaking with the process.
+	var metricsLis net.Listener
+	var metricsDone chan struct{}
 	if *metrics != "" {
 		expvar.Publish("spiod", expvar.Func(func() any { return s.Snapshot() }))
 		mux := http.NewServeMux()
@@ -151,10 +158,17 @@ func runServe(args []string) {
 			w.Write(snapshotBody(s))
 		})
 		mux.Handle("/debug/vars", expvar.Handler())
+		var err error
+		metricsLis, err = net.Listen("tcp", *metrics)
+		if err != nil {
+			fatal(err)
+		}
+		metricsDone = make(chan struct{})
 		go func() {
-			if err := http.ListenAndServe(*metrics, mux); err != nil {
+			if err := http.Serve(metricsLis, mux); err != nil && !errors.Is(err, net.ErrClosed) {
 				log.Printf("spiod: metrics server: %v", err)
 			}
+			close(metricsDone)
 		}()
 		log.Printf("spiod: metrics on http://%s/metrics", *metrics)
 	}
@@ -169,6 +183,10 @@ func runServe(args []string) {
 		if err := s.Shutdown(ctx); err != nil {
 			log.Printf("spiod: drain incomplete: %v", err)
 			os.Exit(1)
+		}
+		if metricsLis != nil {
+			_ = metricsLis.Close()
+			<-metricsDone
 		}
 		log.Printf("spiod: drained cleanly")
 	case err := <-errc:

@@ -1,5 +1,5 @@
-// Command spiolint runs the project's collective-correctness analyzer
-// suite (internal/analysis) over Go packages:
+// Command spiolint runs the project's correctness analyzer suite
+// (internal/analysis) over Go packages:
 //
 //	go run ./cmd/spiolint ./...
 //
@@ -10,10 +10,17 @@
 //	errdrop     discarded error/WriteResult returns from the spio API
 //	tagclash    hard-coded p2p tags in the reserved collective namespace
 //	wiresym     writer/reader asymmetries in the on-disk format
+//	collabort   early returns on local errors inside the comm phase
+//	lockorder   lock-order inversions, re-acquisition, locks held
+//	            across blocking operations
+//	wiretaint   untrusted decode values reaching make() sizes or loop
+//	            bounds without a dominating bound check
+//	goleak      goroutines with no exit discipline (nothing to await
+//	            or cancel them)
 //
-// All analyzers are interprocedural: a collective, a buffer handoff, or
-// a dropped error hidden inside a helper is reported at the call site
-// with the call path. Findings can be suppressed per line with
+// All analyzers are interprocedural: a collective, a buffer handoff, a
+// dropped error, a lock acquisition, or a tainted length hidden inside
+// a helper is reported at the call site with the call path. Findings can be suppressed per line with
 //
 //	//spio:allow <analyzer> -- <reason>
 //

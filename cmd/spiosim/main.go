@@ -87,7 +87,10 @@ func main() {
 			spio.Advect(local, domain, velocity, 0.15)
 			var err error
 			local, err = migrate(c, grid, simDims, local)
-			if err != nil {
+			// Agree on the migrate outcome before acting on it: a
+			// rank-local decode error would otherwise strand the healthy
+			// ranks in the next collective (advect barrier / checkpoint).
+			if err = agreeStep(c, err); err != nil {
 				return err
 			}
 			if step%*interval == 0 {
@@ -96,8 +99,12 @@ func main() {
 					// the current state, and let the write drain while
 					// the next steps compute.
 					if pending != nil {
-						if _, err := pending.Wait(); err != nil {
-							return err
+						// The wait outcome is rank-local; agree on it
+						// before acting so a failed checkpoint aborts
+						// every rank together.
+						_, werr := pending.Wait()
+						if werr = agreeStep(c, werr); werr != nil {
+							return werr
 						}
 					}
 					snapshot := spio.NewBuffer(local.Schema(), local.Len())
@@ -178,6 +185,25 @@ func migrate(c *spio.Comm, grid spio.Grid, simDims spio.Idx3, local *spio.Buffer
 		}
 	}
 	return merged, nil
+}
+
+// agreeStep is one round of the error-agreement protocol (the same
+// shape internal/core uses between write phases): every rank
+// contributes a failure flag to an Allreduce, so either every rank
+// returns an error or none does, and an early return cannot strand
+// peers in the next collective.
+func agreeStep(c *spio.Comm, local error) error {
+	flag := int64(0)
+	if local != nil {
+		flag = 1
+	}
+	if c.Allreduce(flag, spio.OpSum) == 0 {
+		return nil
+	}
+	if local != nil {
+		return local
+	}
+	return fmt.Errorf("spiosim: migrate failed on a peer rank")
 }
 
 func round(xs []float64) []int {

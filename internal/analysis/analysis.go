@@ -92,7 +92,7 @@ func (d Diagnostic) String() string {
 
 // Analyzers returns the full spiolint suite.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{CollOrder, BufHandoff, ErrDrop, TagClash, WireSym, CollAbort}
+	return []*Analyzer{CollOrder, BufHandoff, ErrDrop, TagClash, WireSym, CollAbort, LockOrder, WireTaint, GoLeak}
 }
 
 // ByName returns the named analyzers, or an error naming the unknown

@@ -100,9 +100,11 @@ func TestAnalyzerFixtures(t *testing.T) {
 }
 
 // TestRepoClean dogfoods the full analyzer suite over the whole module
-// and requires zero diagnostics: the repo itself is the largest
-// negative fixture, and any true positive found later must be fixed,
-// not suppressed.
+// and requires zero unsuppressed diagnostics: the repo itself is the
+// largest negative fixture, and a true positive found later must be
+// fixed, not suppressed. The few deliberate exceptions (a mutex that
+// *dedicates* a conn to one exchange by protocol) stay visible as
+// suppressed findings and must each carry their reason.
 func TestRepoClean(t *testing.T) {
 	if testing.Short() {
 		t.Skip("type-checks the whole module; skipped in -short mode")
@@ -112,12 +114,22 @@ func TestRepoClean(t *testing.T) {
 		t.Fatalf("loading module packages: %v", err)
 	}
 	diags := Run(Analyzers(), pkgs)
-	if len(diags) > 0 {
+	var live []Diagnostic
+	for _, d := range diags {
+		if d.Suppressed {
+			if d.SuppressReason == "" {
+				t.Errorf("suppressed finding without a reason: %s", d)
+			}
+			continue
+		}
+		live = append(live, d)
+	}
+	if len(live) > 0 {
 		var b strings.Builder
-		for _, d := range diags {
+		for _, d := range live {
 			fmt.Fprintf(&b, "\n  %s", d)
 		}
-		t.Errorf("spiolint reports %d diagnostics on the repo (must be clean):%s", len(diags), b.String())
+		t.Errorf("spiolint reports %d unsuppressed diagnostics on the repo (must be clean):%s", len(live), b.String())
 	}
 }
 
@@ -226,7 +238,7 @@ func TestSummarize(t *testing.T) {
 		{Analyzer: "directive"},
 	}
 	got := Summarize(Analyzers(), diags)
-	want := "collorder=2 bufhandoff=0 errdrop=0 tagclash=0 wiresym=0 collabort=0 directive=1 suppressed=1"
+	want := "collorder=2 bufhandoff=0 errdrop=0 tagclash=0 wiresym=0 collabort=0 lockorder=0 wiretaint=0 goleak=0 directive=1 suppressed=1"
 	if got != want {
 		t.Fatalf("Summarize = %q, want %q", got, want)
 	}

@@ -157,7 +157,7 @@ func checkHandoffs(pass *Pass, body *ast.BlockStmt) {
 		if !ok || pass.Prog == nil {
 			return true
 		}
-		callee := calleeFunc(pass.Info, call)
+		callee := pass.Prog.calleeFunc(pass.Info, call)
 		if callee == nil {
 			return true
 		}
@@ -254,7 +254,7 @@ func handoffTarget(pass *Pass, call *ast.CallExpr) (*handoff, bool) {
 	if pass.Prog == nil {
 		return nil, false
 	}
-	callee := calleeFunc(pass.Info, call)
+	callee := pass.Prog.calleeFunc(pass.Info, call)
 	if callee == nil {
 		return nil, false
 	}

@@ -2,6 +2,7 @@ package analysis
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 )
 
@@ -33,6 +34,15 @@ type Program struct {
 	// Funcs indexes every function and method declared (with a body) in
 	// the loaded packages.
 	Funcs map[*types.Func]*FuncInfo
+	// byKey indexes the same functions by a package-path-qualified name.
+	// The source importer type-checks each loaded package in its own
+	// world, so a cross-package reference resolves to the importer's
+	// *types.Func copy — a different pointer from the one Funcs was
+	// built with. Identity must therefore be canonicalized by name
+	// (canon) before any map keyed on *types.Func is consulted;
+	// without this every cross-package call silently degraded to an
+	// external leaf.
+	byKey map[string]*FuncInfo
 
 	collSums map[*types.Func]*collSummary
 	bufSums  map[*types.Func]*bufSummary
@@ -45,6 +55,32 @@ type Program struct {
 	bufVisiting  map[*types.Func]bool
 	errVisiting  map[*types.Func]bool
 	wireVisiting map[*types.Func]bool
+
+	// The concurrency/taint pack (lockorder, wiretaint, goleak) runs as
+	// whole-program fixpoints: the first pass to ask triggers one
+	// analysis over every loaded function, findings are stored here
+	// tagged with their owning package, and each per-package pass
+	// reports only its own. lockSums/exitSums/taintSums are the
+	// propagated per-function summaries (lock sets, goroutine-exit
+	// evidence, taint flow) the fixpoints build.
+	lockSums      map[*types.Func]*lockSummary
+	lockFindings  []progDiag
+	lockReady     bool
+	exitSums      map[*types.Func]*exitSummary
+	exitReady     bool
+	taintSums     map[*types.Func]*taintSummary
+	taintFields   map[string]bool
+	taintTypes    map[string]bool
+	taintFindings []progDiag
+	taintReady    bool
+}
+
+// progDiag is a finding produced by a whole-program fixpoint, held on
+// the Program until the owning package's pass reports it.
+type progDiag struct {
+	pkg string
+	pos token.Pos
+	msg string
 }
 
 // FuncInfo is one call-graph node: a declared function with a body,
@@ -60,6 +96,7 @@ func BuildProgram(pkgs []*Package) *Program {
 	prog := &Program{
 		Pkgs:         pkgs,
 		Funcs:        make(map[*types.Func]*FuncInfo),
+		byKey:        make(map[string]*FuncInfo),
 		collSums:     make(map[*types.Func]*collSummary),
 		bufSums:      make(map[*types.Func]*bufSummary),
 		errSums:      make(map[*types.Func]*errSummary),
@@ -68,6 +105,10 @@ func BuildProgram(pkgs []*Package) *Program {
 		bufVisiting:  make(map[*types.Func]bool),
 		errVisiting:  make(map[*types.Func]bool),
 		wireVisiting: make(map[*types.Func]bool),
+		lockSums:     make(map[*types.Func]*lockSummary),
+		exitSums:     make(map[*types.Func]*exitSummary),
+		taintSums:    make(map[*types.Func]*taintSummary),
+		taintFields:  make(map[string]bool),
 	}
 	for _, pkg := range pkgs {
 		for _, file := range pkg.Files {
@@ -80,11 +121,57 @@ func BuildProgram(pkgs []*Package) *Program {
 				if !ok {
 					continue
 				}
-				prog.Funcs[fn] = &FuncInfo{Obj: fn, Decl: fd, Pkg: pkg}
+				fi := &FuncInfo{Obj: fn, Decl: fd, Pkg: pkg}
+				prog.Funcs[fn] = fi
+				if k := funcKey(fn); k != "" {
+					prog.byKey[k] = fi
+				}
 			}
 		}
 	}
 	return prog
+}
+
+// funcKey renders fn's package-path-qualified identity:
+// "pkg/path.Func" or "pkg/path.Recv.Func". It is the cross-package
+// canonical key: two *types.Func copies of the same declaration (one
+// from the declaring package's check, one from an importing package's
+// importer world) render identically.
+func funcKey(fn *types.Func) string {
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return ""
+	}
+	recv := ""
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if ptr, ok := t.(*types.Pointer); ok {
+			t = ptr.Elem()
+		}
+		named, ok := t.(*types.Named)
+		if !ok {
+			return ""
+		}
+		recv = named.Obj().Name() + "."
+	}
+	return pkg.Path() + "." + recv + fn.Name()
+}
+
+// canon maps fn to the Program's own *types.Func for the same
+// declaration, so pointer-keyed maps (Funcs, the summary memos) agree
+// across packages. Functions outside the loaded set pass through
+// unchanged.
+func (p *Program) canon(fn *types.Func) *types.Func {
+	if fn == nil {
+		return nil
+	}
+	if _, ok := p.Funcs[fn]; ok {
+		return fn
+	}
+	if fi, ok := p.byKey[funcKey(fn)]; ok {
+		return fi.Obj
+	}
+	return fn
 }
 
 // callee resolves a call expression to a loaded function's FuncInfo.
@@ -93,7 +180,7 @@ func BuildProgram(pkgs []*Package) *Program {
 // additionally distinguishes the former — the "may do anything" case —
 // from a benign external leaf.
 func (p *Program) callee(info *types.Info, call *ast.CallExpr) (fi *FuncInfo, unknown bool) {
-	fn := calleeFunc(info, call)
+	fn := p.calleeFunc(info, call)
 	if fn == nil {
 		return nil, true
 	}
@@ -103,11 +190,19 @@ func (p *Program) callee(info *types.Info, call *ast.CallExpr) (fi *FuncInfo, un
 	return nil, false
 }
 
-// calleeFunc resolves the called *types.Func when the call target is
+// calleeFunc resolves a call to the Program's canonical *types.Func
+// (staticCallee + canon): the result is safe to use as a key into
+// Funcs and the summary memos even when the call crosses packages.
+func (p *Program) calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	return p.canon(staticCallee(info, call))
+}
+
+// staticCallee resolves the called *types.Func when the call target is
 // statically known: a package-level function or a method invoked on a
 // concrete receiver. Interface method calls and func-value calls
-// return nil.
-func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+// return nil. The result is the type-checker's object for the calling
+// package's world — use Program.calleeFunc for a canonical identity.
+func staticCallee(info *types.Info, call *ast.CallExpr) *types.Func {
 	fn := funcObj(info, call)
 	if fn == nil {
 		return nil

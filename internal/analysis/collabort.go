@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"fmt"
 	"go/ast"
 	"go/token"
 	"go/types"
@@ -187,10 +188,13 @@ func (w *abortWalker) checkGuard(ifs *ast.IfStmt, rest []ast.Stmt, outerColl boo
 		return
 	}
 	w.flagged[ifs.Pos()] = true
-	pos := w.pass.Fset.Position(cc.pos)
+	where := ""
+	if pos := w.pass.Fset.Position(cc.pos); pos.IsValid() {
+		where = fmt.Sprintf(" (line %d)", pos.Line)
+	}
 	w.pass.Reportf(ifs.Pos(),
-		"early return on local error %q skips collective %s (line %d) that ranks without the error still enter; agree on the error first (e.g. Allreduce an error flag) so every rank aborts together",
-		errName, cc.name, pos.Line)
+		"early return on local error %q skips collective %s%s that ranks without the error still enter; agree on the error first (e.g. Allreduce an error flag) so every rank aborts together",
+		errName, cc.name, where)
 }
 
 // walkLoopBody recurses into a loop. A return inside the body also
@@ -276,7 +280,7 @@ func (w *abortWalker) stmtComms(n ast.Node) bool {
 			found = true
 			return
 		}
-		callee := calleeFunc(w.pass.Info, call)
+		callee := w.pass.Prog.calleeFunc(w.pass.Info, call)
 		if callee == nil {
 			return
 		}
@@ -352,7 +356,7 @@ func (w *abortWalker) classifyExpr(e ast.Expr) errClass {
 		if collectiveSet[commMethodName(w.pass.Info, e)] {
 			return errClassAgreed
 		}
-		callee := calleeFunc(w.pass.Info, e)
+		callee := w.pass.Prog.calleeFunc(w.pass.Info, e)
 		if callee == nil {
 			return errClassUnknown // interface or func-value call
 		}

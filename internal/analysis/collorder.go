@@ -416,7 +416,7 @@ func exprCollsNode(pass *Pass, n ast.Node) flowResult {
 		if pass.Prog == nil {
 			return true
 		}
-		callee := calleeFunc(pass.Info, call)
+		callee := pass.Prog.calleeFunc(pass.Info, call)
 		if callee == nil {
 			return true
 		}

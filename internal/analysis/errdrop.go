@@ -84,7 +84,7 @@ func watchedOrPropagating(pass *Pass, call *ast.CallExpr) (*types.Func, []string
 	if pass.Prog == nil {
 		return nil, nil, false
 	}
-	callee := calleeFunc(pass.Info, call)
+	callee := pass.Prog.calleeFunc(pass.Info, call)
 	if callee == nil {
 		return nil, nil, false
 	}

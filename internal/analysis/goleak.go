@@ -1,0 +1,229 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// GoLeak flags `go` statements that spawn a goroutine with no visible
+// exit discipline: nothing in the goroutine's body (or in any function
+// it statically calls) ties its lifetime to a WaitGroup.Done, a channel
+// operation (close, send, receive, select, range), or a context /
+// stop-flag check. Such a goroutine cannot be waited for, cannot be
+// told to stop, and — in a resident server — accumulates across
+// reloads: the leak is structural, visible before the process ever
+// runs.
+//
+// Evidence is collected transitively through the call graph (a
+// goroutine whose body is just `s.handleConn(conn)` is tracked if
+// handleConn checks the server's stop channel), and the check is
+// deliberately one-sided: *any* evidence anywhere in the body clears
+// the goroutine, so the analyzer under-reports rather than drowning
+// real leaks in path-sensitivity noise. Goroutines whose target cannot
+// be resolved (func values, interface methods) are skipped for the
+// same reason. DESIGN.md §8.3 records both boundaries.
+var GoLeak = &Analyzer{
+	Name: "goleak",
+	Doc:  "flags goroutines whose exit is not tied to a WaitGroup, channel, or stop-flag check",
+	Run:  runGoLeak,
+}
+
+// exitSummary records whether a function provides goroutine-exit
+// evidence, and a representative path to it.
+type exitSummary struct {
+	evidence bool
+	desc     string
+	path     []string
+}
+
+func runGoLeak(pass *Pass) {
+	prog := pass.Prog
+	prog.ensureExitEvidence()
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			st, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			pass.checkGoStmt(st)
+			return true
+		})
+	}
+}
+
+func (pass *Pass) checkGoStmt(st *ast.GoStmt) {
+	prog := pass.Prog
+	if lit, ok := st.Call.Fun.(*ast.FuncLit); ok {
+		if _, ok := prog.exitEvidenceInBody(pass.Info, lit.Body); ok {
+			return
+		}
+		pass.Reportf(st.Pos(), "goroutine has no exit discipline: no WaitGroup.Done, channel operation, or stop-flag check ties its lifetime to anything — it can be neither awaited nor cancelled")
+		return
+	}
+	callee := prog.calleeFunc(pass.Info, st.Call)
+	if callee == nil {
+		return // func value / interface method: target unknown, stay silent
+	}
+	fi, loaded := prog.Funcs[callee]
+	if !loaded {
+		return // external function: body invisible, stay silent
+	}
+	sum := prog.exitSums[fi.Obj]
+	if sum != nil && sum.evidence {
+		return
+	}
+	pass.Reportf(st.Pos(), "goroutine running %s has no exit discipline: nothing in its call tree performs a WaitGroup.Done, channel operation, or stop-flag check", funcDisplayName(callee))
+}
+
+// ensureExitEvidence computes, for every loaded function, whether it
+// (transitively) contains goroutine-exit evidence: one direct scan per
+// function, then a closure over the call graph.
+func (p *Program) ensureExitEvidence() {
+	if p.exitReady {
+		return
+	}
+	p.exitReady = true
+	callees := make(map[*types.Func][]*types.Func)
+	for fn, fi := range p.Funcs {
+		s := &exitSummary{}
+		name := funcDisplayName(fn)
+		if desc, ok := p.directExitEvidence(fi.Pkg.Info, fi.Decl.Body); ok {
+			s.evidence = true
+			s.desc = desc
+			s.path = []string{name, desc}
+		}
+		scanCalls(fi.Pkg.Info, fi.Decl.Body, func(call *ast.CallExpr) {
+			if callee := p.calleeFunc(fi.Pkg.Info, call); callee != nil {
+				if _, loaded := p.Funcs[callee]; loaded {
+					callees[fn] = append(callees[fn], callee)
+				}
+			}
+		})
+		p.exitSums[fn] = s
+	}
+	for changed := true; changed; {
+		changed = false
+		for fn, cs := range callees {
+			s := p.exitSums[fn]
+			if s.evidence {
+				continue
+			}
+			for _, c := range cs {
+				if csum := p.exitSums[c]; csum != nil && csum.evidence {
+					s.evidence = true
+					s.desc = csum.desc
+					s.path = append([]string{funcDisplayName(fn)}, csum.path...)
+					changed = true
+					break
+				}
+			}
+		}
+	}
+}
+
+// exitEvidenceInBody checks a goroutine literal's body for direct
+// evidence plus evidence through statically-resolved calls.
+func (p *Program) exitEvidenceInBody(info *types.Info, body *ast.BlockStmt) (string, bool) {
+	if desc, ok := p.directExitEvidence(info, body); ok {
+		return desc, true
+	}
+	found := ""
+	scanCalls(info, body, func(call *ast.CallExpr) {
+		if found != "" {
+			return
+		}
+		if callee := p.calleeFunc(info, call); callee != nil {
+			if sum := p.exitSums[callee]; sum != nil && sum.evidence {
+				found = "via " + strings.Join(sum.path, " → ")
+			}
+		}
+	})
+	if found != "" {
+		return found, true
+	}
+	return "", false
+}
+
+// directExitEvidence scans one body (skipping nested literals and go
+// statements — they run on other schedules) for the exit alphabet:
+// WaitGroup.Done, close(ch), channel send/receive/select/range,
+// context.Context.Done, and atomic flag loads.
+func (p *Program) directExitEvidence(info *types.Info, body ast.Node) (string, bool) {
+	found := ""
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found != "" {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit, *ast.GoStmt:
+			return false
+		case *ast.SendStmt:
+			found = "channel send"
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				found = "channel receive"
+			}
+		case *ast.SelectStmt:
+			found = "select"
+		case *ast.RangeStmt:
+			if isChanType(info.Types[n.X].Type) {
+				found = "range over channel"
+			}
+		case *ast.CallExpr:
+			switch {
+			case methodOn(info, n, "sync", "WaitGroup", "Done"):
+				found = "WaitGroup.Done"
+			case isCloseCall(info, n):
+				found = "close(chan)"
+			case isContextDone(info, n):
+				found = "context.Done"
+			case isAtomicFlagLoad(info, n):
+				found = "atomic flag load"
+			}
+		}
+		return true
+	})
+	return found, found != ""
+}
+
+// isCloseCall matches the close builtin applied to a channel.
+func isCloseCall(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "close" || len(call.Args) != 1 {
+		return false
+	}
+	if b, ok := info.Uses[id].(*types.Builtin); !ok || b.Name() != "close" {
+		return false
+	}
+	return isChanType(info.Types[call.Args[0]].Type)
+}
+
+// isContextDone matches ctx.Done() on context.Context.
+func isContextDone(info *types.Info, call *ast.CallExpr) bool {
+	fn := funcObj(info, call)
+	if fn == nil || fn.Name() != "Done" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	return isNamed(sig.Recv().Type(), "context", "Context")
+}
+
+// isAtomicFlagLoad matches Load on the sync/atomic wrapper types — the
+// draining/closing-flag idiom. A counter's Load also matches; false
+// evidence only makes the analyzer quieter, never noisier.
+func isAtomicFlagLoad(info *types.Info, call *ast.CallExpr) bool {
+	fn := funcObj(info, call)
+	if fn == nil || fn.Name() != "Load" || fn.Pkg() == nil {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	return fn.Pkg().Path() == "sync/atomic"
+}

@@ -57,7 +57,7 @@ func (p *Program) ensureMayColl() {
 				direct = true
 				return
 			}
-			if callee := calleeFunc(fi.Pkg.Info, call); callee != nil {
+			if callee := p.calleeFunc(fi.Pkg.Info, call); callee != nil {
 				if _, loaded := p.Funcs[callee]; loaded {
 					callees[fn] = append(callees[fn], callee)
 				}
@@ -101,7 +101,7 @@ func (p *Program) ensureMayP2P() {
 				direct = true
 				return
 			}
-			if callee := calleeFunc(fi.Pkg.Info, call); callee != nil {
+			if callee := p.calleeFunc(fi.Pkg.Info, call); callee != nil {
 				if _, loaded := p.Funcs[callee]; loaded {
 					callees[fn] = append(callees[fn], callee)
 				}
@@ -204,7 +204,7 @@ func (p *Program) collPath(fi *FuncInfo) []string {
 			path = []string{funcDisplayName(fi.Obj), "Comm." + name}
 			return
 		}
-		callee := calleeFunc(info, call)
+		callee := p.calleeFunc(info, call)
 		if callee == nil {
 			return
 		}
@@ -356,7 +356,7 @@ func (p *Program) bufSummaryOf(fn *types.Func) *bufSummary {
 				return
 			}
 		}
-		callee := calleeFunc(info, call)
+		callee := p.calleeFunc(info, call)
 		var calleeSum *bufSummary
 		if callee != nil {
 			if _, loaded := p.Funcs[callee]; loaded {
@@ -466,7 +466,7 @@ func (p *Program) errSummaryOf(fn *types.Func) *errSummary {
 			s.path = []string{funcDisplayName(fn), callName(watched)}
 			return
 		}
-		callee := calleeFunc(info, call)
+		callee := p.calleeFunc(info, call)
 		if callee == nil {
 			return
 		}

@@ -1,0 +1,94 @@
+// Fixture for the goleak analyzer: a goroutine needs visible exit
+// discipline — a WaitGroup.Done, a channel operation, or a stop-flag
+// check — or it can be neither awaited nor cancelled, and in a resident
+// process it accumulates across reloads.
+package goleak
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// pump spins forever with no exit evidence anywhere in its body: no
+// channel, no WaitGroup, no flag.
+func pump(counts []int64) {
+	for i := 0; ; i++ {
+		counts[i%len(counts)]++
+	}
+}
+
+// collector leaks its literal: nothing ties the goroutine's lifetime to
+// anything the parent can wait on or close.
+func collector(counts []int64) {
+	go func() { // want "no exit discipline"
+		for i := 0; ; i++ {
+			counts[i%len(counts)]++
+		}
+	}()
+}
+
+// spawnPump leaks through a named function: the analyzer scans pump's
+// whole call tree before deciding, and finds nothing there either.
+func spawnPump(counts []int64) {
+	go pump(counts) // want "no exit discipline"
+}
+
+// worker drains a channel under a WaitGroup: the range ends when the
+// channel is closed, and Done makes the exit awaitable.
+type worker struct {
+	jobs chan int
+	done *sync.WaitGroup
+}
+
+func (w *worker) run() {
+	defer w.done.Done()
+	for j := range w.jobs {
+		_ = j
+	}
+}
+
+// startWorker is the interprocedural positive: the evidence (Done plus
+// range-over-channel) lives in run's body, not at the go statement.
+// No finding.
+func startWorker(w *worker) {
+	go w.run()
+}
+
+// serveMetrics is the await-and-cancel idiom: close(done) lets the
+// drain path block until the goroutine has really exited. No finding.
+func serveMetrics(serve func() error) chan struct{} {
+	done := make(chan struct{})
+	go func() {
+		_ = serve()
+		close(done)
+	}()
+	return done
+}
+
+// poll checks an atomic closing flag each round: the spawner can stop
+// it by setting the flag. No finding.
+func poll(stop *atomic.Bool, f func()) {
+	go func() {
+		for !stop.Load() {
+			f()
+		}
+	}()
+}
+
+// launch spawns a caller-supplied func value: the target is opaque, so
+// the analyzer stays silent rather than guessing (a documented
+// soundness boundary). No finding either way.
+func launch(f func()) {
+	go f()
+}
+
+// auditLog is fire-and-forget by design — process exit reaps it — and
+// the directive records that decision instead of restructuring.
+func auditLog(lines []string, sink func(string)) {
+	//spio:allow goleak -- fixture: one-shot best-effort logger; process exit reaps it
+	go func() { // want "no exit discipline"
+		for _, l := range lines {
+			sink(l)
+		}
+	}()
+}

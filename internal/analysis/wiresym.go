@@ -438,7 +438,7 @@ func (x *wireExtractor) exprItems(n ast.Node) []wireItem {
 		}
 		// Helper splice: a loaded callee contributes its streams, either
 		// onto the writer/reader argument it receives or anonymously.
-		callee := calleeFunc(info, call)
+		callee := x.prog.calleeFunc(info, call)
 		if callee == nil {
 			return true
 		}

@@ -137,6 +137,113 @@ func TestBlockCacheSingleflight(t *testing.T) {
 	}
 }
 
+// gatedReaderAt serves a deterministic pattern, parking the read of one
+// designated offset until the gate is closed — the lever that holds a
+// singleflight load in flight while the test drives evictions past it.
+type gatedReaderAt struct {
+	size    int64
+	gate    chan struct{}
+	gateOff int64
+}
+
+func patternByte(off int64) byte { return byte(off*7 + off>>8) }
+
+func (g *gatedReaderAt) ReadAt(p []byte, off int64) (int, error) {
+	if g.gate != nil && off == g.gateOff {
+		<-g.gate
+	}
+	n := 0
+	for ; n < len(p) && off+int64(n) < g.size; n++ {
+		p[n] = patternByte(off + int64(n))
+	}
+	if n < len(p) {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+// TestBlockCacheEvictionRacesSingleflight drives the hard interleaving
+// directly (run it under -race): block 0's singleflight load is parked
+// on the gate while other goroutines sweep enough distinct blocks
+// through a one-block cache to evict everything repeatedly — including
+// block 0 the moment it lands. Waiters parked on the flight must still
+// get the right bytes (evicted slices stay valid; the cache only
+// forgets them), and the byte accounting must balance afterwards.
+func TestBlockCacheEvictionRacesSingleflight(t *testing.T) {
+	const bs = 512
+	const nBlocks = 8
+	base := &gatedReaderAt{size: bs * nBlocks, gate: make(chan struct{}), gateOff: 0}
+	c := NewBlockCache(bs, bs) // capacity: exactly one block
+	ra := c.ReaderFor("f", base)
+
+	check := func(off int64) error {
+		buf := make([]byte, bs)
+		if _, err := ra.ReadAt(buf, off); err != nil {
+			return err
+		}
+		for i, b := range buf {
+			if want := patternByte(off + int64(i)); b != want {
+				t.Errorf("byte %d of block at %d: got %#x want %#x", i, off, b, want)
+				break
+			}
+		}
+		return nil
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	// Waiters on block 0: one starts the gated load, the rest park on
+	// the flight.
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := check(0); err != nil {
+				errs <- err
+			}
+		}()
+	}
+	// Sweepers: churn the other blocks through the one-block cache,
+	// forcing evictions while block 0's load is still in flight.
+	var sweeps sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		sweeps.Add(1)
+		go func(seed int64) {
+			defer sweeps.Done()
+			r := rand.New(rand.NewSource(seed))
+			for i := 0; i < 200; i++ {
+				off := (1 + r.Int63n(nBlocks-1)) * bs
+				if err := check(off); err != nil {
+					errs <- err
+				}
+			}
+		}(int64(g))
+	}
+	sweeps.Wait()
+	close(base.gate) // release block 0's load into the churn
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	// Block 0 was likely evicted already; a fresh read must reload it
+	// correctly.
+	if err := check(0); err != nil {
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	if st.Evictions == 0 {
+		t.Error("no evictions: the race this test exists for never happened")
+	}
+	if st.Used > bs || st.Blocks > 1 {
+		t.Errorf("accounting drifted: used=%d blocks=%d, capacity is one %d-byte block", st.Used, st.Blocks, bs)
+	}
+	if st.Used != int64(st.Blocks)*bs {
+		t.Errorf("used bytes %d inconsistent with %d resident blocks", st.Used, st.Blocks)
+	}
+}
+
 func TestBlockCacheTailEOF(t *testing.T) {
 	data := randomBytes(1000, 6) // not block-aligned
 	c := NewBlockCache(1<<20, 512)

@@ -24,10 +24,33 @@ var ErrDraining = errors.New("spiod: server is draining")
 // levels.
 var ErrBudget = errors.New("spiod: response exceeds the server's byte budget")
 
-// clientMaxFrame bounds frames a client accepts; response size is
-// governed server-side by the byte budget, this only guards against a
-// garbage length prefix.
-const clientMaxFrame = 1<<31 - 1
+// DefaultMaxFrame bounds the response frames (and the blobs inside
+// them) a client accepts unless WithMaxFrame overrides it. Response
+// size is governed server-side by the byte budget; this cap is the
+// client's own defense against a garbage or hostile length prefix,
+// which would otherwise commit it to a multi-GiB allocation before the
+// first payload byte.
+const DefaultMaxFrame int64 = 256 << 20
+
+// maxFrameCeiling is the hard upper bound WithMaxFrame clamps to: the
+// length prefix is a u32, and staying under 2^31 keeps every frame
+// length representable as an int on 32-bit platforms too.
+const maxFrameCeiling int64 = 1<<31 - 1
+
+// DialOption customizes a dialed Client.
+type DialOption func(*Client)
+
+// WithMaxFrame overrides the largest response frame the client will
+// accept, in bytes. Values outside (0, 2^31) are clamped to the
+// protocol's hard frame ceiling.
+func WithMaxFrame(n int64) DialOption {
+	return func(c *Client) {
+		if n <= 0 || n > maxFrameCeiling {
+			n = maxFrameCeiling
+		}
+		c.maxFrame = n
+	}
+}
 
 // ParseAddr splits a dial/listen address into (network, address):
 // "unix:/path" and "tcp:host:port" are explicit; anything containing a
@@ -51,13 +74,14 @@ func ParseAddr(addr string) (network, address string, err error) {
 // client (the protocol is sequential); open one client per concurrent
 // consumer.
 type Client struct {
-	mu   sync.Mutex // serializes request/response exchanges
-	conn net.Conn
+	mu       sync.Mutex // serializes request/response exchanges
+	conn     net.Conn
+	maxFrame int64 // largest acceptable response frame (DefaultMaxFrame unless overridden)
 }
 
 // Dial connects to a spiod server ("unix:/path", "tcp:host:port", or a
 // bare socket path / host:port) and performs the protocol handshake.
-func Dial(addr string) (*Client, error) {
+func Dial(addr string, opts ...DialOption) (*Client, error) {
 	network, address, err := ParseAddr(addr)
 	if err != nil {
 		return nil, err
@@ -66,7 +90,10 @@ func Dial(addr string) (*Client, error) {
 	if err != nil {
 		return nil, err
 	}
-	c := &Client{conn: conn}
+	c := &Client{conn: conn, maxFrame: DefaultMaxFrame}
+	for _, opt := range opts {
+		opt(c)
+	}
 	var fb frameBuf
 	e := newWriter(&fb)
 	encodeHello(e, &hello{Version: protoVersion})
@@ -102,7 +129,7 @@ func (c *Client) sendRequest(req *request) error {
 // readResp reads one response frame and maps its status to an error;
 // the returned decoder is positioned at the payload.
 func (c *Client) readResp() (*respHeader, *reader, error) {
-	body, err := readFrame(c.conn, clientMaxFrame)
+	body, err := readFrame(c.conn, uint32(c.maxFrame))
 	if err != nil {
 		return nil, nil, err
 	}
@@ -129,6 +156,10 @@ func (c *Client) readResp() (*respHeader, *reader, error) {
 func (c *Client) call(req *request) (*reader, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	// The lock intentionally spans the conn I/O: it is what serializes
+	// whole request/response exchanges on the shared connection, and
+	// every waiter is another caller of the same exchange.
+	//spio:allow lockorder -- mu serializes request/response exchanges on the shared conn; holding it across the I/O is the protocol
 	if err := c.sendRequest(req); err != nil {
 		return nil, err
 	}
@@ -152,7 +183,7 @@ func (c *Client) Stats() ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	return decodeBlob(d, clientMaxFrame)
+	return decodeBlob(d, uint64(c.maxFrame))
 }
 
 // Open resolves a dataset reference ("name", "name@N", "name@latest")
@@ -162,7 +193,7 @@ func (c *Client) Open(ref string) (*RemoteDataset, error) {
 	if err != nil {
 		return nil, err
 	}
-	blob, err := decodeBlob(d, clientMaxFrame)
+	blob, err := decodeBlob(d, uint64(c.maxFrame))
 	if err != nil {
 		return nil, err
 	}
@@ -188,8 +219,8 @@ type RemoteDataset struct {
 
 // OpenRemote dials addr and opens one dataset in a single step; Close
 // on the result closes the connection.
-func OpenRemote(addr, ref string) (*RemoteDataset, error) {
-	c, err := Dial(addr)
+func OpenRemote(addr, ref string, opts ...DialOption) (*RemoteDataset, error) {
+	c, err := Dial(addr, opts...)
 	if err != nil {
 		return nil, err
 	}
@@ -248,7 +279,7 @@ func (r *RemoteDataset) QueryBox(q geom.Box, opts rdr.Options) (*particle.Buffer
 	if err != nil {
 		return nil, rdr.Stats{}, err
 	}
-	resp, err := decodeQueryResp(d, clientMaxFrame)
+	resp, err := decodeQueryResp(d, r.c.maxFrame)
 	if err != nil {
 		return nil, rdr.Stats{}, err
 	}
@@ -270,7 +301,7 @@ func (r *RemoteDataset) KNN(p geom.Vec3, k int) (*particle.Buffer, []float64, rd
 	if err != nil {
 		return nil, nil, rdr.Stats{}, err
 	}
-	resp, err := decodeKNNResp(d, clientMaxFrame)
+	resp, err := decodeKNNResp(d, r.c.maxFrame)
 	if err != nil {
 		return nil, nil, rdr.Stats{}, err
 	}
@@ -288,7 +319,7 @@ func (r *RemoteDataset) Halo(patch geom.Box, halo float64, opts rdr.Options) (ow
 	if err != nil {
 		return nil, nil, rdr.Stats{}, err
 	}
-	resp, err := decodeHaloResp(d, clientMaxFrame)
+	resp, err := decodeHaloResp(d, r.c.maxFrame)
 	if err != nil {
 		return nil, nil, rdr.Stats{}, err
 	}
@@ -306,7 +337,7 @@ func (r *RemoteDataset) DensityGrid(dims geom.Idx3, levels, readers int) ([]floa
 	if err != nil {
 		return nil, 0, rdr.Stats{}, err
 	}
-	resp, err := decodeDensityResp(d, clientMaxFrame)
+	resp, err := decodeDensityResp(d, r.c.maxFrame)
 	if err != nil {
 		return nil, 0, rdr.Stats{}, err
 	}
@@ -335,6 +366,9 @@ func (r *RemoteDataset) ProgressiveBox(q geom.Box, levels, readers int) (*Remote
 	req.Levels = levels
 	req.Readers = readers
 	r.c.mu.Lock()
+	// As in Client.call, the lock deliberately spans the stream's conn
+	// I/O: the connection is dedicated to this stream until release().
+	//spio:allow lockorder -- mu dedicates the shared conn to this stream until release(); holding it across the I/O is the protocol
 	if err := r.c.sendRequest(req); err != nil {
 		r.c.mu.Unlock()
 		return nil, err
@@ -412,7 +446,7 @@ func (st *RemoteStream) exchange(ack uint8) (*streamFrame, error) {
 	if err != nil {
 		return nil, err
 	}
-	return decodeStreamFrame(d, clientMaxFrame)
+	return decodeStreamFrame(d, st.c.maxFrame)
 }
 
 // release returns the connection to request/response use.

@@ -381,11 +381,18 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	done := make(chan struct{})
 	go func() {
 		s.reqWG.Wait() // every admitted request/stream completes
+		// Snapshot under the lock, close outside it: Close can stall on
+		// a wedged peer, and holding s.mu through that would freeze
+		// accept bookkeeping and the stats path for every other caller.
 		s.mu.Lock()
+		idle := make([]net.Conn, 0, len(s.conns))
 		for c := range s.conns {
-			_ = c.Close() // idle connections blocked in read
+			idle = append(idle, c)
 		}
 		s.mu.Unlock()
+		for _, c := range idle {
+			_ = c.Close() // idle connections blocked in read
+		}
 		s.connWG.Wait()
 		s.acceptWG.Wait()
 		close(done)

@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"errors"
 	"path/filepath"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -565,6 +566,45 @@ func TestBudgetFastFail(t *testing.T) {
 	// A level-limited read fits.
 	if _, _, err := ds.QueryBox(ds.Meta().Domain, rdr.Options{Levels: 1}); err != nil {
 		t.Fatalf("level-limited query: %v", err)
+	}
+}
+
+// TestClientMaxFrameOption pins the client-side frame cap: a response
+// larger than the dialed cap is refused by the client before it
+// allocates the body, and the default cap admits normal traffic. The
+// cap is the client's guard against a garbage or hostile length prefix
+// — the server-side byte budget cannot protect a client talking to a
+// compromised or corrupt peer.
+func TestClientMaxFrameOption(t *testing.T) {
+	dir := t.TempDir()
+	writeDataset(t, dir, geom.I3(2, 1, 1), geom.I3(1, 1, 1), 300)
+	s := New(Config{})
+	if err := s.Mount("sim", dir); err != nil {
+		t.Fatal(err)
+	}
+	addr := startServer(t, s)
+
+	// A cap big enough for the handshake and the meta blob but far
+	// smaller than the query payload: the query must fail client-side.
+	ds, err := OpenRemote(addr, "sim", WithMaxFrame(4096))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ds.Close()
+	if _, _, err := ds.QueryBox(ds.Meta().Domain, rdr.Options{}); err == nil {
+		t.Fatal("response over the client frame cap accepted")
+	} else if !strings.Contains(err.Error(), "exceeds limit") {
+		t.Fatalf("capped query failed with %v, want a frame-limit error", err)
+	}
+
+	// The default cap admits the same query.
+	ds2, err := OpenRemote(addr, "sim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ds2.Close()
+	if _, _, err := ds2.QueryBox(ds2.Meta().Domain, rdr.Options{}); err != nil {
+		t.Fatalf("default-cap query: %v", err)
 	}
 }
 

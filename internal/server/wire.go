@@ -67,6 +67,24 @@ const (
 	maxWireString = 4096
 	maxWireFields = 256
 	maxWireNames  = 1 << 16
+	// maxWireComponents caps a decoded field's component count; it must
+	// be checked before the value lands in particle.Field, because the
+	// component count multiplies into every per-record stride and
+	// per-field allocation downstream.
+	maxWireComponents = 1024
+)
+
+// Request-parameter bounds, enforced in decodeRequest before the values
+// are stored. Each of these sizes an allocation or a fan-out on the
+// server before any dataset byte is read (K sizes KNN result buffers,
+// Dims sizes the density grid, Levels/Readers size the LOD schedule),
+// so an unchecked value is a one-frame denial of service.
+const (
+	maxReqK        = 1 << 20 // KNN neighbours
+	maxReqGridAxis = 1 << 20 // density grid cells per axis
+	maxReqCells    = 1 << 22 // density grid cells total (32 MiB of float64)
+	maxReqLevels   = 1 << 10 // LOD levels
+	maxReqReaders  = 1 << 16 // simulated reader fan-out
 )
 
 // writer is a sticky-error little-endian encoder, the wire twin of
@@ -131,7 +149,12 @@ func (e *writer) idx3(i geom.Idx3) {
 	e.uvarint(uint64(i.Z))
 }
 
-// reader is the sticky-error decoding counterpart of writer.
+// reader is the sticky-error decoding counterpart of writer. It
+// decodes bytes that arrived over the network, so every value it
+// produces is attacker-controlled until a bound check proves
+// otherwise.
+//
+//spio:untrusted-input
 type reader struct {
 	r   io.Reader
 	n   int64
@@ -327,11 +350,30 @@ func decodeRequest(d *reader) (*request, error) {
 	r.Dataset = d.str(maxWireString)
 	r.Box = d.boxv()
 	r.Point = d.vec3()
-	r.K = int(d.uvarint())
+	k := d.uvarint()
+	if k > maxReqK {
+		d.fail(fmt.Errorf("spiod: k=%d exceeds limit %d", k, maxReqK))
+	}
+	r.K = int(k)
 	r.Halo = d.f64()
-	r.Dims = d.idx3()
-	r.Levels = int(d.uvarint())
-	r.Readers = int(d.uvarint())
+	dims := d.idx3()
+	if dims.X < 0 || dims.X > maxReqGridAxis ||
+		dims.Y < 0 || dims.Y > maxReqGridAxis ||
+		dims.Z < 0 || dims.Z > maxReqGridAxis ||
+		int64(dims.X)*int64(dims.Y)*int64(dims.Z) > maxReqCells {
+		d.fail(fmt.Errorf("spiod: grid dims %dx%dx%d exceed limit %d cells", dims.X, dims.Y, dims.Z, maxReqCells))
+	}
+	r.Dims = dims
+	levels := d.uvarint()
+	if levels > maxReqLevels {
+		d.fail(fmt.Errorf("spiod: levels=%d exceeds limit %d", levels, maxReqLevels))
+	}
+	r.Levels = int(levels)
+	readers := d.uvarint()
+	if readers > maxReqReaders {
+		d.fail(fmt.Errorf("spiod: readers=%d exceeds limit %d", readers, maxReqReaders))
+	}
+	r.Readers = int(readers)
 	r.NoFilter = d.u8() != 0
 	n := d.uvarint()
 	if n > maxWireFields {
@@ -423,7 +465,11 @@ func decodeWireSchema(d *reader) (*particle.Schema, error) {
 		var f particle.Field
 		f.Name = d.str(maxWireString)
 		f.Kind = particle.Kind(d.u8())
-		f.Components = int(d.uvarint())
+		comps := d.uvarint()
+		if comps > maxWireComponents {
+			d.fail(fmt.Errorf("spiod: field with %d components exceeds limit %d", comps, maxWireComponents))
+		}
+		f.Components = int(comps)
 		if d.err == nil && f.Kind.Size() == 0 {
 			d.fail(fmt.Errorf("spiod: unknown field kind %d", f.Kind))
 		}

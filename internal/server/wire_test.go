@@ -164,6 +164,56 @@ func TestFrameLimit(t *testing.T) {
 	}
 }
 
+// TestRequestBoundsEnforced pins the server-side request-parameter
+// bounds added after wiretaint flagged the unchecked path: a hostile K
+// or Dims in a single request frame used to reach make() sizes in the
+// query layer (KNN result buffers, DensityGrid cell arrays) before any
+// dataset was even resolved — a one-frame denial of service.
+func TestRequestBoundsEnforced(t *testing.T) {
+	cases := []struct {
+		name string
+		req  request
+	}{
+		{"knn k", request{Op: opKNN, Dataset: "sim", K: maxReqK + 1}},
+		{"grid axis", request{Op: opDensityGrid, Dataset: "sim", Dims: geom.I3(maxReqGridAxis+1, 1, 1)}},
+		{"grid cells", request{Op: opDensityGrid, Dataset: "sim", Dims: geom.I3(1<<12, 1<<12, 2)}},
+		{"levels", request{Op: opQueryBox, Dataset: "sim", Levels: maxReqLevels + 1}},
+		{"readers", request{Op: opQueryBox, Dataset: "sim", Readers: maxReqReaders + 1}},
+	}
+	for _, tc := range cases {
+		d := roundTrip(t, func(e *writer) { encodeRequest(e, &tc.req) })
+		if _, err := decodeRequest(d); err == nil {
+			t.Errorf("%s: hostile request decoded without error: %+v", tc.name, tc.req)
+		}
+	}
+	// The limits admit every legitimate request: a maximal one still
+	// round-trips.
+	ok := request{
+		Op: opDensityGrid, Dataset: "sim",
+		K: maxReqK, Dims: geom.I3(1<<11, 1<<11, 1),
+		Levels: maxReqLevels, Readers: maxReqReaders,
+	}
+	d := roundTrip(t, func(e *writer) { encodeRequest(e, &ok) })
+	if _, err := decodeRequest(d); err != nil {
+		t.Fatalf("maximal legitimate request rejected: %v", err)
+	}
+}
+
+// TestSchemaComponentBound rejects a schema field claiming a hostile
+// component count: stride arithmetic multiplies by it, so an unchecked
+// value scales every later allocation.
+func TestSchemaComponentBound(t *testing.T) {
+	d := roundTrip(t, func(e *writer) {
+		e.uvarint(1)
+		e.str("pos")
+		e.u8(uint8(particle.Float64))
+		e.uvarint(maxWireComponents + 1)
+	})
+	if _, err := decodeWireSchema(d); err == nil {
+		t.Fatal("schema with hostile component count accepted")
+	}
+}
+
 func TestTruncatedDecodeFailsCleanly(t *testing.T) {
 	var fb frameBuf
 	e := newWriter(&fb)

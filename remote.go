@@ -40,18 +40,27 @@ var (
 	ErrBudget = server.ErrBudget
 )
 
+// DialOption customizes a daemon connection at dial time.
+type DialOption = server.DialOption
+
+// WithMaxFrame caps the response frames the client will accept, in
+// bytes (default server.DefaultMaxFrame, 256 MiB): the client's own
+// guard against a corrupt or hostile length prefix committing it to a
+// huge allocation.
+func WithMaxFrame(n int64) DialOption { return server.WithMaxFrame(n) }
+
 // Dial connects to a spiod daemon ("unix:/path", "tcp:host:port", or a
 // bare socket path / host:port) and opens one dataset reference
 // ("name", "name@N", "name@latest"). Closing the RemoteDataset closes
 // the connection.
-func Dial(addr, dataset string) (*RemoteDataset, error) {
-	return server.OpenRemote(addr, dataset)
+func Dial(addr, dataset string, opts ...DialOption) (*RemoteDataset, error) {
+	return server.OpenRemote(addr, dataset, opts...)
 }
 
 // DialServer connects without opening a dataset — for List, Stats, or
 // multiple Opens over one connection.
-func DialServer(addr string) (*ServerClient, error) {
-	return server.Dial(addr)
+func DialServer(addr string, opts ...DialOption) (*ServerClient, error) {
+	return server.Dial(addr, opts...)
 }
 
 // NewServer builds an embeddable serving daemon (the library form of

@@ -8,11 +8,12 @@
 # regression there is called out as such. The race-detector step covers
 # the packages with real concurrency (the goroutine-rank MPI
 # substitute, the collective write pipeline, the fault-injection seam,
-# the atomic format writers, and the reader's shared file cache); the
-# spiolint step runs the full analyzer suite (collorder, bufhandoff,
-# errdrop, tagclash, wiresym, collabort — all interprocedural) over the
-# whole module, prints the per-analyzer diagnostic counts, and fails on
-# any unsuppressed diagnostic (exit 1; load errors exit 2).
+# the atomic format writers, the reader's shared file cache, and the
+# serving daemon); the spiolint step runs the full analyzer suite
+# (collorder, bufhandoff, errdrop, tagclash, wiresym, collabort,
+# lockorder, wiretaint, goleak — all interprocedural) over the whole
+# module, prints the per-analyzer diagnostic counts, and fails on any
+# unsuppressed diagnostic (exit 1; load errors exit 2).
 set -eu
 
 cd "$(dirname "$0")/.."

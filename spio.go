@@ -140,6 +140,15 @@ type (
 	Comm = mpi.Comm
 	// World is a set of communicating ranks.
 	World = mpi.World
+	// ReduceOp is a reduction operator for Reduce/Allreduce.
+	ReduceOp = mpi.ReduceOp
+)
+
+// Reduction operators.
+const (
+	OpSum = mpi.OpSum
+	OpMax = mpi.OpMax
+	OpMin = mpi.OpMin
 )
 
 // Run executes fn on n goroutine ranks and waits for all of them.
