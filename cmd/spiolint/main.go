@@ -17,10 +17,13 @@
 //	            bounds without a dominating bound check
 //	goleak      goroutines with no exit discipline (nothing to await
 //	            or cancel them)
+//	racegate    struct fields written from multiple goroutine origins
+//	            without a consistent lock, and atomic/plain mixes
 //
 // All analyzers are interprocedural: a collective, a buffer handoff, a
-// dropped error, a lock acquisition, or a tainted length hidden inside
-// a helper is reported at the call site with the call path. Findings can be suppressed per line with
+// dropped error, a lock acquisition, a tainted length, or an unlocked
+// field write hidden inside a helper is reported at the call site with
+// the call path. Findings can be suppressed per line with
 //
 //	//spio:allow <analyzer> -- <reason>
 //
@@ -46,16 +49,22 @@ import (
 
 func main() {
 	jsonOut := flag.Bool("json", false, "emit diagnostics as a JSON array (suppressed findings included, marked)")
+	sarifOut := flag.Bool("sarif", false, "emit diagnostics as a SARIF 2.1.0 log (suppressed findings carry inSource suppressions)")
 	only := flag.String("analyzers", "", "comma-separated subset of analyzers to run (default: all)")
 	list := flag.Bool("list", false, "list available analyzers and exit")
 	showSuppressed := flag.Bool("show-suppressed", false, "also print findings suppressed by //spio:allow directives")
-	summary := flag.Bool("summary", false, "print per-analyzer diagnostic counts after the findings")
+	summary := flag.Bool("summary", false, "print per-analyzer diagnostic counts and wall times after the findings")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: spiolint [-json] [-analyzers a,b] [-show-suppressed] [-summary] [packages]\n\n")
+		fmt.Fprintf(os.Stderr, "usage: spiolint [-json|-sarif] [-analyzers a,b] [-show-suppressed] [-summary] [packages]\n\n")
 		fmt.Fprintf(os.Stderr, "Runs the spio collective-correctness analyzers over the given\npackage patterns (default ./...).\n\nFlags:\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+
+	if *jsonOut && *sarifOut {
+		fmt.Fprintln(os.Stderr, "spiolint: -json and -sarif are mutually exclusive")
+		os.Exit(analysis.ExitLoadError)
+	}
 
 	if *list {
 		for _, a := range analysis.Analyzers() {
@@ -84,17 +93,24 @@ func main() {
 		os.Exit(analysis.ExitLoadError)
 	}
 
-	diags := analysis.Run(analyzers, pkgs)
-	if *jsonOut {
+	diags, timings := analysis.RunTimed(analyzers, pkgs)
+	switch {
+	case *jsonOut:
 		if err := analysis.WriteJSON(os.Stdout, diags); err != nil {
 			fmt.Fprintln(os.Stderr, "spiolint:", err)
 			os.Exit(analysis.ExitLoadError)
 		}
-	} else {
+	case *sarifOut:
+		if err := analysis.WriteSARIF(os.Stdout, analyzers, diags); err != nil {
+			fmt.Fprintln(os.Stderr, "spiolint:", err)
+			os.Exit(analysis.ExitLoadError)
+		}
+	default:
 		analysis.WriteText(os.Stdout, diags, *showSuppressed)
 	}
 	if *summary {
 		fmt.Println(analysis.Summarize(analyzers, diags))
+		fmt.Println("timings:", analysis.TimingsLine(timings))
 	}
 	os.Exit(analysis.ExitCode(diags))
 }

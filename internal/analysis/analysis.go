@@ -35,6 +35,7 @@ import (
 	"io"
 	"sort"
 	"strings"
+	"time"
 )
 
 // Analyzer is one named check over a type-checked package.
@@ -92,7 +93,7 @@ func (d Diagnostic) String() string {
 
 // Analyzers returns the full spiolint suite.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{CollOrder, BufHandoff, ErrDrop, TagClash, WireSym, CollAbort, LockOrder, WireTaint, GoLeak}
+	return []*Analyzer{CollOrder, BufHandoff, ErrDrop, TagClash, WireSym, CollAbort, LockOrder, WireTaint, GoLeak, RaceGate}
 }
 
 // ByName returns the named analyzers, or an error naming the unknown
@@ -126,10 +127,27 @@ func ByName(names []string) ([]*Analyzer, error) {
 // Findings covered by a //spio:allow directive are marked Suppressed
 // (not removed); malformed directives are findings themselves.
 func Run(analyzers []*Analyzer, pkgs []*Package) []Diagnostic {
+	diags, _ := RunTimed(analyzers, pkgs)
+	return diags
+}
+
+// AnalyzerTiming is one analyzer's wall-clock cost over a whole run,
+// summed across packages. The lazily built whole-program fixpoints
+// (lock sets, exit evidence, taint, race) are charged to the analyzer
+// whose pass triggered them — the first asker pays, which is the honest
+// attribution for "what does adding this analyzer cost".
+type AnalyzerTiming struct {
+	Name    string
+	Elapsed time.Duration
+}
+
+// RunTimed is Run plus a per-analyzer timing table, in suite order.
+func RunTimed(analyzers []*Analyzer, pkgs []*Package) ([]Diagnostic, []AnalyzerTiming) {
 	prog := BuildProgram(pkgs)
 	var diags []Diagnostic
+	elapsed := make([]time.Duration, len(analyzers))
 	for _, pkg := range pkgs {
-		for _, a := range analyzers {
+		for i, a := range analyzers {
 			pass := &Pass{
 				Analyzer: a,
 				Fset:     pkg.Fset,
@@ -139,7 +157,9 @@ func Run(analyzers []*Analyzer, pkgs []*Package) []Diagnostic {
 				Prog:     prog,
 				diags:    &diags,
 			}
+			start := time.Now()
 			a.Run(pass)
+			elapsed[i] += time.Since(start)
 		}
 	}
 	applyDirectives(pkgs, analyzers, &diags)
@@ -156,7 +176,27 @@ func Run(analyzers []*Analyzer, pkgs []*Package) []Diagnostic {
 		}
 		return diags[i].Analyzer < diags[j].Analyzer
 	})
-	return diags
+	timings := make([]AnalyzerTiming, len(analyzers))
+	for i, a := range analyzers {
+		timings[i] = AnalyzerTiming{Name: a.Name, Elapsed: elapsed[i]}
+	}
+	return diags, timings
+}
+
+// TimingsLine renders the per-analyzer wall times as one parseable
+// line, e.g. "collorder=12.3ms bufhandoff=0.4ms ...". ci.sh surfaces it
+// under -summary and scripts/bench.sh records it into the benchmark
+// JSON, so the format is a contract: space-separated name=<float>ms
+// pairs in suite order.
+func TimingsLine(timings []AnalyzerTiming) string {
+	var b strings.Builder
+	for i, tm := range timings {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s=%.1fms", tm.Name, float64(tm.Elapsed.Microseconds())/1000)
+	}
+	return b.String()
 }
 
 // WriteText prints active diagnostics one per line in file:line:col

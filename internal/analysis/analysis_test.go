@@ -238,7 +238,7 @@ func TestSummarize(t *testing.T) {
 		{Analyzer: "directive"},
 	}
 	got := Summarize(Analyzers(), diags)
-	want := "collorder=2 bufhandoff=0 errdrop=0 tagclash=0 wiresym=0 collabort=0 lockorder=0 wiretaint=0 goleak=0 directive=1 suppressed=1"
+	want := "collorder=2 bufhandoff=0 errdrop=0 tagclash=0 wiresym=0 collabort=0 lockorder=0 wiretaint=0 goleak=0 racegate=0 directive=1 suppressed=1"
 	if got != want {
 		t.Fatalf("Summarize = %q, want %q", got, want)
 	}

@@ -73,6 +73,8 @@ type Program struct {
 	taintTypes    map[string]bool
 	taintFindings []progDiag
 	taintReady    bool
+	raceFindings  []progDiag
+	raceReady     bool
 }
 
 // progDiag is a finding produced by a whole-program fixpoint, held on

@@ -52,6 +52,7 @@ type World struct {
 // that results do not depend on it. Install the hook before Run starts
 // the rank goroutines; it must be safe for concurrent calls.
 func (w *World) SetSendDelay(fn func(src, dst int, bytes int)) {
+	//spio:allow racegate -- documented contract: the hook is installed before Run spawns the rank goroutines and is read-only afterwards
 	w.sendDelay = fn
 }
 

@@ -229,6 +229,51 @@ func TestDecodePoolDisjointRegions(t *testing.T) {
 	}
 }
 
+// TestDecodePoolInlinePath pins the single-worker fast path: decodes
+// run synchronously in Go, regions land intact, PeakConcurrency
+// reports 1, and a decode error still surfaces from Wait while
+// leaving earlier regions untouched. The inline path shares the
+// worker path's mutex discipline on err/peak (racegate's dogfood
+// finding), so this doubles as its regression pin.
+func TestDecodePoolInlinePath(t *testing.T) {
+	const parts = 4
+	srcs := make([]*Buffer, parts)
+	total := 0
+	for i := range srcs {
+		srcs[i] = testBuffer(t, 30+i, int64(i))
+		total += srcs[i].Len()
+	}
+	dst := NewBuffer(Uintah(), 0)
+	dst.SetLen(total)
+	pool := NewDecodePool(dst, 1)
+	at := 0
+	offs := make([]int, parts)
+	for i, s := range srcs {
+		offs[i] = at
+		pool.Go(s.Encode(), at)
+		at += s.Len()
+	}
+	if err := pool.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range srcs {
+		if !dst.Slice(offs[i], offs[i]+s.Len()).Equal(s) {
+			t.Errorf("region %d differs", i)
+		}
+	}
+	if p := pool.PeakConcurrency(); p != 1 {
+		t.Errorf("PeakConcurrency = %d, want 1 on the inline path", p)
+	}
+
+	bad := NewBuffer(Uintah(), 0)
+	bad.SetLen(1)
+	badPool := NewDecodePool(bad, 1)
+	badPool.Go(make([]byte, 124), 1) // out of range
+	if err := badPool.Wait(); err == nil {
+		t.Error("out-of-range inline decode: Wait returned nil")
+	}
+}
+
 func TestDecodePoolReportsError(t *testing.T) {
 	dst := NewBuffer(Uintah(), 0)
 	dst.SetLen(1)

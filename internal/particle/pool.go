@@ -54,9 +54,18 @@ func NewDecodePool(dst *Buffer, workers int) *DecodePool {
 // Wait returns.
 func (p *DecodePool) Go(data []byte, at int) {
 	if p.inline {
+		// The inline path runs on the caller's goroutine, but err/peak are
+		// still read through Wait and PeakConcurrency — keep every access
+		// under p.mu so the field has one lock discipline on all paths.
+		p.mu.Lock()
 		p.peak = 1
-		if err := p.dst.DecodeRecordsAt(data, at); err != nil && p.err == nil {
-			p.err = fmt.Errorf("particle: pool decode at %d: %w", at, err)
+		p.mu.Unlock()
+		if err := p.dst.DecodeRecordsAt(data, at); err != nil {
+			p.mu.Lock()
+			if p.err == nil {
+				p.err = fmt.Errorf("particle: pool decode at %d: %w", at, err)
+			}
+			p.mu.Unlock()
 		}
 		return
 	}
@@ -87,6 +96,8 @@ func (p *DecodePool) Go(data []byte, at int) {
 // after Wait is a caller bug.
 func (p *DecodePool) Wait() error {
 	p.wg.Wait()
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	return p.err
 }
 

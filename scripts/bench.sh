@@ -10,6 +10,8 @@
 #	BENCH_PR4.json  write/exchange/LOD kernels (root package)
 #	BENCH_PR5.json  spiod serving throughput under concurrent clients
 #	                (internal/server)
+#	BENCH_PR7.json  per-analyzer spiolint wall times over the whole
+#	                module, parsed from the -summary timings line
 #
 # Usage:
 #
@@ -26,6 +28,7 @@ cd "$(dirname "$0")/.."
 
 OUT="${OUT:-BENCH_PR4.json}"
 OUT5="${OUT5:-BENCH_PR5.json}"
+OUT7="${OUT7:-BENCH_PR7.json}"
 BENCHTIME="${BENCHTIME:-2s}"
 
 # to_json <raw go test -bench output> <out.json>
@@ -63,3 +66,27 @@ go test -run '^$' -bench "$PATTERN5" -benchtime "$BENCHTIME" -count 1 ./internal
 to_json "$raw5" "$OUT5"
 rm -f "$raw5"
 echo "bench: wrote $OUT5"
+
+# Static-analysis cost snapshot: run the full spiolint suite over the
+# module and record the per-analyzer wall times from the -summary
+# timings line ("timings: collorder=12.3ms ..."). spiolint exits 1 on
+# findings; the timings line is printed either way, so tolerate that
+# exit code and fail only if the line never appeared.
+raw7=$(mktemp /tmp/spio-bench-XXXXXX.txt)
+go run ./cmd/spiolint -summary ./... >"$raw7" || [ $? -eq 1 ]
+grep '^timings: ' "$raw7" | awk '
+{
+	for (i = 2; i <= NF; i++) {
+		split($i, kv, "=")
+		ms = kv[2]
+		sub(/ms$/, "", ms)
+		if (n++) printf ",\n"
+		printf "  {\"name\": \"spiolint/%s\", \"ms\": %s}", kv[1], ms
+	}
+}
+BEGIN { printf "[\n" }
+END { printf "\n]\n" }
+' >"$OUT7"
+grep -q '"name"' "$OUT7"
+rm -f "$raw7"
+echo "bench: wrote $OUT7"

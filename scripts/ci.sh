@@ -9,11 +9,15 @@
 # the packages with real concurrency (the goroutine-rank MPI
 # substitute, the collective write pipeline, the fault-injection seam,
 # the atomic format writers, the reader's shared file cache, and the
-# serving daemon); the spiolint step runs the full analyzer suite
-# (collorder, bufhandoff, errdrop, tagclash, wiresym, collabort,
-# lockorder, wiretaint, goleak — all interprocedural) over the whole
-# module, prints the per-analyzer diagnostic counts, and fails on any
-# unsuppressed diagnostic (exit 1; load errors exit 2).
+# serving daemon — the server tier additionally at -count=2 to shake
+# out order-dependent interleavings); the spiolint step runs the full
+# analyzer suite (collorder, bufhandoff, errdrop, tagclash, wiresym,
+# collabort, lockorder, wiretaint, goleak, racegate — all
+# interprocedural) over the whole module, prints the per-analyzer
+# diagnostic counts and wall times, fails on any unsuppressed
+# diagnostic (exit 1; load errors exit 2), and enforces a generous
+# wall-clock budget on the ten-analyzer run so a fixpoint gone
+# superlinear is caught here rather than ossifying into CI.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -44,6 +48,12 @@ go test -run 'TestFault|TestFsck|TestWrite(File|Meta)' ./internal/core ./interna
 
 echo "== go test -race (mpi, core, fault, format, reader, server) =="
 go test -race ./internal/mpi ./internal/core ./internal/fault ./internal/format ./internal/reader ./internal/server
+
+echo "== go test -race -count=2 (server tier) =="
+# The serving daemon is the most schedule-sensitive tier (admission
+# control, cache eviction, drain); a second run without cached results
+# gives the race detector a different interleaving to chew on.
+go test -race -count=2 ./internal/server/...
 
 echo "== spiod e2e smoke =="
 # Serve a freshly written dataset from a real spiod process on a unix
@@ -80,6 +90,14 @@ wait "$spiod_pid"
 echo "spiod smoke: remote KNN byte-identical to local under 8 clients; clean drain"
 
 echo "== spiolint =="
+lint_budget=300
+lint_start=$(date +%s)
 go run ./cmd/spiolint -summary ./...
+lint_elapsed=$(( $(date +%s) - lint_start ))
+echo "spiolint: full ten-analyzer run took ${lint_elapsed}s (budget ${lint_budget}s)"
+if [ "$lint_elapsed" -gt "$lint_budget" ]; then
+	echo "spiolint: exceeded the ${lint_budget}s runtime budget"
+	exit 1
+fi
 
 echo "ci: all checks passed"
