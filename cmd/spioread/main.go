@@ -39,6 +39,7 @@ func main() {
 		knnAt   = flag.String("knn", "", "query point x,y,z for a nearest-neighbour search")
 		k       = flag.Int("k", 8, "neighbour count for -knn")
 		sched   = flag.Bool("schedule", false, "print the LOD level schedule for -readers and exit")
+		wcodec  = flag.String("wire-codec", "lossless", "response codec to request from -remote: lossless | raw")
 	)
 	flag.Parse()
 	if (*dir == "") == (*remote == "") {
@@ -62,7 +63,16 @@ func main() {
 		knn func(p spio.Vec3, k int) (*spio.Buffer, []float64, spio.ReadStats, error)
 	)
 	if *remote != "" {
-		rds, err := spio.Dial(*remote, *dataset)
+		var codec uint8
+		switch *wcodec {
+		case "lossless":
+			codec = spio.WireCodecLossless
+		case "raw", "none":
+			codec = spio.WireCodecRaw
+		default:
+			fatal(fmt.Errorf("unknown -wire-codec %q (want lossless or raw)", *wcodec))
+		}
+		rds, err := spio.Dial(*remote, *dataset, spio.WithWireCodec(codec))
 		if err != nil {
 			fatal(err)
 		}

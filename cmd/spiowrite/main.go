@@ -32,6 +32,7 @@ func main() {
 		density   = flag.Bool("density-lod", false, "use density-stratified LOD instead of random")
 		ranges    = flag.Bool("field-ranges", false, "store per-file field min/max summaries")
 		checksum  = flag.Bool("checksum", false, "store payload checksums (verify with spioinspect -verify)")
+		codec     = flag.String("codec", "none", "per-field compression: none | lossless | lossy:<bound>")
 		prof      = flag.Bool("profile", false, "print a per-phase min/mean/max write profile")
 		seed      = flag.Int64("seed", 42, "workload and LOD seed")
 	)
@@ -61,6 +62,10 @@ func main() {
 	}
 	if *density {
 		cfg.Heuristic = spio.DensityLOD
+	}
+	cfg.Codec, err = spio.ParseCodecSpec(spio.UintahSchema(), *codec)
+	if err != nil {
+		fatal(err)
 	}
 	if err := os.MkdirAll(*dir, 0o755); err != nil {
 		fatal(err)

@@ -60,6 +60,11 @@ type WriteConfig struct {
 	// Checksum additionally stores a CRC32 of each data file's payload,
 	// verifiable with spioinspect -verify or DataFile.VerifyPayload.
 	Checksum bool
+	// Codec is the per-field compression spec each aggregator applies to
+	// its data file, strictly after the LOD reorder (so every compressed
+	// block stays a valid LOD prefix). The zero value writes the classic
+	// uncompressed layout.
+	Codec particle.Spec
 	// ValidateInput rejects the write up front if any local particle has
 	// a non-finite position or lies outside the domain (which would
 	// silently land in the wrong file under the aligned exchange).
@@ -335,6 +340,7 @@ func reorderAndWrite(fsys fault.WriteFS, dir string, cfg WriteConfig, aggRank, p
 		Heuristic:  cfg.Heuristic,
 		Seed:       reorderSeed(cfg.Seed, part),
 		PayloadCRC: cfg.Checksum,
+		Codec:      cfg.Codec,
 	}
 	if err := format.WriteDataFileOrdered(fsys, filepath.Join(dir, name), hdr, aggBuf, order); err != nil {
 		return fileEntryMsg{}, err

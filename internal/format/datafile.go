@@ -8,6 +8,7 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
+	"sort"
 	"sync"
 
 	"spio/internal/fault"
@@ -20,7 +21,9 @@ import (
 //
 //	magic "SPIODATA" | version u32 | header CRC32 of the fields below
 //	schema | count u64 | bounds box | lod params | heuristic u8 | seed i64 | flags u8
-//	particle records (count × schema.Stride() bytes)
+//	[codec table + block index when flags&flagCompressed]
+//	particle records (count × schema.Stride() bytes), or the
+//	compressed block stream when flags&flagCompressed
 //	[payload CRC32 when flags&flagPayloadCRC]
 //
 // The particles are stored in LOD order: any prefix is a valid
@@ -28,6 +31,18 @@ import (
 // checksummed (header corruption misroutes readers); the payload
 // checksum is optional so huge checkpoint writes can stay single-pass,
 // and is verified only on demand (VerifyPayload).
+//
+// Compressed files (flagCompressed) extend the checksummed header with a
+// per-field codec table (codec u8 + error bound f64 per schema field)
+// and a block index (block count, then record count + compressed byte
+// length per block). Blocks are cut at the LOD level boundaries of the
+// canonical single-reader schedule (oversized levels split at
+// maxCodecBlockRecords), and the compression happens after the LOD
+// reorder, so every whole-block prefix of the payload decompresses to a
+// valid LOD prefix of the particle sequence. Uncompressed files carry
+// no table at all — codec 0 is the absence of the flag — so every
+// pre-codec file reads unchanged, and readers that predate the flag
+// reject compressed files cleanly via the unknown-flags check.
 
 const (
 	dataMagic   = "SPIODATA"
@@ -51,18 +66,61 @@ type DataHeader struct {
 	// PayloadCRC, when true, means a CRC32 of the particle records is
 	// stored after the payload; VerifyPayload checks it.
 	PayloadCRC bool
+	// Codec is the per-field compression spec the payload was written
+	// under. The zero value (raw) writes the classic uncompressed
+	// layout, byte-identical to pre-codec files.
+	Codec particle.Spec
 }
 
 // header flag bits.
-const flagPayloadCRC = 1
+const (
+	flagPayloadCRC = 1
+	// flagCompressed marks a payload stored as the compressed block
+	// stream described atop this file. The CRC (when present) covers the
+	// compressed bytes as stored.
+	flagCompressed = 2
+)
+
+// maxCodecBlockRecords caps one compressed block. Blocks are cut at LOD
+// level boundaries first; levels larger than this split, which keeps a
+// random record read from decompressing more than ~1 MiB of records
+// while leaving every block boundary on a valid LOD prefix.
+const maxCodecBlockRecords = 8192
+
+// codecBlock is one entry of a compressed file's block index.
+type codecBlock struct {
+	recs  int64 // records in the block
+	bytes int64 // compressed byte length
+}
+
+// codecBlockLens cuts count records into compressed-block lengths along
+// the LOD level boundaries of the canonical single-reader schedule
+// (base = BasePerReader), splitting oversized levels. Any whole-block
+// prefix of the resulting partition is therefore a valid LOD prefix.
+func codecBlockLens(count int64, p lod.Params) []int64 {
+	var lens []int64
+	for _, lv := range lod.LevelSizes(count, int64(p.BasePerReader), p.Scale) {
+		for lv > maxCodecBlockRecords {
+			lens = append(lens, maxCodecBlockRecords)
+			lv -= maxCodecBlockRecords
+		}
+		if lv > 0 {
+			lens = append(lens, lv)
+		}
+	}
+	return lens
+}
 
 // DataFileName derives a data file's name from its aggregator rank, the
 // paper's Fig. 4 convention ("Agg rank is used to derive the name of the
 // data file").
 func DataFileName(aggRank int) string { return fmt.Sprintf("file_%d.spd", aggRank) }
 
-// encodeDataHeader writes everything after the magic+version+crc prefix.
-func encodeDataHeader(e *writer, h *DataHeader) {
+// encodeDataHeader writes everything after the magic+version+crc
+// prefix. blocks is the compressed block index (nil for raw payloads);
+// compressed headers carry the codec table and the index after the
+// flags byte.
+func encodeDataHeader(e *writer, h *DataHeader, blocks []codecBlock) {
 	encodeSchema(e, h.Schema)
 	e.u64(uint64(h.Count))
 	e.box(h.Bounds)
@@ -74,7 +132,23 @@ func encodeDataHeader(e *writer, h *DataHeader) {
 	if h.PayloadCRC {
 		flags |= flagPayloadCRC
 	}
+	compressed := blocks != nil
+	if compressed {
+		flags |= flagCompressed
+	}
 	e.u8(flags)
+	if compressed {
+		for i := 0; i < h.Schema.NumFields(); i++ {
+			fc := h.Codec.Fields[i]
+			e.u8(uint8(fc.ID))
+			e.f64(fc.ErrBound)
+		}
+		e.uvarint(uint64(len(blocks)))
+		for _, b := range blocks {
+			e.uvarint(uint64(b.recs))
+			e.uvarint(uint64(b.bytes))
+		}
+	}
 }
 
 // WriteDataFile writes a complete data file at path. buf must already be
@@ -104,13 +178,28 @@ func WriteDataFileOrdered(fsys fault.WriteFS, path string, hdr DataHeader, buf *
 	if err := hdr.LOD.Validate(); err != nil {
 		return err
 	}
+	if err := hdr.Codec.Validate(hdr.Schema); err != nil {
+		return err
+	}
 	hdr.Count = int64(buf.Len())
 	hdr.Bounds = buf.Bounds()
+
+	// Compress first when the spec asks for it: the header's block index
+	// needs every compressed length before the first payload byte lands.
+	var blocks []codecBlock
+	var blockData [][]byte
+	if !hdr.Codec.IsRaw() {
+		var err error
+		blocks, blockData, err = compressPayload(&hdr, buf, order)
+		if err != nil {
+			return err
+		}
+	}
 
 	// Encode the header body once to learn its CRC.
 	var body headerBuf
 	e := newWriter(&body)
-	encodeDataHeader(e, &hdr)
+	encodeDataHeader(e, &hdr, blocks)
 	if e.err != nil {
 		return e.err
 	}
@@ -128,9 +217,77 @@ func WriteDataFileOrdered(fsys fault.WriteFS, path string, hdr DataHeader, buf *
 		return pre.err
 	}
 
+	if blocks != nil {
+		return writeFileAtomic(fsOrOS(fsys), path, func(w io.Writer) error {
+			return writeCompressedPayload(w, prefix.b, &hdr, blockData)
+		})
+	}
 	return writeFileAtomic(fsOrOS(fsys), path, func(w io.Writer) error {
 		return writeDataPayload(w, prefix.b, &hdr, buf, order)
 	})
+}
+
+// compressPayload gathers the LOD-ordered records block by block
+// (payload record i is particle order[i], so compression happens
+// strictly after the reorder) and compresses each block under the
+// header's codec spec. It returns the block index and the compressed
+// bytes, held in memory until the write: the index precedes the payload
+// on disk.
+func compressPayload(hdr *DataHeader, buf *particle.Buffer, order []int) ([]codecBlock, [][]byte, error) {
+	lens := codecBlockLens(hdr.Count, hdr.LOD)
+	blocks := make([]codecBlock, 0, len(lens))
+	blockData := make([][]byte, 0, len(lens))
+	stride := hdr.Schema.Stride()
+	scratch := fromPool(&scratchPool, maxCodecBlockRecords*stride)
+	defer toPool(&scratchPool, scratch)
+	lo := int64(0)
+	for _, n := range lens {
+		hi := lo + n
+		raw := scratch[:int(n)*stride]
+		if order != nil {
+			buf.EncodeRecordsGather(raw, order[lo:hi])
+		} else {
+			buf.EncodeRecordsInto(raw, int(lo), int(hi))
+		}
+		comp, err := particle.CompressBlock(hdr.Schema, hdr.Codec, raw)
+		if err != nil {
+			return nil, nil, err
+		}
+		blocks = append(blocks, codecBlock{recs: n, bytes: int64(len(comp))})
+		blockData = append(blockData, comp)
+		lo = hi
+	}
+	// A compressed file always carries an index, even an empty one: the
+	// flag, not the block count, is what distinguishes the layouts.
+	if blocks == nil {
+		blocks = []codecBlock{}
+	}
+	return blocks, blockData, nil
+}
+
+// writeCompressedPayload streams the prefix and the pre-compressed
+// blocks, checksumming the stored (compressed) bytes if requested.
+func writeCompressedPayload(w io.Writer, prefix []byte, hdr *DataHeader, blockData [][]byte) error {
+	if _, err := w.Write(prefix); err != nil {
+		return err
+	}
+	var payloadCRC uint32
+	for _, b := range blockData {
+		if hdr.PayloadCRC {
+			payloadCRC = crc32.Update(payloadCRC, crc32.IEEETable, b)
+		}
+		if _, err := w.Write(b); err != nil {
+			return err
+		}
+	}
+	if hdr.PayloadCRC {
+		var tail [4]byte
+		binary.LittleEndian.PutUint32(tail[:], payloadCRC)
+		if _, err := w.Write(tail[:]); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // chunkRecords is the streaming granularity of the payload writers:
@@ -250,7 +407,21 @@ type DataFile struct {
 	Header     DataHeader
 	payloadOff int64
 	path       string
+	// Compressed-file block index (nil for raw payloads): cumulative
+	// record starts and payload byte offsets, both len(nBlocks)+1.
+	blockRecs []int64
+	blockOffs []int64
+	// payloadBytes is the stored payload length: compressed bytes for
+	// compressed files, Count*Stride for raw ones.
+	payloadBytes int64
 }
+
+// Compressed reports whether the payload is stored compressed.
+func (df *DataFile) Compressed() bool { return df.blockRecs != nil }
+
+// PayloadBytes returns the stored payload length in bytes (the
+// compressed length for compressed files).
+func (df *DataFile) PayloadBytes() int64 { return df.payloadBytes }
 
 // ReaderAt returns the io.ReaderAt payload reads currently go through
 // (the underlying file unless SetReaderAt replaced it).
@@ -309,8 +480,43 @@ func readDataFileHeader(f *os.File, path string) (*DataFile, error) {
 	h.Seed = d.i64()
 	flags := d.u8()
 	h.PayloadCRC = flags&flagPayloadCRC != 0
-	if d.err == nil && flags&^uint8(flagPayloadCRC) != 0 {
+	compressed := flags&flagCompressed != 0
+	if d.err == nil && flags&^uint8(flagPayloadCRC|flagCompressed) != 0 {
 		return nil, fmt.Errorf("format: %s: unknown header flags %#x", path, flags)
+	}
+	var blockRecs, blockOffs []int64
+	if compressed {
+		h.Codec.Fields = make([]particle.FieldCodec, schema.NumFields())
+		for i := range h.Codec.Fields {
+			h.Codec.Fields[i].ID = particle.CodecID(d.u8())
+			h.Codec.Fields[i].ErrBound = d.f64()
+		}
+		nBlocks := d.uvarint()
+		if d.err == nil && h.Count >= 0 && nBlocks > uint64(h.Count) {
+			// Every block holds at least one record; a larger claim is
+			// corrupt, and rejecting it here bounds the index allocation.
+			return nil, fmt.Errorf("format: %s: %d compressed blocks for %d records", path, nBlocks, h.Count)
+		}
+		blockRecs = append(blockRecs, 0)
+		blockOffs = append(blockOffs, 0)
+		// Per block, the per-field fallback guarantees the stored bytes
+		// never exceed the raw records plus the field framing.
+		maxOverhead := int64(schema.NumFields()) * 16
+		for i := uint64(0); i < nBlocks && d.err == nil; i++ {
+			recs := int64(d.uvarint())
+			bytes := int64(d.uvarint())
+			if d.err != nil {
+				break
+			}
+			if recs <= 0 || recs > h.Count-blockRecs[len(blockRecs)-1] {
+				return nil, fmt.Errorf("format: %s: compressed block %d holds %d records", path, i, recs)
+			}
+			if bytes < 0 || bytes > recs*int64(schema.Stride())+maxOverhead {
+				return nil, fmt.Errorf("format: %s: compressed block %d claims %d bytes for %d records", path, i, bytes, recs)
+			}
+			blockRecs = append(blockRecs, blockRecs[len(blockRecs)-1]+recs)
+			blockOffs = append(blockOffs, blockOffs[len(blockOffs)-1]+bytes)
+		}
 	}
 	if d.err != nil {
 		return nil, classifyHeaderErr(path, d.err)
@@ -324,6 +530,16 @@ func readDataFileHeader(f *os.File, path string) (*DataFile, error) {
 	if err := h.LOD.Validate(); err != nil {
 		return nil, fmt.Errorf("format: %s: %w", path, err)
 	}
+	if err := h.Codec.Validate(schema); err != nil {
+		return nil, fmt.Errorf("format: %s: %w", path, err)
+	}
+	payloadBytes := h.Count * int64(h.Schema.Stride())
+	if compressed {
+		if got := blockRecs[len(blockRecs)-1]; got != h.Count {
+			return nil, fmt.Errorf("format: %s: compressed blocks cover %d of %d records", path, got, h.Count)
+		}
+		payloadBytes = blockOffs[len(blockOffs)-1]
+	}
 	// d.n counts every byte consumed so far (magic, version, crc, header
 	// body), which is exactly where the payload starts.
 	payloadOff := d.n
@@ -333,14 +549,15 @@ func readDataFileHeader(f *os.File, path string) (*DataFile, error) {
 	if err != nil {
 		return nil, err
 	}
-	want := payloadOff + h.Count*int64(h.Schema.Stride())
+	want := payloadOff + payloadBytes
 	if h.PayloadCRC {
 		want += 4
 	}
 	if st.Size() != want {
 		return nil, fmt.Errorf("format: %s: size %d, want %d (%d records): %w", path, st.Size(), want, h.Count, ErrTruncated)
 	}
-	return &DataFile{f: f, ra: f, Header: h, payloadOff: payloadOff, path: path}, nil
+	return &DataFile{f: f, ra: f, Header: h, payloadOff: payloadOff, path: path,
+		blockRecs: blockRecs, blockOffs: blockOffs, payloadBytes: payloadBytes}, nil
 }
 
 // classifyHeaderErr tags header reads that ran off the end of the file
@@ -358,14 +575,49 @@ func (df *DataFile) Path() string { return df.path }
 // Close releases the file handle.
 func (df *DataFile) Close() error { return df.f.Close() }
 
+// payloadRange materializes the AoS record bytes of records [lo, hi).
+// Raw payloads are read directly at their fixed offsets. Compressed
+// payloads read whole compressed blocks through the ra seam — so a
+// serving layer's block cache holds compressed bytes, multiplying its
+// effective capacity — and decode on the way out (decode-on-egress),
+// copying just the overlap into the result.
+func (df *DataFile) payloadRange(lo, hi int64) ([]byte, error) {
+	stride := int64(df.Header.Schema.Stride())
+	data := make([]byte, (hi-lo)*stride)
+	if df.blockRecs == nil {
+		if len(data) == 0 {
+			return data, nil
+		}
+		if _, err := df.ra.ReadAt(data, df.payloadOff+lo*stride); err != nil {
+			return nil, err
+		}
+		return data, nil
+	}
+	// First block whose record range extends past lo.
+	bi := sort.Search(len(df.blockRecs)-1, func(i int) bool { return df.blockRecs[i+1] > lo })
+	for ; bi < len(df.blockRecs)-1 && df.blockRecs[bi] < hi; bi++ {
+		bLo, bHi := df.blockRecs[bi], df.blockRecs[bi+1]
+		comp := make([]byte, df.blockOffs[bi+1]-df.blockOffs[bi])
+		if _, err := df.ra.ReadAt(comp, df.payloadOff+df.blockOffs[bi]); err != nil {
+			return nil, err
+		}
+		recs, err := particle.DecompressBlock(df.Header.Schema, comp, int(bHi-bLo))
+		if err != nil {
+			return nil, err
+		}
+		cLo, cHi := max(lo, bLo), min(hi, bHi)
+		copy(data[(cLo-lo)*stride:(cHi-lo)*stride], recs[(cLo-bLo)*stride:(cHi-bLo)*stride])
+	}
+	return data, nil
+}
+
 // ReadRange reads records [lo, hi) into a new buffer.
 func (df *DataFile) ReadRange(lo, hi int64) (*particle.Buffer, error) {
 	if lo < 0 || hi > df.Header.Count || lo > hi {
 		return nil, fmt.Errorf("format: %s: range [%d,%d) out of [0,%d)", df.path, lo, hi, df.Header.Count)
 	}
-	stride := int64(df.Header.Schema.Stride())
-	data := make([]byte, (hi-lo)*stride)
-	if _, err := df.ra.ReadAt(data, df.payloadOff+lo*stride); err != nil {
+	data, err := df.payloadRange(lo, hi)
+	if err != nil {
 		return nil, fmt.Errorf("format: %s: %w", df.path, err)
 	}
 	return particle.Decode(df.Header.Schema, data)
@@ -407,9 +659,8 @@ func (df *DataFile) ReadRangeProjected(lo, hi int64, p *particle.Projection) (*p
 	if lo < 0 || hi > df.Header.Count || lo > hi {
 		return nil, fmt.Errorf("format: %s: range [%d,%d) out of [0,%d)", df.path, lo, hi, df.Header.Count)
 	}
-	stride := int64(df.Header.Schema.Stride())
-	data := make([]byte, (hi-lo)*stride)
-	if _, err := df.ra.ReadAt(data, df.payloadOff+lo*stride); err != nil {
+	data, err := df.payloadRange(lo, hi)
+	if err != nil {
 		return nil, fmt.Errorf("format: %s: %w", df.path, err)
 	}
 	out := particle.NewBuffer(p.Schema(), int(hi-lo))
@@ -420,13 +671,14 @@ func (df *DataFile) ReadRangeProjected(lo, hi int64, p *particle.Projection) (*p
 }
 
 // VerifyPayload re-reads the whole payload and checks it against the
-// stored CRC32. It fails if the file was written without PayloadCRC.
+// stored CRC32 (the CRC covers the stored bytes — the compressed stream
+// for compressed files). It fails if the file was written without
+// PayloadCRC.
 func (df *DataFile) VerifyPayload() error {
 	if !df.Header.PayloadCRC {
 		return fmt.Errorf("format: %s: no payload checksum stored", df.path)
 	}
-	stride := int64(df.Header.Schema.Stride())
-	payloadLen := df.Header.Count * stride
+	payloadLen := df.payloadBytes
 	var crc uint32
 	buf := make([]byte, 1<<20)
 	for off := int64(0); off < payloadLen; {

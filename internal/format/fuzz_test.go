@@ -30,6 +30,22 @@ func validDataFileBytes(tb testing.TB) []byte {
 	return raw
 }
 
+func validCompressedDataFileBytes(tb testing.TB) []byte {
+	tb.Helper()
+	dir := tb.TempDir()
+	buf := particle.Uniform(particle.Uintah(), geom.UnitBox(), 200, 2, 0)
+	path := filepath.Join(dir, "seed-comp.spd")
+	hdr := DataHeader{LOD: lod.DefaultParams(), PayloadCRC: true, Codec: particle.LosslessSpec(particle.Uintah())}
+	if err := WriteDataFile(nil, path, hdr, buf); err != nil {
+		tb.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return raw
+}
+
 func FuzzOpenDataFile(f *testing.F) {
 	raw := validDataFileBytes(f)
 	f.Add(raw)
@@ -39,6 +55,12 @@ func FuzzOpenDataFile(f *testing.F) {
 	mut := append([]byte(nil), raw...)
 	mut[9] ^= 0xff
 	f.Add(mut)
+	comp := validCompressedDataFileBytes(f)
+	f.Add(comp)
+	f.Add(comp[:len(comp)*3/4])
+	cmut := append([]byte(nil), comp...)
+	cmut[len(cmut)/2] ^= 0xff
+	f.Add(cmut)
 	f.Fuzz(func(t *testing.T, data []byte) {
 		path := filepath.Join(t.TempDir(), "fuzz.spd")
 		if err := os.WriteFile(path, data, 0o644); err != nil {

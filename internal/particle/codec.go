@@ -1,0 +1,520 @@
+package particle
+
+import (
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Per-field compression codecs over the AoS record encoding. A block of
+// records (already in LOD order — compression happens strictly after the
+// reorder, so any block prefix of the file remains a valid LOD prefix)
+// is compressed field by field: each field's column is extracted from
+// the record image, run through its codec, and framed with the codec
+// identity and payload length. The frame is self-describing — the
+// decoder follows the per-field codec bytes, never a side-channel spec —
+// so a writer is free to fall back per field (and per block) when a
+// codec does not apply, and old payloads decode under new specs.
+//
+// Block layout, fields in schema order:
+//
+//	codec u8 | payload length uvarint | payload
+//
+// CodecRaw is id 0 everywhere (disk flag, wire byte, field byte):
+// absent/zero always means "the uncompressed AoS bytes", which is what
+// keeps pre-codec files and peers readable unchanged.
+
+// CodecID identifies one field compression codec.
+type CodecID uint8
+
+const (
+	// CodecRaw stores the column bytes verbatim.
+	CodecRaw CodecID = 0
+	// CodecShuffleDeflate byte-plane-transposes the column (all first
+	// bytes, then all second bytes, ...) and deflates the result;
+	// lossless for any field. The shuffle groups the slowly-varying
+	// sign/exponent bytes of neighbouring values so flate sees long
+	// runs.
+	CodecShuffleDeflate CodecID = 1
+	// CodecDeltaVarint encodes integer-valued float64 columns (particle
+	// ids, type tags) as zigzag varints of consecutive differences;
+	// lossless. Falls back to CodecShuffleDeflate when a value is not an
+	// exact integer.
+	CodecDeltaVarint CodecID = 2
+	// CodecQuantize is the error-bounded lossy codec for float64
+	// coordinates: per component it stores a minimum and a step, then
+	// each value as the uvarint round((v-min)/step). Reconstruction
+	// error is at most FieldCodec.ErrBound. Falls back to
+	// CodecShuffleDeflate when a value is non-finite or the range is too
+	// wide for the bound.
+	CodecQuantize CodecID = 3
+
+	codecMax = CodecQuantize
+)
+
+func (c CodecID) String() string {
+	switch c {
+	case CodecRaw:
+		return "raw"
+	case CodecShuffleDeflate:
+		return "shuffle+deflate"
+	case CodecDeltaVarint:
+		return "delta+varint"
+	case CodecQuantize:
+		return "quantize"
+	}
+	return fmt.Sprintf("codec(%d)", uint8(c))
+}
+
+// FieldCodec is one field's compression choice. ErrBound is meaningful
+// only for CodecQuantize: the largest absolute reconstruction error the
+// codec may introduce (must be positive).
+type FieldCodec struct {
+	ID       CodecID
+	ErrBound float64
+}
+
+// Spec assigns a codec to every field of a schema, in schema order. The
+// zero value (no fields) is the raw spec: no compression anywhere.
+type Spec struct {
+	Fields []FieldCodec
+}
+
+// IsRaw reports whether the spec compresses nothing.
+func (s Spec) IsRaw() bool {
+	for _, f := range s.Fields {
+		if f.ID != CodecRaw {
+			return false
+		}
+	}
+	return true
+}
+
+// Validate checks the spec against a schema: one entry per field (or
+// none at all), known codec ids, positive error bounds where required,
+// and quantize only on float64 fields.
+func (s Spec) Validate(schema *Schema) error {
+	if len(s.Fields) == 0 {
+		return nil
+	}
+	if len(s.Fields) != schema.NumFields() {
+		return fmt.Errorf("particle: codec spec has %d entries, schema has %d fields", len(s.Fields), schema.NumFields())
+	}
+	for i, fc := range s.Fields {
+		f := schema.Field(i)
+		if fc.ID > codecMax {
+			return fmt.Errorf("particle: field %q: unknown codec %d", f.Name, fc.ID)
+		}
+		if fc.ID == CodecQuantize {
+			if f.Kind != Float64 {
+				return fmt.Errorf("particle: field %q: quantize requires float64, got %v", f.Name, f.Kind)
+			}
+			if !(fc.ErrBound > 0) || math.IsInf(fc.ErrBound, 0) {
+				return fmt.Errorf("particle: field %q: quantize needs a positive finite error bound, got %v", f.Name, fc.ErrBound)
+			}
+		} else if fc.ErrBound != 0 {
+			return fmt.Errorf("particle: field %q: error bound set on lossless codec %v", f.Name, fc.ID)
+		}
+	}
+	return nil
+}
+
+// Lossy reports whether any field uses an error-introducing codec.
+func (s Spec) Lossy() bool {
+	for _, f := range s.Fields {
+		if f.ID == CodecQuantize {
+			return true
+		}
+	}
+	return false
+}
+
+// idLikeField reports whether a field holds integer-valued labels
+// (particle ids, material/type tags) that delta-coding exploits.
+func idLikeField(f Field) bool {
+	return f.Name == "id" || f.Name == "type"
+}
+
+// coordField reports whether a field holds spatial coordinates that an
+// error-bounded lossy codec may target.
+func coordField(f Field) bool {
+	return f.Name == PositionField || f.Name == "velocity"
+}
+
+// LosslessSpec compresses every field without loss: delta/varint for
+// id-like integer fields, byte-shuffle + deflate for everything else.
+func LosslessSpec(schema *Schema) Spec {
+	s := Spec{Fields: make([]FieldCodec, schema.NumFields())}
+	for i := range s.Fields {
+		f := schema.Field(i)
+		if idLikeField(f) && f.Kind == Float64 {
+			s.Fields[i] = FieldCodec{ID: CodecDeltaVarint}
+		} else {
+			s.Fields[i] = FieldCodec{ID: CodecShuffleDeflate}
+		}
+	}
+	return s
+}
+
+// LossySpec is LosslessSpec with error-bounded quantization (absolute
+// error at most bound) on float64 coordinate fields (position,
+// velocity). Ids and every other field stay lossless.
+func LossySpec(schema *Schema, bound float64) Spec {
+	s := LosslessSpec(schema)
+	for i := range s.Fields {
+		f := schema.Field(i)
+		if coordField(f) && f.Kind == Float64 {
+			s.Fields[i] = FieldCodec{ID: CodecQuantize, ErrBound: bound}
+		}
+	}
+	return s
+}
+
+// ParseCodecSpec builds a spec from the CLI surface syntax: "none" (or
+// "raw", ""), "lossless", or "lossy:<bound>" (e.g. "lossy:1e-3").
+func ParseCodecSpec(schema *Schema, s string) (Spec, error) {
+	switch s {
+	case "", "none", "raw":
+		return Spec{}, nil
+	case "lossless":
+		return LosslessSpec(schema), nil
+	}
+	if rest, ok := strings.CutPrefix(s, "lossy:"); ok {
+		bound, err := strconv.ParseFloat(rest, 64)
+		if err != nil || !(bound > 0) || math.IsInf(bound, 0) {
+			return Spec{}, fmt.Errorf("particle: bad lossy error bound %q", rest)
+		}
+		return LossySpec(schema, bound), nil
+	}
+	return Spec{}, fmt.Errorf("particle: unknown codec spec %q (want none, lossless, or lossy:<bound>)", s)
+}
+
+// CompressBlock compresses one block of AoS records (a whole number of
+// records in LOD order) under the spec, returning the self-describing
+// per-field frame. Codecs that do not apply to the data at hand fall
+// back per field — quantize on non-finite values or over-wide ranges,
+// delta on non-integer values — and any compressed column that would
+// exceed the raw column is stored raw, so a compressed block never
+// costs more than the records plus a few framing bytes per field.
+func CompressBlock(schema *Schema, spec Spec, records []byte) ([]byte, error) {
+	if err := spec.Validate(schema); err != nil {
+		return nil, err
+	}
+	stride := schema.Stride()
+	if len(records)%stride != 0 {
+		return nil, fmt.Errorf("particle: %d bytes is not a multiple of record size %d", len(records), stride)
+	}
+	count := len(records) / stride
+	out := make([]byte, 0, len(records)/2+16*schema.NumFields())
+	var varbuf [binary.MaxVarintLen64]byte
+	for fi := 0; fi < schema.NumFields(); fi++ {
+		f := schema.Field(fi)
+		col := make([]byte, count*f.Bytes())
+		gatherColumn(records, stride, schema.Offset(fi), f.Bytes(), col)
+
+		want := CodecRaw
+		var bound float64
+		if len(spec.Fields) > 0 {
+			want = spec.Fields[fi].ID
+			bound = spec.Fields[fi].ErrBound
+		}
+		id, payload := encodeColumn(f, want, bound, col, count)
+		if len(payload) >= len(col) {
+			id, payload = CodecRaw, col
+		}
+		out = append(out, byte(id))
+		n := binary.PutUvarint(varbuf[:], uint64(len(payload)))
+		out = append(out, varbuf[:n]...)
+		out = append(out, payload...)
+	}
+	return out, nil
+}
+
+// encodeColumn applies the wanted codec to one field column, degrading
+// to shuffle+deflate when the codec's preconditions fail.
+func encodeColumn(f Field, want CodecID, bound float64, col []byte, count int) (CodecID, []byte) {
+	switch want {
+	case CodecDeltaVarint:
+		if f.Kind == Float64 {
+			if p, ok := encodeDeltaVarint(col, count*f.Components); ok {
+				return CodecDeltaVarint, p
+			}
+		}
+		return CodecShuffleDeflate, encodeShuffleDeflate(col, f.Kind.Size())
+	case CodecQuantize:
+		if p, ok := encodeQuantize(col, count, f.Components, bound); ok {
+			return CodecQuantize, p
+		}
+		return CodecShuffleDeflate, encodeShuffleDeflate(col, f.Kind.Size())
+	case CodecShuffleDeflate:
+		return CodecShuffleDeflate, encodeShuffleDeflate(col, f.Kind.Size())
+	default:
+		return CodecRaw, col
+	}
+}
+
+// DecompressBlock reverses CompressBlock: data is one block frame, count
+// the record count it holds; the result is exactly count*Stride() AoS
+// bytes. data may arrive from disk or the network, so every length is
+// bounds-checked against count before it sizes an allocation.
+func DecompressBlock(schema *Schema, data []byte, count int) ([]byte, error) {
+	if count < 0 {
+		return nil, fmt.Errorf("particle: negative record count %d", count)
+	}
+	stride := schema.Stride()
+	records := make([]byte, count*stride)
+	for fi := 0; fi < schema.NumFields(); fi++ {
+		f := schema.Field(fi)
+		if len(data) < 1 {
+			return nil, fmt.Errorf("particle: compressed block ends before field %q", f.Name)
+		}
+		id := CodecID(data[0])
+		data = data[1:]
+		plen, n := binary.Uvarint(data)
+		if n <= 0 || plen > uint64(len(data)-n) {
+			return nil, fmt.Errorf("particle: field %q: bad compressed payload length", f.Name)
+		}
+		payload := data[n : n+int(plen)]
+		data = data[n+int(plen):]
+
+		colLen := count * f.Bytes()
+		var col []byte
+		var err error
+		switch id {
+		case CodecRaw:
+			if len(payload) != colLen {
+				return nil, fmt.Errorf("particle: field %q: raw column has %d bytes, want %d", f.Name, len(payload), colLen)
+			}
+			col = payload
+		case CodecShuffleDeflate:
+			col, err = decodeShuffleDeflate(payload, f.Kind.Size(), colLen)
+		case CodecDeltaVarint:
+			if f.Kind != Float64 {
+				return nil, fmt.Errorf("particle: field %q: delta codec on %v column", f.Name, f.Kind)
+			}
+			col, err = decodeDeltaVarint(payload, count*f.Components)
+		case CodecQuantize:
+			if f.Kind != Float64 {
+				return nil, fmt.Errorf("particle: field %q: quantize codec on %v column", f.Name, f.Kind)
+			}
+			col, err = decodeQuantize(payload, count, f.Components)
+		default:
+			return nil, fmt.Errorf("particle: field %q: unknown codec %d", f.Name, id)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("particle: field %q: %w", f.Name, err)
+		}
+		scatterColumn(records, stride, schema.Offset(fi), f.Bytes(), col)
+	}
+	if len(data) != 0 {
+		return nil, fmt.Errorf("particle: %d trailing bytes after compressed block", len(data))
+	}
+	return records, nil
+}
+
+// gatherColumn extracts one field's bytes from an AoS record image into
+// col (count*w bytes, record-major).
+func gatherColumn(records []byte, stride, off, w int, col []byte) {
+	count := len(col) / w
+	for i := 0; i < count; i++ {
+		copy(col[i*w:(i+1)*w], records[i*stride+off:i*stride+off+w])
+	}
+}
+
+// scatterColumn writes one field's bytes back into an AoS record image.
+func scatterColumn(records []byte, stride, off, w int, col []byte) {
+	count := len(col) / w
+	for i := 0; i < count; i++ {
+		copy(records[i*stride+off:i*stride+off+w], col[i*w:(i+1)*w])
+	}
+}
+
+// encodeShuffleDeflate byte-plane-transposes the column — all values'
+// byte 0, then all byte 1, ... — and deflates the planes. sz is the
+// component byte width (4 or 8).
+func encodeShuffleDeflate(col []byte, sz int) []byte {
+	nelem := len(col) / sz
+	shuf := make([]byte, len(col))
+	for plane := 0; plane < sz; plane++ {
+		row := shuf[plane*nelem : (plane+1)*nelem]
+		for e := 0; e < nelem; e++ {
+			row[e] = col[e*sz+plane]
+		}
+	}
+	var zb bytes.Buffer
+	zw, err := flate.NewWriter(&zb, flate.BestSpeed)
+	if err != nil {
+		// flate.NewWriter only fails on an invalid level, which BestSpeed
+		// is not.
+		panic(err)
+	}
+	_, _ = zw.Write(shuf) // bytes.Buffer writes cannot fail
+	_ = zw.Close()
+	return zb.Bytes()
+}
+
+// decodeShuffleDeflate inflates and un-shuffles a column of colLen bytes.
+func decodeShuffleDeflate(payload []byte, sz, colLen int) ([]byte, error) {
+	shuf := make([]byte, colLen)
+	zr := flate.NewReader(bytes.NewReader(payload))
+	if _, err := io.ReadFull(zr, shuf); err != nil {
+		return nil, fmt.Errorf("inflate: %w", err)
+	}
+	// The stream must end exactly at the column boundary; trailing data
+	// means a corrupt or hostile frame.
+	var one [1]byte
+	if n, _ := zr.Read(one[:]); n != 0 {
+		return nil, fmt.Errorf("inflate: stream longer than column")
+	}
+	_ = zr.Close()
+	col := make([]byte, colLen)
+	nelem := colLen / sz
+	for plane := 0; plane < sz; plane++ {
+		row := shuf[plane*nelem : (plane+1)*nelem]
+		for e := 0; e < nelem; e++ {
+			col[e*sz+plane] = row[e]
+		}
+	}
+	return col, nil
+}
+
+// maxExactInt is the largest magnitude delta-coded values may take:
+// beyond 2^53 float64 no longer represents every integer, so the
+// int64 round-trip below would silently lose bits.
+const maxExactInt = int64(1) << 53
+
+// encodeDeltaVarint encodes nelem float64 values as zigzag varints of
+// consecutive integer differences. ok is false when any value is not an
+// exactly-representable integer (the caller falls back to a lossless
+// byte codec).
+func encodeDeltaVarint(col []byte, nelem int) ([]byte, bool) {
+	out := make([]byte, 0, nelem+16)
+	var varbuf [binary.MaxVarintLen64]byte
+	prev := int64(0)
+	for e := 0; e < nelem; e++ {
+		v := math.Float64frombits(binary.LittleEndian.Uint64(col[e*8:]))
+		iv := int64(v)
+		if float64(iv) != v || iv > maxExactInt || iv < -maxExactInt {
+			return nil, false
+		}
+		n := binary.PutVarint(varbuf[:], iv-prev)
+		out = append(out, varbuf[:n]...)
+		prev = iv
+	}
+	return out, true
+}
+
+// decodeDeltaVarint reverses encodeDeltaVarint into a float64 column.
+func decodeDeltaVarint(payload []byte, nelem int) ([]byte, error) {
+	col := make([]byte, nelem*8)
+	prev := int64(0)
+	for e := 0; e < nelem; e++ {
+		d, n := binary.Varint(payload)
+		if n <= 0 {
+			return nil, fmt.Errorf("delta stream ends at element %d of %d", e, nelem)
+		}
+		payload = payload[n:]
+		prev += d
+		binary.LittleEndian.PutUint64(col[e*8:], math.Float64bits(float64(prev)))
+	}
+	if len(payload) != 0 {
+		return nil, fmt.Errorf("%d trailing bytes in delta stream", len(payload))
+	}
+	return col, nil
+}
+
+// maxQuantLevels bounds the quantization index so the float round-trip
+// q = round((v-min)/step); v' = min + q*step stays exact in the integer
+// part; ranges needing more levels fall back to lossless.
+const maxQuantLevels = float64(int64(1) << 51)
+
+// encodeQuantize encodes a float64 column of count records × comps
+// components with per-component affine quantization: f64 min, f64 max,
+// f64 step, then count uvarint indices per component (component-major).
+// The reconstruction min(min + q*step, max) is within bound of the
+// original; the max clamp matters because rounding alone can overshoot
+// the column's true range by step/2 — enough to push a boundary
+// particle outside its partition (or the domain) and fail a deep fsck.
+// ok is false when a value is non-finite or a component's range needs
+// too many levels for the bound.
+func encodeQuantize(col []byte, count, comps int, bound float64) ([]byte, bool) {
+	val := func(i, k int) float64 {
+		return math.Float64frombits(binary.LittleEndian.Uint64(col[(i*comps+k)*8:]))
+	}
+	out := make([]byte, 0, count*comps*2+24*comps)
+	var varbuf [binary.MaxVarintLen64]byte
+	for k := 0; k < comps; k++ {
+		mn, mx := math.Inf(1), math.Inf(-1)
+		for i := 0; i < count; i++ {
+			v := val(i, k)
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, false
+			}
+			if v < mn {
+				mn = v
+			}
+			if v > mx {
+				mx = v
+			}
+		}
+		if count == 0 {
+			mn, mx = 0, 0
+		}
+		step := bound
+		if (mx-mn)/step > maxQuantLevels {
+			return nil, false
+		}
+		var b8 [8]byte
+		binary.LittleEndian.PutUint64(b8[:], math.Float64bits(mn))
+		out = append(out, b8[:]...)
+		binary.LittleEndian.PutUint64(b8[:], math.Float64bits(mx))
+		out = append(out, b8[:]...)
+		binary.LittleEndian.PutUint64(b8[:], math.Float64bits(step))
+		out = append(out, b8[:]...)
+		for i := 0; i < count; i++ {
+			q := math.Round((val(i, k) - mn) / step)
+			n := binary.PutUvarint(varbuf[:], uint64(q))
+			out = append(out, varbuf[:n]...)
+		}
+	}
+	return out, true
+}
+
+// decodeQuantize reverses encodeQuantize into a float64 column.
+func decodeQuantize(payload []byte, count, comps int) ([]byte, error) {
+	col := make([]byte, count*comps*8)
+	for k := 0; k < comps; k++ {
+		if len(payload) < 24 {
+			return nil, fmt.Errorf("quantize stream ends in component %d header", k)
+		}
+		mn := math.Float64frombits(binary.LittleEndian.Uint64(payload))
+		mx := math.Float64frombits(binary.LittleEndian.Uint64(payload[8:]))
+		step := math.Float64frombits(binary.LittleEndian.Uint64(payload[16:]))
+		payload = payload[24:]
+		for i := 0; i < count; i++ {
+			q, n := binary.Uvarint(payload)
+			if n <= 0 {
+				return nil, fmt.Errorf("quantize stream ends at record %d of %d", i, count)
+			}
+			payload = payload[n:]
+			v := mn + float64(q)*step
+			// Rounding can overshoot the column range by step/2; clamping
+			// back to it only moves the value toward the original, so the
+			// error bound is preserved and boundary particles stay inside
+			// their partition.
+			if v > mx {
+				v = mx
+			}
+			binary.LittleEndian.PutUint64(col[(i*comps+k)*8:], math.Float64bits(v))
+		}
+	}
+	if len(payload) != 0 {
+		return nil, fmt.Errorf("%d trailing bytes in quantize stream", len(payload))
+	}
+	return col, nil
+}

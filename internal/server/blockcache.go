@@ -26,7 +26,9 @@ package server
 
 import (
 	"container/list"
+	"errors"
 	"io"
+	"io/fs"
 	"sync"
 )
 
@@ -136,7 +138,9 @@ type cachedReaderAt struct {
 // per the io.ReaderAt contract.
 func (r *cachedReaderAt) ReadAt(p []byte, off int64) (int, error) {
 	if off < 0 {
-		return 0, io.ErrUnexpectedEOF
+		// Match os.File.ReadAt semantics: a negative offset is a caller
+		// bug, not a truncation — don't misreport it as one.
+		return 0, &fs.PathError{Op: "readat", Path: r.key, Err: errors.New("negative offset")}
 	}
 	bs := r.c.blockSize
 	n := 0
@@ -208,11 +212,17 @@ func (c *BlockCache) blockFor(file string, idx int64, base io.ReaderAt) ([]byte,
 
 	c.mu.Lock()
 	delete(c.inflight, k)
-	el := c.lru.PushFront(&cacheBlock{key: k, data: f.data})
-	c.blocks[k] = el
-	c.used += int64(n)
-	c.stats.BytesFromDisk += int64(n)
-	c.evictLocked()
+	// A read exactly at EOF (any file sized a multiple of blockSize ends
+	// with one) yields a zero-length block. Don't cache it: it adds 0 to
+	// used, so the byte-based eviction loop could never reclaim it, and
+	// Stats().Blocks would grow without bound under series churn.
+	if n > 0 {
+		el := c.lru.PushFront(&cacheBlock{key: k, data: f.data})
+		c.blocks[k] = el
+		c.used += int64(n)
+		c.stats.BytesFromDisk += int64(n)
+		c.evictLocked()
+	}
 	c.mu.Unlock()
 	close(f.done)
 	return f.data, nil

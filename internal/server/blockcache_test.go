@@ -2,7 +2,9 @@ package server
 
 import (
 	"bytes"
+	"errors"
 	"io"
+	"io/fs"
 	"math/rand"
 	"sync"
 	"sync/atomic"
@@ -279,5 +281,60 @@ func TestBlockCacheKeysAreIsolated(t *testing.T) {
 	}
 	if bufA[0] != 0xAA || bufB[0] != 0xBB {
 		t.Fatal("cache mixed content across keys")
+	}
+}
+
+// TestBlockCacheNoEmptyTailBlocks is the regression test for the
+// zero-length tail-block leak: a file sized an exact multiple of
+// blockSize ends with an empty block at EOF, which added 0 to used —
+// unreclaimable by the byte-based evictor — so Stats().Blocks grew
+// without bound under series churn.
+func TestBlockCacheNoEmptyTailBlocks(t *testing.T) {
+	const bs = 512
+	c := NewBlockCache(1<<20, bs)
+	buf := make([]byte, bs)
+	for series := 0; series < 50; series++ {
+		data := randomBytes(4*bs, int64(series)) // exact multiple of bs
+		ra := c.ReaderFor(string(rune('a'+series)), &countingReaderAt{data: data})
+		// Read exactly at EOF: lands on the empty block past the data.
+		if n, err := ra.ReadAt(buf, 4*bs); n != 0 || err != io.EOF {
+			t.Fatalf("series %d: EOF read: %d, %v", series, n, err)
+		}
+	}
+	st := c.Stats()
+	if st.Blocks != 0 {
+		t.Errorf("%d zero-length blocks cached; empty tails must not be cached", st.Blocks)
+	}
+	if st.Used != 0 {
+		t.Errorf("used = %d after caching only empty tails", st.Used)
+	}
+	// The same EOF block re-read still answers correctly (it just misses).
+	data := randomBytes(4*bs, 99)
+	ra := c.ReaderFor("z", &countingReaderAt{data: data})
+	for i := 0; i < 3; i++ {
+		if n, err := ra.ReadAt(buf, 4*bs); n != 0 || err != io.EOF {
+			t.Fatalf("repeat EOF read: %d, %v", n, err)
+		}
+	}
+	if st := c.Stats(); st.Blocks != 0 || st.Used != 0 {
+		t.Errorf("empty tail crept into the cache: %+v", st)
+	}
+}
+
+func TestBlockCacheNegativeOffset(t *testing.T) {
+	c := NewBlockCache(1<<20, 512)
+	ra := c.ReaderFor("f", &countingReaderAt{data: randomBytes(1024, 7)})
+	n, err := ra.ReadAt(make([]byte, 16), -1)
+	if n != 0 || err == nil {
+		t.Fatalf("negative offset: %d, %v", n, err)
+	}
+	// os.File.ReadAt semantics: an invalid offset is a *fs.PathError, not
+	// a truncation signal.
+	if err == io.ErrUnexpectedEOF || err == io.EOF {
+		t.Errorf("negative offset misreported as truncation: %v", err)
+	}
+	var pe *fs.PathError
+	if !errors.As(err, &pe) {
+		t.Errorf("negative offset error is %T, want *fs.PathError", err)
 	}
 }

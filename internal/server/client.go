@@ -52,6 +52,28 @@ func WithMaxFrame(n int64) DialOption {
 	}
 }
 
+// Wire codecs a client can request at dial time (WithWireCodec).
+const (
+	// WireCodecRaw asks for uncompressed buffer payloads.
+	WireCodecRaw uint8 = wireCodecRaw
+	// WireCodecLossless (the default) asks for per-field lossless
+	// compression; results are byte-identical to raw, just cheaper to
+	// ship. The server may still answer raw per buffer when compression
+	// doesn't pay, or unconditionally under a "none" policy.
+	WireCodecLossless uint8 = wireCodecLossless
+)
+
+// WithWireCodec selects the response codec requested in the hello.
+// Unknown values fall back to raw.
+func WithWireCodec(codec uint8) DialOption {
+	return func(c *Client) {
+		if codec > maxWireCodec {
+			codec = wireCodecRaw
+		}
+		c.codec = codec
+	}
+}
+
 // ParseAddr splits a dial/listen address into (network, address):
 // "unix:/path" and "tcp:host:port" are explicit; anything containing a
 // path separator dials unix, the rest tcp.
@@ -77,6 +99,7 @@ type Client struct {
 	mu       sync.Mutex // serializes request/response exchanges
 	conn     net.Conn
 	maxFrame int64 // largest acceptable response frame (DefaultMaxFrame unless overridden)
+	codec    uint8 // response codec requested in the hello
 }
 
 // Dial connects to a spiod server ("unix:/path", "tcp:host:port", or a
@@ -90,13 +113,13 @@ func Dial(addr string, opts ...DialOption) (*Client, error) {
 	if err != nil {
 		return nil, err
 	}
-	c := &Client{conn: conn, maxFrame: DefaultMaxFrame}
+	c := &Client{conn: conn, maxFrame: DefaultMaxFrame, codec: WireCodecLossless}
 	for _, opt := range opts {
 		opt(c)
 	}
 	var fb frameBuf
 	e := newWriter(&fb)
-	encodeHello(e, &hello{Version: protoVersion})
+	encodeHello(e, &hello{Version: protoVersion, Codec: c.codec})
 	if e.err == nil {
 		err = writeFrame(conn, fb.b)
 	} else {

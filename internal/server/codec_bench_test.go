@@ -1,0 +1,91 @@
+package server
+
+import (
+	"bytes"
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"spio/internal/format"
+	"spio/internal/geom"
+	"spio/internal/lod"
+	"spio/internal/particle"
+)
+
+// The BENCH_PR8 benchmarks measure what the codec layer buys, in the
+// two places it pays rent: bytes on the wire per query response, and
+// disk traffic through a byte-bounded block cache that now holds
+// compressed blocks.
+
+func benchWireQueryResp(b *testing.B, codec uint8) {
+	buf := particle.Clustered(particle.Uintah(), geom.UnitBox(), 32768, 3, 11, 0)
+	lod.Shuffle(buf, 5)
+	resp := &queryResp{Buf: buf}
+	raw := int64(buf.Len() * buf.Schema().Stride())
+	var frame bytes.Buffer
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		frame.Reset()
+		e := newWriter(&frame)
+		encodeQueryResp(e, resp, codec)
+		if e.err != nil {
+			b.Fatal(e.err)
+		}
+	}
+	b.SetBytes(raw)
+	b.ReportMetric(float64(frame.Len()), "wire_B/op")
+	b.ReportMetric(float64(frame.Len())/float64(raw), "wire_ratio")
+}
+
+func BenchmarkWireQueryRespRaw(b *testing.B)      { benchWireQueryResp(b, wireCodecRaw) }
+func BenchmarkWireQueryRespLossless(b *testing.B) { benchWireQueryResp(b, wireCodecLossless) }
+
+func benchCachedRangeReads(b *testing.B, codec particle.Spec) {
+	dir := b.TempDir()
+	const n = 32768
+	const span = 8192 // one codec block, so raw and compressed fetch the same records
+	buf := particle.Clustered(particle.Uintah(), geom.UnitBox(), n, 3, 11, 0)
+	lod.Shuffle(buf, 5)
+	path := filepath.Join(dir, format.DataFileName(0))
+	hdr := format.DataHeader{LOD: lod.DefaultParams(), Heuristic: lod.Random, Seed: 5, Codec: codec}
+	if err := format.WriteDataFile(nil, path, hdr, buf); err != nil {
+		b.Fatal(err)
+	}
+	df, err := format.OpenDataFile(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer df.Close()
+
+	// A cache holding a quarter of the *uncompressed* payload: raw
+	// blocks thrash under a working set of the whole file, while the
+	// same byte budget keeps a multiple of the working set resident
+	// once the cache holds compressed blocks.
+	cache := NewBlockCache(int64(n*buf.Schema().Stride()/4), 16<<10)
+	df.SetReaderAt(cache.ReaderFor(path, df.ReaderAt()))
+
+	r := rand.New(rand.NewSource(7))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lo := span * r.Int63n(n/span)
+		if _, err := df.ReadRange(lo, lo+span); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	st := cache.Stats()
+	b.ReportMetric(float64(st.BytesFromDisk)/float64(b.N), "disk_B/op")
+	b.ReportMetric(float64(st.Hits)/float64(st.Hits+st.Misses), "cache_hit_ratio")
+	b.ReportMetric(float64(df.PayloadBytes()), "payload_B")
+}
+
+func BenchmarkCachedRangeReadRaw(b *testing.B) {
+	benchCachedRangeReads(b, particle.Spec{})
+}
+
+// Quantized positions/velocities (1e-3 absolute bound) are the case
+// the cache-capacity-multiplication argument is about: the compressed
+// working set fits where the raw one thrashes.
+func BenchmarkCachedRangeReadCompressed(b *testing.B) {
+	benchCachedRangeReads(b, particle.LossySpec(particle.Uintah(), 1e-3))
+}

@@ -58,6 +58,11 @@ type Config struct {
 	// Fsck selects the mount-time integrity policy: FsckRefuse (default),
 	// FsckWarn, or FsckOff.
 	Fsck string
+	// WireCodec is the response-compression policy: "" or "any" honors
+	// the codec each client requested in its hello; "none" forces raw
+	// responses regardless of the request (e.g. when CPU is scarcer than
+	// bandwidth).
+	WireCodec string
 	// Logf, when non-nil, receives server log lines (log.Printf shaped).
 	Logf func(format string, args ...any)
 }
@@ -95,6 +100,14 @@ func (c *Config) cacheBytes() int64 {
 		return c.CacheBytes
 	}
 	return 256 << 20
+}
+
+// wireCodecFor clamps a client's requested codec by the server policy.
+func (c *Config) wireCodecFor(requested uint8) uint8 {
+	if c.WireCodec == "none" {
+		return wireCodecRaw
+	}
+	return requested
 }
 
 func (c *Config) fileCacheSlots() int {
@@ -431,6 +444,7 @@ func (s *Server) handleConn(conn net.Conn) {
 			fmt.Sprintf("spiod: protocol version %d not supported (want %d)", h.Version, protoVersion))
 		return
 	}
+	codec := s.cfg.wireCodecFor(h.Codec)
 	if err := s.sendStatus(conn, statusOK, ""); err != nil {
 		return
 	}
@@ -445,7 +459,7 @@ func (s *Server) handleConn(conn net.Conn) {
 			_ = s.sendStatus(conn, statusError, err.Error())
 			return
 		}
-		if err := s.handleRequest(conn, req); err != nil {
+		if err := s.handleRequest(conn, req, codec); err != nil {
 			return
 		}
 	}
@@ -475,7 +489,7 @@ func (s *Server) send(conn net.Conn, status uint8, msg string, body func(e *writ
 // handleRequest admits and executes one request. A non-nil return tears
 // the connection down (wire-level failure); request-level errors travel
 // back as status frames.
-func (s *Server) handleRequest(conn net.Conn, req *request) error {
+func (s *Server) handleRequest(conn net.Conn, req *request, codec uint8) error {
 	s.reqWG.Add(1)
 	defer s.reqWG.Done()
 	// Recheck after Add: Shutdown flips draining before waiting, so a
@@ -500,7 +514,7 @@ func (s *Server) handleRequest(conn net.Conn, req *request) error {
 		time.Sleep(s.requestDelay)
 	}
 	start := time.Now()
-	werr := s.execute(conn, req, wait, start)
+	werr := s.execute(conn, req, codec, wait, start)
 	if werr != nil {
 		s.metrics.errors.Add(1)
 	}
@@ -508,7 +522,7 @@ func (s *Server) handleRequest(conn net.Conn, req *request) error {
 }
 
 // execute dispatches an admitted request.
-func (s *Server) execute(conn net.Conn, req *request, wait time.Duration, start time.Time) error {
+func (s *Server) execute(conn net.Conn, req *request, codec uint8, wait time.Duration, start time.Time) error {
 	// Ops that need no dataset first.
 	switch req.Op {
 	case opStats:
@@ -560,7 +574,7 @@ func (s *Server) execute(conn net.Conn, req *request, wait time.Duration, start 
 			return s.sendStatus(conn, statusBudget, budgetMsg(buf.Bytes(), s.cfg.maxRespBytes()))
 		}
 		resp := &queryResp{Stats: finish(st), Buf: buf}
-		return s.send(conn, statusOK, "", func(e *writer) { encodeQueryResp(e, resp) })
+		return s.send(conn, statusOK, "", func(e *writer) { encodeQueryResp(e, resp, codec) })
 
 	case opKNN:
 		buf, dists, st, err := query.KNN(ds, req.Point, req.K)
@@ -569,7 +583,7 @@ func (s *Server) execute(conn net.Conn, req *request, wait time.Duration, start 
 			return s.sendStatus(conn, statusError, err.Error())
 		}
 		resp := &knnResp{Stats: finish(st), Buf: buf, Dists: dists}
-		return s.send(conn, statusOK, "", func(e *writer) { encodeKNNResp(e, resp) })
+		return s.send(conn, statusOK, "", func(e *writer) { encodeKNNResp(e, resp, codec) })
 
 	case opHalo:
 		own, ghost, st, err := query.Halo(ds, req.Box, req.Halo, opts)
@@ -582,7 +596,7 @@ func (s *Server) execute(conn net.Conn, req *request, wait time.Duration, start 
 			return s.sendStatus(conn, statusBudget, budgetMsg(own.Bytes()+ghost.Bytes(), s.cfg.maxRespBytes()))
 		}
 		resp := &haloResp{Stats: finish(st), Own: own, Ghost: ghost}
-		return s.send(conn, statusOK, "", func(e *writer) { encodeHaloResp(e, resp) })
+		return s.send(conn, statusOK, "", func(e *writer) { encodeHaloResp(e, resp, codec) })
 
 	case opDensityGrid:
 		counts, frac, st, err := query.DensityGrid(ds, req.Dims, req.Levels, req.Readers)
@@ -594,7 +608,7 @@ func (s *Server) execute(conn net.Conn, req *request, wait time.Duration, start 
 		return s.send(conn, statusOK, "", func(e *writer) { encodeDensityResp(e, resp) })
 
 	case opProgressive:
-		return s.executeStream(conn, req, ds, wait, start)
+		return s.executeStream(conn, req, ds, codec, wait, start)
 
 	default:
 		s.metrics.errors.Add(1)
@@ -610,7 +624,7 @@ func budgetMsg(got, budget int64) string {
 // per client ack, so the client's consumption rate is the server's send
 // rate (backpressure), and an ackCancel stops after any prefix. The
 // worker slot is held for the stream's whole duration.
-func (s *Server) executeStream(conn net.Conn, req *request, ds *rdr.Dataset, wait time.Duration, start time.Time) error {
+func (s *Server) executeStream(conn net.Conn, req *request, ds *rdr.Dataset, codec uint8, wait time.Duration, start time.Time) error {
 	var entries []*format.FileEntry
 	if req.NoFilter {
 		m := ds.Meta()
@@ -655,7 +669,7 @@ func (s *Server) executeStream(conn net.Conn, req *request, ds *rdr.Dataset, wai
 			s.metrics.note(&cum)
 			f := &streamFrame{Level: p.Level(), Done: true, Stats: cum,
 				Buf: particle.NewBuffer(ds.Meta().Schema, 0)}
-			return s.send(conn, statusOK, "", func(e *writer) { encodeStreamFrame(e, f) })
+			return s.send(conn, statusOK, "", func(e *writer) { encodeStreamFrame(e, f, codec) })
 		}
 		buf, ok, err := p.NextLevel()
 		if err != nil {
@@ -665,7 +679,7 @@ func (s *Server) executeStream(conn net.Conn, req *request, ds *rdr.Dataset, wai
 			// Client acked past the end; close the stream cleanly.
 			f := &streamFrame{Level: p.Level(), Done: true, Stats: cum,
 				Buf: particle.NewBuffer(ds.Meta().Schema, 0)}
-			return s.send(conn, statusOK, "", func(e *writer) { encodeStreamFrame(e, f) })
+			return s.send(conn, statusOK, "", func(e *writer) { encodeStreamFrame(e, f, codec) })
 		}
 		sent += buf.Bytes()
 		cum.Read.ParticlesRead += int64(buf.Len())
@@ -677,7 +691,7 @@ func (s *Server) executeStream(conn net.Conn, req *request, ds *rdr.Dataset, wai
 			(req.Levels > 0 && p.Level() >= req.Levels) ||
 			sent >= budget // LOD semantics: any prefix is a valid subset
 		f := &streamFrame{Level: p.Level() - 1, Done: done, Stats: cum, Buf: buf}
-		if err := s.send(conn, statusOK, "", func(e *writer) { encodeStreamFrame(e, f) }); err != nil {
+		if err := s.send(conn, statusOK, "", func(e *writer) { encodeStreamFrame(e, f, codec) }); err != nil {
 			return err
 		}
 		s.metrics.streamLevels.Add(1)

@@ -19,10 +19,17 @@ import (
 // returns the concatenation of all rank inputs for brute-force
 // comparison.
 func writeDataset(t testing.TB, dir string, simDims, factor geom.Idx3, perRank int) *particle.Buffer {
+	return writeDatasetCodec(t, dir, simDims, factor, perRank, particle.Spec{})
+}
+
+// writeDatasetCodec is writeDataset with a per-field compression spec:
+// the served files then exercise the decode-on-egress path.
+func writeDatasetCodec(t testing.TB, dir string, simDims, factor geom.Idx3, perRank int, codec particle.Spec) *particle.Buffer {
 	t.Helper()
 	cfg := core.WriteConfig{
-		Agg:  agg.Config{Domain: geom.UnitBox(), SimDims: simDims, Factor: factor},
-		Seed: 21,
+		Agg:   agg.Config{Domain: geom.UnitBox(), SimDims: simDims, Factor: factor},
+		Seed:  21,
+		Codec: codec,
 	}
 	grid := geom.NewGrid(cfg.Agg.Domain, simDims)
 	nRanks := simDims.Volume()

@@ -31,7 +31,18 @@ import (
 
 const (
 	protoMagic   = "SPIOSRV1"
-	protoVersion = 1
+	protoVersion = 2 // v2 added codec negotiation (hello codec byte, self-describing buffer frames)
+)
+
+// Wire buffer codecs. The client requests one in its hello; every
+// buffer frame then carries the codec actually used (self-describing),
+// so the server can fall back to raw per buffer whenever compression
+// doesn't pay — the stream shape is identical either way, which keeps
+// the encode/decode pair symmetric for the wiresym analyzer.
+const (
+	wireCodecRaw      = 0 // raw AoS record image
+	wireCodecLossless = 1 // per-field lossless compression (particle.LosslessSpec)
+	maxWireCodec      = wireCodecLossless
 )
 
 // Request op codes.
@@ -280,14 +291,18 @@ func readFrame(r io.Reader, max uint32) ([]byte, error) {
 	return body, nil
 }
 
-// hello opens every connection.
+// hello opens every connection: magic, protocol version, and the
+// response codec the client requests for buffer payloads (the server
+// may still answer raw — frames are self-describing).
 type hello struct {
 	Version uint32
+	Codec   uint8
 }
 
 func encodeHello(e *writer, h *hello) {
 	e.bytes([]byte(protoMagic))
 	e.u32(h.Version)
+	e.u8(h.Codec)
 }
 
 func decodeHello(d *reader) (*hello, error) {
@@ -298,6 +313,10 @@ func decodeHello(d *reader) (*hello, error) {
 	}
 	var h hello
 	h.Version = d.u32()
+	h.Codec = d.u8()
+	if d.err == nil && h.Codec > maxWireCodec {
+		return nil, fmt.Errorf("spiod: unknown wire codec %d requested", h.Codec)
+	}
 	if d.err != nil {
 		return nil, d.err
 	}
@@ -481,37 +500,74 @@ func decodeWireSchema(d *reader) (*particle.Schema, error) {
 	return particle.NewSchema(fields)
 }
 
-// Buffer on the wire: schema, record count, then the raw AoS record
-// image — exactly the data-file payload encoding, so a streamed level
-// is bit-identical to the file prefix it came from.
-func encodeBuffer(e *writer, buf *particle.Buffer) {
+// Buffer on the wire: schema, record count, actual codec, payload
+// length, then the payload — the raw AoS record image (wireCodecRaw) or
+// a particle.CompressBlock stream (wireCodecLossless). A raw payload is
+// exactly the data-file encoding, so a streamed level is bit-identical
+// to the file prefix it came from; a compressed one decodes to it. The
+// server encodes with the negotiated codec but keeps raw whenever
+// compression doesn't shrink the block, so codec is a ceiling, not a
+// promise.
+func encodeBuffer(e *writer, buf *particle.Buffer, codec uint8) {
 	encodeWireSchema(e, buf.Schema())
 	e.u64(uint64(buf.Len()))
 	data := make([]byte, buf.Len()*buf.Schema().Stride())
 	buf.EncodeRecordsInto(data, 0, buf.Len())
-	e.bytes(data)
+	payload, actual := data, uint8(wireCodecRaw)
+	if codec == wireCodecLossless {
+		if comp, err := particle.CompressBlock(buf.Schema(), particle.LosslessSpec(buf.Schema()), data); err == nil && len(comp) < len(data) {
+			payload, actual = comp, wireCodecLossless
+		}
+	}
+	e.u8(actual)
+	e.uvarint(uint64(len(payload)))
+	e.bytes(payload)
 }
 
-// decodeBuffer decodes a buffer, refusing payloads larger than limit
-// bytes (the caller's frame bound; the frame is already in memory, the
-// limit guards the record-count allocation).
+// decodeBuffer decodes a buffer, refusing decoded payloads larger than
+// limit bytes (the caller's frame bound; the frame is already in
+// memory, the limit guards the record-count allocation).
 func decodeBuffer(d *reader, limit int64) (*particle.Buffer, error) {
 	schema, err := decodeWireSchema(d)
 	if err != nil {
 		return nil, err
 	}
 	n := d.u64()
+	if n > uint64(limit) {
+		// Stride is at least the position field, so n records never fit
+		// under limit bytes; checking n first keeps size from overflowing.
+		d.fail(fmt.Errorf("spiod: buffer of %d records exceeds limit %d bytes", n, limit))
+	}
 	size := n * uint64(schema.Stride())
-	if size > uint64(limit) {
+	if d.err == nil && size > uint64(limit) {
 		d.fail(fmt.Errorf("spiod: buffer payload of %d bytes exceeds limit %d", size, limit))
+	}
+	codec := d.u8()
+	plen := d.uvarint()
+	if d.err == nil && codec > maxWireCodec {
+		d.fail(fmt.Errorf("spiod: unknown buffer codec %d", codec))
+	}
+	if d.err == nil && codec == wireCodecRaw && plen != size {
+		d.fail(fmt.Errorf("spiod: raw buffer payload of %d bytes, want %d", plen, size))
+	}
+	// The per-field raw fallback bounds any compressed stream by the raw
+	// column bytes plus the per-field framing.
+	if d.err == nil && plen > size+uint64(schema.NumFields())*16 {
+		d.fail(fmt.Errorf("spiod: compressed payload of %d bytes exceeds raw size %d", plen, size))
 	}
 	if d.err != nil {
 		return nil, d.err
 	}
-	data := make([]byte, size)
+	data := make([]byte, plen)
 	d.bytes(data)
 	if d.err != nil {
 		return nil, d.err
+	}
+	if codec == wireCodecLossless {
+		data, err = particle.DecompressBlock(schema, data, int(n))
+		if err != nil {
+			return nil, fmt.Errorf("spiod: %w", err)
+		}
 	}
 	return particle.Decode(schema, data)
 }
@@ -593,9 +649,9 @@ type queryResp struct {
 	Buf   *particle.Buffer
 }
 
-func encodeQueryResp(e *writer, r *queryResp) {
+func encodeQueryResp(e *writer, r *queryResp, codec uint8) {
 	encodeStats(e, &r.Stats)
-	encodeBuffer(e, r.Buf)
+	encodeBuffer(e, r.Buf, codec)
 }
 
 func decodeQueryResp(d *reader, limit int64) (*queryResp, error) {
@@ -617,9 +673,9 @@ type knnResp struct {
 	Dists []float64
 }
 
-func encodeKNNResp(e *writer, r *knnResp) {
+func encodeKNNResp(e *writer, r *knnResp, codec uint8) {
 	encodeStats(e, &r.Stats)
-	encodeBuffer(e, r.Buf)
+	encodeBuffer(e, r.Buf, codec)
 	encodeFloats(e, r.Dists)
 }
 
@@ -646,10 +702,10 @@ type haloResp struct {
 	Ghost *particle.Buffer
 }
 
-func encodeHaloResp(e *writer, r *haloResp) {
+func encodeHaloResp(e *writer, r *haloResp, codec uint8) {
 	encodeStats(e, &r.Stats)
-	encodeBuffer(e, r.Own)
-	encodeBuffer(e, r.Ghost)
+	encodeBuffer(e, r.Own, codec)
+	encodeBuffer(e, r.Ghost, codec)
 }
 
 func decodeHaloResp(d *reader, limit int64) (*haloResp, error) {
@@ -706,7 +762,7 @@ type streamFrame struct {
 	Buf   *particle.Buffer
 }
 
-func encodeStreamFrame(e *writer, f *streamFrame) {
+func encodeStreamFrame(e *writer, f *streamFrame, codec uint8) {
 	e.uvarint(uint64(f.Level))
 	var done uint8
 	if f.Done {
@@ -714,7 +770,7 @@ func encodeStreamFrame(e *writer, f *streamFrame) {
 	}
 	e.u8(done)
 	encodeStats(e, &f.Stats)
-	encodeBuffer(e, f.Buf)
+	encodeBuffer(e, f.Buf, codec)
 }
 
 func decodeStreamFrame(d *reader, limit int64) (*streamFrame, error) {

@@ -81,25 +81,89 @@ func TestStatsRoundTrip(t *testing.T) {
 
 func TestBufferRoundTripBitExact(t *testing.T) {
 	buf := particle.Uniform(particle.Uintah(), geom.UnitBox(), 257, 7, 0)
-	d := roundTrip(t, func(e *writer) { encodeBuffer(e, buf) })
-	got, err := decodeBuffer(d, 1<<26)
-	if err != nil {
-		t.Fatal(err)
+	for _, codec := range []uint8{wireCodecRaw, wireCodecLossless} {
+		d := roundTrip(t, func(e *writer) { encodeBuffer(e, buf, codec) })
+		got, err := decodeBuffer(d, 1<<26)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Equal(buf) {
+			t.Fatalf("codec %d: decoded buffer differs", codec)
+		}
+		if !bytes.Equal(got.Encode(), buf.Encode()) {
+			t.Fatalf("codec %d: decoded buffer is not byte-identical", codec)
+		}
 	}
-	if !got.Equal(buf) {
-		t.Fatal("decoded buffer differs")
+}
+
+func TestBufferLosslessCodecShrinksFrame(t *testing.T) {
+	buf := particle.Uniform(particle.Uintah(), geom.UnitBox(), 4096, 7, 0)
+	size := func(codec uint8) int {
+		var fb frameBuf
+		e := newWriter(&fb)
+		encodeBuffer(e, buf, codec)
+		if e.err != nil {
+			t.Fatal(e.err)
+		}
+		return len(fb.b)
 	}
-	if !bytes.Equal(got.Encode(), buf.Encode()) {
-		t.Fatal("decoded buffer is not byte-identical")
+	raw, comp := size(wireCodecRaw), size(wireCodecLossless)
+	if comp >= raw {
+		t.Errorf("lossless frame did not shrink: %d -> %d bytes", raw, comp)
 	}
+	t.Logf("wire frame: %d -> %d bytes (%.1f%%)", raw, comp, 100*float64(comp)/float64(raw))
 }
 
 func TestBufferDecodeRespectsLimit(t *testing.T) {
 	buf := particle.Uniform(particle.Uintah(), geom.UnitBox(), 64, 7, 0)
-	d := roundTrip(t, func(e *writer) { encodeBuffer(e, buf) })
-	if _, err := decodeBuffer(d, 16); err == nil {
-		t.Fatal("oversized buffer accepted")
+	for _, codec := range []uint8{wireCodecRaw, wireCodecLossless} {
+		d := roundTrip(t, func(e *writer) { encodeBuffer(e, buf, codec) })
+		if _, err := decodeBuffer(d, 16); err == nil {
+			t.Fatal("oversized buffer accepted")
+		}
 	}
+}
+
+// TestBufferDecodeHostileCodecFrames rejects malformed codec framing:
+// an unknown codec id, a raw payload length that disagrees with the
+// record count, and a compressed payload claiming more bytes than raw.
+func TestBufferDecodeHostileCodecFrames(t *testing.T) {
+	schema := particle.PositionOnly()
+	hostile := func(name string, enc func(e *writer)) {
+		t.Helper()
+		d := roundTrip(t, enc)
+		if _, err := decodeBuffer(d, 1<<20); err == nil {
+			t.Errorf("%s: hostile buffer frame accepted", name)
+		}
+	}
+	hostile("unknown codec", func(e *writer) {
+		encodeWireSchema(e, schema)
+		e.u64(1)
+		e.u8(maxWireCodec + 1)
+		e.uvarint(24)
+		e.bytes(make([]byte, 24))
+	})
+	hostile("raw length mismatch", func(e *writer) {
+		encodeWireSchema(e, schema)
+		e.u64(2)
+		e.u8(wireCodecRaw)
+		e.uvarint(24)
+		e.bytes(make([]byte, 24))
+	})
+	hostile("oversized compressed claim", func(e *writer) {
+		encodeWireSchema(e, schema)
+		e.u64(1)
+		e.u8(wireCodecLossless)
+		e.uvarint(1 << 18)
+		e.bytes(make([]byte, 1<<18))
+	})
+	hostile("garbage compressed payload", func(e *writer) {
+		encodeWireSchema(e, schema)
+		e.u64(4)
+		e.u8(wireCodecLossless)
+		e.uvarint(10)
+		e.bytes([]byte{9, 9, 9, 9, 9, 9, 9, 9, 9, 9})
+	})
 }
 
 func TestSchemaRoundTrip(t *testing.T) {
@@ -122,7 +186,7 @@ func TestStreamFrameRoundTrip(t *testing.T) {
 		Stats: wireStats{Read: rdr.Stats{ParticlesRead: 33, BytesRead: 33 * 24}},
 		Buf:   buf,
 	}
-	d := roundTrip(t, func(e *writer) { encodeStreamFrame(e, want) })
+	d := roundTrip(t, func(e *writer) { encodeStreamFrame(e, want, wireCodecLossless) })
 	got, err := decodeStreamFrame(d, 1<<20)
 	if err != nil {
 		t.Fatal(err)

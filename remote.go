@@ -43,6 +43,22 @@ var (
 // DialOption customizes a daemon connection at dial time.
 type DialOption = server.DialOption
 
+// Wire codecs a client can request with WithWireCodec. The daemon may
+// still answer raw (per buffer, self-described in the frame) when
+// compression would not shrink the payload, or fleet-wide when started
+// with a "none" wire-codec policy.
+const (
+	// WireCodecRaw requests uncompressed response payloads.
+	WireCodecRaw = server.WireCodecRaw
+	// WireCodecLossless (the dial default) requests per-field lossless
+	// compression of response buffers; decoded bytes are identical.
+	WireCodecLossless = server.WireCodecLossless
+)
+
+// WithWireCodec selects the response codec requested at dial time.
+// Unknown values fall back to WireCodecRaw.
+func WithWireCodec(codec uint8) DialOption { return server.WithWireCodec(codec) }
+
 // WithMaxFrame caps the response frames the client will accept, in
 // bytes (default server.DefaultMaxFrame, 256 MiB): the client's own
 // guard against a corrupt or hostile length prefix committing it to a

@@ -12,6 +12,9 @@
 #	                (internal/server)
 #	BENCH_PR7.json  per-analyzer spiolint wall times over the whole
 #	                module, parsed from the -summary timings line
+#	BENCH_PR8.json  codec layer: bytes-on-wire per query response (raw
+#	                vs lossless) and block-cache effectiveness over
+#	                compressed blocks (internal/server)
 #
 # Usage:
 #
@@ -29,6 +32,7 @@ cd "$(dirname "$0")/.."
 OUT="${OUT:-BENCH_PR4.json}"
 OUT5="${OUT5:-BENCH_PR5.json}"
 OUT7="${OUT7:-BENCH_PR7.json}"
+OUT8="${OUT8:-BENCH_PR8.json}"
 BENCHTIME="${BENCHTIME:-2s}"
 
 # to_json <raw go test -bench output> <out.json>
@@ -90,3 +94,26 @@ END { printf "\n]\n" }
 grep -q '"name"' "$OUT7"
 rm -f "$raw7"
 echo "bench: wrote $OUT7"
+
+# Codec snapshot: the custom benchmark metrics (wire_B/op, wire_ratio,
+# disk_B/op, cache_hit_ratio, payload_B) don't fit the fixed to_json
+# columns, so collect every value/unit pair generically.
+PATTERN8='^(BenchmarkWireQueryRespRaw|BenchmarkWireQueryRespLossless|BenchmarkCachedRangeReadRaw|BenchmarkCachedRangeReadCompressed)$'
+raw8=$(mktemp /tmp/spio-bench-XXXXXX.txt)
+go test -run '^$' -bench "$PATTERN8" -benchtime "$BENCHTIME" -count 1 ./internal/server | tee "$raw8"
+awk '
+/^Benchmark/ {
+	name = $1
+	sub(/-[0-9]+$/, "", name)
+	if (n++) printf ",\n"
+	printf "  {\"name\": \"%s\"", name
+	for (i = 3; i < NF; i += 2)
+		printf ", \"%s\": %s", $(i + 1), $i
+	printf "}"
+}
+BEGIN { printf "[\n" }
+END { printf "\n]\n" }
+' "$raw8" >"$OUT8"
+grep -q 'wire_B/op' "$OUT8"
+rm -f "$raw8"
+echo "bench: wrote $OUT8"

@@ -55,6 +55,16 @@ echo "== go test -race -count=2 (server tier) =="
 # gives the race detector a different interleaving to chew on.
 go test -race -count=2 ./internal/server/...
 
+echo "== codec fuzz smoke =="
+# Short fuzz bursts over the two codec attack surfaces: the per-field
+# block codec round-trip (hostile specs and record bytes) and the data
+# file opener (whose corpus now seeds compressed files, truncations,
+# and bit flips). Regressions here are memory-safety or round-trip
+# bugs, not flakes: the corpora are deterministic seeds plus 10s of
+# mutation.
+go test -run '^$' -fuzz '^FuzzCodecRoundTrip$' -fuzztime 10s ./internal/particle
+go test -run '^$' -fuzz '^FuzzOpenDataFile$' -fuzztime 10s ./internal/format
+
 echo "== spiod e2e smoke =="
 # Serve a freshly written dataset from a real spiod process on a unix
 # socket and prove a remote KNN answers byte-for-byte like the local
@@ -62,7 +72,10 @@ echo "== spiod e2e smoke =="
 smoke=$(mktemp -d /tmp/spio-smoke-XXXXXX)
 trap 'rm -rf "$smoke"' EXIT
 go build -o "$smoke/" ./cmd/spiod ./cmd/spiowrite ./cmd/spioread
-"$smoke/spiowrite" -dir "$smoke/data" -dims 2x2x1 -particles 2000 >/dev/null
+# -codec lossless: the smoke then covers compressed files end to end —
+# block cache holding compressed blocks, decode on egress, and the
+# (default) lossless wire codec on every response.
+"$smoke/spiowrite" -dir "$smoke/data" -dims 2x2x1 -particles 2000 -codec lossless >/dev/null
 "$smoke/spiod" -mount sim="$smoke/data" -listen "unix:$smoke/s.sock" &
 spiod_pid=$!
 for _ in $(seq 1 50); do
@@ -84,6 +97,11 @@ done
 for i in 1 2 3 4 5 6 7 8; do
 	cmp "$smoke/local.txt" "$smoke/remote$i.txt"
 done
+# A raw-wire client against the same daemon must agree byte-for-byte
+# with the compressed-wire clients above.
+"$smoke/spioread" -remote "unix:$smoke/s.sock" -dataset sim -wire-codec raw -knn 0.5,0.5,0.5 -k 16 \
+	| grep distance >"$smoke/remote-raw.txt"
+cmp "$smoke/local.txt" "$smoke/remote-raw.txt"
 "$smoke/spiod" stats -addr "unix:$smoke/s.sock" | grep -q '"requests"'
 kill -TERM "$spiod_pid"
 wait "$spiod_pid"

@@ -185,6 +185,35 @@ const (
 // DefaultLOD returns the paper's LOD parameters (P=32, S=2).
 func DefaultLOD() LODParams { return lod.DefaultParams() }
 
+// Per-field compression (DESIGN §12): each aggregator applies the spec
+// strictly after the LOD reorder, cutting codec blocks at LOD level
+// boundaries so every compressed prefix is still a valid lower-res
+// subset. The zero CodecSpec writes the classic uncompressed layout,
+// which old readers open unchanged.
+type (
+	// CodecSpec maps each schema field to a codec (set via
+	// WriteConfig.Codec).
+	CodecSpec = particle.Spec
+	// FieldCodec is one field's codec choice and, for lossy codecs, its
+	// absolute error bound.
+	FieldCodec = particle.FieldCodec
+)
+
+// LosslessCodec returns the default lossless spec for a schema:
+// delta-varint for exact integer fields, shuffle+deflate elsewhere.
+func LosslessCodec(s *Schema) CodecSpec { return particle.LosslessSpec(s) }
+
+// LossyCodec is LosslessCodec with float fields quantized to the given
+// absolute error bound (each decoded component is within bound/2 of the
+// original). Integer fields stay exact.
+func LossyCodec(s *Schema, bound float64) CodecSpec { return particle.LossySpec(s, bound) }
+
+// ParseCodecSpec parses the CLI spelling of a codec spec: "" or "none"
+// or "raw" (uncompressed), "lossless", or "lossy:<bound>".
+func ParseCodecSpec(s *Schema, spec string) (CodecSpec, error) {
+	return particle.ParseCodecSpec(s, spec)
+}
+
 // Fault injection (internal/fault): the testing seam behind the
 // failure semantics of DESIGN §9. Setting WriteConfig.FS to an
 // injector's per-rank filesystem makes a write fail on cue, so
