@@ -32,7 +32,7 @@ func main() {
 		density   = flag.Bool("density-lod", false, "use density-stratified LOD instead of random")
 		ranges    = flag.Bool("field-ranges", false, "store per-file field min/max summaries")
 		checksum  = flag.Bool("checksum", false, "store payload checksums (verify with spioinspect -verify)")
-		codec     = flag.String("codec", "none", "per-field compression: none | lossless | lossy:<bound>")
+		codec     = flag.String("codec", "none", "per-field compression: none | lossless | fast | lossy:<bound>")
 		prof      = flag.Bool("profile", false, "print a per-phase min/mean/max write profile")
 		seed      = flag.Int64("seed", 42, "workload and LOD seed")
 	)

@@ -65,6 +65,10 @@ type WriteConfig struct {
 	// block stays a valid LOD prefix). The zero value writes the classic
 	// uncompressed layout.
 	Codec particle.Spec
+	// CodecWorkers bounds the concurrent block compressions of each
+	// aggregator's data-file write (<= 0 means GOMAXPROCS). The bytes
+	// written do not depend on it.
+	CodecWorkers int
 	// ValidateInput rejects the write up front if any local particle has
 	// a non-finite position or lies outside the domain (which would
 	// silently land in the wrong file under the aligned exchange).
@@ -336,11 +340,12 @@ func reorderAndWrite(fsys fault.WriteFS, dir string, cfg WriteConfig, aggRank, p
 	}
 	name := format.DataFileName(aggRank)
 	hdr := format.DataHeader{
-		LOD:        cfg.LOD,
-		Heuristic:  cfg.Heuristic,
-		Seed:       reorderSeed(cfg.Seed, part),
-		PayloadCRC: cfg.Checksum,
-		Codec:      cfg.Codec,
+		LOD:          cfg.LOD,
+		Heuristic:    cfg.Heuristic,
+		Seed:         reorderSeed(cfg.Seed, part),
+		PayloadCRC:   cfg.Checksum,
+		Codec:        cfg.Codec,
+		CodecWorkers: cfg.CodecWorkers,
 	}
 	if err := format.WriteDataFileOrdered(fsys, filepath.Join(dir, name), hdr, aggBuf, order); err != nil {
 		return fileEntryMsg{}, err

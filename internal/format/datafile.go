@@ -8,8 +8,10 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
+	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"spio/internal/fault"
 	"spio/internal/geom"
@@ -70,6 +72,11 @@ type DataHeader struct {
 	// under. The zero value (raw) writes the classic uncompressed
 	// layout, byte-identical to pre-codec files.
 	Codec particle.Spec
+	// CodecWorkers bounds the concurrent block compressions of one
+	// data-file write (<= 0 means GOMAXPROCS). A write-time knob only —
+	// it is not stored in the file, and the bytes written do not depend
+	// on it.
+	CodecWorkers int
 }
 
 // header flag bits.
@@ -229,33 +236,54 @@ func WriteDataFileOrdered(fsys fault.WriteFS, path string, hdr DataHeader, buf *
 
 // compressPayload gathers the LOD-ordered records block by block
 // (payload record i is particle order[i], so compression happens
-// strictly after the reorder) and compresses each block under the
+// strictly after the reorder) and compresses the blocks under the
 // header's codec spec. It returns the block index and the compressed
 // bytes, held in memory until the write: the index precedes the payload
 // on disk.
+//
+// Blocks are compressed concurrently (CompressBlocks, bounded by
+// hdr.CodecWorkers) in runs whose gathered raw records fit one pooled
+// image of at most maxImageBytes, so a huge payload never materializes
+// fully while the workers still get a run's worth of independent
+// blocks. The frames are byte-identical to the serial per-block loop.
 func compressPayload(hdr *DataHeader, buf *particle.Buffer, order []int) ([]codecBlock, [][]byte, error) {
 	lens := codecBlockLens(hdr.Count, hdr.LOD)
 	blocks := make([]codecBlock, 0, len(lens))
 	blockData := make([][]byte, 0, len(lens))
 	stride := hdr.Schema.Stride()
-	scratch := fromPool(&scratchPool, maxCodecBlockRecords*stride)
-	defer toPool(&scratchPool, scratch)
 	lo := int64(0)
-	for _, n := range lens {
-		hi := lo + n
-		raw := scratch[:int(n)*stride]
-		if order != nil {
-			buf.EncodeRecordsGather(raw, order[lo:hi])
-		} else {
-			buf.EncodeRecordsInto(raw, int(lo), int(hi))
+	for start := 0; start < len(lens); {
+		// Extend the run while the next block's records still fit the
+		// image budget (a run always takes at least one block).
+		end, runRecs := start, int64(0)
+		for end < len(lens) && (end == start || (runRecs+lens[end])*int64(stride) <= maxImageBytes) {
+			runRecs += lens[end]
+			end++
 		}
-		comp, err := particle.CompressBlock(hdr.Schema, hdr.Codec, raw)
+		raw := fromPool(&imagePool, int(runRecs)*stride)
+		raws := make([][]byte, 0, end-start)
+		off := int64(0)
+		for _, n := range lens[start:end] {
+			hi := lo + n
+			r := raw[off*int64(stride) : (off+n)*int64(stride)]
+			if order != nil {
+				buf.EncodeRecordsGather(r, order[lo:hi])
+			} else {
+				buf.EncodeRecordsInto(r, int(lo), int(hi))
+			}
+			raws = append(raws, r)
+			lo, off = hi, off+n
+		}
+		comp, err := particle.CompressBlocks(hdr.Schema, hdr.Codec, raws, hdr.CodecWorkers)
+		toPool(&imagePool, raw)
 		if err != nil {
 			return nil, nil, err
 		}
-		blocks = append(blocks, codecBlock{recs: n, bytes: int64(len(comp))})
-		blockData = append(blockData, comp)
-		lo = hi
+		for i, c := range comp {
+			blocks = append(blocks, codecBlock{recs: lens[start+i], bytes: int64(len(c))})
+			blockData = append(blockData, c)
+		}
+		start = end
 	}
 	// A compressed file always carries an index, even an empty one: the
 	// flag, not the block count, is what distinguishes the layouts.
@@ -414,6 +442,21 @@ type DataFile struct {
 	// payloadBytes is the stored payload length: compressed bytes for
 	// compressed files, Count*Stride for raw ones.
 	payloadBytes int64
+
+	// decoded is the optional decoded-block cache tier (SetDecodedCache);
+	// nil means every block decode runs in place.
+	decoded DecodedBlockCache
+	// cached records that a serving-layer cache sits under ra, which is
+	// what makes readahead worth its bytes.
+	cached bool
+	// lastHi is the record end of the most recent range read; a read
+	// starting there (or at 0) is a sequential pattern and arms the
+	// readahead.
+	lastHi atomic.Int64
+	// raBusy admits one in-flight readahead; raWG is its join point
+	// (tests drain it — Close deliberately does not block on it).
+	raBusy atomic.Bool
+	raWG   sync.WaitGroup
 }
 
 // Compressed reports whether the payload is stored compressed.
@@ -431,8 +474,34 @@ func (df *DataFile) ReaderAt() io.ReaderAt { return df.ra }
 // VerifyPayload) through ra — the seam a serving layer uses to slide a
 // shared block cache under the record reads. ra must serve the exact
 // bytes of the underlying file. Not safe to call concurrently with
-// reads; install it right after open.
-func (df *DataFile) SetReaderAt(ra io.ReaderAt) { df.ra = ra }
+// reads; install it right after open. Installing a seam also arms the
+// sequential readahead: prefetched bytes land somewhere they can be
+// found again.
+func (df *DataFile) SetReaderAt(ra io.ReaderAt) {
+	df.ra = ra
+	df.cached = true
+}
+
+// DecodedBlockCache is the seam for a decoded-block cache tier in front
+// of the compressed-resident one: it holds whole decoded codec blocks
+// so a hot working set pays inflate once. Implementations must be safe
+// for concurrent use — range reads run their block decodes in parallel.
+type DecodedBlockCache interface {
+	// GetBlock returns the decoded AoS record bytes of block bi, or nil.
+	// The returned slice is shared and must not be written.
+	GetBlock(bi int) []byte
+	// PutBlock offers block bi's decoded bytes to the cache, which takes
+	// ownership of the slice (the caller never writes it again).
+	PutBlock(bi int, recs []byte)
+}
+
+// SetDecodedCache installs a decoded-block cache tier. Like
+// SetReaderAt, install it right after open, not concurrently with
+// reads. Compressed files only (a raw payload has no decode to save).
+func (df *DataFile) SetDecodedCache(c DecodedBlockCache) {
+	df.decoded = c
+	df.cached = true
+}
 
 // OpenDataFile opens and validates a data file.
 func OpenDataFile(path string) (*DataFile, error) {
@@ -572,15 +641,30 @@ func classifyHeaderErr(path string, err error) error {
 // Path returns the file's path.
 func (df *DataFile) Path() string { return df.path }
 
-// Close releases the file handle.
-func (df *DataFile) Close() error { return df.f.Close() }
+// Close releases the file handle. It does not wait for an in-flight
+// readahead: callers routinely close files under cache locks, and a
+// blocking Close would stall them. A straggling prefetch reading a
+// closed *os.File gets ErrClosed (os.File serializes Close against
+// ReadAt internally) and drops it like any other readahead error.
+func (df *DataFile) Close() error {
+	return df.f.Close()
+}
 
 // payloadRange materializes the AoS record bytes of records [lo, hi).
 // Raw payloads are read directly at their fixed offsets. Compressed
 // payloads read whole compressed blocks through the ra seam — so a
 // serving layer's block cache holds compressed bytes, multiplying its
-// effective capacity — and decode on the way out (decode-on-egress),
-// copying just the overlap into the result.
+// effective capacity — and decode on the way out (decode-on-egress).
+//
+// The block walk is a read→decode pipeline: every overlapping block is
+// handled by a bounded worker fan-out, so the ReadAts overlap each
+// other (and, through the singleflight BlockCache, any disk latency)
+// while finished reads decode in parallel into disjoint regions of the
+// result. Blocks fully inside [lo, hi) decode in place into the result
+// slice; only the edge blocks pay an overlap copy. A sequential access
+// pattern (a read starting at 0 or where the previous one ended — the
+// ReadPrefix/progressive-LOD shape) arms a best-effort readahead of the
+// next block.
 func (df *DataFile) payloadRange(lo, hi int64) ([]byte, error) {
 	stride := int64(df.Header.Schema.Stride())
 	data := make([]byte, (hi-lo)*stride)
@@ -593,22 +677,163 @@ func (df *DataFile) payloadRange(lo, hi int64) ([]byte, error) {
 		}
 		return data, nil
 	}
-	// First block whose record range extends past lo.
-	bi := sort.Search(len(df.blockRecs)-1, func(i int) bool { return df.blockRecs[i+1] > lo })
-	for ; bi < len(df.blockRecs)-1 && df.blockRecs[bi] < hi; bi++ {
-		bLo, bHi := df.blockRecs[bi], df.blockRecs[bi+1]
-		comp := make([]byte, df.blockOffs[bi+1]-df.blockOffs[bi])
-		if _, err := df.ra.ReadAt(comp, df.payloadOff+df.blockOffs[bi]); err != nil {
-			return nil, err
-		}
-		recs, err := particle.DecompressBlock(df.Header.Schema, comp, int(bHi-bLo))
-		if err != nil {
-			return nil, err
-		}
-		cLo, cHi := max(lo, bLo), min(hi, bHi)
-		copy(data[(cLo-lo)*stride:(cHi-lo)*stride], recs[(cLo-bLo)*stride:(cHi-bLo)*stride])
+	sequential := lo == 0 || lo == df.lastHi.Load()
+	df.lastHi.Store(hi)
+	// Block range [b0, b1) overlapping [lo, hi): first block extending
+	// past lo, then every block starting before hi.
+	b0 := sort.Search(len(df.blockRecs)-1, func(i int) bool { return df.blockRecs[i+1] > lo })
+	b1 := b0
+	for b1 < len(df.blockRecs)-1 && df.blockRecs[b1] < hi {
+		b1++
+	}
+	if err := df.decodeBlockRange(data, lo, hi, b0, b1); err != nil {
+		return nil, err
+	}
+	if sequential && df.cached && b1 < len(df.blockRecs)-1 {
+		df.readahead(b1)
 	}
 	return data, nil
+}
+
+// decodeBlockRange runs the read→decode pipeline for blocks [b0, b1)
+// of a compressed payload into data (the record image of [lo, hi)).
+// The ra seam and decoded tier are loaded once here, on the caller's
+// goroutine, and handed to the workers by value: the setters that
+// install them are ordered before any read, and the workers must not
+// touch the fields themselves.
+func (df *DataFile) decodeBlockRange(data []byte, lo, hi int64, b0, b1 int) error {
+	ra, decoded := df.ra, df.decoded
+	n := b1 - b0
+	if n <= 1 {
+		for bi := b0; bi < b1; bi++ {
+			if err := df.readDecodeBlock(ra, decoded, data, lo, hi, bi); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	// At least a few workers even on one P: a ReadAt parked in the
+	// kernel releases its P, so the fan-out still overlaps disk latency
+	// when it cannot overlap decode.
+	workers := runtime.GOMAXPROCS(0)
+	if workers < 4 {
+		workers = 4
+	}
+	if workers > n {
+		workers = n
+	}
+	var (
+		wg       sync.WaitGroup
+		sem      = make(chan struct{}, workers)
+		mu       sync.Mutex
+		firstErr error
+	)
+	for bi := b0; bi < b1; bi++ {
+		wg.Add(1)
+		go func(bi int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			if err := df.readDecodeBlock(ra, decoded, data, lo, hi, bi); err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+			}
+		}(bi)
+	}
+	wg.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	return firstErr
+}
+
+// readDecodeBlock reads one compressed block through the ra seam (and
+// the decoded tier, when installed) and lands its overlap with [lo, hi)
+// in data. Safe to call concurrently for distinct blocks: each block's
+// records occupy a disjoint region of data.
+func (df *DataFile) readDecodeBlock(ra io.ReaderAt, decoded DecodedBlockCache, data []byte, lo, hi int64, bi int) error {
+	stride := int64(df.Header.Schema.Stride())
+	bLo, bHi := df.blockRecs[bi], df.blockRecs[bi+1]
+	cLo, cHi := max(lo, bLo), min(hi, bHi)
+	if decoded != nil {
+		if recs := decoded.GetBlock(bi); recs != nil {
+			copy(data[(cLo-lo)*stride:(cHi-lo)*stride], recs[(cLo-bLo)*stride:(cHi-bLo)*stride])
+			return nil
+		}
+		recs, err := df.decodeWholeBlock(ra, bi)
+		if err != nil {
+			return err
+		}
+		copy(data[(cLo-lo)*stride:(cHi-lo)*stride], recs[(cLo-bLo)*stride:(cHi-bLo)*stride])
+		// The tier takes ownership only after the copy out: once offered,
+		// the bytes are shared and immutable.
+		decoded.PutBlock(bi, recs)
+		return nil
+	}
+	comp := fromPool(&scratchPool, int(df.blockOffs[bi+1]-df.blockOffs[bi]))
+	defer toPool(&scratchPool, comp)
+	if _, err := ra.ReadAt(comp, df.payloadOff+df.blockOffs[bi]); err != nil {
+		return err
+	}
+	if cLo == bLo && cHi == bHi {
+		// Fully covered: decode straight into the block's slot of the
+		// result, no intermediate record image.
+		return particle.DecompressBlockInto(df.Header.Schema, comp, int(bHi-bLo),
+			data[(bLo-lo)*stride:(bHi-lo)*stride])
+	}
+	recs := fromPool(&imagePool, int((bHi-bLo)*stride))
+	defer toPool(&imagePool, recs)
+	if err := particle.DecompressBlockInto(df.Header.Schema, comp, int(bHi-bLo), recs); err != nil {
+		return err
+	}
+	copy(data[(cLo-lo)*stride:(cHi-lo)*stride], recs[(cLo-bLo)*stride:(cHi-bLo)*stride])
+	return nil
+}
+
+// decodeWholeBlock reads and decodes one whole compressed block into a
+// fresh slice (the decoded tier takes ownership of it).
+func (df *DataFile) decodeWholeBlock(ra io.ReaderAt, bi int) ([]byte, error) {
+	comp := fromPool(&scratchPool, int(df.blockOffs[bi+1]-df.blockOffs[bi]))
+	defer toPool(&scratchPool, comp)
+	if _, err := ra.ReadAt(comp, df.payloadOff+df.blockOffs[bi]); err != nil {
+		return nil, err
+	}
+	return particle.DecompressBlock(df.Header.Schema, comp, int(df.blockRecs[bi+1]-df.blockRecs[bi]))
+}
+
+// readahead prefetches block bi in the background: its ReadAt warms the
+// compressed cache under the ra seam, and with a decoded tier installed
+// the decoded bytes land there too, so the next sequential read starts
+// hot. One readahead runs at a time (raBusy); errors are dropped — a
+// prefetch that fails only costs the head start, and the foreground
+// read that follows will surface any real fault. The ra seam and
+// decoded tier are captured here, on the caller's goroutine, so the
+// prefetch never reads the installable fields. raWG is the join point
+// (tests drain it); Close does not block on it.
+func (df *DataFile) readahead(bi int) {
+	if !df.raBusy.CompareAndSwap(false, true) {
+		return
+	}
+	ra, decoded := df.ra, df.decoded
+	df.raWG.Add(1)
+	go func() {
+		defer df.raWG.Done()
+		defer df.raBusy.Store(false)
+		if decoded != nil {
+			if decoded.GetBlock(bi) != nil {
+				return
+			}
+			if recs, err := df.decodeWholeBlock(ra, bi); err == nil {
+				decoded.PutBlock(bi, recs)
+			}
+			return
+		}
+		comp := fromPool(&scratchPool, int(df.blockOffs[bi+1]-df.blockOffs[bi]))
+		_, _ = ra.ReadAt(comp, df.payloadOff+df.blockOffs[bi])
+		toPool(&scratchPool, comp)
+	}()
 }
 
 // ReadRange reads records [lo, hi) into a new buffer.

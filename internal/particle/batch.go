@@ -1,0 +1,221 @@
+package particle
+
+import (
+	"encoding/binary"
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Batch codec entry points: fan a run of codec blocks over a bounded
+// worker pool. They follow the DecodePool discipline (pool.go) that
+// racegate already locks down — semaphore-bounded goroutines, a
+// WaitGroup joining them, and the first error collected under one mutex
+// — and, like DecodePool, degrade to a synchronous loop when a single
+// worker could not overlap anything anyway. Workers write only to
+// disjoint outputs (their own frame slot, their own record region), so
+// the only shared mutable state is the error slot.
+
+// batchWorkers normalizes a worker-count knob: <= 0 means GOMAXPROCS,
+// and a batch never needs more workers than items.
+func batchWorkers(workers, items int) int {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > items {
+		workers = items
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// batchErr collects the first error from a batch under one mutex.
+type batchErr struct {
+	mu  sync.Mutex
+	err error
+}
+
+func (b *batchErr) set(err error) {
+	if err == nil {
+		return
+	}
+	b.mu.Lock()
+	if b.err == nil {
+		b.err = err
+	}
+	b.mu.Unlock()
+}
+
+// CompressBlocks compresses each block of AoS records under the spec
+// concurrently on at most workers goroutines (workers <= 0 means
+// GOMAXPROCS) and returns the per-block frames in block order. The
+// result is byte-identical to calling CompressBlock per block: each
+// worker checks its own codec state out of the pool, so blocks never
+// share mutable state and the frame bytes do not depend on scheduling.
+func CompressBlocks(schema *Schema, spec Spec, blocks [][]byte, workers int) ([][]byte, error) {
+	if err := spec.Validate(schema); err != nil {
+		return nil, err
+	}
+	out := make([][]byte, len(blocks))
+	workers = batchWorkers(workers, len(blocks))
+	if workers == 1 {
+		for bi, records := range blocks {
+			comp, err := CompressBlock(schema, spec, records)
+			if err != nil {
+				return nil, fmt.Errorf("particle: batch compress block %d: %w", bi, err)
+			}
+			out[bi] = comp
+		}
+		return out, nil
+	}
+	var (
+		wg   sync.WaitGroup
+		sem  = make(chan struct{}, workers)
+		errs batchErr
+	)
+	for bi := range blocks {
+		wg.Add(1)
+		go func(bi int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			comp, err := CompressBlock(schema, spec, blocks[bi])
+			if err != nil {
+				errs.set(fmt.Errorf("particle: batch compress block %d: %w", bi, err))
+				return
+			}
+			out[bi] = comp
+		}(bi)
+	}
+	wg.Wait()
+	if errs.err != nil {
+		return nil, errs.err
+	}
+	return out, nil
+}
+
+// AppendCompressedBlocks appends the frames for a run of blocks onto
+// dst in block order and returns the extended slice — the concatenation
+// is byte-identical to joining CompressBlocks' results. With one worker
+// it streams every frame straight onto dst (no per-block staging at
+// all, the shape the egress hot path wants); with more it fans out via
+// CompressBlocks and concatenates.
+func AppendCompressedBlocks(dst []byte, schema *Schema, spec Spec, blocks [][]byte, workers int) ([]byte, error) {
+	if batchWorkers(workers, len(blocks)) == 1 {
+		var err error
+		for bi, records := range blocks {
+			if dst, err = AppendCompressedBlock(dst, schema, spec, records); err != nil {
+				return nil, fmt.Errorf("particle: batch compress block %d: %w", bi, err)
+			}
+		}
+		return dst, nil
+	}
+	frames, err := CompressBlocks(schema, spec, blocks, workers)
+	if err != nil {
+		return nil, err
+	}
+	for _, f := range frames {
+		dst = append(dst, f...)
+	}
+	return dst, nil
+}
+
+// SplitFrames walks a concatenation of block frames — counts[i] records
+// each, in order — and returns the batch inputs for DecompressBlocks,
+// each block's At at the running record offset. The walk reads only the
+// per-field frame headers, never the payloads, so it costs a few bytes
+// per field; stream may be untrusted — every claimed length is checked
+// against the remaining bytes, and the frames must tile the stream
+// exactly.
+func SplitFrames(schema *Schema, stream []byte, counts []int) ([]CompressedBlock, error) {
+	blocks := make([]CompressedBlock, 0, len(counts))
+	at := 0
+	rest := stream
+	for bi, count := range counts {
+		n, err := frameLen(schema, rest)
+		if err != nil {
+			return nil, fmt.Errorf("particle: block frame %d: %w", bi, err)
+		}
+		blocks = append(blocks, CompressedBlock{Frame: rest[:n:n], Count: count, At: at})
+		rest = rest[n:]
+		at += count
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("particle: %d trailing bytes after %d block frames", len(rest), len(counts))
+	}
+	return blocks, nil
+}
+
+// frameLen measures one block frame by walking its field headers.
+func frameLen(schema *Schema, data []byte) (int, error) {
+	off := 0
+	for fi := 0; fi < schema.NumFields(); fi++ {
+		if off >= len(data) {
+			return 0, fmt.Errorf("stream ends before field %d", fi)
+		}
+		off++ // codec id
+		plen, n := binary.Uvarint(data[off:])
+		if n <= 0 || plen > uint64(len(data)-off-n) {
+			return 0, fmt.Errorf("field %d: bad payload length", fi)
+		}
+		off += n + int(plen)
+	}
+	return off, nil
+}
+
+// CompressedBlock is one input to DecompressBlocks: a self-describing
+// block frame, the record count it holds, and the offset (in records)
+// of its region in the destination.
+type CompressedBlock struct {
+	Frame []byte
+	Count int
+	At    int
+}
+
+// DecompressBlocks decodes a set of block frames into disjoint regions
+// of one destination record image, fanning the per-block decodes over
+// at most workers goroutines (workers <= 0 means GOMAXPROCS). dst must
+// hold every region: each block writes records [At, At+Count). Regions
+// must not overlap — the pool checks only that they stay inside dst.
+// Output is byte-identical to a serial DecompressBlockInto loop.
+func DecompressBlocks(schema *Schema, blocks []CompressedBlock, dst []byte, workers int) error {
+	stride := schema.Stride()
+	for bi, blk := range blocks {
+		if blk.Count < 0 || blk.At < 0 || (blk.At+blk.Count)*stride > len(dst) {
+			return fmt.Errorf("particle: batch decode block %d: region [%d, %d) outside destination of %d records",
+				bi, blk.At, blk.At+blk.Count, len(dst)/stride)
+		}
+	}
+	workers = batchWorkers(workers, len(blocks))
+	if workers == 1 {
+		for bi, blk := range blocks {
+			region := dst[blk.At*stride : (blk.At+blk.Count)*stride]
+			if err := DecompressBlockInto(schema, blk.Frame, blk.Count, region); err != nil {
+				return fmt.Errorf("particle: batch decode block %d: %w", bi, err)
+			}
+		}
+		return nil
+	}
+	var (
+		wg   sync.WaitGroup
+		sem  = make(chan struct{}, workers)
+		errs batchErr
+	)
+	for bi := range blocks {
+		wg.Add(1)
+		go func(bi int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			blk := blocks[bi]
+			region := dst[blk.At*stride : (blk.At+blk.Count)*stride]
+			if err := DecompressBlockInto(schema, blk.Frame, blk.Count, region); err != nil {
+				errs.set(fmt.Errorf("particle: batch decode block %d: %w", bi, err))
+			}
+		}(bi)
+	}
+	wg.Wait()
+	return errs.err
+}

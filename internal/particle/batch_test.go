@@ -1,0 +1,342 @@
+package particle
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// batchSchema builds a random schema: position plus a handful of
+// float32/float64 fields of random arity, one sometimes id-like.
+func batchSchema(r *rand.Rand) *Schema {
+	fields := []Field{{Name: PositionField, Kind: Float64, Components: 3}}
+	n := 1 + r.Intn(5)
+	for i := 0; i < n; i++ {
+		kind := Float64
+		if r.Intn(2) == 0 {
+			kind = Float32
+		}
+		name := fmt.Sprintf("v%d", i)
+		if i == 0 && r.Intn(2) == 0 {
+			name, kind = "id", Float64 // id-like: exercises the delta codec
+		}
+		fields = append(fields, Field{Name: name, Kind: kind, Components: 1 + r.Intn(4)})
+	}
+	return MustSchema(fields)
+}
+
+// batchRecords fills a random record image. Half the time the bytes are
+// pure noise (the hardest lossless input: every codec falls back to
+// raw); otherwise a compressible pattern with id-like runs.
+func batchRecords(r *rand.Rand, schema *Schema, count int) []byte {
+	records := make([]byte, count*schema.Stride())
+	if r.Intn(2) == 0 {
+		r.Read(records)
+		return records
+	}
+	buf := NewBuffer(schema, count)
+	vals := make([][]float64, schema.NumFields())
+	for i := 0; i < count; i++ {
+		for fi := range vals {
+			f := schema.Field(fi)
+			col := make([]float64, f.Components)
+			for k := range col {
+				if f.Name == "id" {
+					col[k] = float64(i*f.Components + k)
+				} else {
+					col[k] = r.Float64() * 100
+				}
+			}
+			vals[fi] = col
+		}
+		buf.Append(vals...)
+	}
+	copy(records, buf.Encode())
+	return records
+}
+
+// specFor picks one of the codec specs a batch can run under.
+func specFor(r *rand.Rand, schema *Schema) Spec {
+	switch r.Intn(4) {
+	case 0:
+		return Spec{}
+	case 1:
+		return LosslessSpec(schema)
+	case 2:
+		return FastSpec(schema)
+	default:
+		return LossySpec(schema, 1e-3)
+	}
+}
+
+// TestBatchCompressMatchesSerial is half the differential property:
+// for random schemas, specs, block counts, and worker counts, the
+// frames CompressBlocks produces are byte-identical to a serial
+// CompressBlock loop — parallel compression must not depend on
+// scheduling.
+func TestBatchCompressMatchesSerial(t *testing.T) {
+	r := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 60; trial++ {
+		schema := batchSchema(r)
+		spec := specFor(r, schema)
+		blocks := make([][]byte, 1+r.Intn(7))
+		for i := range blocks {
+			blocks[i] = batchRecords(r, schema, r.Intn(300))
+		}
+		want := make([][]byte, len(blocks))
+		for i, recs := range blocks {
+			frame, err := CompressBlock(schema, spec, recs)
+			if err != nil {
+				t.Fatalf("trial %d: serial compress: %v", trial, err)
+			}
+			want[i] = frame
+		}
+		for _, workers := range []int{0, 1, 2, 8} {
+			got, err := CompressBlocks(schema, spec, blocks, workers)
+			if err != nil {
+				t.Fatalf("trial %d workers %d: %v", trial, workers, err)
+			}
+			for i := range want {
+				if !bytes.Equal(got[i], want[i]) {
+					t.Fatalf("trial %d workers %d: block %d frame differs from serial", trial, workers, i)
+				}
+			}
+		}
+	}
+}
+
+// TestBatchDecompressMatchesSerial is the other half: concatenate the
+// frames, split them back with SplitFrames, and decode — in parallel,
+// serially, and over random sub-ranges of blocks — demanding
+// byte-identity with the original records everywhere.
+func TestBatchDecompressMatchesSerial(t *testing.T) {
+	r := rand.New(rand.NewSource(43))
+	for trial := 0; trial < 60; trial++ {
+		schema := batchSchema(r)
+		stride := schema.Stride()
+		// Lossless specs only: the differential compares against the
+		// original bytes.
+		specs := []Spec{{}, LosslessSpec(schema), FastSpec(schema)}
+		spec := specs[r.Intn(len(specs))]
+		nblocks := 1 + r.Intn(7)
+		counts := make([]int, nblocks)
+		var want []byte
+		var stream []byte
+		total := 0
+		for i := range counts {
+			counts[i] = r.Intn(300)
+			recs := batchRecords(r, schema, counts[i])
+			frame, err := CompressBlock(schema, spec, recs)
+			if err != nil {
+				t.Fatalf("trial %d: compress: %v", trial, err)
+			}
+			want = append(want, recs...)
+			stream = append(stream, frame...)
+			total += counts[i]
+		}
+		blocks, err := SplitFrames(schema, stream, counts)
+		if err != nil {
+			t.Fatalf("trial %d: SplitFrames: %v", trial, err)
+		}
+		// Serial reference via DecompressBlockInto.
+		ref := make([]byte, total*stride)
+		for bi, blk := range blocks {
+			region := ref[blk.At*stride : (blk.At+blk.Count)*stride]
+			if err := DecompressBlockInto(schema, blk.Frame, blk.Count, region); err != nil {
+				t.Fatalf("trial %d: serial decode block %d: %v", trial, bi, err)
+			}
+		}
+		if !bytes.Equal(ref, want) {
+			t.Fatalf("trial %d: serial round trip not byte-identical", trial)
+		}
+		for _, workers := range []int{0, 1, 2, 8} {
+			dst := make([]byte, total*stride)
+			if err := DecompressBlocks(schema, blocks, dst, workers); err != nil {
+				t.Fatalf("trial %d workers %d: %v", trial, workers, err)
+			}
+			if !bytes.Equal(dst, want) {
+				t.Fatalf("trial %d workers %d: parallel decode differs from serial", trial, workers)
+			}
+		}
+		// A random sub-range of blocks into a smaller destination: the
+		// At offsets are the caller's to re-base.
+		b0 := r.Intn(nblocks)
+		b1 := b0 + 1 + r.Intn(nblocks-b0)
+		sub := make([]CompressedBlock, 0, b1-b0)
+		base := blocks[b0].At
+		for _, blk := range blocks[b0:b1] {
+			blk.At -= base
+			sub = append(sub, blk)
+		}
+		subTotal := 0
+		for _, blk := range sub {
+			subTotal += blk.Count
+		}
+		dst := make([]byte, subTotal*stride)
+		if err := DecompressBlocks(schema, sub, dst, 4); err != nil {
+			t.Fatalf("trial %d: sub-range decode: %v", trial, err)
+		}
+		if !bytes.Equal(dst, want[base*stride:(base+subTotal)*stride]) {
+			t.Fatalf("trial %d: sub-range [%d,%d) decode differs", trial, b0, b1)
+		}
+	}
+}
+
+// TestFastSpecRoundTrip pins the shuffle+LZ spec's lossless contract on
+// both structured and adversarial (pure noise) record images.
+func TestFastSpecRoundTrip(t *testing.T) {
+	schema, records := testBlock(t, 1500, 7)
+	spec := FastSpec(schema)
+	for trial, recs := range [][]byte{records, func() []byte {
+		noise := make([]byte, len(records))
+		rand.New(rand.NewSource(8)).Read(noise)
+		return noise
+	}()} {
+		comp, err := CompressBlock(schema, spec, recs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := DecompressBlock(schema, comp, 1500)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, recs) {
+			t.Fatalf("trial %d: fast spec round trip not byte-identical", trial)
+		}
+	}
+}
+
+// TestSplitFramesHostile feeds SplitFrames corrupt streams: it must
+// error, never panic or hand out frames past the stream.
+func TestSplitFramesHostile(t *testing.T) {
+	schema, records := testBlock(t, 100, 9)
+	frame, err := CompressBlock(schema, LosslessSpec(schema), records)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream := append(append([]byte(nil), frame...), frame...)
+	if _, err := SplitFrames(schema, stream, []int{100, 100}); err != nil {
+		t.Fatalf("intact stream: %v", err)
+	}
+	cases := []struct {
+		name   string
+		stream []byte
+		counts []int
+	}{
+		{"truncated", stream[:len(stream)-3], []int{100, 100}},
+		{"trailing bytes", append(append([]byte(nil), stream...), 0xAB), []int{100, 100}},
+		{"too few counts", stream, []int{100}},
+		{"too many counts", stream, []int{100, 100, 100}},
+		{"empty stream, one block", nil, []int{100}},
+	}
+	for _, c := range cases {
+		if _, err := SplitFrames(schema, c.stream, c.counts); err == nil {
+			t.Errorf("%s: no error", c.name)
+		}
+	}
+	// Mutated field headers: random corruption must never walk out of
+	// bounds (an error or a wrong-but-in-bounds split are both fine).
+	r := rand.New(rand.NewSource(10))
+	for trial := 0; trial < 2000; trial++ {
+		m := append([]byte(nil), stream...)
+		for k := 0; k < 1+r.Intn(4); k++ {
+			m[r.Intn(len(m))] ^= byte(1 << r.Intn(8))
+		}
+		blocks, err := SplitFrames(schema, m, []int{100, 100})
+		if err != nil {
+			continue
+		}
+		for _, blk := range blocks {
+			if len(blk.Frame) > len(m) {
+				t.Fatalf("trial %d: frame longer than stream", trial)
+			}
+		}
+	}
+}
+
+// TestBatchDecompressBadRegion pins the upfront bounds check: a block
+// whose region escapes the destination must fail before any decode.
+func TestBatchDecompressBadRegion(t *testing.T) {
+	schema, records := testBlock(t, 50, 11)
+	frame, err := CompressBlock(schema, LosslessSpec(schema), records)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]byte, 50*schema.Stride())
+	bad := []CompressedBlock{
+		{Frame: frame, Count: 50, At: 1},  // runs past the end
+		{Frame: frame, Count: 50, At: -1}, // negative offset
+		{Frame: frame, Count: -1, At: 0},  // negative count
+		{Frame: frame, Count: 500, At: 0}, // count alone too large
+	}
+	for i, blk := range bad {
+		if err := DecompressBlocks(schema, []CompressedBlock{blk}, dst, 2); err == nil {
+			t.Errorf("case %d: no error for region [%d,+%d)", i, blk.At, blk.Count)
+		}
+	}
+}
+
+// TestCodecAllocs pins the pooled-state contract (the PR's allocation
+// satellite): steady-state CompressBlock allocates only its output
+// frame, and DecompressBlockInto allocates nothing of its own. The
+// shuffle+deflate decode bound is looser because the stdlib inflater
+// allocates Huffman link tables per dynamic block inside Read — churn
+// the pool cannot reach; shuffle+LZ has no such tax, which is the
+// point of the fast spec. Each bound leaves slack for a GC emptying
+// the state pool mid-run.
+func TestCodecAllocs(t *testing.T) {
+	schema, records := testBlock(t, 4096, 13)
+	cases := []struct {
+		name     string
+		spec     Spec
+		decBound float64
+	}{
+		{"lossless", LosslessSpec(schema), 75}, // stdlib inflate Huffman tables
+		{"fast", FastSpec(schema), 1},          // pooled state only
+	}
+	for _, c := range cases {
+		comp, err := CompressBlock(schema, c.spec, records)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dst := make([]byte, len(records))
+		if err := DecompressBlockInto(schema, comp, 4096, dst); err != nil {
+			t.Fatal(err)
+		}
+
+		compAllocs := testing.AllocsPerRun(50, func() {
+			if _, err := CompressBlock(schema, c.spec, records); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if compAllocs > 2 {
+			t.Errorf("%s: CompressBlock: %.1f allocs/op, want <= 2 (output frame only)",
+				c.name, compAllocs)
+		}
+		decAllocs := testing.AllocsPerRun(50, func() {
+			if err := DecompressBlockInto(schema, comp, 4096, dst); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if decAllocs > c.decBound {
+			t.Errorf("%s: DecompressBlockInto: %.1f allocs/op, want <= %.0f",
+				c.name, decAllocs, c.decBound)
+		}
+	}
+}
+
+// TestDecompressBlockIntoSizeCheck pins the destination contract: dst
+// must be exactly count*stride.
+func TestDecompressBlockIntoSizeCheck(t *testing.T) {
+	schema, records := testBlock(t, 10, 15)
+	comp, err := CompressBlock(schema, LosslessSpec(schema), records)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{0, 9 * schema.Stride(), 11 * schema.Stride()} {
+		if err := DecompressBlockInto(schema, comp, 10, make([]byte, n)); err == nil {
+			t.Errorf("dst of %d bytes accepted for 10 records", n)
+		}
+	}
+}

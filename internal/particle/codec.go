@@ -1,8 +1,6 @@
 package particle
 
 import (
-	"bytes"
-	"compress/flate"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -28,6 +26,11 @@ import (
 // CodecRaw is id 0 everywhere (disk flag, wire byte, field byte):
 // absent/zero always means "the uncompressed AoS bytes", which is what
 // keeps pre-codec files and peers readable unchanged.
+//
+// All (de)compression entry points share pooled codec state (flate
+// writer/reader, LZ match table, shuffle scratch — see codec_state.go),
+// so steady-state compression of a block stream allocates only the
+// output frames themselves.
 
 // CodecID identifies one field compression codec.
 type CodecID uint8
@@ -53,8 +56,15 @@ const (
 	// CodecShuffleDeflate when a value is non-finite or the range is too
 	// wide for the bound.
 	CodecQuantize CodecID = 3
+	// CodecShuffleLZ byte-plane-transposes the column and runs the
+	// planes through the fast LZ codec (lz.go) instead of flate;
+	// lossless for any field. It trades a few percent of ratio for
+	// several times the codec throughput, which is the right trade
+	// wherever the codec competes with the network or a warm cache
+	// rather than a cold disk.
+	CodecShuffleLZ CodecID = 4
 
-	codecMax = CodecQuantize
+	codecMax = CodecShuffleLZ
 )
 
 func (c CodecID) String() string {
@@ -67,6 +77,8 @@ func (c CodecID) String() string {
 		return "delta+varint"
 	case CodecQuantize:
 		return "quantize"
+	case CodecShuffleLZ:
+		return "shuffle+lz"
 	}
 	return fmt.Sprintf("codec(%d)", uint8(c))
 }
@@ -148,6 +160,7 @@ func coordField(f Field) bool {
 
 // LosslessSpec compresses every field without loss: delta/varint for
 // id-like integer fields, byte-shuffle + deflate for everything else.
+// It is the disk default, where ratio buys read bandwidth.
 func LosslessSpec(schema *Schema) Spec {
 	s := Spec{Fields: make([]FieldCodec, schema.NumFields())}
 	for i := range s.Fields {
@@ -156,6 +169,24 @@ func LosslessSpec(schema *Schema) Spec {
 			s.Fields[i] = FieldCodec{ID: CodecDeltaVarint}
 		} else {
 			s.Fields[i] = FieldCodec{ID: CodecShuffleDeflate}
+		}
+	}
+	return s
+}
+
+// FastSpec compresses every field without loss, preferring codec
+// throughput over the last few percent of ratio: delta/varint for
+// id-like integer fields, byte-shuffle + LZ for everything else. It is
+// the wire default, where the codec competes with the network and a
+// slow codec costs more time than the saved bytes recover.
+func FastSpec(schema *Schema) Spec {
+	s := Spec{Fields: make([]FieldCodec, schema.NumFields())}
+	for i := range s.Fields {
+		f := schema.Field(i)
+		if idLikeField(f) && f.Kind == Float64 {
+			s.Fields[i] = FieldCodec{ID: CodecDeltaVarint}
+		} else {
+			s.Fields[i] = FieldCodec{ID: CodecShuffleLZ}
 		}
 	}
 	return s
@@ -176,13 +207,15 @@ func LossySpec(schema *Schema, bound float64) Spec {
 }
 
 // ParseCodecSpec builds a spec from the CLI surface syntax: "none" (or
-// "raw", ""), "lossless", or "lossy:<bound>" (e.g. "lossy:1e-3").
+// "raw", ""), "lossless", "fast", or "lossy:<bound>" (e.g. "lossy:1e-3").
 func ParseCodecSpec(schema *Schema, s string) (Spec, error) {
 	switch s {
 	case "", "none", "raw":
 		return Spec{}, nil
 	case "lossless":
 		return LosslessSpec(schema), nil
+	case "fast":
+		return FastSpec(schema), nil
 	}
 	if rest, ok := strings.CutPrefix(s, "lossy:"); ok {
 		bound, err := strconv.ParseFloat(rest, 64)
@@ -191,7 +224,78 @@ func ParseCodecSpec(schema *Schema, s string) (Spec, error) {
 		}
 		return LossySpec(schema, bound), nil
 	}
-	return Spec{}, fmt.Errorf("particle: unknown codec spec %q (want none, lossless, or lossy:<bound>)", s)
+	return Spec{}, fmt.Errorf("particle: unknown codec spec %q (want none, lossless, fast, or lossy:<bound>)", s)
+}
+
+// Narrowing probes: NarrowSpec compresses this many leading records to
+// learn which fields pay for their codec, and keeps a field compressed
+// only when the probe recovered at least narrowKeepNum/narrowKeepDen of
+// its bytes. One part in ten is the wire break-even: below that, the
+// encoder spends more time than the saved bytes are worth on any link
+// faster than a few hundred Mbps.
+const (
+	narrowProbeRecords = 1024
+	narrowKeepNum      = 1
+	narrowKeepDen      = 10
+)
+
+// NarrowSpec returns spec with fields that do not pay for their codec
+// demoted to CodecRaw, learned by compressing a probe prefix of records
+// (up to narrowProbeRecords of them). A field is demoted when its probe
+// frame came back raw or recovered less than a tenth of the column
+// bytes — noisy float columns whose shuffled planes are mostly mantissa
+// entropy cost full codec time for a few percent of ratio, and on the
+// wire path that time loses to just sending the bytes. Lossy fields
+// (CodecQuantize) are never demoted: the caller asked for the error
+// bound, not for speed. The result depends only on schema, spec, and
+// the record bytes, so two encoders narrow identically; frames stay
+// self-describing, so decoders never see the spec at all. On any
+// malformed input the spec is returned unchanged.
+func NarrowSpec(schema *Schema, spec Spec, records []byte) Spec {
+	if len(spec.Fields) == 0 || spec.Validate(schema) != nil {
+		return spec
+	}
+	stride := schema.Stride()
+	count := len(records) / stride
+	if count == 0 || len(records)%stride != 0 {
+		return spec
+	}
+	if count > narrowProbeRecords {
+		count = narrowProbeRecords
+	}
+	frame, err := CompressBlock(schema, spec, records[:count*stride])
+	if err != nil {
+		return spec
+	}
+	narrowed := spec
+	var fields []FieldCodec // copied lazily, only if something demotes
+	off := 0
+	for fi := 0; fi < schema.NumFields(); fi++ {
+		f := schema.Field(fi)
+		if off >= len(frame) {
+			return spec
+		}
+		id := CodecID(frame[off])
+		off++
+		plen, n := binary.Uvarint(frame[off:])
+		if n <= 0 {
+			return spec
+		}
+		off += n + int(plen)
+		if spec.Fields[fi].ID == CodecRaw || spec.Fields[fi].ID == CodecQuantize {
+			continue
+		}
+		colLen := count * f.Bytes()
+		saved := colLen - int(plen)
+		if id == CodecRaw || saved*narrowKeepDen < colLen*narrowKeepNum {
+			if fields == nil {
+				fields = append([]FieldCodec(nil), spec.Fields...)
+				narrowed.Fields = fields
+			}
+			fields[fi] = FieldCodec{ID: CodecRaw}
+		}
+	}
+	return narrowed
 }
 
 // CompressBlock compresses one block of AoS records (a whole number of
@@ -201,7 +305,19 @@ func ParseCodecSpec(schema *Schema, s string) (Spec, error) {
 // delta on non-integer values — and any compressed column that would
 // exceed the raw column is stored raw, so a compressed block never
 // costs more than the records plus a few framing bytes per field.
+//
+// The one allocation per call is the returned frame; everything else
+// runs on pooled codec state. AppendCompressedBlock avoids even that
+// when the caller owns a reusable destination.
 func CompressBlock(schema *Schema, spec Spec, records []byte) ([]byte, error) {
+	out := make([]byte, 0, len(records)+16*schema.NumFields())
+	return AppendCompressedBlock(out, schema, spec, records)
+}
+
+// AppendCompressedBlock appends the compressed frame for one block of
+// AoS records onto dst and returns the extended slice. Semantics are
+// those of CompressBlock.
+func AppendCompressedBlock(dst []byte, schema *Schema, spec Spec, records []byte) ([]byte, error) {
 	if err := spec.Validate(schema); err != nil {
 		return nil, err
 	}
@@ -209,13 +325,20 @@ func CompressBlock(schema *Schema, spec Spec, records []byte) ([]byte, error) {
 	if len(records)%stride != 0 {
 		return nil, fmt.Errorf("particle: %d bytes is not a multiple of record size %d", len(records), stride)
 	}
+	st := getCodecState()
+	defer putCodecState(st)
+	return st.appendBlock(dst, schema, spec, records), nil
+}
+
+// appendBlock encodes every field frame of one block onto out.
+func (st *codecState) appendBlock(out []byte, schema *Schema, spec Spec, records []byte) []byte {
+	stride := schema.Stride()
 	count := len(records) / stride
-	out := make([]byte, 0, len(records)/2+16*schema.NumFields())
 	var varbuf [binary.MaxVarintLen64]byte
 	for fi := 0; fi < schema.NumFields(); fi++ {
 		f := schema.Field(fi)
-		col := make([]byte, count*f.Bytes())
-		gatherColumn(records, stride, schema.Offset(fi), f.Bytes(), col)
+		off := schema.Offset(fi)
+		colLen := count * f.Bytes()
 
 		want := CodecRaw
 		var bound float64
@@ -223,39 +346,80 @@ func CompressBlock(schema *Schema, spec Spec, records []byte) ([]byte, error) {
 			want = spec.Fields[fi].ID
 			bound = spec.Fields[fi].ErrBound
 		}
-		id, payload := encodeColumn(f, want, bound, col, count)
-		if len(payload) >= len(col) {
-			id, payload = CodecRaw, col
+		id, payload := st.encodeField(f, want, bound, records, stride, off, count)
+		if id != CodecRaw && len(payload) < colLen {
+			out = append(out, byte(id))
+			n := binary.PutUvarint(varbuf[:], uint64(len(payload)))
+			out = append(out, varbuf[:n]...)
+			out = append(out, payload...)
+			continue
 		}
-		out = append(out, byte(id))
-		n := binary.PutUvarint(varbuf[:], uint64(len(payload)))
+		// Raw fallback: gather the column straight into the output frame,
+		// with no intermediate column image.
+		out = append(out, byte(CodecRaw))
+		n := binary.PutUvarint(varbuf[:], uint64(colLen))
 		out = append(out, varbuf[:n]...)
-		out = append(out, payload...)
+		var base int
+		out, base = growFrame(out, colLen)
+		gatherColumn(records, stride, off, f.Bytes(), out[base:])
 	}
-	return out, nil
+	return out
 }
 
-// encodeColumn applies the wanted codec to one field column, degrading
-// to shuffle+deflate when the codec's preconditions fail.
-func encodeColumn(f Field, want CodecID, bound float64, col []byte, count int) (CodecID, []byte) {
+// encodeField applies the wanted codec to one field of the record image,
+// degrading to shuffle+deflate when the codec's preconditions fail. The
+// returned payload aliases st's scratch and is valid until st encodes
+// again. A CodecRaw result carries a nil payload — the caller gathers
+// raw columns itself.
+func (st *codecState) encodeField(f Field, want CodecID, bound float64, records []byte, stride, off, count int) (CodecID, []byte) {
 	switch want {
 	case CodecDeltaVarint:
 		if f.Kind == Float64 {
-			if p, ok := encodeDeltaVarint(col, count*f.Components); ok {
+			p, ok := appendDeltaVarint(st.out.b[:0], records, stride, off, count, f.Components)
+			st.out.b = p
+			if ok {
 				return CodecDeltaVarint, p
 			}
 		}
-		return CodecShuffleDeflate, encodeShuffleDeflate(col, f.Kind.Size())
+		return st.encodeShuffle(CodecShuffleDeflate, f, records, stride, off, count)
 	case CodecQuantize:
-		if p, ok := encodeQuantize(col, count, f.Components, bound); ok {
+		p, ok := appendQuantize(st.out.b[:0], records, stride, off, count, f.Components, bound)
+		st.out.b = p
+		if ok {
 			return CodecQuantize, p
 		}
-		return CodecShuffleDeflate, encodeShuffleDeflate(col, f.Kind.Size())
-	case CodecShuffleDeflate:
-		return CodecShuffleDeflate, encodeShuffleDeflate(col, f.Kind.Size())
+		return st.encodeShuffle(CodecShuffleDeflate, f, records, stride, off, count)
+	case CodecShuffleDeflate, CodecShuffleLZ:
+		return st.encodeShuffle(want, f, records, stride, off, count)
 	default:
-		return CodecRaw, col
+		return CodecRaw, nil
 	}
+}
+
+// encodeShuffle byte-plane-transposes one field straight out of the
+// record image (fused gather+shuffle, see codec_state.go) and entropy-
+// codes the planes with flate or the fast LZ.
+func (st *codecState) encodeShuffle(id CodecID, f Field, records []byte, stride, off, count int) (CodecID, []byte) {
+	shuf := st.shuffled(count * f.Bytes())
+	shuffleFromRecords(shuf, records, stride, off, f.Kind.Size(), f.Components, count)
+	if id == CodecShuffleLZ {
+		st.out.b = appendLZ(st.out.b[:0], shuf, st.tab)
+		return CodecShuffleLZ, st.out.b
+	}
+	zw := st.flateWriter()
+	_, _ = zw.Write(shuf) // sliceWriter writes cannot fail
+	_ = zw.Close()
+	return CodecShuffleDeflate, st.out.b
+}
+
+// growFrame extends b by n bytes (contents unspecified) and returns the
+// slice plus the start of the new region.
+func growFrame(b []byte, n int) ([]byte, int) {
+	base := len(b)
+	if cap(b)-base < n {
+		return append(b, make([]byte, n)...), base
+	}
+	return b[:base+n], base
 }
 
 // DecompressBlock reverses CompressBlock: data is one block frame, count
@@ -266,55 +430,104 @@ func DecompressBlock(schema *Schema, data []byte, count int) ([]byte, error) {
 	if count < 0 {
 		return nil, fmt.Errorf("particle: negative record count %d", count)
 	}
+	records := make([]byte, count*schema.Stride())
+	if err := DecompressBlockInto(schema, data, count, records); err != nil {
+		return nil, err
+	}
+	return records, nil
+}
+
+// DecompressBlockInto decodes one block frame of count records directly
+// into dst, which must be exactly count*Stride() bytes — the zero-copy
+// path for callers that own the destination (range reads decoding into
+// the middle of a result slice, batch decodes into disjoint regions).
+// It allocates nothing in steady state.
+func DecompressBlockInto(schema *Schema, data []byte, count int, dst []byte) error {
+	if count < 0 {
+		return fmt.Errorf("particle: negative record count %d", count)
+	}
 	stride := schema.Stride()
-	records := make([]byte, count*stride)
+	if len(dst) != count*stride {
+		return fmt.Errorf("particle: destination holds %d bytes, block decodes to %d", len(dst), count*stride)
+	}
+	st := getCodecState()
+	defer putCodecState(st)
+	return st.decompressInto(schema, data, count, dst)
+}
+
+// decompressInto walks the per-field frames, decoding each straight into
+// the field's slots of the dst record image.
+func (st *codecState) decompressInto(schema *Schema, data []byte, count int, dst []byte) error {
+	stride := schema.Stride()
 	for fi := 0; fi < schema.NumFields(); fi++ {
 		f := schema.Field(fi)
+		off := schema.Offset(fi)
 		if len(data) < 1 {
-			return nil, fmt.Errorf("particle: compressed block ends before field %q", f.Name)
+			return fmt.Errorf("particle: compressed block ends before field %q", f.Name)
 		}
 		id := CodecID(data[0])
 		data = data[1:]
 		plen, n := binary.Uvarint(data)
 		if n <= 0 || plen > uint64(len(data)-n) {
-			return nil, fmt.Errorf("particle: field %q: bad compressed payload length", f.Name)
+			return fmt.Errorf("particle: field %q: bad compressed payload length", f.Name)
 		}
 		payload := data[n : n+int(plen)]
 		data = data[n+int(plen):]
 
 		colLen := count * f.Bytes()
-		var col []byte
 		var err error
 		switch id {
 		case CodecRaw:
 			if len(payload) != colLen {
-				return nil, fmt.Errorf("particle: field %q: raw column has %d bytes, want %d", f.Name, len(payload), colLen)
+				return fmt.Errorf("particle: field %q: raw column has %d bytes, want %d", f.Name, len(payload), colLen)
 			}
-			col = payload
+			scatterColumn(dst, stride, off, f.Bytes(), payload)
 		case CodecShuffleDeflate:
-			col, err = decodeShuffleDeflate(payload, f.Kind.Size(), colLen)
+			err = st.decodeShuffleDeflate(payload, dst, stride, off, f, count)
+		case CodecShuffleLZ:
+			shuf := st.shuffled(colLen)
+			if err = decodeLZ(shuf, payload); err == nil {
+				unshuffleToRecords(dst, shuf, stride, off, f.Kind.Size(), f.Components, count)
+			}
 		case CodecDeltaVarint:
 			if f.Kind != Float64 {
-				return nil, fmt.Errorf("particle: field %q: delta codec on %v column", f.Name, f.Kind)
+				return fmt.Errorf("particle: field %q: delta codec on %v column", f.Name, f.Kind)
 			}
-			col, err = decodeDeltaVarint(payload, count*f.Components)
+			err = decodeDeltaVarintInto(dst, stride, off, payload, count, f.Components)
 		case CodecQuantize:
 			if f.Kind != Float64 {
-				return nil, fmt.Errorf("particle: field %q: quantize codec on %v column", f.Name, f.Kind)
+				return fmt.Errorf("particle: field %q: quantize codec on %v column", f.Name, f.Kind)
 			}
-			col, err = decodeQuantize(payload, count, f.Components)
+			err = decodeQuantizeInto(dst, stride, off, payload, count, f.Components)
 		default:
-			return nil, fmt.Errorf("particle: field %q: unknown codec %d", f.Name, id)
+			return fmt.Errorf("particle: field %q: unknown codec %d", f.Name, id)
 		}
 		if err != nil {
-			return nil, fmt.Errorf("particle: field %q: %w", f.Name, err)
+			return fmt.Errorf("particle: field %q: %w", f.Name, err)
 		}
-		scatterColumn(records, stride, schema.Offset(fi), f.Bytes(), col)
 	}
 	if len(data) != 0 {
-		return nil, fmt.Errorf("particle: %d trailing bytes after compressed block", len(data))
+		return fmt.Errorf("particle: %d trailing bytes after compressed block", len(data))
 	}
-	return records, nil
+	return nil
+}
+
+// decodeShuffleDeflate inflates one field's byte planes on the pooled
+// flate reader and unshuffles them into the record image.
+func (st *codecState) decodeShuffleDeflate(payload, dst []byte, stride, off int, f Field, count int) error {
+	shuf := st.shuffled(count * f.Bytes())
+	zr := st.flateReader(payload)
+	if _, err := io.ReadFull(zr, shuf); err != nil {
+		return fmt.Errorf("inflate: %w", err)
+	}
+	// The stream must end exactly at the column boundary; trailing data
+	// means a corrupt or hostile frame.
+	var one [1]byte
+	if n, _ := zr.Read(one[:]); n != 0 {
+		return fmt.Errorf("inflate: stream longer than column")
+	}
+	unshuffleToRecords(dst, shuf, stride, off, f.Kind.Size(), f.Components, count)
+	return nil
 }
 
 // gatherColumn extracts one field's bytes from an AoS record image into
@@ -334,98 +547,53 @@ func scatterColumn(records []byte, stride, off, w int, col []byte) {
 	}
 }
 
-// encodeShuffleDeflate byte-plane-transposes the column — all values'
-// byte 0, then all byte 1, ... — and deflates the planes. sz is the
-// component byte width (4 or 8).
-func encodeShuffleDeflate(col []byte, sz int) []byte {
-	nelem := len(col) / sz
-	shuf := make([]byte, len(col))
-	for plane := 0; plane < sz; plane++ {
-		row := shuf[plane*nelem : (plane+1)*nelem]
-		for e := 0; e < nelem; e++ {
-			row[e] = col[e*sz+plane]
-		}
-	}
-	var zb bytes.Buffer
-	zw, err := flate.NewWriter(&zb, flate.BestSpeed)
-	if err != nil {
-		// flate.NewWriter only fails on an invalid level, which BestSpeed
-		// is not.
-		panic(err)
-	}
-	_, _ = zw.Write(shuf) // bytes.Buffer writes cannot fail
-	_ = zw.Close()
-	return zb.Bytes()
-}
-
-// decodeShuffleDeflate inflates and un-shuffles a column of colLen bytes.
-func decodeShuffleDeflate(payload []byte, sz, colLen int) ([]byte, error) {
-	shuf := make([]byte, colLen)
-	zr := flate.NewReader(bytes.NewReader(payload))
-	if _, err := io.ReadFull(zr, shuf); err != nil {
-		return nil, fmt.Errorf("inflate: %w", err)
-	}
-	// The stream must end exactly at the column boundary; trailing data
-	// means a corrupt or hostile frame.
-	var one [1]byte
-	if n, _ := zr.Read(one[:]); n != 0 {
-		return nil, fmt.Errorf("inflate: stream longer than column")
-	}
-	_ = zr.Close()
-	col := make([]byte, colLen)
-	nelem := colLen / sz
-	for plane := 0; plane < sz; plane++ {
-		row := shuf[plane*nelem : (plane+1)*nelem]
-		for e := 0; e < nelem; e++ {
-			col[e*sz+plane] = row[e]
-		}
-	}
-	return col, nil
-}
-
 // maxExactInt is the largest magnitude delta-coded values may take:
 // beyond 2^53 float64 no longer represents every integer, so the
 // int64 round-trip below would silently lose bits.
 const maxExactInt = int64(1) << 53
 
-// encodeDeltaVarint encodes nelem float64 values as zigzag varints of
-// consecutive integer differences. ok is false when any value is not an
-// exactly-representable integer (the caller falls back to a lossless
-// byte codec).
-func encodeDeltaVarint(col []byte, nelem int) ([]byte, bool) {
-	out := make([]byte, 0, nelem+16)
+// appendDeltaVarint encodes one float64 field of the record image as
+// zigzag varints of consecutive integer differences, appended onto dst.
+// ok is false when any value is not an exactly-representable integer
+// (the caller falls back to a lossless byte codec and discards the
+// partial output).
+func appendDeltaVarint(dst, records []byte, stride, off, count, comps int) ([]byte, bool) {
 	var varbuf [binary.MaxVarintLen64]byte
 	prev := int64(0)
-	for e := 0; e < nelem; e++ {
-		v := math.Float64frombits(binary.LittleEndian.Uint64(col[e*8:]))
-		iv := int64(v)
-		if float64(iv) != v || iv > maxExactInt || iv < -maxExactInt {
-			return nil, false
+	for i := 0; i < count; i++ {
+		for k := 0; k < comps; k++ {
+			v := math.Float64frombits(binary.LittleEndian.Uint64(records[i*stride+off+k*8:]))
+			iv := int64(v)
+			if float64(iv) != v || iv > maxExactInt || iv < -maxExactInt {
+				return dst, false
+			}
+			n := binary.PutVarint(varbuf[:], iv-prev)
+			dst = append(dst, varbuf[:n]...)
+			prev = iv
 		}
-		n := binary.PutVarint(varbuf[:], iv-prev)
-		out = append(out, varbuf[:n]...)
-		prev = iv
 	}
-	return out, true
+	return dst, true
 }
 
-// decodeDeltaVarint reverses encodeDeltaVarint into a float64 column.
-func decodeDeltaVarint(payload []byte, nelem int) ([]byte, error) {
-	col := make([]byte, nelem*8)
+// decodeDeltaVarintInto reverses appendDeltaVarint straight into the
+// field's slots of a record image.
+func decodeDeltaVarintInto(dst []byte, stride, off int, payload []byte, count, comps int) error {
+	nelem := count * comps
 	prev := int64(0)
 	for e := 0; e < nelem; e++ {
 		d, n := binary.Varint(payload)
 		if n <= 0 {
-			return nil, fmt.Errorf("delta stream ends at element %d of %d", e, nelem)
+			return fmt.Errorf("delta stream ends at element %d of %d", e, nelem)
 		}
 		payload = payload[n:]
 		prev += d
-		binary.LittleEndian.PutUint64(col[e*8:], math.Float64bits(float64(prev)))
+		i, k := e/comps, e%comps
+		binary.LittleEndian.PutUint64(dst[i*stride+off+k*8:], math.Float64bits(float64(prev)))
 	}
 	if len(payload) != 0 {
-		return nil, fmt.Errorf("%d trailing bytes in delta stream", len(payload))
+		return fmt.Errorf("%d trailing bytes in delta stream", len(payload))
 	}
-	return col, nil
+	return nil
 }
 
 // maxQuantLevels bounds the quantization index so the float round-trip
@@ -433,27 +601,26 @@ func decodeDeltaVarint(payload []byte, nelem int) ([]byte, error) {
 // part; ranges needing more levels fall back to lossless.
 const maxQuantLevels = float64(int64(1) << 51)
 
-// encodeQuantize encodes a float64 column of count records × comps
+// appendQuantize encodes one float64 field of count records × comps
 // components with per-component affine quantization: f64 min, f64 max,
-// f64 step, then count uvarint indices per component (component-major).
-// The reconstruction min(min + q*step, max) is within bound of the
-// original; the max clamp matters because rounding alone can overshoot
-// the column's true range by step/2 — enough to push a boundary
-// particle outside its partition (or the domain) and fail a deep fsck.
-// ok is false when a value is non-finite or a component's range needs
-// too many levels for the bound.
-func encodeQuantize(col []byte, count, comps int, bound float64) ([]byte, bool) {
+// f64 step, then count uvarint indices per component (component-major),
+// appended onto dst. The reconstruction min(min + q*step, max) is within
+// bound of the original; the max clamp matters because rounding alone
+// can overshoot the column's true range by step/2 — enough to push a
+// boundary particle outside its partition (or the domain) and fail a
+// deep fsck. ok is false when a value is non-finite or a component's
+// range needs too many levels for the bound.
+func appendQuantize(dst, records []byte, stride, off, count, comps int, bound float64) ([]byte, bool) {
 	val := func(i, k int) float64 {
-		return math.Float64frombits(binary.LittleEndian.Uint64(col[(i*comps+k)*8:]))
+		return math.Float64frombits(binary.LittleEndian.Uint64(records[i*stride+off+k*8:]))
 	}
-	out := make([]byte, 0, count*comps*2+24*comps)
 	var varbuf [binary.MaxVarintLen64]byte
 	for k := 0; k < comps; k++ {
 		mn, mx := math.Inf(1), math.Inf(-1)
 		for i := 0; i < count; i++ {
 			v := val(i, k)
 			if math.IsNaN(v) || math.IsInf(v, 0) {
-				return nil, false
+				return dst, false
 			}
 			if v < mn {
 				mn = v
@@ -467,30 +634,30 @@ func encodeQuantize(col []byte, count, comps int, bound float64) ([]byte, bool) 
 		}
 		step := bound
 		if (mx-mn)/step > maxQuantLevels {
-			return nil, false
+			return dst, false
 		}
 		var b8 [8]byte
 		binary.LittleEndian.PutUint64(b8[:], math.Float64bits(mn))
-		out = append(out, b8[:]...)
+		dst = append(dst, b8[:]...)
 		binary.LittleEndian.PutUint64(b8[:], math.Float64bits(mx))
-		out = append(out, b8[:]...)
+		dst = append(dst, b8[:]...)
 		binary.LittleEndian.PutUint64(b8[:], math.Float64bits(step))
-		out = append(out, b8[:]...)
+		dst = append(dst, b8[:]...)
 		for i := 0; i < count; i++ {
 			q := math.Round((val(i, k) - mn) / step)
 			n := binary.PutUvarint(varbuf[:], uint64(q))
-			out = append(out, varbuf[:n]...)
+			dst = append(dst, varbuf[:n]...)
 		}
 	}
-	return out, true
+	return dst, true
 }
 
-// decodeQuantize reverses encodeQuantize into a float64 column.
-func decodeQuantize(payload []byte, count, comps int) ([]byte, error) {
-	col := make([]byte, count*comps*8)
+// decodeQuantizeInto reverses appendQuantize straight into the field's
+// slots of a record image.
+func decodeQuantizeInto(dst []byte, stride, off int, payload []byte, count, comps int) error {
 	for k := 0; k < comps; k++ {
 		if len(payload) < 24 {
-			return nil, fmt.Errorf("quantize stream ends in component %d header", k)
+			return fmt.Errorf("quantize stream ends in component %d header", k)
 		}
 		mn := math.Float64frombits(binary.LittleEndian.Uint64(payload))
 		mx := math.Float64frombits(binary.LittleEndian.Uint64(payload[8:]))
@@ -499,7 +666,7 @@ func decodeQuantize(payload []byte, count, comps int) ([]byte, error) {
 		for i := 0; i < count; i++ {
 			q, n := binary.Uvarint(payload)
 			if n <= 0 {
-				return nil, fmt.Errorf("quantize stream ends at record %d of %d", i, count)
+				return fmt.Errorf("quantize stream ends at record %d of %d", i, count)
 			}
 			payload = payload[n:]
 			v := mn + float64(q)*step
@@ -510,11 +677,11 @@ func decodeQuantize(payload []byte, count, comps int) ([]byte, error) {
 			if v > mx {
 				v = mx
 			}
-			binary.LittleEndian.PutUint64(col[(i*comps+k)*8:], math.Float64bits(v))
+			binary.LittleEndian.PutUint64(dst[i*stride+off+k*8:], math.Float64bits(v))
 		}
 	}
 	if len(payload) != 0 {
-		return nil, fmt.Errorf("%d trailing bytes in quantize stream", len(payload))
+		return fmt.Errorf("%d trailing bytes in quantize stream", len(payload))
 	}
-	return col, nil
+	return nil
 }

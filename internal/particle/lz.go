@@ -1,0 +1,247 @@
+package particle
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/bits"
+)
+
+// A fast byte-oriented LZ codec in the LZ4 block mold, for columns where
+// codec throughput matters more than the last few percent of ratio (the
+// wire path: compressing at flate speed costs more time than the saved
+// bytes are worth on a fast link). The format is a sequence of
+// sequences:
+//
+//	token u8: literalLen (high nibble) | matchLen-4 (low nibble)
+//	[literalLen extension bytes, 255-continued, when nibble == 15]
+//	literal bytes
+//	match offset u16 little-endian (1-65535, back from the write head)
+//	[matchLen extension bytes, 255-continued, when nibble == 15]
+//
+// The final sequence of a stream carries literals only: it ends after
+// its literal bytes, with no offset. Matches are at least 4 bytes.
+// Offset 0 is invalid. The shuffled byte planes this codec sees are
+// dominated by long runs (neighbouring particles share exponent and
+// high-mantissa bytes), which encode as matches at offset 1 and decode
+// at memmove speed.
+
+const (
+	lzMinMatch  = 4
+	lzMaxOffset = 65535
+	// lzHashBits sizes the match-finder table; 64 KiB of uint32 entries
+	// keeps it L2-resident.
+	lzHashBits = 14
+)
+
+// lzTable is the encoder's match-finder state, pooled by the codec
+// layer so a block compression allocates nothing.
+type lzTable [1 << lzHashBits]uint32
+
+func lzHash(v uint64) uint32 {
+	// Multiplicative hash of the low 5 bytes (40 bits): enough context
+	// to make offset-1 runs and repeated structures collide usefully.
+	return uint32(((v << 24) * 2654435761) >> (64 - lzHashBits))
+}
+
+// appendLZ compresses src onto dst using tab as scratch state and
+// returns the extended slice. The same src always yields the same
+// bytes regardless of tab's prior contents (every probed entry is
+// validated against src before use, and stale entries from earlier
+// blocks are cleared by the epoch check below).
+func appendLZ(dst, src []byte, tab *lzTable) []byte {
+	// Positions are stored +1 so the zero value never validates; the
+	// table is cleared per call. Clearing 64 KiB costs ~2µs, far below
+	// one hash-miss per stale entry.
+	for i := range tab {
+		tab[i] = 0
+	}
+	var litStart int
+	pos := 0
+	// The last lzMinMatch+4 bytes are always literals: matching there
+	// cannot pay for the token, and the guard keeps the 8-byte loads in
+	// bounds.
+	limit := len(src) - (lzMinMatch + 4)
+	step := 0
+	for pos < limit {
+		v := binary.LittleEndian.Uint64(src[pos:])
+		h := lzHash(v)
+		cand := int(tab[h]) - 1
+		tab[h] = uint32(pos + 1)
+		if cand >= 0 && pos-cand <= lzMaxOffset &&
+			binary.LittleEndian.Uint32(src[cand:]) == uint32(v) {
+			// Extend the match forward, 8 bytes at a time.
+			mlen := lzMinMatch
+			for pos+mlen+8 <= len(src) {
+				d := binary.LittleEndian.Uint64(src[pos+mlen:]) ^ binary.LittleEndian.Uint64(src[cand+mlen:])
+				if d != 0 {
+					mlen += bits.TrailingZeros64(d) >> 3
+					break
+				}
+				mlen += 8
+			}
+			if pos+mlen > len(src)-4 {
+				mlen = len(src) - 4 - pos // keep the tail literal-only
+			}
+			if mlen >= lzMinMatch {
+				dst = lzEmit(dst, src[litStart:pos], pos-cand, mlen)
+				// Seed the table inside the match sparsely so long runs
+				// stay cheap but later references can still land.
+				end := pos + mlen
+				for p := pos + 1; p+8 <= end && p < limit; p += 13 {
+					tab[lzHash(binary.LittleEndian.Uint64(src[p:]))] = uint32(p + 1)
+				}
+				pos = end
+				litStart = pos
+				step = 0
+				continue
+			}
+		}
+		// Miss: advance faster through incompressible regions (LZ4's
+		// acceleration heuristic) so random mantissa planes cost little.
+		// The shift is deliberately aggressive (every 16 misses widens the
+		// stride): shuffled float planes are bimodal — high-byte planes are
+		// runs, low-mantissa planes are noise — and the stride resets on
+		// the first match after a noise plane ends, so the cost of a noise
+		// plane is near-sqrt of its length while run planes still see
+		// every position.
+		step++
+		pos += 1 + (step >> 4)
+	}
+	return lzEmit(dst, src[litStart:], 0, 0)
+}
+
+// lzEmit appends one sequence: the literals, then (when mlen > 0) a
+// match of mlen bytes at the given back-offset. mlen == 0 emits the
+// stream-final literal-only sequence.
+func lzEmit(dst, lit []byte, offset, mlen int) []byte {
+	litLen := len(lit)
+	tok := byte(0)
+	if litLen >= 15 {
+		tok = 15 << 4
+	} else {
+		tok = byte(litLen) << 4
+	}
+	m := 0
+	if mlen > 0 {
+		m = mlen - lzMinMatch
+		if m >= 15 {
+			tok |= 15
+		} else {
+			tok |= byte(m)
+		}
+	}
+	dst = append(dst, tok)
+	if litLen >= 15 {
+		dst = lzExt(dst, litLen-15)
+	}
+	dst = append(dst, lit...)
+	if mlen > 0 {
+		dst = append(dst, byte(offset), byte(offset>>8))
+		if m >= 15 {
+			dst = lzExt(dst, m-15)
+		}
+	}
+	return dst
+}
+
+// lzExt appends a 255-continued length extension.
+func lzExt(dst []byte, v int) []byte {
+	for v >= 255 {
+		dst = append(dst, 255)
+		v -= 255
+	}
+	return append(dst, byte(v))
+}
+
+// decodeLZ decompresses payload into dst, which must be exactly the
+// decoded length. payload may arrive from disk or the network: every
+// length and offset is validated before it moves bytes.
+func decodeLZ(dst, payload []byte) error {
+	di := 0
+	pi := 0
+	for pi < len(payload) {
+		tok := payload[pi]
+		pi++
+		litLen := int(tok >> 4)
+		if litLen == 15 {
+			n, adv, err := lzReadExt(payload, pi, len(payload))
+			if err != nil {
+				return err
+			}
+			litLen += n
+			pi += adv
+		}
+		if litLen > len(payload)-pi || litLen > len(dst)-di {
+			return fmt.Errorf("lz: literal run of %d bytes overruns stream", litLen)
+		}
+		copy(dst[di:], payload[pi:pi+litLen])
+		di += litLen
+		pi += litLen
+		if pi == len(payload) {
+			// Final literal-only sequence. The token's match nibble must
+			// be zero or the stream is malformed, but LZ4 tradition (and
+			// robustness) is to accept the bare end after literals.
+			break
+		}
+		if pi+2 > len(payload) {
+			return fmt.Errorf("lz: truncated match offset")
+		}
+		offset := int(payload[pi]) | int(payload[pi+1])<<8
+		pi += 2
+		mlen := int(tok&15) + lzMinMatch
+		if tok&15 == 15 {
+			n, adv, err := lzReadExt(payload, pi, len(dst))
+			if err != nil {
+				return err
+			}
+			mlen += n
+			pi += adv
+		}
+		if offset == 0 || offset > di {
+			return fmt.Errorf("lz: match offset %d at output position %d", offset, di)
+		}
+		if mlen > len(dst)-di {
+			return fmt.Errorf("lz: match of %d bytes overruns output", mlen)
+		}
+		if offset >= mlen {
+			copy(dst[di:di+mlen], dst[di-offset:])
+			di += mlen
+		} else {
+			// Overlapping match — the run case, dominant on shuffled
+			// planes. Growing the window from a fixed source start keeps
+			// byte-by-byte semantics while each copy call is disjoint, so
+			// the run fills at memmove speed in O(log) passes.
+			s := di - offset
+			end := di + mlen
+			for di < end {
+				di += copy(dst[di:end], dst[s:di])
+			}
+		}
+	}
+	if di != len(dst) {
+		return fmt.Errorf("lz: stream decodes to %d bytes, want %d", di, len(dst))
+	}
+	return nil
+}
+
+// lzReadExt reads a 255-continued extension at payload[pi:], returning
+// the value and bytes consumed. maxLen caps the decoded value — the
+// literal count is bounded by the payload, a match length by the
+// output — so a hostile chain of 255s cannot spin or overflow.
+func lzReadExt(payload []byte, pi, maxLen int) (int, int, error) {
+	v, adv := 0, 0
+	for {
+		if pi+adv >= len(payload) {
+			return 0, 0, fmt.Errorf("lz: truncated length extension")
+		}
+		b := payload[pi+adv]
+		adv++
+		v += int(b)
+		if v > maxLen {
+			return 0, 0, fmt.Errorf("lz: length extension overflows stream")
+		}
+		if b != 255 {
+			return v, adv, nil
+		}
+	}
+}

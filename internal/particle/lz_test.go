@@ -1,0 +1,125 @@
+package particle
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// lzCorpus builds inputs spanning the encoder's regimes: empty, tiny
+// (below the match threshold), highly repetitive (long matches, overlap
+// copies at every offset), byte-plane-shaped, and incompressible noise.
+func lzCorpus() [][]byte {
+	r := rand.New(rand.NewSource(21))
+	var corpus [][]byte
+	corpus = append(corpus, nil, []byte{0}, []byte("abc"), []byte("abcdabcdabcdabcd"))
+	// Every small offset: overlap-copy windows 1..18 are the doubling
+	// copy's edge cases.
+	for off := 1; off <= 18; off++ {
+		period := bytes.Repeat([]byte("x123456789abcdefgh")[:off], 400/off+2)
+		corpus = append(corpus, period[:400])
+	}
+	long := make([]byte, 100_000)
+	for i := range long {
+		long[i] = byte(i / 1000) // long runs, plane-shaped
+	}
+	corpus = append(corpus, long)
+	noise := make([]byte, 65_536)
+	r.Read(noise)
+	corpus = append(corpus, noise)
+	mixed := append(append([]byte(nil), noise[:1000]...), bytes.Repeat([]byte("spio"), 500)...)
+	corpus = append(corpus, append(mixed, noise[1000:3000]...))
+	return corpus
+}
+
+func TestLZRoundTrip(t *testing.T) {
+	tab := new(lzTable)
+	for i, src := range lzCorpus() {
+		comp := appendLZ(nil, src, tab)
+		dst := make([]byte, len(src))
+		if err := decodeLZ(dst, comp); err != nil {
+			t.Fatalf("case %d (%d bytes): %v", i, len(src), err)
+		}
+		if !bytes.Equal(dst, src) {
+			t.Fatalf("case %d (%d bytes): round trip drifted", i, len(src))
+		}
+	}
+}
+
+// TestLZHostileDecode mutates valid streams and length-lies: decodeLZ
+// must error or fill dst, never panic or write out of bounds.
+func TestLZHostileDecode(t *testing.T) {
+	tab := new(lzTable)
+	src := bytes.Repeat([]byte("the quick brown fox 0123456789 "), 200)
+	comp := appendLZ(nil, src, tab)
+	r := rand.New(rand.NewSource(22))
+	for trial := 0; trial < 5000; trial++ {
+		m := append([]byte(nil), comp...)
+		for k := 0; k < 1+r.Intn(6); k++ {
+			m[r.Intn(len(m))] ^= byte(1 << r.Intn(8))
+		}
+		if r.Intn(3) == 0 {
+			m = m[:r.Intn(len(m)+1)]
+		}
+		// Also lie about the output size in both directions.
+		n := len(src)
+		switch r.Intn(4) {
+		case 0:
+			n = r.Intn(len(src))
+		case 1:
+			n = len(src) + 1 + r.Intn(64)
+		}
+		dst := make([]byte, n)
+		_ = decodeLZ(dst, m) // must not panic
+	}
+}
+
+func FuzzLZ(f *testing.F) {
+	for _, src := range lzCorpus() {
+		if len(src) <= 1<<16 {
+			f.Add(src)
+		}
+	}
+	f.Fuzz(func(t *testing.T, src []byte) {
+		if len(src) > 1<<20 {
+			return
+		}
+		tab := new(lzTable)
+		comp := appendLZ(nil, src, tab)
+		dst := make([]byte, len(src))
+		if err := decodeLZ(dst, comp); err != nil {
+			t.Fatalf("decode of own encoding (%d bytes): %v", len(src), err)
+		}
+		if !bytes.Equal(dst, src) {
+			t.Fatal("round trip drifted")
+		}
+		// The same bytes must also decode as a hostile stream of the
+		// wrong length without panicking.
+		if len(src) > 0 {
+			short := make([]byte, len(src)-1)
+			_ = decodeLZ(short, comp)
+		}
+	})
+}
+
+// FuzzLZDecode drives raw fuzz bytes straight into the decoder.
+func FuzzLZDecode(f *testing.F) {
+	tab := new(lzTable)
+	f.Add(appendLZ(nil, bytes.Repeat([]byte("ab"), 100), tab), 200)
+	f.Add([]byte{0x10, 'x'}, 1)
+	f.Add([]byte{}, 0)
+	f.Fuzz(func(t *testing.T, payload []byte, n int) {
+		if n < 0 || n > 1<<16 {
+			return
+		}
+		dst := make([]byte, n)
+		if err := decodeLZ(dst, payload); err == nil {
+			// A stream the decoder accepts must re-encode losslessly.
+			comp := appendLZ(nil, dst, tab)
+			back := make([]byte, n)
+			if err := decodeLZ(back, comp); err != nil || !bytes.Equal(back, dst) {
+				t.Fatalf("accepted stream did not re-round-trip (err=%v)", err)
+			}
+		}
+	})
+}

@@ -40,7 +40,7 @@ func benchWireQueryResp(b *testing.B, codec uint8) {
 func BenchmarkWireQueryRespRaw(b *testing.B)      { benchWireQueryResp(b, wireCodecRaw) }
 func BenchmarkWireQueryRespLossless(b *testing.B) { benchWireQueryResp(b, wireCodecLossless) }
 
-func benchCachedRangeReads(b *testing.B, codec particle.Spec) {
+func benchCachedRangeReads(b *testing.B, codec particle.Spec, decodedBytes int64) {
 	dir := b.TempDir()
 	const n = 32768
 	const span = 8192 // one codec block, so raw and compressed fetch the same records
@@ -63,6 +63,10 @@ func benchCachedRangeReads(b *testing.B, codec particle.Spec) {
 	// once the cache holds compressed blocks.
 	cache := NewBlockCache(int64(n*buf.Schema().Stride()/4), 16<<10)
 	df.SetReaderAt(cache.ReaderFor(path, df.ReaderAt()))
+	dcache := NewDecodedCache(decodedBytes)
+	if dcache != nil {
+		df.SetDecodedCache(dcache.ForFile(path))
+	}
 
 	r := rand.New(rand.NewSource(7))
 	b.ResetTimer()
@@ -77,15 +81,26 @@ func benchCachedRangeReads(b *testing.B, codec particle.Spec) {
 	b.ReportMetric(float64(st.BytesFromDisk)/float64(b.N), "disk_B/op")
 	b.ReportMetric(float64(st.Hits)/float64(st.Hits+st.Misses), "cache_hit_ratio")
 	b.ReportMetric(float64(df.PayloadBytes()), "payload_B")
+	if dcache != nil {
+		dst := dcache.Stats()
+		b.ReportMetric(float64(dst.Hits)/float64(dst.Hits+dst.Misses), "decoded_hit_ratio")
+	}
 }
 
 func BenchmarkCachedRangeReadRaw(b *testing.B) {
-	benchCachedRangeReads(b, particle.Spec{})
+	benchCachedRangeReads(b, particle.Spec{}, 0)
 }
 
 // Quantized positions/velocities (1e-3 absolute bound) are the case
 // the cache-capacity-multiplication argument is about: the compressed
 // working set fits where the raw one thrashes.
 func BenchmarkCachedRangeReadCompressed(b *testing.B) {
-	benchCachedRangeReads(b, particle.LossySpec(particle.Uintah(), 1e-3))
+	benchCachedRangeReads(b, particle.LossySpec(particle.Uintah(), 1e-3), 0)
+}
+
+// The decoded-block tier in front of the same compressed cache: the
+// hot working set is served as plain record bytes, paying inflate only
+// on first touch, so repeat reads approach the raw path's latency.
+func BenchmarkCachedRangeReadDecodedTier(b *testing.B) {
+	benchCachedRangeReads(b, particle.LossySpec(particle.Uintah(), 1e-3), 8<<20)
 }

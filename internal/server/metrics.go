@@ -88,8 +88,9 @@ type MetricsSnapshot struct {
 
 	ActiveConns int64 `json:"active_conns"`
 
-	BlockCache BlockCacheStats           `json:"block_cache"`
-	Datasets   map[string]DatasetMetrics `json:"datasets"`
+	BlockCache   BlockCacheStats           `json:"block_cache"`
+	DecodedCache DecodedCacheStats         `json:"decoded_cache"`
+	Datasets     map[string]DatasetMetrics `json:"datasets"`
 }
 
 // Snapshot assembles the current metrics image: request counters, the
@@ -115,6 +116,7 @@ func (s *Server) Snapshot() MetricsSnapshot {
 		StreamCancels:  m.streamCancels.Load(),
 		ActiveConns:    m.activeConns.Load(),
 		BlockCache:     s.cache.Stats(),
+		DecodedCache:   s.dcache.Stats(),
 		Datasets:       map[string]DatasetMetrics{},
 	}
 	s.mu.Lock()

@@ -52,6 +52,11 @@ type Config struct {
 	CacheBytes int64
 	// BlockBytes is the block cache granularity (default DefaultBlockSize).
 	BlockBytes int
+	// DecodedCacheBytes bounds the decoded-block cache tier in front of
+	// the compressed one: whole decoded codec blocks, so repeat queries
+	// over a hot working set pay inflate once (default CacheBytes/4;
+	// < 0 disables the tier).
+	DecodedCacheBytes int64
 	// FileCacheSlots is each mounted dataset's open-file cache capacity
 	// (default 64).
 	FileCacheSlots int
@@ -102,6 +107,16 @@ func (c *Config) cacheBytes() int64 {
 	return 256 << 20
 }
 
+func (c *Config) decodedCacheBytes() int64 {
+	if c.DecodedCacheBytes < 0 {
+		return 0
+	}
+	if c.DecodedCacheBytes > 0 {
+		return c.DecodedCacheBytes
+	}
+	return c.cacheBytes() / 4
+}
+
 // wireCodecFor clamps a client's requested codec by the server policy.
 func (c *Config) wireCodecFor(requested uint8) uint8 {
 	if c.WireCodec == "none" {
@@ -133,9 +148,10 @@ type mount struct {
 // Server is the resident serving state: mounted datasets over a shared
 // block cache, behind an admission controller.
 type Server struct {
-	cfg   Config
-	cache *BlockCache
-	adm   *admission
+	cfg    Config
+	cache  *BlockCache
+	dcache *DecodedCache // decoded-block tier; nil when disabled
+	adm    *admission
 
 	mu        sync.Mutex
 	mounts    map[string]*mount
@@ -160,6 +176,7 @@ func New(cfg Config) *Server {
 	return &Server{
 		cfg:    cfg,
 		cache:  NewBlockCache(cfg.cacheBytes(), cfg.BlockBytes),
+		dcache: NewDecodedCache(cfg.decodedCacheBytes()),
 		adm:    newAdmission(cfg.workers(), cfg.queueDepth()),
 		mounts: map[string]*mount{},
 		conns:  map[net.Conn]struct{}{},
@@ -188,7 +205,7 @@ func (s *Server) Mount(name, dir string) error {
 	}
 	m := &mount{name: name, dir: dir, open: map[string]*rdr.Dataset{}}
 	if _, err := os.Stat(filepath.Join(dir, format.MetaFileName)); err == nil {
-		if _, err := s.openLocked(m, ""); err != nil {
+		if _, err := s.openDataset(m, ""); err != nil {
 			return err
 		}
 	} else {
@@ -202,7 +219,7 @@ func (s *Server) Mount(name, dir string) error {
 		m.series = true
 		// Sanity-check the newest step now so a broken series fails at
 		// mount, not at first query.
-		if _, err := s.openLocked(m, strconv.Itoa(steps[len(steps)-1])); err != nil {
+		if _, err := s.openDataset(m, strconv.Itoa(steps[len(steps)-1])); err != nil {
 			return err
 		}
 	}
@@ -216,13 +233,18 @@ func (s *Server) Mount(name, dir string) error {
 	return nil
 }
 
-// openLocked opens (or returns the cached) dataset for one mount key,
+// openDataset opens (or returns the cached) dataset for one mount key,
 // applying the fsck policy and wiring the caches. Callers need not hold
-// s.mu; m.mu serializes per-mount opens.
-func (s *Server) openLocked(m *mount, key string) (*rdr.Dataset, error) {
+// s.mu. m.mu guards only the open map, never the open itself: mount
+// fsck reads every file (through the parallel decode pool for
+// compressed payloads), and holding the mount lock across that would
+// stall every request on the mount. Two concurrent first opens of the
+// same key may both do the work; the second to finish closes its copy.
+func (s *Server) openDataset(m *mount, key string) (*rdr.Dataset, error) {
 	m.mu.Lock()
-	defer m.mu.Unlock()
-	if ds, ok := m.open[key]; ok {
+	ds, ok := m.open[key]
+	m.mu.Unlock()
+	if ok {
 		return ds, nil
 	}
 	dir := m.dir
@@ -246,11 +268,24 @@ func (s *Server) openLocked(m *mount, key string) (*rdr.Dataset, error) {
 		return nil, err
 	}
 	// Layer the shared block cache under the file cache: every data-file
-	// handle the dataset opens reroutes payload reads through it.
+	// handle the dataset opens reroutes payload reads through it. The
+	// decoded tier sits in front of it for compressed files, holding
+	// whole decoded blocks so the hot set pays inflate once.
 	ds.SetOpenHook(func(df *format.DataFile) {
 		df.SetReaderAt(s.cache.ReaderFor(df.Path(), df.ReaderAt()))
+		if s.dcache != nil && df.Compressed() {
+			df.SetDecodedCache(s.dcache.ForFile(df.Path()))
+		}
 	})
+	m.mu.Lock()
+	if cached, ok := m.open[key]; ok {
+		// Lost the open race: serve the published copy, discard ours.
+		m.mu.Unlock()
+		_ = ds.Close()
+		return cached, nil
+	}
 	m.open[key] = ds
+	m.mu.Unlock()
 	return ds, nil
 }
 
@@ -294,7 +329,7 @@ func (s *Server) resolve(ref string) (*rdr.Dataset, error) {
 		if sel != "" {
 			return nil, fmt.Errorf("spiod: %s is not a series (reference %q)", name, ref)
 		}
-		return s.openLocked(m, "")
+		return s.openDataset(m, "")
 	}
 	switch sel {
 	case "", "latest":
@@ -305,13 +340,13 @@ func (s *Server) resolve(ref string) (*rdr.Dataset, error) {
 		if !ok {
 			return nil, fmt.Errorf("spiod: %s: no readable steps", name)
 		}
-		return s.openLocked(m, strconv.Itoa(step))
+		return s.openDataset(m, strconv.Itoa(step))
 	default:
 		step, err := strconv.Atoi(sel)
 		if err != nil || step < 0 {
 			return nil, fmt.Errorf("spiod: %s: bad step reference %q", name, sel)
 		}
-		return s.openLocked(m, strconv.Itoa(step))
+		return s.openDataset(m, strconv.Itoa(step))
 	}
 }
 

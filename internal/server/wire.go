@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sync"
 
 	"spio/internal/geom"
 	"spio/internal/particle"
@@ -31,7 +32,7 @@ import (
 
 const (
 	protoMagic   = "SPIOSRV1"
-	protoVersion = 2 // v2 added codec negotiation (hello codec byte, self-describing buffer frames)
+	protoVersion = 3 // v3 cut lossless buffer payloads into parallel codec blocks (was: one whole-buffer block)
 )
 
 // Wire buffer codecs. The client requests one in its hello; every
@@ -502,26 +503,92 @@ func decodeWireSchema(d *reader) (*particle.Schema, error) {
 
 // Buffer on the wire: schema, record count, actual codec, payload
 // length, then the payload — the raw AoS record image (wireCodecRaw) or
-// a particle.CompressBlock stream (wireCodecLossless). A raw payload is
-// exactly the data-file encoding, so a streamed level is bit-identical
-// to the file prefix it came from; a compressed one decodes to it. The
-// server encodes with the negotiated codec but keeps raw whenever
-// compression doesn't shrink the block, so codec is a ceiling, not a
-// promise.
+// a concatenation of particle block frames (wireCodecLossless), cut
+// every wireBlockRecords records. The split is deterministic from the
+// record count, so the decoder reconstructs the block boundaries from
+// the self-describing frames alone and both sides can run the blocks
+// through the parallel batch codec. A raw payload is exactly the
+// data-file encoding, so a streamed level is bit-identical to the file
+// prefix it came from; a compressed one decodes to it. The server
+// encodes with the negotiated codec but keeps raw whenever compression
+// doesn't shrink the buffer, so codec is a ceiling, not a promise.
+
+// wireBlockRecords cuts egress buffers into codec blocks: small enough
+// that encode/decode parallelism has work units, large enough that the
+// per-block framing stays noise.
+const wireBlockRecords = 8192
+
 func encodeBuffer(e *writer, buf *particle.Buffer, codec uint8) {
 	encodeWireSchema(e, buf.Schema())
 	e.u64(uint64(buf.Len()))
 	data := make([]byte, buf.Len()*buf.Schema().Stride())
 	buf.EncodeRecordsInto(data, 0, buf.Len())
 	payload, actual := data, uint8(wireCodecRaw)
+	var scratch *[]byte
 	if codec == wireCodecLossless {
-		if comp, err := particle.CompressBlock(buf.Schema(), particle.LosslessSpec(buf.Schema()), data); err == nil && len(comp) < len(data) {
+		scratch, _ = wireCompPool.Get().(*[]byte)
+		if scratch == nil {
+			scratch = new([]byte)
+		}
+		if comp, ok := compressWirePayload(buf.Schema(), data, (*scratch)[:0]); ok {
 			payload, actual = comp, wireCodecLossless
+			*scratch = comp
 		}
 	}
 	e.u8(actual)
 	e.uvarint(uint64(len(payload)))
 	e.bytes(payload)
+	if scratch != nil {
+		// e.bytes copied the payload into the frame; the scratch (and
+		// whatever capacity it grew) goes back to the pool.
+		wireCompPool.Put(scratch)
+	}
+}
+
+// wireCompPool recycles the compressed-payload staging buffers of
+// encodeBuffer: egress compression is per-response, and a fresh
+// multi-megabyte slice per response is pure allocator churn.
+var wireCompPool sync.Pool // *[]byte
+
+// compressWirePayload compresses an AoS image into the concatenated
+// block frames of a lossless wire payload appended onto dst (callers
+// pass recycled scratch), compressing the blocks in parallel when
+// there are spare cores. The egress codec is the throughput-first
+// FastSpec, narrowed by a probe of the leading records so noisy
+// columns that would not pay for their codec ride raw instead of
+// costing full LZ time every block — the frames are self-describing,
+// so neither the spec choice nor the narrowing ever reaches the wire
+// contract. ok is false when compression does not shrink the image.
+func compressWirePayload(schema *particle.Schema, data []byte, dst []byte) ([]byte, bool) {
+	stride := schema.Stride()
+	count := len(data) / stride
+	blocks := make([][]byte, 0, count/wireBlockRecords+1)
+	for lo := 0; lo < count; lo += wireBlockRecords {
+		hi := min(lo+wireBlockRecords, count)
+		blocks = append(blocks, data[lo*stride:hi*stride])
+	}
+	spec := particle.NarrowSpec(schema, particle.FastSpec(schema), data)
+	out, err := particle.AppendCompressedBlocks(dst, schema, spec, blocks, 0)
+	if err != nil || len(out)-len(dst) >= len(data) {
+		return nil, false
+	}
+	return out, true
+}
+
+// decompressWirePayload reverses compressWirePayload into dst (the raw
+// AoS image of count records): it reconstructs the deterministic block
+// split, walks the frame boundaries, and decodes the blocks in parallel
+// into disjoint regions of dst.
+func decompressWirePayload(schema *particle.Schema, stream []byte, count int, dst []byte) error {
+	counts := make([]int, 0, count/wireBlockRecords+1)
+	for lo := 0; lo < count; lo += wireBlockRecords {
+		counts = append(counts, min(wireBlockRecords, count-lo))
+	}
+	blocks, err := particle.SplitFrames(schema, stream, counts)
+	if err != nil {
+		return err
+	}
+	return particle.DecompressBlocks(schema, blocks, dst, 0)
 }
 
 // decodeBuffer decodes a buffer, refusing decoded payloads larger than
@@ -551,8 +618,9 @@ func decodeBuffer(d *reader, limit int64) (*particle.Buffer, error) {
 		d.fail(fmt.Errorf("spiod: raw buffer payload of %d bytes, want %d", plen, size))
 	}
 	// The per-field raw fallback bounds any compressed stream by the raw
-	// column bytes plus the per-field framing.
-	if d.err == nil && plen > size+uint64(schema.NumFields())*16 {
+	// column bytes plus the per-block, per-field framing.
+	nblocks := (n + wireBlockRecords - 1) / wireBlockRecords
+	if d.err == nil && plen > size+nblocks*uint64(schema.NumFields())*16 {
 		d.fail(fmt.Errorf("spiod: compressed payload of %d bytes exceeds raw size %d", plen, size))
 	}
 	if d.err != nil {
@@ -564,10 +632,11 @@ func decodeBuffer(d *reader, limit int64) (*particle.Buffer, error) {
 		return nil, d.err
 	}
 	if codec == wireCodecLossless {
-		data, err = particle.DecompressBlock(schema, data, int(n))
-		if err != nil {
+		raw := make([]byte, size)
+		if err := decompressWirePayload(schema, data, int(n), raw); err != nil {
 			return nil, fmt.Errorf("spiod: %w", err)
 		}
+		data = raw
 	}
 	return particle.Decode(schema, data)
 }

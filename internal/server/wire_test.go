@@ -166,6 +166,66 @@ func TestBufferDecodeHostileCodecFrames(t *testing.T) {
 	})
 }
 
+// TestBufferMultiBlockRoundTrip crosses the wireBlockRecords split
+// (protocol v3 cuts lossless payloads into parallel codec blocks): a
+// buffer spanning several wire blocks — including a ragged tail — must
+// round-trip bit-exactly, and the decoder must reconstruct the block
+// counts from the record total alone.
+func TestBufferMultiBlockRoundTrip(t *testing.T) {
+	for _, n := range []int{wireBlockRecords, wireBlockRecords + 1, 2*wireBlockRecords + 137} {
+		buf := particle.Uniform(particle.Uintah(), geom.UnitBox(), n, 7, 0)
+		d := roundTrip(t, func(e *writer) { encodeBuffer(e, buf, wireCodecLossless) })
+		got, err := decodeBuffer(d, 1<<26)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if !bytes.Equal(got.Encode(), buf.Encode()) {
+			t.Fatalf("n=%d: multi-block wire round trip is not byte-identical", n)
+		}
+	}
+}
+
+// TestBufferMultiBlockHostile corrupts a multi-block lossless frame
+// structurally: a torn frame and a payload padded past the last block
+// must both be rejected — the decoder must never misalign block
+// boundaries. (A flipped byte inside a field payload is content
+// corruption, the payload CRC's job, not the wire framing's.)
+func TestBufferMultiBlockHostile(t *testing.T) {
+	buf := particle.Uniform(particle.Uintah(), geom.UnitBox(), wireBlockRecords+200, 7, 0)
+	var fb frameBuf
+	e := newWriter(&fb)
+	encodeBuffer(e, buf, wireCodecLossless)
+	if e.err != nil {
+		t.Fatal(e.err)
+	}
+	torn := append([]byte(nil), fb.b[:len(fb.b)-50]...)
+	if _, err := decodeBuffer(newReader(bytes.NewReader(torn)), 1<<26); err == nil {
+		t.Error("torn second block accepted")
+	}
+
+	// Rebuild the frame with garbage appended inside the length-prefixed
+	// payload: SplitFrames must report the trailing bytes.
+	data := make([]byte, buf.Len()*buf.Schema().Stride())
+	buf.EncodeRecordsInto(data, 0, buf.Len())
+	payload, ok := compressWirePayload(buf.Schema(), data, nil)
+	if !ok {
+		t.Fatal("lossless wire payload did not shrink")
+	}
+	var padded frameBuf
+	pe := newWriter(&padded)
+	encodeWireSchema(pe, buf.Schema())
+	pe.u64(uint64(buf.Len()))
+	pe.u8(wireCodecLossless)
+	pe.uvarint(uint64(len(payload) + 8))
+	pe.bytes(append(append([]byte(nil), payload...), 1, 2, 3, 4, 5, 6, 7, 8))
+	if pe.err != nil {
+		t.Fatal(pe.err)
+	}
+	if _, err := decodeBuffer(newReader(bytes.NewReader(padded.b)), 1<<26); err == nil {
+		t.Error("payload with trailing bytes after the last block accepted")
+	}
+}
+
 func TestSchemaRoundTrip(t *testing.T) {
 	for _, s := range []*particle.Schema{particle.Uintah(), particle.PositionOnly()} {
 		d := roundTrip(t, func(e *writer) { encodeWireSchema(e, s) })

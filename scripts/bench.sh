@@ -15,12 +15,21 @@
 #	BENCH_PR8.json  codec layer: bytes-on-wire per query response (raw
 #	                vs lossless) and block-cache effectiveness over
 #	                compressed blocks (internal/server)
+#	BENCH_PR9.json  codec pipeline: lossless wire encode throughput
+#	                (pooled state + shuffle+LZ egress codec) and cached
+#	                range reads with and without the decoded-block tier
 #
 # Usage:
 #
 #	./scripts/bench.sh                  # writes both snapshots
 #	OUT=/tmp/base.json ./scripts/bench.sh
 #	BENCHTIME=5s ./scripts/bench.sh
+#
+# For an A/B comparison, point BASELINE_DIR at a checkout of the old
+# code (e.g. `git worktree add /tmp/before <rev>`): the PR9 set then
+# runs the two trees in alternating rounds — so machine drift lands on
+# both sides — and the snapshot carries "/after" and "/before" entries
+# averaged over the rounds.
 #
 # Later PRs compare their snapshot against the committed one; a
 # regression on ns/op or allocs/op is a finding, not noise, because
@@ -33,6 +42,7 @@ OUT="${OUT:-BENCH_PR4.json}"
 OUT5="${OUT5:-BENCH_PR5.json}"
 OUT7="${OUT7:-BENCH_PR7.json}"
 OUT8="${OUT8:-BENCH_PR8.json}"
+OUT9="${OUT9:-BENCH_PR9.json}"
 BENCHTIME="${BENCHTIME:-2s}"
 
 # to_json <raw go test -bench output> <out.json>
@@ -117,3 +127,52 @@ END { printf "\n]\n" }
 grep -q 'wire_B/op' "$OUT8"
 rm -f "$raw8"
 echo "bench: wrote $OUT8"
+
+# Codec pipeline snapshot: the same wire/cache benchmarks plus the
+# decoded-block tier. With BASELINE_DIR set, the after/before trees run
+# in alternating rounds and the awk averages each name over its rounds
+# (custom units again collected generically).
+PATTERN9='^(BenchmarkWireQueryRespRaw|BenchmarkWireQueryRespLossless|BenchmarkCachedRangeReadRaw|BenchmarkCachedRangeReadCompressed|BenchmarkCachedRangeReadDecodedTier)$'
+run9() {
+	(cd "$1" && go test -run '^$' -bench "$PATTERN9" -benchtime "$BENCHTIME" -count 1 ./internal/server)
+}
+raw9=$(mktemp /tmp/spio-bench-XXXXXX.txt)
+if [ -n "${BASELINE_DIR:-}" ]; then
+	for round in 1 2 3; do
+		echo "bench: PR9 A/B round $round"
+		run9 . | sed 's|^Benchmark\([A-Za-z0-9]*\)|Benchmark\1/after|' | tee -a "$raw9"
+		run9 "$BASELINE_DIR" | sed 's|^Benchmark\([A-Za-z0-9]*\)|Benchmark\1/before|' | tee -a "$raw9"
+	done
+else
+	run9 . | tee "$raw9"
+fi
+awk '
+/^Benchmark/ {
+	name = $1
+	sub(/-[0-9]+$/, "", name)
+	if (!(name in cnt)) order[++m] = name
+	cnt[name]++
+	for (i = 3; i < NF; i += 2) {
+		u = $(i + 1)
+		if (!((name, u) in sum)) unit[name, ++nunit[name]] = u
+		sum[name, u] += $i
+	}
+}
+END {
+	printf "[\n"
+	for (j = 1; j <= m; j++) {
+		name = order[j]
+		if (j > 1) printf ",\n"
+		printf "  {\"name\": \"%s\"", name
+		for (k = 1; k <= nunit[name]; k++) {
+			u = unit[name, k]
+			printf ", \"%s\": %g", u, sum[name, u] / cnt[name]
+		}
+		printf "}"
+	}
+	printf "\n]\n"
+}
+' "$raw9" >"$OUT9"
+grep -q 'WireQueryRespLossless' "$OUT9"
+rm -f "$raw9"
+echo "bench: wrote $OUT9"

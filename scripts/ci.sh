@@ -65,6 +65,35 @@ echo "== codec fuzz smoke =="
 go test -run '^$' -fuzz '^FuzzCodecRoundTrip$' -fuzztime 10s ./internal/particle
 go test -run '^$' -fuzz '^FuzzOpenDataFile$' -fuzztime 10s ./internal/format
 
+echo "== codec pipeline smoke =="
+# The lossless wire codec must stay within a small constant factor of
+# the raw memcpy path: a short bench run fails if lossless encode
+# throughput drops below 25% of raw. That floor catches a silent fall
+# back to slow-path compression (e.g. the pooled shuffle+LZ egress spec
+# regressing to per-call flate) while leaving ample noise margin — the
+# pipelined codec runs well above 50% of raw on the CI machine.
+codec_raw=$(mktemp /tmp/spio-codec-XXXXXX.txt)
+go test -run '^$' -bench '^(BenchmarkWireQueryRespRaw|BenchmarkWireQueryRespLossless)$' \
+	-benchtime 1s ./internal/server | tee "$codec_raw"
+awk '
+# The -N cpu suffix is absent when GOMAXPROCS is 1, so match both.
+$1 ~ /^BenchmarkWireQueryRespRaw(-[0-9]+)?$/      { for (i = 2; i <= NF; i++) if ($i == "MB/s") raw = $(i - 1) }
+$1 ~ /^BenchmarkWireQueryRespLossless(-[0-9]+)?$/ { for (i = 2; i <= NF; i++) if ($i == "MB/s") lossless = $(i - 1) }
+END {
+	if (raw == "" || lossless == "") {
+		print "codec smoke: benchmark output missing MB/s"
+		exit 1
+	}
+	printf "codec smoke: raw %.1f MB/s, lossless %.1f MB/s (%.0f%% of raw, floor 25%%)\n", \
+		raw, lossless, 100 * lossless / raw
+	if (lossless + 0 < raw / 4) {
+		print "codec smoke: lossless wire throughput fell below 25% of raw"
+		exit 1
+	}
+}
+' "$codec_raw"
+rm -f "$codec_raw"
+
 echo "== spiod e2e smoke =="
 # Serve a freshly written dataset from a real spiod process on a unix
 # socket and prove a remote KNN answers byte-for-byte like the local
