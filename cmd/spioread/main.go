@@ -139,8 +139,9 @@ func main() {
 		fmt.Printf(" [remote: %s %s]", *remote, *dataset)
 	}
 	fmt.Println()
-	fmt.Printf("result:  %d particles kept of %d read; %d files opened; %.2f MB moved; %v\n",
-		buf.Len(), st.ParticlesRead, st.FilesOpened, float64(st.BytesRead)/1e6, elapsed.Round(time.Microsecond))
+	fmt.Printf("result:  %d particles kept of %d read; %d files opened; %.2f MB moved; %v%s\n",
+		buf.Len(), st.ParticlesRead, st.FilesOpened, float64(st.BytesRead)/1e6, elapsed.Round(time.Microsecond),
+		partialTag(st))
 	if buf.Len() > 0 {
 		fmt.Printf("bounds:  %v\n", buf.Bounds())
 	}
@@ -188,11 +189,20 @@ func runKNN(knn func(p spio.Vec3, k int) (*spio.Buffer, []float64, spio.ReadStat
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("%d nearest neighbours of %v (%d files opened, %v):\n",
-		k, point, st.FilesOpened, time.Since(start).Round(time.Microsecond))
+	fmt.Printf("%d nearest neighbours of %v (%d files opened, %v)%s:\n",
+		k, point, st.FilesOpened, time.Since(start).Round(time.Microsecond), partialTag(st))
 	for i := 0; i < nn.Len(); i++ {
 		fmt.Printf("  %v  distance %.6f\n", nn.Position(i), dists[i])
 	}
+}
+
+// partialTag marks answers a sharded gateway degraded by routing
+// around a dead backend.
+func partialTag(st spio.ReadStats) string {
+	if st.Partial {
+		return " [partial]"
+	}
+	return ""
 }
 
 func parseBox(s string) (spio.Box, error) {

@@ -1,0 +1,107 @@
+package gateway
+
+import (
+	"sync"
+	"testing"
+
+	"spio/internal/geom"
+	rdr "spio/internal/reader"
+	"spio/internal/server"
+)
+
+// benchGateway writes a dataset, splits it into shards backed by real
+// spiod processes-in-goroutines, and returns a client dialed through
+// the gateway. shards=1 is the single-node baseline the multi-shard
+// numbers are read against.
+func benchGateway(b *testing.B, shards int) *server.RemoteDataset {
+	b.Helper()
+	src := b.TempDir()
+	writeDataset(b, src, geom.I3(4, 4, 2), geom.I3(2, 2, 1), 60) // 8 files, 1920 particles
+	specs, _ := splitShards(b, src, shards)
+	_, addr := startGateway(b, Config{}, specs)
+	ds, err := server.OpenRemote(addr, "sim")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { _ = ds.Close() })
+	return ds
+}
+
+// benchBox exercises the scatter-gather box path: the query straddles
+// every shard boundary, so each request fans out to all shards.
+func benchBox(b *testing.B, shards int) {
+	ds := benchGateway(b, shards)
+	q := geom.NewBox(geom.V3(0.2, 0.2, 0.2), geom.V3(0.8, 0.8, 0.8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf, _, err := ds.QueryBox(q, rdr.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if buf.Len() == 0 {
+			b.Fatal("empty answer")
+		}
+	}
+}
+
+func BenchmarkGatewayBox1Shard(b *testing.B)  { benchBox(b, 1) }
+func BenchmarkGatewayBox2Shards(b *testing.B) { benchBox(b, 2) }
+func BenchmarkGatewayBox4Shards(b *testing.B) { benchBox(b, 4) }
+
+// benchKNN exercises the wave-merged KNN path at a point near the
+// domain center, where the candidate set crosses shard boundaries.
+func benchKNN(b *testing.B, shards int) {
+	ds := benchGateway(b, shards)
+	p := geom.V3(0.5, 0.5, 0.5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, dists, _, err := ds.KNN(p, 16)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(dists) != 16 {
+			b.Fatalf("got %d neighbours", len(dists))
+		}
+	}
+}
+
+func BenchmarkGatewayKNN1Shard(b *testing.B)  { benchKNN(b, 1) }
+func BenchmarkGatewayKNN2Shards(b *testing.B) { benchKNN(b, 2) }
+func BenchmarkGatewayKNN4Shards(b *testing.B) { benchKNN(b, 4) }
+
+// BenchmarkGatewayBox8Clients drives the 3-shard gateway from 8
+// concurrent clients (each with its own front connection): the fan-out
+// paths and backend pools under contention.
+func BenchmarkGatewayBox8Clients(b *testing.B) {
+	src := b.TempDir()
+	writeDataset(b, src, geom.I3(4, 4, 2), geom.I3(2, 2, 1), 60)
+	specs, _ := splitShards(b, src, 3)
+	_, addr := startGateway(b, Config{}, specs)
+
+	const clients = 8
+	conns := make([]*server.RemoteDataset, clients)
+	for i := range conns {
+		ds, err := server.OpenRemote(addr, "sim")
+		if err != nil {
+			b.Fatal(err)
+		}
+		conns[i] = ds
+		b.Cleanup(func() { _ = ds.Close() })
+	}
+	q := geom.NewBox(geom.V3(0.2, 0.2, 0.2), geom.V3(0.8, 0.8, 0.8))
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(ds *server.RemoteDataset) {
+			defer wg.Done()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := ds.QueryBox(q, rdr.Options{}); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}(conns[c])
+	}
+	wg.Wait()
+}

@@ -1,0 +1,326 @@
+package gateway
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	rdr "spio/internal/reader"
+	"spio/internal/server"
+)
+
+// frontState is the gateway's connection-serving state, mirroring the
+// spiod daemon's drain discipline: stop accepting, finish in-flight
+// requests, notify idle connections, close.
+type frontState struct {
+	mu        sync.Mutex
+	listeners []net.Listener
+	conns     map[*frontConn]struct{}
+	draining  atomic.Bool
+	reqWG     sync.WaitGroup
+	connWG    sync.WaitGroup
+	acceptWG  sync.WaitGroup
+}
+
+func (f *frontState) init() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.conns = map[*frontConn]struct{}{}
+}
+
+// frontConn is one accepted front connection plus the mutex that
+// serializes frame writes on it (request loop vs drain notice).
+type frontConn struct {
+	net.Conn
+	wmu sync.Mutex
+}
+
+func (c *frontConn) writeLockedFrame(body []byte) error {
+	// wmu exists precisely to span the conn write: it keeps a drain
+	// notice from interleaving with a response frame mid-write.
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	//spio:allow lockorder -- wmu serializes whole frame writes on this conn; holding it across the I/O is the point
+	return server.FrameWrite(c.Conn, body)
+}
+
+var errGateDraining = errors.New("spiogate: gateway is draining")
+
+// Serve accepts front connections on l until Shutdown. It returns nil
+// on drain-triggered listener close.
+func (g *Gateway) Serve(l net.Listener) error {
+	f := &g.front
+	f.mu.Lock()
+	if f.draining.Load() {
+		f.mu.Unlock()
+		return errGateDraining
+	}
+	f.listeners = append(f.listeners, l)
+	f.mu.Unlock()
+	f.acceptWG.Add(1)
+	defer f.acceptWG.Done()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			if f.draining.Load() {
+				return nil
+			}
+			return err
+		}
+		f.mu.Lock()
+		if f.draining.Load() {
+			f.mu.Unlock()
+			_ = conn.Close() // drain raced the accept: turn the client away
+			return nil
+		}
+		fc := &frontConn{Conn: conn}
+		f.conns[fc] = struct{}{}
+		f.mu.Unlock()
+		f.connWG.Add(1)
+		go func() {
+			defer f.connWG.Done()
+			g.handleConn(fc)
+		}()
+	}
+}
+
+// Shutdown drains the gateway: stop accepting, let in-flight requests
+// finish, send idle front connections a drain notice, close everything
+// including the backend pools. The context bounds the wait.
+func (g *Gateway) Shutdown(ctx context.Context) error {
+	f := &g.front
+	if !f.draining.CompareAndSwap(false, true) {
+		return nil
+	}
+	f.mu.Lock()
+	for _, l := range f.listeners {
+		_ = l.Close() // unblocks Accept; drain is the reported outcome
+	}
+	f.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		f.reqWG.Wait()
+		f.mu.Lock()
+		idle := make([]*frontConn, 0, len(f.conns))
+		for c := range f.conns {
+			idle = append(idle, c)
+		}
+		f.mu.Unlock()
+		for _, c := range idle {
+			// Same drain handshake the daemon performs: a clean
+			// statusDraining frame before the close, best effort.
+			if body, err := server.MarshalStatusFrame(server.StatusDraining, errGateDraining.Error()); err == nil {
+				_ = c.SetWriteDeadline(time.Now().Add(time.Second))
+				_ = c.writeLockedFrame(body) // best effort; close follows either way
+			}
+			_ = c.Close()
+		}
+		f.connWG.Wait()
+		f.acceptWG.Wait()
+		for _, be := range g.backends {
+			_ = be.pool.Close() // gateway going away; per-conn errors are moot
+		}
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// handleConn speaks the spiod protocol on one front connection.
+func (g *Gateway) handleConn(conn *frontConn) {
+	g.metrics.activeConns.Add(1)
+	defer g.metrics.activeConns.Add(-1)
+	defer func() {
+		g.front.mu.Lock()
+		delete(g.front.conns, conn)
+		g.front.mu.Unlock()
+		_ = conn.Close() // second close after drain is harmless
+	}()
+
+	body, err := server.FrameRead(conn, server.HelloFrameMax)
+	if err != nil {
+		return
+	}
+	h, err := server.UnmarshalHello(body)
+	if err != nil {
+		_ = g.sendStatus(conn, server.StatusError, err.Error())
+		return
+	}
+	if h.Version != server.ProtoVersion {
+		_ = g.sendStatus(conn, server.StatusError,
+			fmt.Sprintf("spiod: protocol version %d not supported (want %d)", h.Version, server.ProtoVersion))
+		return
+	}
+	codec := server.ClampWireCodec(h.Codec)
+	if g.cfg.WireCodec == "none" {
+		codec = server.WireCodecRaw
+	}
+	ack, err := server.MarshalHelloAckFrame(server.GatewayFeatures)
+	if err != nil || conn.writeLockedFrame(ack) != nil {
+		return
+	}
+
+	for {
+		body, err := server.FrameRead(conn, g.cfg.maxReqBytes())
+		if err != nil {
+			return // client closed (or drain closed us)
+		}
+		req, err := server.UnmarshalRequest(body)
+		if err != nil {
+			_ = g.sendStatus(conn, server.StatusError, err.Error())
+			return
+		}
+		if err := g.handleRequest(conn, req, codec); err != nil {
+			return
+		}
+	}
+}
+
+// sendStatus writes a header-only response frame.
+func (g *Gateway) sendStatus(conn *frontConn, status uint8, msg string) error {
+	body, err := server.MarshalStatusFrame(status, msg)
+	if err != nil {
+		return err
+	}
+	return conn.writeLockedFrame(body)
+}
+
+// sendErr maps a merge error onto the wire status vocabulary.
+func (g *Gateway) sendErr(conn *frontConn, err error) error {
+	g.metrics.errors.Add(1)
+	status := uint8(server.StatusError)
+	switch {
+	case errors.Is(err, server.ErrBudget):
+		status = server.StatusBudget
+	case errors.Is(err, server.ErrOverloaded):
+		status = server.StatusOverloaded
+	case errors.Is(err, server.ErrDraining):
+		status = server.StatusDraining
+	}
+	return g.sendStatus(conn, status, err.Error())
+}
+
+// handleRequest executes one front request. A non-nil return tears the
+// connection down; request-level errors travel back as status frames.
+func (g *Gateway) handleRequest(conn *frontConn, req *server.Request, codec uint8) error {
+	f := &g.front
+	f.reqWG.Add(1)
+	defer f.reqWG.Done()
+	if f.draining.Load() {
+		return g.sendStatus(conn, server.StatusDraining, errGateDraining.Error())
+	}
+	start := time.Now()
+
+	switch req.Op {
+	case server.OpStats:
+		blob := g.snapshotJSON()
+		g.metrics.requests.Add(1)
+		body, err := server.MarshalBlobFrame(blob)
+		if err != nil {
+			return err
+		}
+		return conn.writeLockedFrame(body)
+	case server.OpList:
+		g.metrics.requests.Add(1)
+		body, err := server.MarshalNamesFrame(g.list())
+		if err != nil {
+			return err
+		}
+		return conn.writeLockedFrame(body)
+	}
+
+	m, err := g.mount(req.Dataset)
+	if err != nil {
+		g.metrics.errors.Add(1)
+		return g.sendStatus(conn, server.StatusError, err.Error())
+	}
+	opts := rdr.Options{
+		Levels:   req.Levels,
+		Readers:  req.Readers,
+		NoFilter: req.NoFilter,
+		Fields:   req.Fields,
+	}
+
+	finish := func(st rdr.Stats) server.WireStats {
+		if st.Partial {
+			g.metrics.partials.Add(1)
+		}
+		g.metrics.requests.Add(1)
+		return server.WireStats{Read: st, Service: int64(time.Since(start))}
+	}
+
+	switch req.Op {
+	case server.OpMeta:
+		g.metrics.requests.Add(1)
+		body, err := server.MarshalBlobFrame(m.metaBlob)
+		if err != nil {
+			return err
+		}
+		return conn.writeLockedFrame(body)
+
+	case server.OpQueryBox:
+		buf, st, err := g.gwQueryBox(m, req.Box, opts)
+		if err != nil {
+			return g.sendErr(conn, err)
+		}
+		resp := &server.QueryResp{Stats: finish(st), Buf: buf}
+		body, err := server.MarshalQueryRespFrame(resp, codec)
+		if err != nil {
+			return err
+		}
+		return conn.writeLockedFrame(body)
+
+	case server.OpKNN:
+		buf, dists, st, err := g.gwKNN(m, req.Point, req.K)
+		if err != nil {
+			return g.sendErr(conn, err)
+		}
+		resp := &server.KNNResp{Stats: finish(st), Buf: buf, Dists: dists}
+		body, err := server.MarshalKNNRespFrame(resp, codec)
+		if err != nil {
+			return err
+		}
+		return conn.writeLockedFrame(body)
+
+	case server.OpHalo:
+		own, ghost, st, err := g.gwHalo(m, req.Box, req.Halo, opts)
+		if err != nil {
+			return g.sendErr(conn, err)
+		}
+		resp := &server.HaloResp{Stats: finish(st), Own: own, Ghost: ghost}
+		body, err := server.MarshalHaloRespFrame(resp, codec)
+		if err != nil {
+			return err
+		}
+		return conn.writeLockedFrame(body)
+
+	case server.OpDensityGrid:
+		raw := req.Flags&server.ReqFlagRawDensity != 0
+		counts, frac, sampled, st, err := g.gwDensity(m, req.Dims, opts, raw)
+		if err != nil {
+			return g.sendErr(conn, err)
+		}
+		resp := &server.DensityResp{Stats: finish(st), Counts: counts, Fraction: frac, Sampled: sampled}
+		body, err := server.MarshalDensityRespFrame(resp)
+		if err != nil {
+			return err
+		}
+		return conn.writeLockedFrame(body)
+
+	case server.OpProgressive:
+		return g.executeStream(conn, m, req, codec, start)
+
+	default:
+		g.metrics.errors.Add(1)
+		return g.sendStatus(conn, server.StatusError, fmt.Sprintf("spiod: unknown op %d", req.Op))
+	}
+}

@@ -1,0 +1,360 @@
+// Package gateway implements spiogate, the scatter-gather front tier
+// for sharded spiod serving. A gateway mounts one logical dataset as a
+// set of shards — disjoint file subsets served by spiod backends — and
+// speaks the unmodified spiod wire protocol on its front, so spio.Dial
+// works against a gateway exactly as against a single daemon. For each
+// query it computes the minimal shard set whose aggregation partitions
+// intersect the request, fans out over bounded per-backend connection
+// pools, and merges the shard answers so the result is byte-identical
+// (up to particle order) to a single node serving the whole dataset:
+// the paper's metadata-driven file pruning, lifted one tier up from
+// files to servers.
+//
+// Failure containment is first-class: per-backend circuit breakers,
+// per-call timeouts, retry across replicas when a shard is served by
+// more than one backend, and graceful-drain routing. A dead backend
+// degrades the answer to a flagged partial result instead of failing
+// the query.
+package gateway
+
+import (
+	"bytes"
+	"fmt"
+	"time"
+
+	"spio/internal/format"
+	"spio/internal/geom"
+	"spio/internal/server"
+)
+
+// Config tunes a Gateway. The zero value serves with sane defaults.
+type Config struct {
+	// PoolSize bounds live connections per backend (default 4): the
+	// gateway's per-backend fan-out cap.
+	PoolSize int
+	// CallTimeout bounds each backend exchange; an expired call counts
+	// as a backend failure (default 30s; < 0 disables).
+	CallTimeout time.Duration
+	// FailThreshold is the consecutive-failure count that opens a
+	// backend's circuit breaker (default 3).
+	FailThreshold int
+	// Cooldown is how long an open breaker rejects a backend before
+	// letting one probe through (default 5s).
+	Cooldown time.Duration
+	// MaxFrame bounds response frames accepted from backends and
+	// requests accepted on the front (default server.DefaultMaxFrame).
+	MaxFrame int64
+	// MaxReqBytes bounds one front request frame (default 1 MiB).
+	MaxReqBytes int64
+	// WireCodec is the front response-compression policy: "" or "any"
+	// honors what each client requested; "none" forces raw.
+	WireCodec string
+	// Logf, when non-nil, receives gateway log lines.
+	Logf func(format string, args ...any)
+}
+
+func (c *Config) poolSize() int {
+	if c.PoolSize > 0 {
+		return c.PoolSize
+	}
+	return 4
+}
+
+func (c *Config) callTimeout() time.Duration {
+	if c.CallTimeout < 0 {
+		return 0
+	}
+	if c.CallTimeout == 0 {
+		return 30 * time.Second
+	}
+	return c.CallTimeout
+}
+
+func (c *Config) failThreshold() int {
+	if c.FailThreshold > 0 {
+		return c.FailThreshold
+	}
+	return 3
+}
+
+func (c *Config) cooldown() time.Duration {
+	if c.Cooldown > 0 {
+		return c.Cooldown
+	}
+	return 5 * time.Second
+}
+
+func (c *Config) maxFrame() int64 {
+	if c.MaxFrame > 0 {
+		return c.MaxFrame
+	}
+	return server.DefaultMaxFrame
+}
+
+func (c *Config) maxReqBytes() uint32 {
+	if c.MaxReqBytes > 0 {
+		return uint32(c.MaxReqBytes)
+	}
+	return 1 << 20
+}
+
+// ShardSpec names one shard of a mounted dataset: the dataset reference
+// the shard's files are served under, and the backends holding it. The
+// first address is the primary; any further addresses are replicas the
+// gateway retries when the primary fails — listing a shard on two
+// backends is what buys a query availability under single-backend loss.
+type ShardSpec struct {
+	Ref   string
+	Addrs []string
+}
+
+// Gateway is the resident front-tier state: mounted shard maps over
+// pooled backend connections.
+type Gateway struct {
+	cfg Config
+
+	backends map[string]*backend // keyed by address; shared across mounts
+	mounts   map[string]*gwMount
+
+	front   frontState
+	metrics gwMetrics
+}
+
+// gwMount is one logical dataset assembled from shards.
+type gwMount struct {
+	name     string
+	shards   []*gwShard
+	merged   *format.Meta // concatenated shard metadata; the front's opMeta answer
+	metaBlob []byte       // EncodeMeta image of merged
+}
+
+// gwShard is one shard: a disjoint file subset with its spatial
+// geometry and the backends serving it.
+type gwShard struct {
+	idx      int
+	ref      string
+	replicas []*backend
+	meta     *format.Meta
+	bounds   geom.Box // union of the shard's file partitions
+}
+
+// backend is one spiod address: its connection pool and health state.
+type backend struct {
+	addr string
+	pool *server.ClientPool
+	brk  breaker
+}
+
+// New builds a Gateway; Mount shard maps, then Serve listeners.
+func New(cfg Config) *Gateway {
+	g := &Gateway{
+		cfg:      cfg,
+		backends: map[string]*backend{},
+		mounts:   map[string]*gwMount{},
+	}
+	g.front.init()
+	g.metrics.startNano = time.Now().UnixNano()
+	return g
+}
+
+func (g *Gateway) logf(format string, args ...any) {
+	if g.cfg.Logf != nil {
+		g.cfg.Logf(format, args...)
+	}
+}
+
+// backendFor returns (creating if needed) the shared backend state for
+// one address. Mount-time only; not locked.
+func (g *Gateway) backendFor(addr string) *backend {
+	if be, ok := g.backends[addr]; ok {
+		return be
+	}
+	opts := []server.DialOption{server.WithMaxFrame(g.cfg.maxFrame())}
+	if d := g.cfg.callTimeout(); d > 0 {
+		opts = append(opts, server.WithCallTimeout(d))
+	}
+	be := &backend{
+		addr: addr,
+		pool: server.NewClientPool(addr, g.cfg.poolSize(), opts...),
+	}
+	be.brk.threshold = g.cfg.failThreshold()
+	be.brk.cooldown = g.cfg.cooldown()
+	g.backends[addr] = be
+	return be
+}
+
+// Mount assembles the shards into one logical dataset served under
+// name. It contacts one live replica per shard to fetch the shard's
+// metadata, verifies the shards agree on schema/domain/LOD and that
+// their partitions are disjoint, and precomputes the merged metadata
+// image the front serves for opMeta. Mount everything before Serve.
+func (g *Gateway) Mount(name string, specs []ShardSpec) error {
+	if name == "" {
+		return fmt.Errorf("spiogate: empty mount name")
+	}
+	if _, dup := g.mounts[name]; dup {
+		return fmt.Errorf("spiogate: mount %s: name already in use", name)
+	}
+	if len(specs) == 0 {
+		return fmt.Errorf("spiogate: mount %s: no shards", name)
+	}
+	m := &gwMount{name: name}
+	for i, spec := range specs {
+		if len(spec.Addrs) == 0 {
+			return fmt.Errorf("spiogate: mount %s: shard %d has no backends", name, i)
+		}
+		sh := &gwShard{idx: i, ref: spec.Ref}
+		for _, addr := range spec.Addrs {
+			sh.replicas = append(sh.replicas, g.backendFor(addr))
+		}
+		meta, err := g.fetchShardMeta(sh)
+		if err != nil {
+			return fmt.Errorf("spiogate: mount %s: shard %d (%s): %w", name, i, spec.Ref, err)
+		}
+		sh.meta = meta
+		sh.bounds = geom.EmptyBox()
+		for j := range meta.Files {
+			sh.bounds = sh.bounds.Union(meta.Files[j].Partition)
+		}
+		m.shards = append(m.shards, sh)
+	}
+	merged, err := mergeMetas(m.shards)
+	if err != nil {
+		return fmt.Errorf("spiogate: mount %s: %w", name, err)
+	}
+	var mb bytes.Buffer
+	if err := format.EncodeMeta(&mb, merged); err != nil {
+		// EncodeMeta validates: overlapping shard partitions or count
+		// mismatches are caught here, before the mount is served.
+		return fmt.Errorf("spiogate: mount %s: merged metadata invalid: %w", name, err)
+	}
+	m.merged = merged
+	m.metaBlob = mb.Bytes()
+	g.mounts[name] = m
+	g.logf("spiogate: mounted %s: %d shards, %d files, %d particles",
+		name, len(m.shards), len(merged.Files), merged.Total)
+	return nil
+}
+
+// fetchShardMeta retrieves a shard's metadata from the first replica
+// that answers, and checks the backend implements the scatter-gather
+// wire extensions the merge semantics depend on.
+func (g *Gateway) fetchShardMeta(sh *gwShard) (*format.Meta, error) {
+	const need = server.FeatureBaseOverride | server.FeatureRawDensity | server.FeaturePartialResults
+	var lastErr error
+	for _, be := range sh.replicas {
+		c, err := be.pool.Get()
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if c.ServerFeatures()&need != need {
+			be.pool.Put(c)
+			return nil, fmt.Errorf("backend %s lacks gateway wire extensions (features %#x)",
+				be.addr, c.ServerFeatures())
+		}
+		ds, err := c.Open(sh.ref)
+		be.pool.Put(c)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		return ds.Meta(), nil
+	}
+	return nil, fmt.Errorf("no replica reachable: %w", lastErr)
+}
+
+// mergeMetas concatenates the shard metadata (in mount order) into the
+// logical dataset's metadata, verifying the shards agree on everything
+// a reader derives semantics from.
+func mergeMetas(shards []*gwShard) (*format.Meta, error) {
+	first := shards[0].meta
+	merged := &format.Meta{
+		Domain:          first.Domain,
+		SimDims:         first.SimDims,
+		PartitionFactor: first.PartitionFactor,
+		AggDims:         first.AggDims,
+		Schema:          first.Schema,
+		LOD:             first.LOD,
+		Heuristic:       first.Heuristic,
+	}
+	for i, sh := range shards {
+		m := sh.meta
+		if i > 0 {
+			if m.Domain != first.Domain {
+				return nil, fmt.Errorf("shard %d domain %v disagrees with shard 0 %v", i, m.Domain, first.Domain)
+			}
+			if m.LOD != first.LOD || m.Heuristic != first.Heuristic {
+				return nil, fmt.Errorf("shard %d LOD parameters disagree with shard 0", i)
+			}
+			if !m.Schema.Equal(first.Schema) {
+				return nil, fmt.Errorf("shard %d schema disagrees with shard 0", i)
+			}
+		}
+		merged.Total += m.Total
+		merged.Files = append(merged.Files, m.Files...)
+	}
+	return merged, nil
+}
+
+// mount resolves a front dataset reference. Gateways serve plain names
+// only — step selection happens at the shard layer, where the series
+// lives.
+func (g *Gateway) mount(ref string) (*gwMount, error) {
+	m, ok := g.mounts[ref]
+	if !ok {
+		return nil, fmt.Errorf("spiogate: no dataset mounted as %q", ref)
+	}
+	return m, nil
+}
+
+// list returns the mounted dataset names.
+func (g *Gateway) list() []string {
+	names := make([]string, 0, len(g.mounts))
+	for name := range g.mounts {
+		names = append(names, name)
+	}
+	return names
+}
+
+// withShard runs fn against the first available replica of sh,
+// advancing past open breakers, dead backends, and draining servers. A
+// clean request-level failure (budget, bad query) is definitive and
+// returned immediately; transport-level failures mark the replica and
+// move on.
+func (g *Gateway) withShard(sh *gwShard, fn func(ds *server.RemoteDataset) error) error {
+	var lastErr error = errShardDown
+	for _, be := range sh.replicas {
+		if !be.brk.allow(time.Now()) {
+			g.metrics.breakerSkips.Add(1)
+			continue
+		}
+		c, err := be.pool.Get()
+		if err != nil {
+			be.brk.failure(time.Now())
+			lastErr = err
+			continue
+		}
+		err = fn(c.Attach(sh.ref, sh.meta))
+		broken := c.Broken()
+		be.pool.Put(c)
+		if err == nil {
+			be.brk.success()
+			return nil
+		}
+		lastErr = err
+		if broken {
+			// Transport failure or drain: this replica is out; hedge to
+			// the next one.
+			be.brk.failure(time.Now())
+			continue
+		}
+		// The exchange completed: the backend is healthy, the request
+		// itself failed. No other replica would answer differently.
+		be.brk.success()
+		return err
+	}
+	return lastErr
+}
+
+var errShardDown = fmt.Errorf("spiogate: shard unavailable: all replicas down or circuit-broken")

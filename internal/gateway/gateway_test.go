@@ -1,0 +1,650 @@
+package gateway
+
+import (
+	"context"
+	"math/rand"
+	"net"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+	"time"
+
+	"spio/internal/agg"
+	"spio/internal/core"
+	"spio/internal/geom"
+	"spio/internal/mpi"
+	"spio/internal/particle"
+	"spio/internal/query"
+	rdr "spio/internal/reader"
+	"spio/internal/server"
+)
+
+// writeDataset writes a uniform dataset into dir, mirroring the server
+// package's test harness.
+func writeDataset(t testing.TB, dir string, simDims, factor geom.Idx3, perRank int) {
+	t.Helper()
+	cfg := core.WriteConfig{
+		Agg:  agg.Config{Domain: geom.UnitBox(), SimDims: simDims, Factor: factor},
+		Seed: 21,
+	}
+	grid := geom.NewGrid(cfg.Agg.Domain, simDims)
+	err := mpi.Run(simDims.Volume(), func(c *mpi.Comm) error {
+		local := particle.Uniform(particle.Uintah(), grid.CellBox(geom.Unlinear(c.Rank(), simDims)), perRank, 13, c.Rank())
+		_, err := core.Write(c, dir, cfg, local)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// sockAddr returns a fresh, short unix socket address (unix socket
+// paths are limited to ~100 bytes; t.TempDir can exceed that).
+func sockAddr(t testing.TB) string {
+	t.Helper()
+	dir, err := os.MkdirTemp("", "spiogate")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { os.RemoveAll(dir) })
+	return "unix:" + filepath.Join(dir, "s.sock")
+}
+
+func listenOn(t testing.TB, addr string) net.Listener {
+	t.Helper()
+	_, path, err := server.ParseAddr(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := net.Listen("unix", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+// startBackend serves dir as dataset "shard" from a fresh spiod on a
+// fresh unix socket. The returned shutdown func is idempotent via
+// t.Cleanup but may be called early to simulate a lost backend.
+func startBackend(t testing.TB, dir string) (addr string, shutdown func()) {
+	t.Helper()
+	s := server.New(server.Config{Workers: 2})
+	if err := s.Mount("shard", dir); err != nil {
+		t.Fatal(err)
+	}
+	addr = sockAddr(t)
+	l := listenOn(t, addr)
+	go func() { _ = s.Serve(l) }()
+	// Probe until the accept loop is live: a Shutdown racing Serve's
+	// listener registration would otherwise leave the socket accepting
+	// into a backlog nobody drains.
+	c, err := server.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = c.Close()
+	stopped := false
+	shutdown = func() {
+		if stopped {
+			return
+		}
+		stopped = true
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = s.Shutdown(ctx)
+	}
+	t.Cleanup(shutdown)
+	return addr, shutdown
+}
+
+// splitShards splits the dataset at srcDir into n shard directories and
+// starts one spiod per shard. It returns the specs for Mount and the
+// per-shard shutdown funcs.
+func splitShards(t testing.TB, srcDir string, n int) ([]ShardSpec, []func()) {
+	t.Helper()
+	dirs := make([]string, n)
+	for i := range dirs {
+		dirs[i] = filepath.Join(t.TempDir(), "shard")
+	}
+	if err := Split(srcDir, dirs); err != nil {
+		t.Fatal(err)
+	}
+	specs := make([]ShardSpec, n)
+	stops := make([]func(), n)
+	for i, dir := range dirs {
+		addr, stop := startBackend(t, dir)
+		specs[i] = ShardSpec{Ref: "shard", Addrs: []string{addr}}
+		stops[i] = stop
+	}
+	return specs, stops
+}
+
+// startGateway mounts the specs as "sim" and serves the gateway on a
+// fresh unix socket.
+func startGateway(t testing.TB, cfg Config, specs []ShardSpec) (*Gateway, string) {
+	t.Helper()
+	g := New(cfg)
+	if err := g.Mount("sim", specs); err != nil {
+		t.Fatal(err)
+	}
+	addr := sockAddr(t)
+	l := listenOn(t, addr)
+	go func() {
+		if err := g.Serve(l); err != nil {
+			t.Errorf("gateway Serve: %v", err)
+		}
+	}()
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := g.Shutdown(ctx); err != nil {
+			t.Errorf("gateway Shutdown: %v", err)
+		}
+	})
+	return g, addr
+}
+
+// records returns the buffer's particles as canonical-sorted encoded
+// records. Sharding reorders files (Split deals them in Morton order),
+// so gateway answers match single-node answers up to particle order —
+// byte-identity is checked on the sorted record multiset.
+func records(b *particle.Buffer) []string {
+	stride := b.Schema().Stride()
+	enc := b.Encode()
+	recs := make([]string, b.Len())
+	for i := range recs {
+		recs[i] = string(enc[i*stride : (i+1)*stride])
+	}
+	sort.Strings(recs)
+	return recs
+}
+
+func sameRecords(t *testing.T, what string, got, want *particle.Buffer) {
+	t.Helper()
+	if got.Len() != want.Len() {
+		t.Fatalf("%s: got %d particles, want %d", what, got.Len(), want.Len())
+	}
+	g, w := records(got), records(want)
+	for i := range g {
+		if g[i] != w[i] {
+			t.Fatalf("%s: sorted record %d differs", what, i)
+		}
+	}
+}
+
+// TestGatewayByteIdentity is the tentpole acceptance test: every query
+// type through a 3-shard gateway answers byte-identically (after
+// canonical sort) to the local reader over the unsplit dataset.
+func TestGatewayByteIdentity(t *testing.T) {
+	src := t.TempDir()
+	writeDataset(t, src, geom.I3(4, 4, 2), geom.I3(2, 2, 1), 40) // 8 files
+	specs, _ := splitShards(t, src, 3)
+	_, addr := startGateway(t, Config{}, specs)
+
+	local, err := rdr.Open(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer local.Close()
+	remote, err := server.OpenRemote(addr, "sim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer remote.Close()
+
+	if remote.Meta().Total != local.Meta().Total {
+		t.Fatalf("merged meta total %d, want %d", remote.Meta().Total, local.Meta().Total)
+	}
+	if len(remote.Meta().Files) != len(local.Meta().Files) {
+		t.Fatalf("merged meta has %d files, want %d", len(remote.Meta().Files), len(local.Meta().Files))
+	}
+
+	boxes := map[string]geom.Box{
+		"octant":   geom.NewBox(geom.V3(0, 0, 0), geom.V3(0.5, 0.5, 1)),
+		"straddle": geom.NewBox(geom.V3(0.2, 0.2, 0.2), geom.V3(0.8, 0.8, 0.8)),
+		"all":      local.Meta().Domain,
+		"sliver":   geom.NewBox(geom.V3(0.49, 0, 0), geom.V3(0.51, 1, 1)),
+	}
+	for name, q := range boxes {
+		for _, opts := range []rdr.Options{{}, {Levels: 2, Readers: 2}, {Fields: []string{"position", "density"}}} {
+			want, _, err := local.QueryBox(q, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, st, err := remote.QueryBox(q, opts)
+			if err != nil {
+				t.Fatalf("box %s: %v", name, err)
+			}
+			if st.Partial {
+				t.Fatalf("box %s: unexpected partial flag with all shards up", name)
+			}
+			sameRecords(t, "box "+name, got, want)
+		}
+	}
+
+	// Zero-shard query: a box outside every partition answers empty
+	// without touching a backend.
+	out := geom.NewBox(geom.V3(2, 2, 2), geom.V3(3, 3, 3))
+	got, _, err := remote.QueryBox(out, rdr.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 0 {
+		t.Fatalf("out-of-domain box: got %d particles, want 0", got.Len())
+	}
+
+	// KNN: distances and particle bytes must match exactly, in order.
+	for _, p := range []geom.Vec3{geom.V3(0.5, 0.5, 0.5), geom.V3(0.05, 0.9, 0.3), geom.V3(1.5, 1.5, 1.5)} {
+		wantBuf, wantD, _, err := query.KNN(local, p, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotBuf, gotD, _, err := remote.KNN(p, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range wantD {
+			if gotD[i] != wantD[i] {
+				t.Fatalf("knn %v: dist %d = %v, want %v", p, i, gotD[i], wantD[i])
+			}
+		}
+		sameRecords(t, "knn", gotBuf, wantBuf)
+	}
+
+	// Halo: own and ghost sets each match; de-dup at shard boundaries is
+	// by construction (disjoint partitions).
+	patch := geom.NewBox(geom.V3(0.25, 0.25, 0.25), geom.V3(0.75, 0.75, 0.75))
+	wantOwn, wantGhost, _, err := query.Halo(local, patch, 0.1, rdr.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotOwn, gotGhost, _, err := remote.Halo(patch, 0.1, rdr.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameRecords(t, "halo own", gotOwn, wantOwn)
+	sameRecords(t, "halo ghost", gotGhost, wantGhost)
+
+	// Density: summing raw shard counts and scaling once must be
+	// bit-identical to the single-node grid, including the fraction.
+	wantCounts, wantFrac, _, err := query.DensityGrid(local, geom.I3(4, 4, 4), 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotCounts, gotFrac, _, err := remote.DensityGrid(geom.I3(4, 4, 4), 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotFrac != wantFrac {
+		t.Fatalf("density fraction %v, want %v", gotFrac, wantFrac)
+	}
+	for i := range wantCounts {
+		if gotCounts[i] != wantCounts[i] {
+			t.Fatalf("density cell %d: %v, want %v", i, gotCounts[i], wantCounts[i])
+		}
+	}
+}
+
+// TestGatewayPropertyRandom is the routing property test: for random
+// boxes (including slivers, boundary-straddling boxes, and boxes
+// intersecting no shard) and random KNN queries, the union of the
+// routed shards' answers is byte-identical after canonical sort to the
+// single-node answer.
+func TestGatewayPropertyRandom(t *testing.T) {
+	src := t.TempDir()
+	writeDataset(t, src, geom.I3(4, 4, 2), geom.I3(2, 2, 1), 30) // 8 files
+	specs, _ := splitShards(t, src, 3)
+	_, addr := startGateway(t, Config{}, specs)
+
+	local, err := rdr.Open(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer local.Close()
+	remote, err := server.OpenRemote(addr, "sim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer remote.Close()
+
+	rng := rand.New(rand.NewSource(7))
+	randBox := func(i int) geom.Box {
+		switch {
+		case i%7 == 0:
+			// Off-domain: routes to zero shards.
+			lo := geom.V3(1+rng.Float64(), 1+rng.Float64(), 1+rng.Float64())
+			return geom.NewBox(lo, lo.Add(geom.V3(rng.Float64(), rng.Float64(), rng.Float64())))
+		case i%3 == 0:
+			// Centered: straddles at least two shard boundaries.
+			h := 0.1 + 0.4*rng.Float64()
+			return geom.NewBox(geom.V3(0.5-h, 0.5-h, 0.5-h), geom.V3(0.5+h, 0.5+h, 0.5+h))
+		default:
+			lo := geom.V3(rng.Float64(), rng.Float64(), rng.Float64())
+			sz := geom.V3(rng.Float64(), rng.Float64(), rng.Float64())
+			return geom.NewBox(lo, lo.Add(sz))
+		}
+	}
+	for i := 0; i < 40; i++ {
+		q := randBox(i)
+		opts := rdr.Options{}
+		if i%5 == 0 {
+			opts.Levels = 1 + rng.Intn(3)
+			opts.Readers = 1 + rng.Intn(4)
+		}
+		want, _, err := local.QueryBox(q, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, st, err := remote.QueryBox(q, opts)
+		if err != nil {
+			t.Fatalf("box %d %v: %v", i, q, err)
+		}
+		if st.Partial {
+			t.Fatalf("box %d: unexpected partial flag", i)
+		}
+		sameRecords(t, "random box", got, want)
+	}
+	for i := 0; i < 15; i++ {
+		p := geom.V3(2*rng.Float64()-0.5, 2*rng.Float64()-0.5, 2*rng.Float64()-0.5)
+		k := 1 + rng.Intn(32)
+		wantBuf, wantD, _, err := query.KNN(local, p, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotBuf, gotD, _, err := remote.KNN(p, k)
+		if err != nil {
+			t.Fatalf("knn %d at %v k=%d: %v", i, p, k, err)
+		}
+		for j := range wantD {
+			if gotD[j] != wantD[j] {
+				t.Fatalf("knn %d: dist %d = %v, want %v", i, j, gotD[j], wantD[j])
+			}
+		}
+		sameRecords(t, "random knn", gotBuf, wantBuf)
+	}
+}
+
+// TestGatewayProgressive checks the merged LOD stream: level-by-level
+// byte-identity against a single-node daemon serving the unsplit
+// dataset, strictly coarse-first, with a per-level barrier.
+func TestGatewayProgressive(t *testing.T) {
+	src := t.TempDir()
+	writeDataset(t, src, geom.I3(4, 4, 2), geom.I3(2, 2, 1), 40)
+	specs, _ := splitShards(t, src, 3)
+	_, gwAddr := startGateway(t, Config{}, specs)
+	singleAddr, _ := startBackend(t, src)
+
+	single, err := server.OpenRemote(singleAddr, "shard")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer single.Close()
+	viaGW, err := server.OpenRemote(gwAddr, "sim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer viaGW.Close()
+
+	for _, q := range []geom.Box{
+		geom.NewBox(geom.V3(0, 0, 0), geom.V3(0.6, 0.6, 1)),
+		single.Meta().Domain,
+	} {
+		const readers = 2
+		wantStream, err := single.ProgressiveBox(q, 0, readers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotStream, err := viaGW.ProgressiveBox(q, 0, readers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		level := 0
+		for {
+			wantBuf, wantOK, err := wantStream.NextLevel()
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotBuf, gotOK, err := gotStream.NextLevel()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if gotOK != wantOK {
+				t.Fatalf("level %d: ok=%v, want %v", level, gotOK, wantOK)
+			}
+			if !wantOK {
+				break
+			}
+			if gotStream.Level() != wantStream.Level() {
+				t.Fatalf("stream at level %d, want %d", gotStream.Level(), wantStream.Level())
+			}
+			// The per-level barrier means level L through the gateway is
+			// exactly level L of a single node: same increment, not just the
+			// same cumulative prefix — strictly coarse-first.
+			sameRecords(t, "stream level", gotBuf, wantBuf)
+			level++
+		}
+		if !gotStream.Done() {
+			t.Fatal("gateway stream not done after final level")
+		}
+		if level == 0 {
+			t.Fatal("stream delivered no levels")
+		}
+	}
+
+	// Cancel after one level releases the shard streams cleanly.
+	st, err := viaGW.ProgressiveBox(single.Meta().Domain, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := st.NextLevel(); err != nil || !ok {
+		t.Fatalf("first level: ok=%v err=%v", ok, err)
+	}
+	if err := st.Cancel(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGatewayDeadShardPartial kills one of three backends and checks
+// the contract: queries succeed with the partial flag set and the
+// surviving shards' particles, instead of failing.
+func TestGatewayDeadShardPartial(t *testing.T) {
+	src := t.TempDir()
+	writeDataset(t, src, geom.I3(4, 4, 2), geom.I3(2, 2, 1), 30)
+	specs, stops := splitShards(t, src, 3)
+	_, addr := startGateway(t, Config{CallTimeout: 5 * time.Second}, specs)
+
+	remote, err := server.OpenRemote(addr, "sim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer remote.Close()
+	domain := remote.Meta().Domain
+
+	// Baseline with all shards up.
+	full, st, err := remote.QueryBox(domain, rdr.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Partial {
+		t.Fatal("partial flag with all shards up")
+	}
+
+	stops[1]() // lose the middle shard
+
+	got, st, err := remote.QueryBox(domain, rdr.Options{})
+	if err != nil {
+		t.Fatalf("query with dead shard: %v", err)
+	}
+	if !st.Partial {
+		t.Fatal("dead shard: partial flag not set")
+	}
+	if got.Len() == 0 || got.Len() >= full.Len() {
+		t.Fatalf("dead shard: got %d particles, want a non-empty strict subset of %d", got.Len(), full.Len())
+	}
+
+	// KNN degrades the same way.
+	_, dists, st, err := remote.KNN(geom.V3(0.5, 0.5, 0.5), 8)
+	if err != nil {
+		t.Fatalf("knn with dead shard: %v", err)
+	}
+	if !st.Partial {
+		t.Fatal("dead shard: KNN partial flag not set")
+	}
+	if len(dists) != 8 {
+		t.Fatalf("knn with dead shard: got %d dists, want 8", len(dists))
+	}
+
+	// Progressive streams flag partial per frame too.
+	stream, err := remote.ProgressiveBox(domain, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := stream.NextLevel(); err != nil || !ok {
+		t.Fatalf("stream with dead shard: ok=%v err=%v", ok, err)
+	}
+	if !stream.Stats().Partial {
+		t.Fatal("dead shard: stream partial flag not set")
+	}
+	if err := stream.Cancel(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGatewayReplicaFailover lists a shard on a dead primary plus a
+// live replica: queries must succeed completely (no partial flag).
+func TestGatewayReplicaFailover(t *testing.T) {
+	src := t.TempDir()
+	writeDataset(t, src, geom.I3(2, 2, 1), geom.I3(2, 2, 1), 50) // 1 file, 1 shard
+	dir := filepath.Join(t.TempDir(), "shard")
+	if err := Split(src, []string{dir}); err != nil {
+		t.Fatal(err)
+	}
+	liveAddr, _ := startBackend(t, dir)
+	deadAddr, deadStop := startBackend(t, dir)
+	deadStop()
+
+	_, addr := startGateway(t, Config{CallTimeout: 5 * time.Second},
+		[]ShardSpec{{Ref: "shard", Addrs: []string{deadAddr, liveAddr}}})
+
+	local, err := rdr.Open(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer local.Close()
+	remote, err := server.OpenRemote(addr, "sim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer remote.Close()
+
+	want, _, err := local.QueryBox(local.Meta().Domain, rdr.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, st, err := remote.QueryBox(local.Meta().Domain, rdr.Options{})
+	if err != nil {
+		t.Fatalf("failover query: %v", err)
+	}
+	if st.Partial {
+		t.Fatal("failover produced a partial result; replica should make it whole")
+	}
+	sameRecords(t, "failover box", got, want)
+}
+
+// TestGatewayDrainRouting drains a backend gracefully mid-session: the
+// gateway's pooled connections receive the drain notice and the next
+// query fails over to the replica without surfacing an error.
+func TestGatewayDrainRouting(t *testing.T) {
+	src := t.TempDir()
+	writeDataset(t, src, geom.I3(2, 2, 1), geom.I3(2, 2, 1), 50)
+	dir := filepath.Join(t.TempDir(), "shard")
+	if err := Split(src, []string{dir}); err != nil {
+		t.Fatal(err)
+	}
+	primaryAddr, primaryStop := startBackend(t, dir)
+	replicaAddr, _ := startBackend(t, dir)
+
+	_, addr := startGateway(t, Config{CallTimeout: 5 * time.Second},
+		[]ShardSpec{{Ref: "shard", Addrs: []string{primaryAddr, replicaAddr}}})
+
+	remote, err := server.OpenRemote(addr, "sim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer remote.Close()
+	domain := remote.Meta().Domain
+
+	// Warm the pool: this query lands on the primary and leaves the
+	// connection idle in the pool.
+	if _, _, err := remote.QueryBox(domain, rdr.Options{}); err != nil {
+		t.Fatal(err)
+	}
+
+	primaryStop() // graceful drain: idle pool conns get the drain notice
+
+	// The pooled connection to the primary is now drained; the gateway
+	// must discover that and hedge to the replica, not error out.
+	got, st, err := remote.QueryBox(domain, rdr.Options{})
+	if err != nil {
+		t.Fatalf("query across drain: %v", err)
+	}
+	if st.Partial {
+		t.Fatal("drain surfaced as a partial result; replica should make it whole")
+	}
+	if got.Len() == 0 {
+		t.Fatal("query across drain returned no particles")
+	}
+}
+
+// TestSplitRoundTrip checks the shard datasets are each valid and
+// together hold exactly the source's files and particles.
+func TestSplitRoundTrip(t *testing.T) {
+	src := t.TempDir()
+	writeDataset(t, src, geom.I3(4, 4, 1), geom.I3(2, 2, 1), 25) // 4 files
+	dirs := []string{
+		filepath.Join(t.TempDir(), "a"),
+		filepath.Join(t.TempDir(), "b"),
+		filepath.Join(t.TempDir(), "c"),
+	}
+	if err := Split(src, dirs); err != nil {
+		t.Fatal(err)
+	}
+	local, err := rdr.Open(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer local.Close()
+	want, _, err := local.ReadAll(rdr.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	union := particle.NewBuffer(local.Meta().Schema, 0)
+	for _, dir := range dirs {
+		ds, err := rdr.Open(dir)
+		if err != nil {
+			t.Fatalf("shard %s is not a valid dataset: %v", dir, err)
+		}
+		buf, _, err := ds.ReadAll(rdr.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += ds.Meta().Total
+		union.AppendBuffer(buf)
+		ds.Close()
+	}
+	if total != local.Meta().Total {
+		t.Fatalf("shard totals sum to %d, want %d", total, local.Meta().Total)
+	}
+	sameRecords(t, "split union", union, want)
+
+	// More shards than files must refuse rather than write empty shards.
+	many := make([]string, len(local.Meta().Files)+1)
+	for i := range many {
+		many[i] = filepath.Join(t.TempDir(), "x")
+	}
+	if err := Split(src, many); err == nil {
+		t.Fatal("Split with more shards than files succeeded, want error")
+	}
+}

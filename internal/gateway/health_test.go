@@ -1,0 +1,60 @@
+package gateway
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBreakerStates(t *testing.T) {
+	b := breaker{threshold: 3, cooldown: time.Minute}
+	now := time.Unix(1000, 0)
+
+	// Closed: admits everything, failures below threshold keep it closed.
+	for i := 0; i < 2; i++ {
+		if !b.allow(now) {
+			t.Fatalf("closed breaker refused after %d failures", i)
+		}
+		b.failure(now)
+	}
+	if !b.allow(now) {
+		t.Fatal("breaker opened below threshold")
+	}
+
+	// Third consecutive failure opens it for the cooldown.
+	b.failure(now)
+	if b.allow(now.Add(time.Second)) {
+		t.Fatal("open breaker admitted a request inside the cooldown")
+	}
+
+	// Half-open: after the cooldown exactly one probe goes through.
+	later := now.Add(2 * time.Minute)
+	if !b.allow(later) {
+		t.Fatal("breaker refused the half-open probe after cooldown")
+	}
+	if b.allow(later) {
+		t.Fatal("half-open breaker admitted a second concurrent probe")
+	}
+
+	// A failed probe re-opens for a fresh cooldown.
+	b.failure(later)
+	if b.allow(later.Add(time.Second)) {
+		t.Fatal("breaker admitted a request right after a failed probe")
+	}
+
+	// A successful probe closes it fully.
+	again := later.Add(2 * time.Minute)
+	if !b.allow(again) {
+		t.Fatal("breaker refused the second probe")
+	}
+	b.success()
+	if !b.allow(again) || !b.allow(again) {
+		t.Fatal("closed breaker throttled after success")
+	}
+
+	// Success resets the consecutive-failure count.
+	b.failure(again)
+	b.failure(again)
+	if !b.allow(again) {
+		t.Fatal("breaker opened on stale failure count after success")
+	}
+}

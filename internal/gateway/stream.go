@@ -1,0 +1,233 @@
+package gateway
+
+import (
+	"time"
+
+	"spio/internal/geom"
+	"spio/internal/particle"
+	rdr "spio/internal/reader"
+	"spio/internal/server"
+)
+
+// shardStream is one backend's half of a fanned-out progressive
+// stream: the pooled client it holds for the stream's duration, and
+// where it is in its level sequence.
+type shardStream struct {
+	sh     *gwShard
+	be     *backend
+	c      *server.Client
+	stream *server.RemoteStream
+	buf    *particle.Buffer // this level's increment
+	failed bool
+}
+
+// put returns the stream's connection to its pool (broken connections
+// are closed there).
+func (ss *shardStream) put() {
+	if ss.c != nil {
+		ss.be.pool.Put(ss.c)
+		ss.c = nil
+	}
+}
+
+// openShardStream starts one shard's progressive stream on its first
+// available replica, keeping the pooled connection checked out until
+// the stream ends.
+func (g *Gateway) openShardStream(sh *gwShard, box geom.Box, levels, readers int, base int64, noFilter bool) (*shardStream, error) {
+	var lastErr error = errShardDown
+	for _, be := range sh.replicas {
+		if !be.brk.allow(time.Now()) {
+			g.metrics.breakerSkips.Add(1)
+			continue
+		}
+		c, err := be.pool.Get()
+		if err != nil {
+			be.brk.failure(time.Now())
+			lastErr = err
+			continue
+		}
+		ds := c.Attach(sh.ref, sh.meta)
+		q := box
+		if noFilter {
+			q = sh.meta.Domain
+		}
+		st, err := ds.ProgressiveBoxBase(q, levels, readers, base)
+		if err != nil {
+			broken := c.Broken()
+			be.pool.Put(c)
+			lastErr = err
+			if broken {
+				be.brk.failure(time.Now())
+				continue
+			}
+			be.brk.success()
+			return nil, err // request-level refusal: definitive
+		}
+		be.brk.success()
+		return &shardStream{sh: sh, be: be, c: c, stream: st}, nil
+	}
+	return nil, lastErr
+}
+
+// executeStream serves a progressive LOD stream assembled from shard
+// streams with a per-level barrier: level L goes to the client only
+// after every contributing shard has delivered its level-L increment,
+// so the merged stream is exactly as strictly coarse-first as a
+// single node's. Client acks propagate as acks to every shard stream —
+// the end consumer's rate is the backends' read rate. A shard failing
+// mid-stream drops out (its remaining levels are lost) and flags the
+// stream partial; the survivors keep refining.
+func (g *Gateway) executeStream(conn *frontConn, m *gwMount, req *server.Request, codec uint8, start time.Time) error {
+	targets := m.shardsFor(req.Box, req.NoFilter)
+	if len(targets) == 0 {
+		g.metrics.errors.Add(1)
+		return g.sendStatus(conn, server.StatusError, "spiod: no files intersect the requested box")
+	}
+	base := m.mergedBase(req.Readers)
+	streams := make([]*shardStream, 0, len(targets))
+	partial := false
+	var openErr error
+	for _, sh := range targets {
+		ss, err := g.openShardStream(sh, req.Box, req.Levels, req.Readers, base, req.NoFilter)
+		if err != nil {
+			g.metrics.shardErrors.Add(1)
+			partial = true
+			openErr = err
+			continue
+		}
+		streams = append(streams, ss)
+	}
+	if len(streams) == 0 {
+		return g.sendErr(conn, openErr)
+	}
+	defer func() {
+		for _, ss := range streams {
+			if ss.c != nil && !ss.stream.Done() {
+				_ = ss.stream.Cancel() // abandoned stream; conn state handled by put
+			}
+			ss.put()
+		}
+	}()
+	if err := g.sendStatus(conn, server.StatusOK, ""); err != nil {
+		return err
+	}
+	g.metrics.streams.Add(1)
+
+	level := 0
+	sendFinal := func(done bool) error {
+		st := g.cumStats(streams, partial, start)
+		f := &server.StreamFrame{Level: level, Done: done, Stats: st,
+			Buf: particle.NewBuffer(m.merged.Schema, 0)}
+		body, err := server.MarshalStreamFrame(f, codec)
+		if err != nil {
+			return err
+		}
+		return conn.writeLockedFrame(body)
+	}
+	for {
+		ab, err := server.FrameRead(conn, server.AckFrameMax)
+		if err != nil {
+			return err
+		}
+		ack, err := server.UnmarshalAck(ab)
+		if err != nil {
+			return g.sendStatus(conn, server.StatusError, err.Error())
+		}
+		if ack == server.AckCancel {
+			for _, ss := range streams {
+				if !ss.failed {
+					_ = ss.stream.Cancel() // client cancelled; best effort
+				}
+			}
+			return sendFinal(true)
+		}
+
+		// Per-level barrier: every live shard advances one level before
+		// anything is emitted. The fetches run concurrently; each
+		// goroutine writes only its own stream's fields and signals done
+		// exactly once, so the collector's full drain bounds them all.
+		live := 0
+		done := make(chan struct{})
+		for _, ss := range streams {
+			if ss.failed || ss.stream.Done() {
+				ss.buf = nil
+				continue
+			}
+			live++
+			go func(ss *shardStream) {
+				buf, ok, err := ss.stream.NextLevel()
+				switch {
+				case err != nil:
+					ss.failed = true
+					ss.buf = nil
+					g.metrics.shardErrors.Add(1)
+				case !ok:
+					ss.buf = nil
+				default:
+					ss.buf = buf
+				}
+				done <- struct{}{}
+			}(ss)
+		}
+		for i := 0; i < live; i++ {
+			<-done
+		}
+		if live == 0 {
+			// Acked past the end; close out cleanly like the daemon does.
+			return sendFinal(true)
+		}
+
+		out := particle.NewBuffer(m.merged.Schema, 0)
+		allDone := true
+		for _, ss := range streams {
+			if ss.failed {
+				partial = true
+				ss.put() // broken conn goes back (and is closed) promptly
+				continue
+			}
+			if ss.buf != nil {
+				out.AppendBuffer(ss.buf)
+				ss.buf = nil
+			}
+			if !ss.stream.Done() {
+				allDone = false
+			} else {
+				ss.put() // finished cleanly; the conn is reusable now
+			}
+		}
+		anyLive := false
+		for _, ss := range streams {
+			if !ss.failed {
+				anyLive = true
+			}
+		}
+		if !anyLive {
+			// Every shard died mid-stream: nothing left to refine.
+			return sendFinal(true)
+		}
+		st := g.cumStats(streams, partial, start)
+		f := &server.StreamFrame{Level: level, Done: allDone, Stats: st, Buf: out}
+		body, err := server.MarshalStreamFrame(f, codec)
+		if err != nil {
+			return err
+		}
+		if err := conn.writeLockedFrame(body); err != nil {
+			return err
+		}
+		g.metrics.streamLevels.Add(1)
+		level++
+		if allDone {
+			return nil
+		}
+	}
+}
+
+// cumStats sums the shard streams' cumulative read telemetry.
+func (g *Gateway) cumStats(streams []*shardStream, partial bool, start time.Time) server.WireStats {
+	var read rdr.Stats
+	for _, ss := range streams {
+		read.Add(ss.stream.Stats())
+	}
+	read.Partial = read.Partial || partial
+	return server.WireStats{Read: read, Service: int64(time.Since(start))}
+}

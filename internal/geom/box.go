@@ -104,4 +104,27 @@ func (b Box) Extend(p Vec3) Box {
 	return Box{Lo: b.Lo.Min(p), Hi: b.Hi.Max(p)}
 }
 
+// Dist returns the Euclidean distance from p to the closest point of the
+// box (0 when p is inside). A spatial router uses it to order shards by
+// how near their region comes to a query point: no particle of a shard
+// can be closer to p than the shard's box.
+func (b Box) Dist(p Vec3) float64 {
+	dx := axisDist(p.X, b.Lo.X, b.Hi.X)
+	dy := axisDist(p.Y, b.Lo.Y, b.Hi.Y)
+	dz := axisDist(p.Z, b.Lo.Z, b.Hi.Z)
+	return Vec3{X: dx, Y: dy, Z: dz}.Len()
+}
+
+// axisDist is the 1D distance from x to the interval [lo, hi].
+func axisDist(x, lo, hi float64) float64 {
+	switch {
+	case x < lo:
+		return lo - x
+	case x > hi:
+		return x - hi
+	default:
+		return 0
+	}
+}
+
 func (b Box) String() string { return fmt.Sprintf("[%v .. %v]", b.Lo, b.Hi) }

@@ -167,3 +167,44 @@ func TestQuickContainmentConsistent(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestBoxDist(t *testing.T) {
+	b := NewBox(V3(0, 0, 0), V3(1, 1, 1))
+	cases := []struct {
+		p    Vec3
+		want float64
+	}{
+		{V3(0.5, 0.5, 0.5), 0}, // inside
+		{V3(0, 0, 0), 0},       // corner
+		{V3(1, 1, 1), 0},       // far corner
+		{V3(2, 0.5, 0.5), 1},   // face distance
+		{V3(-3, 0.5, 0.5), 3},
+		{V3(2, 2, 0.5), 1.4142135623730951},    // edge: sqrt(2)
+		{V3(2, 2, 2), 1.7320508075688772},      // corner: sqrt(3)
+		{V3(0.5, -0.5, 4), 3.0413812651491097}, // mixed axes
+	}
+	for _, c := range cases {
+		if got := b.Dist(c.p); got != c.want {
+			t.Errorf("Dist(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestQuickDistLowerBound(t *testing.T) {
+	// Dist is a lower bound on the distance to any point inside the box:
+	// the router's KNN pruning depends on exactly this.
+	rng := rand.New(rand.NewSource(5))
+	f := func() bool {
+		lo := V3(rng.Float64(), rng.Float64(), rng.Float64())
+		b := NewBox(lo, lo.Add(V3(rng.Float64(), rng.Float64(), rng.Float64())))
+		p := V3(4*rng.Float64()-2, 4*rng.Float64()-2, 4*rng.Float64()-2)
+		inside := b.Lo.Add(V3(
+			rng.Float64()*(b.Hi.X-b.Lo.X),
+			rng.Float64()*(b.Hi.Y-b.Lo.Y),
+			rng.Float64()*(b.Hi.Z-b.Lo.Z)))
+		return b.Dist(p) <= p.Sub(inside).Len() && (!b.Contains(p) || b.Dist(p) == 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -122,24 +122,48 @@ func Halo(ds *reader.Dataset, patch geom.Box, halo float64, opts reader.Options)
 // by the inverse sampling fraction. levels <= 0 reads everything (exact
 // counts). Returns the estimated counts and the sampled fraction.
 func DensityGrid(ds *reader.Dataset, dims geom.Idx3, levels, readers int) ([]float64, float64, reader.Stats, error) {
-	sub, st, err := ds.ReadAll(reader.Options{Levels: levels, Readers: readers})
+	counts, sampled, st, err := DensityGridRaw(ds, dims, reader.Options{Levels: levels, Readers: readers})
 	if err != nil {
 		return nil, 0, st, err
 	}
-	meta := ds.Meta()
-	grid := geom.NewGrid(meta.Domain, dims)
+	frac := ScaleDensity(counts, sampled, ds.Meta().Total)
+	return counts, frac, st, nil
+}
+
+// DensityGridRaw is the unscaled half of DensityGrid: it reads the LOD
+// prefix selected by opts and returns the per-cell raw sample counts
+// plus the number of particles sampled, without dividing by the
+// sampling fraction. A gateway sums raw counts across shards and scales
+// once against the merged total — scaling per shard and summing would
+// both bias the estimate (shards sample at different effective
+// fractions) and break bit-identity with the single-node answer.
+func DensityGridRaw(ds *reader.Dataset, dims geom.Idx3, opts reader.Options) ([]float64, int64, reader.Stats, error) {
+	sub, st, err := ds.ReadAll(opts)
+	if err != nil {
+		return nil, 0, st, err
+	}
+	grid := geom.NewGrid(ds.Meta().Domain, dims)
 	counts := make([]float64, grid.Cells())
 	for i := 0; i < sub.Len(); i++ {
 		counts[grid.LocateLinear(sub.Position(i))]++
 	}
+	return counts, int64(sub.Len()), st, nil
+}
+
+// ScaleDensity converts raw sample counts into density estimates in
+// place: every cell is divided by the sampling fraction sampled/total.
+// It returns the fraction. The arithmetic — one float64 division of the
+// two counts, then one division per cell — is shared by the local and
+// gateway paths so their results are bit-identical.
+func ScaleDensity(counts []float64, sampled, total int64) float64 {
 	frac := 1.0
-	if meta.Total > 0 {
-		frac = float64(sub.Len()) / float64(meta.Total)
+	if total > 0 {
+		frac = float64(sampled) / float64(total)
 	}
 	if frac > 0 {
 		for i := range counts {
 			counts[i] /= frac
 		}
 	}
-	return counts, frac, st, nil
+	return frac
 }

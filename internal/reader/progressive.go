@@ -26,16 +26,27 @@ type Progressive struct {
 // Progressive opens the given entries for level-by-level streaming.
 // readers is n in the LOD formula. Close the returned reader when done.
 func (d *Dataset) Progressive(entries []*format.FileEntry, readers int) (*Progressive, error) {
+	return d.ProgressiveBase(entries, readers, 0)
+}
+
+// ProgressiveBase is Progressive with an explicit per-file level-0
+// budget (base <= 0 derives it from readers as usual). A gateway
+// streaming one logical dataset from several shards passes the merged
+// dataset's base so every shard's levels line up with the whole.
+func (d *Dataset) ProgressiveBase(entries []*format.FileEntry, readers int, base int64) (*Progressive, error) {
 	if len(entries) == 0 {
 		return nil, fmt.Errorf("reader: no entries to stream")
 	}
 	if readers <= 0 {
 		readers = 1
 	}
+	if base <= 0 {
+		base = perFileBase(d.meta, readers)
+	}
 	p := &Progressive{
 		ds:       d,
 		consumed: make([]int64, len(entries)),
-		base:     perFileBase(d.meta, readers),
+		base:     base,
 	}
 	for _, e := range entries {
 		df, err := d.openDataFile(e.Name)

@@ -41,6 +41,12 @@ type Stats struct {
 	// BytesFromCache counts payload bytes read through an
 	// already-cached file handle.
 	BytesFromCache int64
+	// Partial marks a result that is missing some region's particles
+	// because a shard of a scatter-gathered read failed or was draining.
+	// Local reads never set it; a gateway sets it instead of failing the
+	// whole query when one backend is down (the partial-result contract,
+	// DESIGN §14).
+	Partial bool
 }
 
 // Add accumulates other into s.
@@ -51,6 +57,7 @@ func (s *Stats) Add(other Stats) {
 	s.ParticlesKept += other.ParticlesKept
 	s.CacheHits += other.CacheHits
 	s.BytesFromCache += other.BytesFromCache
+	s.Partial = s.Partial || other.Partial
 }
 
 // Dataset is an open spio dataset directory.
@@ -112,6 +119,13 @@ type Options struct {
 	// (the position is always included). Bytes still stream in whole —
 	// records are AoS — but only the named fields are decoded and kept.
 	Fields []string
+	// PerFileBase, when positive, overrides the per-file level-0 budget
+	// instead of deriving it from Readers and this dataset's file count.
+	// A gateway scatter-gathering a query over shards sets it to the
+	// merged dataset's base so every shard reads exactly the LOD prefix
+	// the whole dataset would — a shard's own (smaller) file count would
+	// otherwise inflate its per-file base and desynchronize the levels.
+	PerFileBase int64
 }
 
 func (o Options) readers() int {
@@ -133,6 +147,16 @@ func perFileBase(meta *format.Meta, readers int) int64 {
 		base = 1
 	}
 	return base
+}
+
+// PerFileBase exposes the per-file level-0 budget derivation: n·P spread
+// over the dataset's files. A gateway uses it on the merged metadata to
+// compute the base it pushes down to every shard (Options.PerFileBase).
+func PerFileBase(meta *format.Meta, readers int) int64 {
+	if readers <= 0 {
+		readers = 1
+	}
+	return perFileBase(meta, readers)
 }
 
 // QueryBox reads the particles intersecting q, consulting the metadata
@@ -173,7 +197,10 @@ func (d *Dataset) readEntries(entries []*format.FileEntry, q geom.Box, opts Opti
 		outSchema = p.Schema()
 	}
 	out := particle.NewBuffer(outSchema, 0)
-	base := perFileBase(d.meta, opts.readers())
+	base := opts.PerFileBase
+	if base <= 0 {
+		base = perFileBase(d.meta, opts.readers())
+	}
 	for _, e := range entries {
 		buf, fst, err := d.readOne(e, base, opts, proj)
 		if err != nil {

@@ -7,6 +7,7 @@ import (
 	"net"
 	"strings"
 	"sync"
+	"time"
 
 	"spio/internal/format"
 	"spio/internal/geom"
@@ -18,6 +19,12 @@ import (
 // ErrDraining is returned by client calls refused because the server is
 // shutting down; redial (or retry elsewhere) later.
 var ErrDraining = errors.New("spiod: server is draining")
+
+// ErrClientBroken is returned by calls on a client whose connection is
+// no longer trustworthy: a previous exchange failed at the transport
+// level (or the server announced drain), so the stream position is
+// unknown. Pools close broken clients instead of reusing them.
+var ErrClientBroken = errors.New("spiod: connection broken by earlier failure")
 
 // ErrBudget is returned when a query's response would exceed the
 // server's per-request byte budget; narrow the box or read fewer
@@ -48,6 +55,7 @@ func WithMaxFrame(n int64) DialOption {
 		if n <= 0 || n > maxFrameCeiling {
 			n = maxFrameCeiling
 		}
+		//spio:allow racegate -- dial options run before Dial publishes the client; the field is read-only afterwards
 		c.maxFrame = n
 	}
 }
@@ -74,6 +82,16 @@ func WithWireCodec(codec uint8) DialOption {
 	}
 }
 
+// WithCallTimeout bounds each request/response exchange (and each
+// progressive-stream level exchange) with a connection deadline. A
+// timeout surfaces as a transport error and marks the client broken —
+// the response may still be in flight, so the connection cannot be
+// reused. Zero (the default) means no deadline.
+func WithCallTimeout(d time.Duration) DialOption {
+	//spio:allow racegate -- dial options run before Dial publishes the client; the field is read-only afterwards
+	return func(c *Client) { c.callTimeout = d }
+}
+
 // ParseAddr splits a dial/listen address into (network, address):
 // "unix:/path" and "tcp:host:port" are explicit; anything containing a
 // path separator dials unix, the rest tcp.
@@ -94,12 +112,15 @@ func ParseAddr(addr string) (network, address string, err error) {
 
 // Client is one connection to a spiod server. Calls are serialized per
 // client (the protocol is sequential); open one client per concurrent
-// consumer.
+// consumer, or check clients out of a ClientPool.
 type Client struct {
-	mu       sync.Mutex // serializes request/response exchanges
-	conn     net.Conn
-	maxFrame int64 // largest acceptable response frame (DefaultMaxFrame unless overridden)
-	codec    uint8 // response codec requested in the hello
+	mu          sync.Mutex // serializes request/response exchanges
+	conn        net.Conn
+	maxFrame    int64 // largest acceptable response frame (DefaultMaxFrame unless overridden)
+	codec       uint8 // response codec requested in the hello
+	callTimeout time.Duration
+	features    uint32 // server feature bits from the hello ack
+	broken      bool   // transport desync: the conn must not be reused
 }
 
 // Dial connects to a spiod server ("unix:/path", "tcp:host:port", or a
@@ -117,16 +138,27 @@ func Dial(addr string, opts ...DialOption) (*Client, error) {
 	for _, opt := range opts {
 		opt(c)
 	}
+	// The handshake gets the same deadline as calls: a listener whose
+	// process died with connections still in the accept backlog would
+	// otherwise hang the dial forever.
+	c.armDeadline()
+	defer c.disarmDeadline()
 	var fb frameBuf
 	e := newWriter(&fb)
-	encodeHello(e, &hello{Version: protoVersion, Codec: c.codec})
+	encodeHello(e, &hello{Version: protoVersion, Codec: c.codec, Features: serverFeatures})
 	if e.err == nil {
 		err = writeFrame(conn, fb.b)
 	} else {
 		err = e.err
 	}
 	if err == nil {
-		_, _, err = c.readResp()
+		var d *reader
+		if _, d, err = c.readResp(); err == nil {
+			var ack *helloAck
+			if ack, err = decodeHelloAck(d); err == nil {
+				c.features = ack.Features
+			}
+		}
 	}
 	if err != nil {
 		_ = conn.Close() // handshake failed; the handshake error is the one to report
@@ -137,6 +169,35 @@ func Dial(addr string, opts ...DialOption) (*Client, error) {
 
 // Close tears the connection down.
 func (c *Client) Close() error { return c.conn.Close() }
+
+// Broken reports whether a transport-level failure (or a server drain
+// notice) has desynchronized the connection. A broken client fails all
+// further calls with ErrClientBroken; pools close it instead of reusing
+// it. Request-level errors (overload, budget, bad query) do NOT break
+// the client — those exchanges completed cleanly.
+func (c *Client) Broken() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.broken
+}
+
+// ServerFeatures returns the feature bits the server advertised in its
+// hello ack.
+func (c *Client) ServerFeatures() uint32 { return c.features }
+
+// armDeadline applies the per-call timeout to the connection; callers
+// hold c.mu.
+func (c *Client) armDeadline() {
+	if c.callTimeout > 0 {
+		_ = c.conn.SetDeadline(time.Now().Add(c.callTimeout))
+	}
+}
+
+func (c *Client) disarmDeadline() {
+	if c.callTimeout > 0 {
+		_ = c.conn.SetDeadline(time.Time{})
+	}
+}
 
 // sendRequest writes one request frame.
 func (c *Client) sendRequest(req *request) error {
@@ -179,14 +240,33 @@ func (c *Client) readResp() (*respHeader, *reader, error) {
 func (c *Client) call(req *request) (*reader, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	// The lock intentionally spans the conn I/O: it is what serializes
-	// whole request/response exchanges on the shared connection, and
-	// every waiter is another caller of the same exchange.
+	if c.broken {
+		return nil, ErrClientBroken
+	}
+	// The lock intentionally spans the conn I/O (deadline arming
+	// included): it is what serializes whole request/response exchanges
+	// on the shared connection, and every waiter is another caller of
+	// the same exchange.
 	//spio:allow lockorder -- mu serializes request/response exchanges on the shared conn; holding it across the I/O is the protocol
+	c.armDeadline()
+	defer c.disarmDeadline()
 	if err := c.sendRequest(req); err != nil {
+		// The write can fail because the server drained and closed the
+		// socket — in which case its goodbye frame is sitting in our
+		// receive buffer. Salvage it so the caller sees ErrDraining (a
+		// clean "go elsewhere") instead of a raw reset.
+		c.broken = true
+		if _, _, rerr := c.readResp(); errors.Is(rerr, ErrDraining) {
+			return nil, rerr
+		}
 		return nil, err
 	}
-	_, d, err := c.readResp()
+	h, d, err := c.readResp()
+	if err != nil && (h == nil || h.Status == statusDraining) {
+		// Transport failure (desync) or the server is going away; either
+		// way this connection must not carry another exchange.
+		c.broken = true
+	}
 	return d, err
 }
 
@@ -227,6 +307,14 @@ func (c *Client) Open(ref string) (*RemoteDataset, error) {
 		return nil, err
 	}
 	return &RemoteDataset{c: c, ref: ref, meta: meta}, nil
+}
+
+// Attach binds an already-fetched metadata image to a dataset reference
+// on this client without the opMeta round trip. A gateway fetches each
+// shard's metadata once at mount and attaches it to every pooled
+// connection it checks out afterwards.
+func (c *Client) Attach(ref string, meta *format.Meta) *RemoteDataset {
+	return &RemoteDataset{c: c, ref: ref, meta: meta}
 }
 
 // RemoteDataset is a dataset served by a remote spiod, implementing the
@@ -291,6 +379,7 @@ func fillOpts(req *request, opts rdr.Options) {
 	req.Readers = opts.Readers
 	req.NoFilter = opts.NoFilter
 	req.Fields = opts.Fields
+	req.Base = opts.PerFileBase
 }
 
 // QueryBox reads the particles intersecting q, server-side.
@@ -367,6 +456,26 @@ func (r *RemoteDataset) DensityGrid(dims geom.Idx3, levels, readers int) ([]floa
 	return resp.Counts, resp.Fraction, resp.Stats.Read, nil
 }
 
+// DensityGridRaw asks the server for unscaled per-cell sample counts
+// plus the sampled-particle count (reqFlagRawDensity). A gateway sums
+// these across shards and scales once against the merged total, which
+// keeps the result bit-identical to a single-node DensityGrid.
+func (r *RemoteDataset) DensityGridRaw(dims geom.Idx3, opts rdr.Options) ([]float64, int64, rdr.Stats, error) {
+	req := r.req(opDensityGrid)
+	req.Dims = dims
+	req.Flags |= reqFlagRawDensity
+	fillOpts(req, opts)
+	d, err := r.c.call(req)
+	if err != nil {
+		return nil, 0, rdr.Stats{}, err
+	}
+	resp, err := decodeDensityResp(d, r.c.maxFrame)
+	if err != nil {
+		return nil, 0, rdr.Stats{}, err
+	}
+	return resp.Counts, resp.Sampled, resp.Stats.Read, nil
+}
+
 // RemoteStream is a progressive LOD stream served level-by-level; each
 // NextLevel call acks the previous level (backpressure) and receives
 // the next increment. Cancel (or Close) after any prefix to stop the
@@ -384,22 +493,43 @@ type RemoteStream struct {
 // client connection is dedicated to the stream until it finishes or is
 // cancelled.
 func (r *RemoteDataset) ProgressiveBox(q geom.Box, levels, readers int) (*RemoteStream, error) {
+	return r.ProgressiveBoxBase(q, levels, readers, 0)
+}
+
+// ProgressiveBoxBase is ProgressiveBox with an explicit per-file LOD
+// base override (0 = server derives it). A gateway passes the merged
+// dataset's base so every shard's level boundaries line up.
+func (r *RemoteDataset) ProgressiveBoxBase(q geom.Box, levels, readers int, base int64) (*RemoteStream, error) {
 	req := r.req(opProgressive)
 	req.Box = q
 	req.Levels = levels
 	req.Readers = readers
+	req.Base = base
 	r.c.mu.Lock()
+	if r.c.broken {
+		r.c.mu.Unlock()
+		return nil, ErrClientBroken
+	}
 	// As in Client.call, the lock deliberately spans the stream's conn
-	// I/O: the connection is dedicated to this stream until release().
+	// I/O (deadline arming included): the connection is dedicated to
+	// this stream until release().
 	//spio:allow lockorder -- mu dedicates the shared conn to this stream until release(); holding it across the I/O is the protocol
+	r.c.armDeadline()
 	if err := r.c.sendRequest(req); err != nil {
+		r.c.broken = true
+		r.c.disarmDeadline()
 		r.c.mu.Unlock()
 		return nil, err
 	}
-	if _, _, err := r.c.readResp(); err != nil {
+	if h, _, err := r.c.readResp(); err != nil {
+		if h == nil || h.Status == statusDraining {
+			r.c.broken = true
+		}
+		r.c.disarmDeadline()
 		r.c.mu.Unlock()
 		return nil, err
 	}
+	r.c.disarmDeadline()
 	// The lock stays held: the connection speaks this stream until done.
 	return &RemoteStream{c: r.c}, nil
 }
@@ -422,6 +552,10 @@ func (st *RemoteStream) NextLevel() (*particle.Buffer, bool, error) {
 	}
 	f, err := st.exchange(ackNext)
 	if err != nil {
+		// An aborted stream leaves un-acked levels on the wire; the conn
+		// cannot return to request/response use.
+		//spio:allow racegate -- the stream holds c.mu from ProgressiveBox until release(); the write is lock-protected across functions
+		st.c.broken = true
 		st.release()
 		return nil, false, err
 	}
@@ -443,10 +577,12 @@ func (st *RemoteStream) Cancel() error {
 	}
 	f, err := st.exchange(ackCancel)
 	st.done = true
-	st.release()
 	if err != nil {
+		st.c.broken = true // cancel didn't complete: stream position unknown
+		st.release()
 		return err
 	}
+	st.release()
 	st.stats = f.Stats.Read
 	return nil
 }
@@ -456,6 +592,8 @@ func (st *RemoteStream) Close() error { return st.Cancel() }
 
 // exchange sends one ack and reads one level frame.
 func (st *RemoteStream) exchange(ack uint8) (*streamFrame, error) {
+	st.c.armDeadline()
+	defer st.c.disarmDeadline()
 	var fb frameBuf
 	e := newWriter(&fb)
 	encodeAck(e, ack)

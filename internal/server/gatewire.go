@@ -1,0 +1,171 @@
+package server
+
+// Wire shims for internal/gateway. The gateway front speaks the spiod
+// protocol to its own clients, so it needs the frame and message codecs
+// that live (unexported) in this package. These are aliases and thin
+// Marshal/Unmarshal wrappers over the name-paired encode/decode
+// functions — symmetry is still enforced where it matters, on the
+// underlying pairs the wiresym analyzer checks.
+
+import (
+	"bytes"
+	"io"
+)
+
+// Exported protocol constants for the gateway front.
+const (
+	ProtoVersion = protoVersion
+
+	OpMeta        = opMeta
+	OpQueryBox    = opQueryBox
+	OpKNN         = opKNN
+	OpHalo        = opHalo
+	OpDensityGrid = opDensityGrid
+	OpProgressive = opProgressive
+	OpStats       = opStats
+	OpList        = opList
+
+	StatusOK         = statusOK
+	StatusError      = statusError
+	StatusOverloaded = statusOverloaded
+	StatusDraining   = statusDraining
+	StatusBudget     = statusBudget
+
+	AckNext   = ackNext
+	AckCancel = ackCancel
+
+	// ReqFlagRawDensity marks a density request as raw (unscaled counts
+	// plus sampled total) — what a gateway sends its shards, and what a
+	// nested gateway may be asked for itself.
+	ReqFlagRawDensity = reqFlagRawDensity
+
+	// GatewayFeatures is the feature set a gateway front advertises: the
+	// same extensions the server build implements, since the gateway
+	// fans every one of them out.
+	GatewayFeatures = serverFeatures
+
+	// FeatureBaseOverride and friends let a gateway check that a backend
+	// implements the extension its merge semantics depend on.
+	FeatureBaseOverride   = featureBaseOverride
+	FeaturePartialResults = featurePartialResults
+	FeatureRawDensity     = featureRawDensity
+	FeatureDrainNotice    = featureDrainNotice
+
+	// HelloFrameMax bounds the hello frame a front accepts.
+	HelloFrameMax = 64
+	// AckFrameMax bounds a progressive-stream ack frame.
+	AckFrameMax = 16
+)
+
+// Aliased wire records (fields are exported on the underlying types).
+type (
+	Hello       = hello
+	Request     = request
+	WireStats   = wireStats
+	QueryResp   = queryResp
+	KNNResp     = knnResp
+	HaloResp    = haloResp
+	DensityResp = densityResp
+	StreamFrame = streamFrame
+)
+
+// FrameRead receives one length-prefixed frame, refusing bodies larger
+// than max.
+func FrameRead(r io.Reader, max uint32) ([]byte, error) {
+	return readFrame(r, max)
+}
+
+// FrameWrite sends one length-prefixed frame.
+func FrameWrite(w io.Writer, body []byte) error {
+	return writeFrame(w, body)
+}
+
+// UnmarshalHello decodes a client hello frame body (magic, version,
+// codec, features).
+func UnmarshalHello(body []byte) (*Hello, error) {
+	return decodeHello(newReader(bytes.NewReader(body)))
+}
+
+// UnmarshalRequest decodes a request frame body with the same bounds
+// the server enforces.
+func UnmarshalRequest(body []byte) (*Request, error) {
+	return decodeRequest(newReader(bytes.NewReader(body)))
+}
+
+// UnmarshalAck decodes a progressive-stream ack frame body.
+func UnmarshalAck(body []byte) (uint8, error) {
+	return decodeAck(newReader(bytes.NewReader(body)))
+}
+
+// marshalResp builds a response frame body: header then payload.
+func marshalResp(status uint8, msg string, payload func(e *writer)) ([]byte, error) {
+	var fb frameBuf
+	e := newWriter(&fb)
+	encodeRespHeader(e, &respHeader{Status: status, Msg: msg})
+	if payload != nil {
+		payload(e)
+	}
+	if e.err != nil {
+		return nil, e.err
+	}
+	return fb.b, nil
+}
+
+// MarshalStatusFrame builds a header-only response frame body.
+func MarshalStatusFrame(status uint8, msg string) ([]byte, error) {
+	return marshalResp(status, msg, nil)
+}
+
+// MarshalHelloAckFrame builds the hello response frame body advertising
+// the given feature bits.
+func MarshalHelloAckFrame(features uint32) ([]byte, error) {
+	return marshalResp(statusOK, "", func(e *writer) {
+		encodeHelloAck(e, &helloAck{Features: features})
+	})
+}
+
+// MarshalBlobFrame builds an OK response carrying an opaque blob
+// (metadata images, stats JSON).
+func MarshalBlobFrame(blob []byte) ([]byte, error) {
+	return marshalResp(statusOK, "", func(e *writer) { encodeBlob(e, blob) })
+}
+
+// MarshalNamesFrame builds an OK response carrying a name list (opList).
+func MarshalNamesFrame(names []string) ([]byte, error) {
+	return marshalResp(statusOK, "", func(e *writer) { encodeNames(e, names) })
+}
+
+// MarshalQueryRespFrame builds an OK opQueryBox response frame body.
+func MarshalQueryRespFrame(r *QueryResp, codec uint8) ([]byte, error) {
+	return marshalResp(statusOK, "", func(e *writer) { encodeQueryResp(e, r, codec) })
+}
+
+// MarshalKNNRespFrame builds an OK opKNN response frame body.
+func MarshalKNNRespFrame(r *KNNResp, codec uint8) ([]byte, error) {
+	return marshalResp(statusOK, "", func(e *writer) { encodeKNNResp(e, r, codec) })
+}
+
+// MarshalHaloRespFrame builds an OK opHalo response frame body.
+func MarshalHaloRespFrame(r *HaloResp, codec uint8) ([]byte, error) {
+	return marshalResp(statusOK, "", func(e *writer) { encodeHaloResp(e, r, codec) })
+}
+
+// MarshalDensityRespFrame builds an OK opDensityGrid response frame
+// body.
+func MarshalDensityRespFrame(r *DensityResp) ([]byte, error) {
+	return marshalResp(statusOK, "", func(e *writer) { encodeDensityResp(e, r) })
+}
+
+// MarshalStreamFrame builds an OK progressive level frame body.
+func MarshalStreamFrame(f *StreamFrame, codec uint8) ([]byte, error) {
+	return marshalResp(statusOK, "", func(e *writer) { encodeStreamFrame(e, f, codec) })
+}
+
+// ClampWireCodec applies the maxWireCodec bound to a requested codec,
+// falling back to raw for unknown values.
+func ClampWireCodec(codec uint8) uint8 {
+	if codec > maxWireCodec {
+		return wireCodecRaw
+	}
+	return codec
+}

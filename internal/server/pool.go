@@ -1,0 +1,121 @@
+package server
+
+import (
+	"errors"
+	"sync"
+)
+
+// ErrPoolClosed is returned by Get on a closed ClientPool.
+var ErrPoolClosed = errors.New("spiod: client pool closed")
+
+// ClientPool is a bounded pool of Clients to one spiod address. Get
+// checks a client out for exclusive use; Put returns it. The pool caps
+// live connections: when every slot is checked out, Get blocks until a
+// Put frees one — the per-backend fan-out bound of a gateway. Broken
+// clients (transport desync, server drain) are closed on Put instead of
+// being reused, so a pooled checkout is always a connection whose
+// stream position is known-good, and a redial happens lazily on the
+// next Get.
+type ClientPool struct {
+	addr string
+	opts []DialOption
+	sem  chan struct{} // one token per live-connection slot
+
+	mu     sync.Mutex
+	idle   []*Client
+	closed bool
+}
+
+// NewClientPool builds a pool of at most max live connections to addr
+// (max <= 0 defaults to 4). Connections are dialed lazily.
+func NewClientPool(addr string, max int, opts ...DialOption) *ClientPool {
+	if max <= 0 {
+		max = 4
+	}
+	return &ClientPool{addr: addr, opts: opts, sem: make(chan struct{}, max)}
+}
+
+// Get checks out a client for exclusive use, dialing a fresh connection
+// when no idle one exists. It blocks while all slots are checked out.
+// The caller must Put the client back (even after errors — Put handles
+// broken clients).
+func (p *ClientPool) Get() (*Client, error) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil, ErrPoolClosed
+	}
+	p.mu.Unlock()
+	p.sem <- struct{}{} // acquire a live-connection slot
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		<-p.sem
+		return nil, ErrPoolClosed
+	}
+	var reuse *Client
+	var stale []*Client // broken idle conns, closed after unlock
+	for len(p.idle) > 0 {
+		c := p.idle[len(p.idle)-1]
+		p.idle = p.idle[:len(p.idle)-1]
+		if c.Broken() {
+			stale = append(stale, c) // e.g. server drained under us
+			continue
+		}
+		reuse = c
+		break
+	}
+	p.mu.Unlock()
+	for _, c := range stale {
+		_ = c.Close() // stale conn; nothing to report
+	}
+	if reuse != nil {
+		return reuse, nil
+	}
+	c, err := Dial(p.addr, p.opts...)
+	if err != nil {
+		<-p.sem // dial failed: the slot is free again
+		return nil, err
+	}
+	return c, nil
+}
+
+// Put returns a checked-out client. Broken (or nil) clients are closed;
+// healthy ones go back on the idle list. Every Get must be matched by
+// exactly one Put.
+func (p *ClientPool) Put(c *Client) {
+	defer func() { <-p.sem }()
+	if c == nil {
+		return
+	}
+	if c.Broken() {
+		_ = c.Close() // desynced conn: never reuse
+		return
+	}
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		_ = c.Close() // pool closed while checked out
+		return
+	}
+	p.idle = append(p.idle, c)
+	p.mu.Unlock()
+}
+
+// Close closes the idle connections and fails future Gets. Clients
+// currently checked out are closed by their Put.
+func (p *ClientPool) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	idle := p.idle
+	p.idle = nil
+	p.mu.Unlock()
+	for _, c := range idle {
+		_ = c.Close() // pool shutdown; nothing to report per conn
+	}
+	return nil
+}

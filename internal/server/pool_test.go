@@ -1,0 +1,114 @@
+package server
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"spio/internal/geom"
+	rdr "spio/internal/reader"
+)
+
+// TestClientPoolConcurrent hammers one pool from many goroutines (run
+// under -race in CI): checkouts are bounded, every client works, and
+// clients broken mid-flight are replaced instead of reused.
+func TestClientPoolConcurrent(t *testing.T) {
+	dir := t.TempDir()
+	writeDataset(t, dir, geom.I3(2, 2, 1), geom.I3(2, 2, 1), 100)
+	s := New(Config{Workers: 2})
+	if err := s.Mount("sim", dir); err != nil {
+		t.Fatal(err)
+	}
+	addr := startServer(t, s)
+
+	const max = 3
+	pool := NewClientPool(addr, max)
+	defer pool.Close()
+	q := geom.NewBox(geom.V3(0, 0, 0), geom.V3(0.5, 0.5, 1))
+
+	const workers = 12
+	var wg sync.WaitGroup
+	errc := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for round := 0; round < 5; round++ {
+				c, err := pool.Get()
+				if err != nil {
+					errc <- err
+					return
+				}
+				ds := c.Attach("sim", nil)
+				_, _, err = ds.QueryBox(q, rdr.Options{})
+				if err == nil && w%4 == 0 && round == 2 {
+					// Sabotage some checkouts: a closed conn makes the next
+					// exchange fail and mark the client broken; Put must
+					// retire it, and later Gets must still succeed.
+					_ = c.Close()
+					_, _, qerr := ds.QueryBox(q, rdr.Options{})
+					if qerr == nil {
+						errc <- errors.New("query on a closed client succeeded")
+					}
+					if !c.Broken() {
+						errc <- errors.New("failed exchange did not mark the client broken")
+					}
+				}
+				pool.Put(c)
+				if err != nil {
+					errc <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+}
+
+// TestClientPoolBounds checks the checkout cap and the closed-pool
+// contract.
+func TestClientPoolBounds(t *testing.T) {
+	dir := t.TempDir()
+	writeDataset(t, dir, geom.I3(2, 2, 1), geom.I3(2, 2, 1), 20)
+	s := New(Config{Workers: 1})
+	if err := s.Mount("sim", dir); err != nil {
+		t.Fatal(err)
+	}
+	addr := startServer(t, s)
+
+	pool := NewClientPool(addr, 1)
+	c1, err := pool.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With the single slot held, a second Get must block until Put.
+	got := make(chan *Client)
+	go func() {
+		c, err := pool.Get()
+		if err != nil {
+			t.Errorf("second Get: %v", err)
+		}
+		got <- c
+	}()
+	time.Sleep(50 * time.Millisecond)
+	select {
+	case <-got:
+		t.Fatal("Get returned while the pool's only slot was checked out")
+	default:
+	}
+	pool.Put(c1)
+	c2 := <-got
+	pool.Put(c2)
+
+	if err := pool.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pool.Get(); !errors.Is(err, ErrPoolClosed) {
+		t.Fatalf("Get on closed pool: %v, want ErrPoolClosed", err)
+	}
+}

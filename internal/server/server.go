@@ -156,7 +156,7 @@ type Server struct {
 	mu        sync.Mutex
 	mounts    map[string]*mount
 	listeners []net.Listener
-	conns     map[net.Conn]struct{}
+	conns     map[*srvConn]struct{}
 
 	stop     chan struct{}
 	draining atomic.Bool
@@ -179,7 +179,7 @@ func New(cfg Config) *Server {
 		dcache: NewDecodedCache(cfg.decodedCacheBytes()),
 		adm:    newAdmission(cfg.workers(), cfg.queueDepth()),
 		mounts: map[string]*mount{},
-		conns:  map[net.Conn]struct{}{},
+		conns:  map[*srvConn]struct{}{},
 		stop:   make(chan struct{}),
 		metrics: metrics{
 			startNano: time.Now().UnixNano(),
@@ -402,19 +402,38 @@ func (s *Server) Serve(l net.Listener) error {
 			_ = conn.Close() // drain raced the accept: turn the client away
 			return nil
 		}
-		s.conns[conn] = struct{}{}
+		sc := &srvConn{Conn: conn}
+		s.conns[sc] = struct{}{}
 		s.mu.Unlock()
 		s.connWG.Add(1)
 		go func() {
 			defer s.connWG.Done()
-			s.handleConn(conn)
+			s.handleConn(sc)
 		}()
 	}
 }
 
+// srvConn is one accepted connection plus the mutex that serializes
+// frame writes on it. The request loop is sequential, but graceful
+// drain writes an unsolicited statusDraining frame from the Shutdown
+// goroutine — without the lock that frame could interleave with a late
+// handler response and corrupt the stream.
+type srvConn struct {
+	net.Conn
+	wmu sync.Mutex
+}
+
+// writeLockedFrame sends one frame under the connection's write lock.
+func (c *srvConn) writeLockedFrame(body []byte) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	//spio:allow lockorder -- wmu serializes whole frame writes on this conn; holding it across the I/O is the point
+	return writeFrame(c.Conn, body)
+}
+
 // Shutdown drains the server: stop accepting, fail queued admissions,
-// let in-flight requests and streams finish, then close connections.
-// The context bounds the wait.
+// let in-flight requests and streams finish, then notify and close
+// connections. The context bounds the wait.
 func (s *Server) Shutdown(ctx context.Context) error {
 	if !s.draining.CompareAndSwap(false, true) {
 		return nil
@@ -429,16 +448,29 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	done := make(chan struct{})
 	go func() {
 		s.reqWG.Wait() // every admitted request/stream completes
-		// Snapshot under the lock, close outside it: Close can stall on
-		// a wedged peer, and holding s.mu through that would freeze
-		// accept bookkeeping and the stats path for every other caller.
+		// Snapshot under the lock, notify and close outside it: the
+		// notice write and Close can stall on a wedged peer, and holding
+		// s.mu through that would freeze accept bookkeeping and the
+		// stats path for every other caller.
 		s.mu.Lock()
-		idle := make([]net.Conn, 0, len(s.conns))
+		idle := make([]*srvConn, 0, len(s.conns))
 		for c := range s.conns {
 			idle = append(idle, c)
 		}
 		s.mu.Unlock()
 		for _, c := range idle {
+			// Drain handshake: tell the idle peer we are going away
+			// before cutting the connection, so its next call reads a
+			// clean statusDraining frame (ErrDraining, retried or routed
+			// around) instead of a raw reset. Best effort, bounded by a
+			// short deadline — a wedged peer gets the abrupt close.
+			var fb frameBuf
+			e := newWriter(&fb)
+			encodeRespHeader(e, &respHeader{Status: statusDraining, Msg: errDraining.Error()})
+			if e.err == nil {
+				_ = c.SetWriteDeadline(time.Now().Add(time.Second))
+				_ = c.writeLockedFrame(fb.b) // best effort; close follows either way
+			}
 			_ = c.Close() // idle connections blocked in read
 		}
 		s.connWG.Wait()
@@ -455,7 +487,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 
 // handleConn speaks the protocol on one connection: hello, then a
 // request loop.
-func (s *Server) handleConn(conn net.Conn) {
+func (s *Server) handleConn(conn *srvConn) {
 	s.metrics.activeConns.Add(1)
 	defer s.metrics.activeConns.Add(-1)
 	defer func() {
@@ -480,7 +512,9 @@ func (s *Server) handleConn(conn net.Conn) {
 		return
 	}
 	codec := s.cfg.wireCodecFor(h.Codec)
-	if err := s.sendStatus(conn, statusOK, ""); err != nil {
+	if err := s.send(conn, statusOK, "", func(e *writer) {
+		encodeHelloAck(e, &helloAck{Features: serverFeatures})
+	}); err != nil {
 		return
 	}
 
@@ -501,13 +535,13 @@ func (s *Server) handleConn(conn net.Conn) {
 }
 
 // sendStatus writes a header-only response frame.
-func (s *Server) sendStatus(conn net.Conn, status uint8, msg string) error {
+func (s *Server) sendStatus(conn *srvConn, status uint8, msg string) error {
 	return s.send(conn, status, msg, nil)
 }
 
 // send writes one response frame: header, then the payload encoded by
 // body (which must leave the writer clean on success).
-func (s *Server) send(conn net.Conn, status uint8, msg string, body func(e *writer)) error {
+func (s *Server) send(conn *srvConn, status uint8, msg string, body func(e *writer)) error {
 	var fb frameBuf
 	e := newWriter(&fb)
 	encodeRespHeader(e, &respHeader{Status: status, Msg: msg})
@@ -518,13 +552,13 @@ func (s *Server) send(conn net.Conn, status uint8, msg string, body func(e *writ
 		return e.err
 	}
 	s.metrics.bytesServed.Add(int64(len(fb.b)) + 4)
-	return writeFrame(conn, fb.b)
+	return conn.writeLockedFrame(fb.b)
 }
 
 // handleRequest admits and executes one request. A non-nil return tears
 // the connection down (wire-level failure); request-level errors travel
 // back as status frames.
-func (s *Server) handleRequest(conn net.Conn, req *request, codec uint8) error {
+func (s *Server) handleRequest(conn *srvConn, req *request, codec uint8) error {
 	s.reqWG.Add(1)
 	defer s.reqWG.Done()
 	// Recheck after Add: Shutdown flips draining before waiting, so a
@@ -557,7 +591,7 @@ func (s *Server) handleRequest(conn net.Conn, req *request, codec uint8) error {
 }
 
 // execute dispatches an admitted request.
-func (s *Server) execute(conn net.Conn, req *request, codec uint8, wait time.Duration, start time.Time) error {
+func (s *Server) execute(conn *srvConn, req *request, codec uint8, wait time.Duration, start time.Time) error {
 	// Ops that need no dataset first.
 	switch req.Op {
 	case opStats:
@@ -576,10 +610,11 @@ func (s *Server) execute(conn net.Conn, req *request, codec uint8, wait time.Dur
 		return s.sendStatus(conn, statusError, err.Error())
 	}
 	opts := rdr.Options{
-		Levels:   req.Levels,
-		Readers:  req.Readers,
-		NoFilter: req.NoFilter,
-		Fields:   req.Fields,
+		Levels:      req.Levels,
+		Readers:     req.Readers,
+		NoFilter:    req.NoFilter,
+		Fields:      req.Fields,
+		PerFileBase: req.Base,
 	}
 
 	finish := func(st rdr.Stats) wireStats {
@@ -634,6 +669,15 @@ func (s *Server) execute(conn net.Conn, req *request, codec uint8, wait time.Dur
 		return s.send(conn, statusOK, "", func(e *writer) { encodeHaloResp(e, resp, codec) })
 
 	case opDensityGrid:
+		if req.Flags&reqFlagRawDensity != 0 {
+			counts, sampled, st, err := query.DensityGridRaw(ds, req.Dims, opts)
+			if err != nil {
+				s.metrics.errors.Add(1)
+				return s.sendStatus(conn, statusError, err.Error())
+			}
+			resp := &densityResp{Stats: finish(st), Counts: counts, Fraction: 1, Sampled: sampled}
+			return s.send(conn, statusOK, "", func(e *writer) { encodeDensityResp(e, resp) })
+		}
 		counts, frac, st, err := query.DensityGrid(ds, req.Dims, req.Levels, req.Readers)
 		if err != nil {
 			s.metrics.errors.Add(1)
@@ -659,7 +703,7 @@ func budgetMsg(got, budget int64) string {
 // per client ack, so the client's consumption rate is the server's send
 // rate (backpressure), and an ackCancel stops after any prefix. The
 // worker slot is held for the stream's whole duration.
-func (s *Server) executeStream(conn net.Conn, req *request, ds *rdr.Dataset, codec uint8, wait time.Duration, start time.Time) error {
+func (s *Server) executeStream(conn *srvConn, req *request, ds *rdr.Dataset, codec uint8, wait time.Duration, start time.Time) error {
 	var entries []*format.FileEntry
 	if req.NoFilter {
 		m := ds.Meta()
@@ -673,7 +717,7 @@ func (s *Server) executeStream(conn net.Conn, req *request, ds *rdr.Dataset, cod
 		s.metrics.errors.Add(1)
 		return s.sendStatus(conn, statusError, "spiod: no files intersect the requested box")
 	}
-	p, err := ds.Progressive(entries, req.Readers)
+	p, err := ds.ProgressiveBase(entries, req.Readers, req.Base)
 	if err != nil {
 		s.metrics.errors.Add(1)
 		return s.sendStatus(conn, statusError, err.Error())

@@ -32,7 +32,30 @@ import (
 
 const (
 	protoMagic   = "SPIOSRV1"
-	protoVersion = 3 // v3 cut lossless buffer payloads into parallel codec blocks (was: one whole-buffer block)
+	protoVersion = 4 // v4 added the gateway extensions: hello feature bits, per-file base override, raw density, partial-result flag, drain notices
+)
+
+// Feature bits exchanged in the hello (client advertises, server
+// answers with its own set). They exist so a gateway can verify its
+// backends speak the scatter-gather extensions before routing to them;
+// a plain client can ignore them entirely.
+const (
+	// featureBaseOverride: the server honors request.Base as the per-file
+	// LOD level-0 budget instead of deriving it from its own file count.
+	featureBaseOverride uint32 = 1 << 0
+	// featurePartialResults: response stats carry the partial-result
+	// flag a gateway sets when a shard's region is missing.
+	featurePartialResults uint32 = 1 << 1
+	// featureRawDensity: the server honors reqFlagRawDensity, returning
+	// unscaled density counts plus the sampled-particle count.
+	featureRawDensity uint32 = 1 << 2
+	// featureDrainNotice: on graceful shutdown the server sends idle
+	// connections a statusDraining frame before closing them, so the
+	// next caller sees ErrDraining instead of a raw connection error.
+	featureDrainNotice uint32 = 1 << 3
+
+	// serverFeatures is everything this build implements.
+	serverFeatures = featureBaseOverride | featurePartialResults | featureRawDensity | featureDrainNotice
 )
 
 // Wire buffer codecs. The client requests one in its hello; every
@@ -97,6 +120,15 @@ const (
 	maxReqCells    = 1 << 22 // density grid cells total (32 MiB of float64)
 	maxReqLevels   = 1 << 10 // LOD levels
 	maxReqReaders  = 1 << 16 // simulated reader fan-out
+	maxReqBase     = 1 << 40 // per-file LOD base override (sizes prefix reads)
+)
+
+// Request flag bits (request.Flags).
+const (
+	// reqFlagRawDensity asks a density-grid op for unscaled per-cell
+	// sample counts plus the sampled-particle count, so a gateway can sum
+	// shards and scale once against the merged total.
+	reqFlagRawDensity uint8 = 1 << 0
 )
 
 // writer is a sticky-error little-endian encoder, the wire twin of
@@ -292,18 +324,21 @@ func readFrame(r io.Reader, max uint32) ([]byte, error) {
 	return body, nil
 }
 
-// hello opens every connection: magic, protocol version, and the
-// response codec the client requests for buffer payloads (the server
-// may still answer raw — frames are self-describing).
+// hello opens every connection: magic, protocol version, the response
+// codec the client requests for buffer payloads (the server may still
+// answer raw — frames are self-describing), and the feature bits the
+// client implements.
 type hello struct {
-	Version uint32
-	Codec   uint8
+	Version  uint32
+	Codec    uint8
+	Features uint32
 }
 
 func encodeHello(e *writer, h *hello) {
 	e.bytes([]byte(protoMagic))
 	e.u32(h.Version)
 	e.u8(h.Codec)
+	e.u32(h.Features)
 }
 
 func decodeHello(d *reader) (*hello, error) {
@@ -315,6 +350,7 @@ func decodeHello(d *reader) (*hello, error) {
 	var h hello
 	h.Version = d.u32()
 	h.Codec = d.u8()
+	h.Features = d.u32()
 	if d.err == nil && h.Codec > maxWireCodec {
 		return nil, fmt.Errorf("spiod: unknown wire codec %d requested", h.Codec)
 	}
@@ -322,6 +358,27 @@ func decodeHello(d *reader) (*hello, error) {
 		return nil, d.err
 	}
 	return &h, nil
+}
+
+// helloAck is the payload of the server's hello response: the feature
+// bits the server implements. A gateway checks its backends advertise
+// the scatter-gather extensions here before building a shard map over
+// them.
+type helloAck struct {
+	Features uint32
+}
+
+func encodeHelloAck(e *writer, a *helloAck) {
+	e.u32(a.Features)
+}
+
+func decodeHelloAck(d *reader) (*helloAck, error) {
+	var a helloAck
+	a.Features = d.u32()
+	if d.err != nil {
+		return nil, d.err
+	}
+	return &a, nil
 }
 
 // request is the flat request record: one op code plus the union of
@@ -341,6 +398,12 @@ type request struct {
 	NoFilter bool
 	// Fields projects the result onto the named fields.
 	Fields []string
+	// Base overrides the per-file LOD level-0 budget (0 = derive from
+	// this server's own file count). A gateway passes the merged
+	// dataset's base so every shard cuts the same level boundaries.
+	Base int64
+	// Flags carries the reqFlag* bits.
+	Flags uint8
 }
 
 func encodeRequest(e *writer, r *request) {
@@ -362,6 +425,8 @@ func encodeRequest(e *writer, r *request) {
 	for _, f := range r.Fields {
 		e.str(f)
 	}
+	e.uvarint(uint64(r.Base))
+	e.u8(r.Flags)
 }
 
 func decodeRequest(d *reader) (*request, error) {
@@ -402,6 +467,12 @@ func decodeRequest(d *reader) (*request, error) {
 	for i := uint64(0); i < n && d.err == nil; i++ {
 		r.Fields = append(r.Fields, d.str(maxWireString))
 	}
+	base := d.uvarint()
+	if base > maxReqBase {
+		d.fail(fmt.Errorf("spiod: base=%d exceeds limit %d", base, maxReqBase))
+	}
+	r.Base = int64(base)
+	r.Flags = d.u8()
 	if d.err != nil {
 		return nil, d.err
 	}
@@ -445,6 +516,11 @@ func encodeStats(e *writer, st *wireStats) {
 	e.i64(st.Read.BytesFromCache)
 	e.i64(st.QueueWait)
 	e.i64(st.Service)
+	var partial uint8
+	if st.Read.Partial {
+		partial = 1
+	}
+	e.u8(partial)
 }
 
 func decodeStats(d *reader) (*wireStats, error) {
@@ -457,6 +533,7 @@ func decodeStats(d *reader) (*wireStats, error) {
 	st.Read.BytesFromCache = d.i64()
 	st.QueueWait = d.i64()
 	st.Service = d.i64()
+	st.Read.Partial = d.u8() != 0
 	if d.err != nil {
 		return nil, d.err
 	}
@@ -793,17 +870,23 @@ func decodeHaloResp(d *reader, limit int64) (*haloResp, error) {
 	return &haloResp{Stats: *st, Own: own, Ghost: ghost}, nil
 }
 
-// densityResp answers opDensityGrid.
+// densityResp answers opDensityGrid. For a raw request
+// (reqFlagRawDensity) Counts are unscaled per-cell sample counts,
+// Fraction is 1, and Sampled is the number of particles sampled — the
+// inputs a gateway needs to sum shards and scale once against the
+// merged total.
 type densityResp struct {
 	Stats    wireStats
 	Counts   []float64
 	Fraction float64
+	Sampled  int64
 }
 
 func encodeDensityResp(e *writer, r *densityResp) {
 	encodeStats(e, &r.Stats)
 	encodeFloats(e, r.Counts)
 	e.f64(r.Fraction)
+	e.i64(r.Sampled)
 }
 
 func decodeDensityResp(d *reader, limit int64) (*densityResp, error) {
@@ -816,10 +899,11 @@ func decodeDensityResp(d *reader, limit int64) (*densityResp, error) {
 		return nil, err
 	}
 	frac := d.f64()
+	sampled := d.i64()
 	if d.err != nil {
 		return nil, d.err
 	}
-	return &densityResp{Stats: *st, Counts: counts, Fraction: frac}, nil
+	return &densityResp{Stats: *st, Counts: counts, Fraction: frac, Sampled: sampled}, nil
 }
 
 // streamFrame is one level increment of a progressive stream. Done

@@ -1,6 +1,7 @@
 package spio
 
 import (
+	"spio/internal/gateway"
 	"spio/internal/server"
 )
 
@@ -99,3 +100,36 @@ var (
 	_ Queryable = (*Dataset)(nil)
 	_ Queryable = (*RemoteDataset)(nil)
 )
+
+// Sharded serving (cmd/spiogate): a gateway mounts one logical dataset
+// as shards held by separate spiod backends, routes each query to the
+// minimal shard set whose partitions intersect it, and merges the
+// answers — the paper's spatial pruning lifted from files to servers.
+// The gateway speaks the spiod protocol on its front, so Dial works
+// against it unchanged.
+
+type (
+	// Gateway is an embeddable spiogate: Mount shard maps, then Serve
+	// front listeners. A dead backend degrades queries to flagged
+	// partial results (ReadStats.Partial) instead of errors.
+	Gateway = gateway.Gateway
+	// GatewayConfig tunes pooling, per-call timeouts, and the
+	// per-backend circuit breakers of a Gateway.
+	GatewayConfig = gateway.Config
+	// ShardSpec names one shard of a gateway mount: the dataset ref its
+	// backends serve it under and their addresses (first is primary,
+	// the rest are failover replicas).
+	ShardSpec = gateway.ShardSpec
+)
+
+// NewGateway builds an embeddable scatter-gather front tier (the
+// library form of cmd/spiogate).
+func NewGateway(cfg GatewayConfig) *Gateway { return gateway.New(cfg) }
+
+// SplitDataset partitions the dataset at srcDir into spatially compact
+// shard datasets, one per output directory, for spiod backends behind a
+// gateway to mount. Together the shards hold exactly the source's
+// files.
+func SplitDataset(srcDir string, outDirs []string) error {
+	return gateway.Split(srcDir, outDirs)
+}

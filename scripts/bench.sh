@@ -18,6 +18,10 @@
 #	BENCH_PR9.json  codec pipeline: lossless wire encode throughput
 #	                (pooled state + shuffle+LZ egress codec) and cached
 #	                range reads with and without the decoded-block tier
+#	BENCH_PR10.json spiogate scatter-gather: fan-out box queries and
+#	                wave-merged KNN at 1/2/4 shards (1 shard is the
+#	                single-node baseline) plus 8 concurrent clients
+#	                against a 3-shard gateway (internal/gateway)
 #
 # Usage:
 #
@@ -43,6 +47,7 @@ OUT5="${OUT5:-BENCH_PR5.json}"
 OUT7="${OUT7:-BENCH_PR7.json}"
 OUT8="${OUT8:-BENCH_PR8.json}"
 OUT9="${OUT9:-BENCH_PR9.json}"
+OUT10="${OUT10:-BENCH_PR10.json}"
 BENCHTIME="${BENCHTIME:-2s}"
 
 # to_json <raw go test -bench output> <out.json>
@@ -176,3 +181,14 @@ END {
 grep -q 'WireQueryRespLossless' "$OUT9"
 rm -f "$raw9"
 echo "bench: wrote $OUT9"
+
+# Gateway snapshot: the sharded serving tier end to end — each sample
+# is a full scatter-gather round trip over real spiod backends on unix
+# sockets. Read the 2/4-shard entries against the 1-shard baseline:
+# the delta is the price of the extra fan-out, not of the data volume.
+PATTERN10='^(BenchmarkGatewayBox1Shard|BenchmarkGatewayBox2Shards|BenchmarkGatewayBox4Shards|BenchmarkGatewayKNN1Shard|BenchmarkGatewayKNN2Shards|BenchmarkGatewayKNN4Shards|BenchmarkGatewayBox8Clients)$'
+raw10=$(mktemp /tmp/spio-bench-XXXXXX.txt)
+go test -run '^$' -bench "$PATTERN10" -benchtime "$BENCHTIME" -benchmem -count 1 ./internal/gateway | tee "$raw10"
+to_json "$raw10" "$OUT10"
+rm -f "$raw10"
+echo "bench: wrote $OUT10"
